@@ -1,0 +1,233 @@
+//! Confidential aggregate auditing (paper §1: "the auditor can
+//! retrieve certain aggregated system information e.g., number of
+//! transactions, total of volumes … without having to access the full
+//! log data").
+//!
+//! * [`count_matching`] — how many records satisfy a criterion. The
+//!   query pipeline runs **without the final reveal**, so the auditor
+//!   learns a number, not which records.
+//! * [`sum_matching`] — the total of a numeric attribute over the
+//!   matching records. The attribute's owner node computes its partial
+//!   total locally, and the cluster runs the §3.5 secure-sum protocol
+//!   (every node contributes; non-owners contribute 0) so the auditor
+//!   receives only the reconstructed aggregate — it cannot tell which
+//!   node(s) contributed, and no per-record value ever leaves its
+//!   owner.
+
+use crate::cluster::DlaCluster;
+use crate::exec;
+use crate::AuditError;
+use dla_bigint::F61;
+use dla_logstore::model::{AttrName, AttrValue, Glsn};
+use dla_mpc::report::ProtocolReport;
+use dla_mpc::sum::secure_sum;
+use dla_net::wire::{Reader, Writer};
+use dla_net::NodeId;
+
+/// Result of a confidential count.
+#[derive(Debug)]
+pub struct CountOutcome {
+    /// Number of satisfying records.
+    pub count: usize,
+    /// Protocol cost reports.
+    pub reports: Vec<ProtocolReport>,
+}
+
+/// Counts records satisfying `criteria` without revealing which.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] on parse/plan/protocol failures.
+pub fn count_matching(cluster: &mut DlaCluster, criteria: &str) -> Result<CountOutcome, AuditError> {
+    let parsed = crate::parser::parse(criteria, cluster.schema())
+        .map_err(|e| AuditError::Parse(e.to_string()))?;
+    let normalized = crate::normal::normalize(&parsed);
+    let plan = crate::plan::plan(&normalized, cluster.partition())?;
+    let result = exec::execute_with_reveal(cluster, &plan, false)?;
+    debug_assert!(result.glsns.is_empty(), "count must not reveal glsns");
+    Ok(CountOutcome {
+        count: result.cardinality,
+        reports: result.reports,
+    })
+}
+
+/// Result of a confidential aggregate sum.
+#[derive(Debug)]
+pub struct SumOutcome {
+    /// The aggregate, in the attribute's native unit (hundredths for
+    /// fixed-point attributes).
+    pub total: u64,
+    /// Number of contributing records.
+    pub count: usize,
+    /// Protocol cost reports.
+    pub reports: Vec<ProtocolReport>,
+}
+
+/// Sums `attr` over all records satisfying `criteria`.
+///
+/// Only non-negative `Int` and `Fixed2` attributes can be aggregated
+/// (they are the paper's counts and volumes).
+///
+/// # Errors
+///
+/// Returns [`AuditError`] on parse/plan/protocol failures, if `attr`
+/// is not numeric, or a value is negative.
+pub fn sum_matching(
+    cluster: &mut DlaCluster,
+    criteria: &str,
+    attr: &AttrName,
+) -> Result<SumOutcome, AuditError> {
+    let owner = cluster.partition().node_of(attr).ok_or_else(|| {
+        AuditError::Planning(format!("attribute {attr} is not served by any node"))
+    })?;
+
+    // Phase 1: the matching glsn set, revealed to the auditor engine.
+    let parsed = crate::parser::parse(criteria, cluster.schema())
+        .map_err(|e| AuditError::Parse(e.to_string()))?;
+    let normalized = crate::normal::normalize(&parsed);
+    let plan = crate::plan::plan(&normalized, cluster.partition())?;
+    let result = exec::execute_with_reveal(cluster, &plan, true)?;
+    let mut reports = result.reports;
+    let glsns = result.glsns;
+
+    // Phase 2: the auditor ships the glsn list to the owner, which
+    // computes its partial total locally.
+    let auditor = cluster.auditor_node();
+    let mut w = Writer::new();
+    w.put_u8(0x70).put_list(&glsns, |w, g| {
+        w.put_u64(g.0);
+    });
+    cluster.net_mut().send(auditor, NodeId(owner), w.finish());
+    let envelope = cluster
+        .net_mut()
+        .recv_from(NodeId(owner), auditor)
+        .map_err(AuditError::Net)?;
+    let mut r = Reader::new(&envelope.payload);
+    let _ = r.get_u8().map_err(|e| AuditError::Parse(e.to_string()))?;
+    let requested: Vec<Glsn> = r
+        .get_list(|r| r.get_u64().map(Glsn))
+        .map_err(|e| AuditError::Parse(e.to_string()))?;
+
+    let mut partial: u64 = 0;
+    for glsn in &requested {
+        let Some(frag) = cluster.node(owner).store().get_local(*glsn) else {
+            continue;
+        };
+        match frag.values.get(attr) {
+            Some(AttrValue::Int(v)) | Some(AttrValue::Fixed2(v)) => {
+                if *v < 0 {
+                    return Err(AuditError::Planning(format!(
+                        "negative value in aggregate over {attr}"
+                    )));
+                }
+                partial += *v as u64;
+            }
+            Some(_) => {
+                return Err(AuditError::Planning(format!(
+                    "attribute {attr} is not numeric"
+                )));
+            }
+            None => {}
+        }
+    }
+
+    // Phase 3: the §3.5 secure sum over all nodes (owner contributes
+    // its partial, everyone else 0), reconstructed by the auditor.
+    let n = cluster.num_nodes();
+    let parties: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let inputs: Vec<F61> = (0..n)
+        .map(|i| if i == owner { F61::new(partial) } else { F61::ZERO })
+        .collect();
+    let k = (n / 2 + 1).min(n);
+    let (net, rng) = cluster.net_and_rng();
+    let sum = secure_sum(net, &parties, &inputs, k, auditor, rng).map_err(AuditError::Mpc)?;
+    reports.push(sum.report.clone());
+
+    Ok(SumOutcome {
+        total: sum.total.value(),
+        count: glsns.len(),
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use dla_logstore::fragment::Partition;
+    use dla_logstore::gen::paper_table1;
+    use dla_logstore::schema::Schema;
+
+    fn loaded() -> DlaCluster {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let mut cluster = DlaCluster::new(
+            ClusterConfig::new(4, schema)
+                .with_partition(partition)
+                .with_seed(77),
+        )
+        .unwrap();
+        let user = cluster.register_user("u").unwrap();
+        cluster.log_records(&user, &paper_table1()).unwrap();
+        cluster
+    }
+
+    #[test]
+    fn count_without_reveal() {
+        let mut cluster = loaded();
+        let outcome = count_matching(&mut cluster, "protocol = 'UDP'").unwrap();
+        assert_eq!(outcome.count, 3);
+        let outcome = count_matching(&mut cluster, "c1 > 1000").unwrap();
+        assert_eq!(outcome.count, 0);
+    }
+
+    #[test]
+    fn sum_of_volumes_matches_table1() {
+        let mut cluster = loaded();
+        // Total volume (c2) over UDP transactions: 23.45+345.11+235.00.
+        let outcome =
+            sum_matching(&mut cluster, "protocol = 'UDP'", &"c2".into()).unwrap();
+        assert_eq!(outcome.total, 2345 + 34511 + 23500);
+        assert_eq!(outcome.count, 3);
+    }
+
+    #[test]
+    fn sum_of_counts() {
+        let mut cluster = loaded();
+        // Sum of c1 over everything: 20+34+45+18+53 = 170.
+        let outcome = sum_matching(&mut cluster, "c1 >= 0", &"c1".into()).unwrap();
+        assert_eq!(outcome.total, 170);
+        assert_eq!(outcome.count, 5);
+    }
+
+    #[test]
+    fn sum_over_empty_match_is_zero() {
+        let mut cluster = loaded();
+        let outcome = sum_matching(&mut cluster, "c1 > 1000", &"c1".into()).unwrap();
+        assert_eq!(outcome.total, 0);
+        assert_eq!(outcome.count, 0);
+    }
+
+    #[test]
+    fn sum_rejects_text_attribute() {
+        let mut cluster = loaded();
+        let err = sum_matching(&mut cluster, "c1 > 0", &"c3".into()).unwrap_err();
+        assert!(err.to_string().contains("not numeric"));
+    }
+
+    #[test]
+    fn sum_rejects_unknown_attribute() {
+        let mut cluster = loaded();
+        assert!(sum_matching(&mut cluster, "c1 > 0", &"nope".into()).is_err());
+    }
+
+    #[test]
+    fn aggregate_uses_secure_sum_protocol() {
+        let mut cluster = loaded();
+        let outcome = sum_matching(&mut cluster, "c1 > 0", &"c1".into()).unwrap();
+        assert!(outcome
+            .reports
+            .iter()
+            .any(|r| r.protocol == "secure-sum"));
+    }
+}

@@ -1,0 +1,880 @@
+//! The DLA cluster (paper §2, Figure 2): `n` TTP nodes storing log
+//! fragments, an auditor engine, application users logging through
+//! tickets, and the simulated network tying them together.
+
+use crate::AuditError;
+use dla_crypto::accumulator::AccumulatorParams;
+use dla_crypto::pohlig_hellman::CommutativeDomain;
+use dla_crypto::schnorr::{SchnorrGroup, SchnorrKeyPair};
+use dla_logstore::acl::{OperationSet, Ticket, TicketAuthority};
+use dla_logstore::fragment::{fragment, Fragment, Partition};
+use dla_logstore::model::{AttrName, Glsn, LogRecord};
+use dla_logstore::schema::Schema;
+use dla_logstore::store::{FragmentStore, GlsnAllocator};
+use dla_net::latency::LatencyModel;
+use dla_net::wire::{Reader, Writer};
+use dla_net::{NetConfig, NodeId, SimNet};
+use dla_bigint::Ubig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Configuration for [`DlaCluster::new`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of DLA nodes.
+    pub nodes: usize,
+    /// The attribute universe.
+    pub schema: Schema,
+    /// Attribute-to-node assignment; defaults to round-robin.
+    pub partition: Option<Partition>,
+    /// RNG seed (key generation, masks, network sampling).
+    pub seed: u64,
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// Maximum number of application users that can register.
+    pub max_users: usize,
+    /// Capture every network payload for leak-inspection tests.
+    pub capture_payloads: bool,
+    /// Directory for per-node + cluster journals; enables crash-safe
+    /// durability and [`DlaCluster`] restart recovery.
+    pub journal_dir: Option<std::path::PathBuf>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` DLA nodes over `schema`.
+    #[must_use]
+    pub fn new(nodes: usize, schema: Schema) -> Self {
+        ClusterConfig {
+            nodes,
+            schema,
+            partition: None,
+            seed: 0,
+            latency: LatencyModel::Zero,
+            max_users: 8,
+            capture_payloads: false,
+            journal_dir: None,
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets an explicit partition.
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Sets the user capacity.
+    #[must_use]
+    pub fn with_max_users(mut self, max_users: usize) -> Self {
+        self.max_users = max_users;
+        self
+    }
+
+    /// Enables network payload capture (leak-inspection tests).
+    #[must_use]
+    pub fn with_payload_capture(mut self) -> Self {
+        self.capture_payloads = true;
+        self
+    }
+
+    /// Enables journal-backed durability under `dir`: every node's
+    /// fragments/ACL plus the cluster's deposits, origin signatures and
+    /// ticket counter survive a restart (rebuild with the same config
+    /// and directory).
+    #[must_use]
+    pub fn with_journal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+}
+
+/// One DLA node: its fragment store plus the attributes it serves.
+pub struct DlaNode {
+    id: usize,
+    attrs: Vec<AttrName>,
+    store: FragmentStore,
+}
+
+impl fmt::Debug for DlaNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DlaNode(P{}, attrs: {:?}, fragments: {})",
+            self.id,
+            self.attrs.iter().map(AttrName::as_str).collect::<Vec<_>>(),
+            self.store.len()
+        )
+    }
+}
+
+impl DlaNode {
+    /// The node index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The attributes this node serves (`A_i`).
+    #[must_use]
+    pub fn supported_attributes(&self) -> &[AttrName] {
+        &self.attrs
+    }
+
+    /// The node's fragment store.
+    #[must_use]
+    pub fn store(&self) -> &FragmentStore {
+        &self.store
+    }
+
+    /// Mutable store access (protocol machinery and test hooks).
+    pub fn store_mut(&mut self) -> &mut FragmentStore {
+        &mut self.store
+    }
+}
+
+/// A registered application user (`u_j ∈ U`).
+#[derive(Debug)]
+pub struct AppUser {
+    /// Display name.
+    pub name: String,
+    /// The user's network endpoint.
+    pub node: NodeId,
+    /// The user's ticket for logging/querying.
+    pub ticket: Ticket,
+    key: SchnorrKeyPair,
+}
+
+impl AppUser {
+    /// The user's signing key (ticket holder key).
+    #[must_use]
+    pub fn key(&self) -> &SchnorrKeyPair {
+        &self.key
+    }
+}
+
+/// The assembled DLA cluster.
+pub struct DlaCluster {
+    schema: Schema,
+    partition: Partition,
+    nodes: Vec<DlaNode>,
+    net: SimNet,
+    allocator: GlsnAllocator,
+    authority: TicketAuthority,
+    group: SchnorrGroup,
+    domain: CommutativeDomain,
+    acc_params: AccumulatorParams,
+    /// User-deposited accumulator values, replicated at every node
+    /// (stored once here since replicas are identical by construction;
+    /// integrity checking re-derives per-node views from fragments).
+    deposits: BTreeMap<Glsn, Ubig>,
+    /// Per-record origin attestations: the logging user's public key
+    /// and its signature over (glsn ‖ deposit). Combined with the §4.1
+    /// integrity circulation this gives **non-repudiation**: the user
+    /// signed the accumulator value, and the accumulator binds every
+    /// fragment.
+    origins: BTreeMap<Glsn, (dla_crypto::schnorr::SchnorrPublicKey, dla_crypto::schnorr::Signature)>,
+    cluster_journal: Option<dla_logstore::journal::Journal>,
+    users: usize,
+    max_users: usize,
+    rng: StdRng,
+}
+
+impl fmt::Debug for DlaCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DlaCluster({} nodes, {} users, {} records)",
+            self.nodes.len(),
+            self.users,
+            self.deposits.len()
+        )
+    }
+}
+
+impl DlaCluster {
+    /// Builds a cluster.
+    ///
+    /// Network layout: indices `0..n` are DLA nodes, `n` is the auditor
+    /// engine, `n+1` a dedicated blind-TTP helper, and `n+2..` user
+    /// endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError`] if the partition is invalid for the
+    /// schema or `nodes == 0`.
+    pub fn new(config: ClusterConfig) -> Result<Self, AuditError> {
+        if config.nodes == 0 {
+            return Err(AuditError::Config("cluster needs at least one node".into()));
+        }
+        let partition = match config.partition {
+            Some(p) => {
+                if p.num_nodes() != config.nodes {
+                    return Err(AuditError::Config(format!(
+                        "partition covers {} nodes but cluster has {}",
+                        p.num_nodes(),
+                        config.nodes
+                    )));
+                }
+                p
+            }
+            None => Partition::round_robin(&config.schema, config.nodes)
+                .map_err(|e| AuditError::Config(e.to_string()))?,
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let group = SchnorrGroup::fixed_256();
+        let nodes: Vec<DlaNode> = (0..config.nodes)
+            .map(|i| {
+                let store = match &config.journal_dir {
+                    Some(dir) => {
+                        std::fs::create_dir_all(dir).map_err(|e| {
+                            AuditError::Config(format!("journal dir: {e}"))
+                        })?;
+                        FragmentStore::restore(i, &dir.join(format!("node-{i}.journal")))
+                            .map_err(|e| AuditError::Config(e.to_string()))?
+                    }
+                    None => FragmentStore::new(i),
+                };
+                Ok(DlaNode {
+                    id: i,
+                    attrs: partition.attrs_of(i).to_vec(),
+                    store,
+                })
+            })
+            .collect::<Result<_, AuditError>>()?;
+        let mut net_config = NetConfig::ideal()
+            .with_latency(config.latency)
+            .with_seed(config.seed);
+        net_config.capture_payloads = config.capture_payloads;
+        let net = SimNet::new(config.nodes + 2 + config.max_users, net_config);
+
+        // Replay cluster-level durable state: deposits + origin
+        // signatures + the ticket-id high-water mark.
+        let mut authority = TicketAuthority::new(&group, &mut rng);
+        let mut deposits = BTreeMap::new();
+        let mut origins = BTreeMap::new();
+        let mut next_glsn: Option<Glsn> = None;
+        let cluster_journal = match &config.journal_dir {
+            Some(dir) => {
+                let (journal, entries) =
+                    dla_logstore::journal::Journal::open(&dir.join("cluster.journal"))
+                        .map_err(|e| AuditError::Config(e.to_string()))?;
+                for entry in entries {
+                    let dla_logstore::journal::JournalEntry::Blob { tag, bytes } = entry
+                    else {
+                        continue;
+                    };
+                    match tag {
+                        BLOB_DEPOSIT => {
+                            let (glsn, deposit, public, signature) =
+                                decode_deposit_blob(&bytes)?;
+                            next_glsn = Some(next_glsn.map_or(
+                                Glsn(glsn.0 + 1),
+                                |g| Glsn(g.0.max(glsn.0 + 1)),
+                            ));
+                            deposits.insert(glsn, deposit);
+                            origins.insert(glsn, (public, signature));
+                        }
+                        BLOB_TICKET_COUNTER => {
+                            if let Ok(raw) = bytes.as_slice().try_into() {
+                                authority.resume_from(u64::from_be_bytes(raw));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Some(journal)
+            }
+            None => None,
+        };
+        let allocator = match next_glsn {
+            Some(glsn) => GlsnAllocator::starting_at(glsn),
+            None => GlsnAllocator::default(),
+        };
+
+        Ok(DlaCluster {
+            schema: config.schema,
+            partition,
+            nodes,
+            net,
+            allocator,
+            authority,
+            group,
+            domain: CommutativeDomain::fixed_256(),
+            acc_params: AccumulatorParams::fixed_512(),
+            deposits,
+            origins,
+            cluster_journal,
+            users: 0,
+            max_users: config.max_users,
+            rng,
+        })
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The attribute partition.
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The DLA nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[DlaNode] {
+        &self.nodes
+    }
+
+    /// One DLA node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &DlaNode {
+        &self.nodes[i]
+    }
+
+    /// Mutable node access (test hooks, protocol internals).
+    pub fn node_mut(&mut self, i: usize) -> &mut DlaNode {
+        &mut self.nodes[i]
+    }
+
+    /// Number of DLA nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The auditor engine's network id.
+    #[must_use]
+    pub fn auditor_node(&self) -> NodeId {
+        NodeId(self.nodes.len())
+    }
+
+    /// The dedicated blind-TTP helper's network id.
+    #[must_use]
+    pub fn ttp_node(&self) -> NodeId {
+        NodeId(self.nodes.len() + 1)
+    }
+
+    /// The network id of DLA node `i`.
+    #[must_use]
+    pub fn dla_node_id(&self, i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// The commutative-encryption domain shared by the cluster.
+    #[must_use]
+    pub fn domain(&self) -> &CommutativeDomain {
+        &self.domain
+    }
+
+    /// The Schnorr group (tickets, signatures).
+    #[must_use]
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// The accumulator parameters (§4.1).
+    #[must_use]
+    pub fn accumulator_params(&self) -> &AccumulatorParams {
+        &self.acc_params
+    }
+
+    /// The network (stats, fault injection).
+    #[must_use]
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Mutable network access.
+    pub fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    /// Borrows the network and RNG together (protocol modules need
+    /// both mutably alongside node state).
+    pub(crate) fn net_and_rng(&mut self) -> (&mut SimNet, &mut StdRng) {
+        (&mut self.net, &mut self.rng)
+    }
+
+    /// The deposited accumulator value for a glsn.
+    #[must_use]
+    pub fn deposit(&self, glsn: Glsn) -> Option<&Ubig> {
+        self.deposits.get(&glsn)
+    }
+
+    /// All glsns with deposits (i.e. every record logged).
+    #[must_use]
+    pub fn logged_glsns(&self) -> Vec<Glsn> {
+        self.deposits.keys().copied().collect()
+    }
+
+    /// Registers an application user: generates a key pair and issues a
+    /// read/write ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Config`] when user capacity is exhausted.
+    pub fn register_user(&mut self, name: &str) -> Result<AppUser, AuditError> {
+        if self.users >= self.max_users {
+            return Err(AuditError::Config(format!(
+                "user capacity {} exhausted",
+                self.max_users
+            )));
+        }
+        let node = NodeId(self.nodes.len() + 2 + self.users);
+        self.users += 1;
+        let key = SchnorrKeyPair::generate(&self.group, &mut self.rng);
+        let ticket = self
+            .authority
+            .issue(key.public(), OperationSet::read_write(), &mut self.rng);
+        if let Some(journal) = &mut self.cluster_journal {
+            journal
+                .append(&dla_logstore::journal::JournalEntry::Blob {
+                    tag: BLOB_TICKET_COUNTER,
+                    bytes: self.authority.issued().to_be_bytes().to_vec(),
+                })
+                .map_err(|e| AuditError::Config(e.to_string()))?;
+        }
+        Ok(AppUser {
+            name: name.to_owned(),
+            node,
+            ticket,
+            key,
+        })
+    }
+
+    /// Logs one record on behalf of `user` (Fig. 2's distributed
+    /// logging): a fresh glsn is assigned, the record fragmented, each
+    /// fragment shipped to its DLA node over the network, and the
+    /// record's one-way-accumulator value deposited at every node.
+    ///
+    /// The record's own `glsn` field is ignored and replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError`] on schema violations or storage failures.
+    pub fn log_record(&mut self, user: &AppUser, record: &LogRecord) -> Result<Glsn, AuditError> {
+        self.schema
+            .validate(record)
+            .map_err(|e| AuditError::Log(e.to_string()))?;
+        let glsn = self.allocator.allocate();
+        let mut stamped = LogRecord::new(glsn);
+        for (name, value) in record.iter() {
+            stamped.insert(name.clone(), value.clone());
+        }
+        let fragments = fragment(&stamped, &self.partition);
+
+        // The user computes the deposit over all fragments (§4.1:
+        // "it also computes the one-way accumulator of all fragments").
+        let deposit = self.acc_params.accumulate(
+            fragments
+                .iter()
+                .map(Fragment::to_canonical_bytes)
+                .collect::<Vec<_>>()
+                .iter()
+                .map(Vec::as_slice),
+        );
+
+        // Ship each fragment to its node.
+        for frag in fragments {
+            let node = frag.node;
+            let mut w = Writer::new();
+            w.put_u8(0x20)
+                .put_u64(glsn.0)
+                .put_bytes(&frag.to_canonical_bytes());
+            self.net.send(user.node, NodeId(node), w.finish());
+            let envelope = self
+                .net
+                .recv_from(NodeId(node), user.node)
+                .map_err(AuditError::Net)?;
+            let mut r = Reader::new(&envelope.payload);
+            let _ = r.get_u8().map_err(|e| AuditError::Log(e.to_string()))?;
+            // The wire carries canonical bytes for accounting realism;
+            // the store ingests the structured fragment directly (a
+            // full codec for records adds nothing to the protocols
+            // under study).
+            self.nodes[node]
+                .store
+                .write(&user.ticket, frag)
+                .map_err(|e| AuditError::Log(e.to_string()))?;
+        }
+
+        // The user signs (glsn ‖ deposit): non-repudiation of the whole
+        // record, since the deposit binds every fragment (§4.1).
+        let origin_sig = user
+            .key()
+            .sign(&origin_message(glsn, &deposit), &mut self.rng);
+
+        // Deposit + origin signature broadcast to every node.
+        for node in 0..self.nodes.len() {
+            let mut w = Writer::new();
+            w.put_u8(0x21)
+                .put_u64(glsn.0)
+                .put_bytes(&deposit.to_bytes_be())
+                .put_bytes(&origin_sig.to_bytes());
+            self.net.send(user.node, NodeId(node), w.finish());
+            let _ = self
+                .net
+                .recv_from(NodeId(node), user.node)
+                .map_err(AuditError::Net)?;
+        }
+        if let Some(journal) = &mut self.cluster_journal {
+            journal
+                .append(&dla_logstore::journal::JournalEntry::Blob {
+                    tag: BLOB_DEPOSIT,
+                    bytes: encode_deposit_blob(
+                        glsn,
+                        &deposit,
+                        user.key().public(),
+                        &origin_sig,
+                    ),
+                })
+                .map_err(|e| AuditError::Log(e.to_string()))?;
+        }
+        self.deposits.insert(glsn, deposit);
+        self.origins
+            .insert(glsn, (user.key().public().clone(), origin_sig));
+        Ok(glsn)
+    }
+
+    /// Verifies the **non-repudiation** of a record: the logging user's
+    /// signature over the deposited accumulator value. A `true` verdict
+    /// plus a passing [`crate::integrity::check_record`] circulation
+    /// means the user undeniably vouched for exactly the stored
+    /// fragments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Integrity`] if no origin record exists for
+    /// `glsn`.
+    pub fn verify_origin(&self, glsn: Glsn) -> Result<bool, AuditError> {
+        let (public, signature) = self.origins.get(&glsn).ok_or_else(|| {
+            AuditError::Integrity(format!("no origin attestation for glsn {glsn}"))
+        })?;
+        let deposit = self.deposits.get(&glsn).ok_or_else(|| {
+            AuditError::Integrity(format!("no deposit for glsn {glsn}"))
+        })?;
+        Ok(dla_crypto::schnorr::verify(
+            &self.group,
+            public,
+            &origin_message(glsn, deposit),
+            signature,
+        ))
+    }
+
+    /// Logs a batch of records.
+    ///
+    /// # Errors
+    ///
+    /// As [`DlaCluster::log_record`]; stops at the first failure.
+    pub fn log_records(
+        &mut self,
+        user: &AppUser,
+        records: &[LogRecord],
+    ) -> Result<Vec<Glsn>, AuditError> {
+        records
+            .iter()
+            .map(|r| self.log_record(user, r))
+            .collect()
+    }
+
+    /// Parses, normalizes, plans and executes an auditing query,
+    /// returning the satisfying glsns (computed distributively; see
+    /// [`crate::exec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError`] on parse/plan/protocol failures.
+    pub fn query(&mut self, criteria: &str) -> Result<crate::exec::QueryResult, AuditError> {
+        let parsed = crate::parser::parse(criteria, &self.schema)
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        self.query_criteria(&parsed)
+    }
+
+    /// Plans and executes an already-built criteria tree.
+    ///
+    /// # Errors
+    ///
+    /// As [`DlaCluster::query`].
+    pub fn query_criteria(
+        &mut self,
+        criteria: &crate::query::Criteria,
+    ) -> Result<crate::exec::QueryResult, AuditError> {
+        criteria
+            .check(&self.schema)
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        let normalized = crate::normal::normalize(criteria);
+        let plan = crate::plan::plan(&normalized, &self.partition)?;
+        crate::exec::execute(self, &plan)
+    }
+
+    /// Retrieves and reassembles a full record for its owner: each
+    /// node's fragment is fetched under the user's ticket (ACL
+    /// enforced per node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Log`] if any node denies access or the
+    /// glsn is unknown.
+    pub fn retrieve_record(&mut self, user: &AppUser, glsn: Glsn) -> Result<LogRecord, AuditError> {
+        let mut frags = Vec::with_capacity(self.nodes.len());
+        for node in 0..self.nodes.len() {
+            // Request over the network (accounted)…
+            let mut w = Writer::new();
+            w.put_u8(0x22).put_u64(glsn.0);
+            self.net.send(user.node, NodeId(node), w.finish());
+            let _ = self
+                .net
+                .recv_from(NodeId(node), user.node)
+                .map_err(AuditError::Net)?;
+            // …and serve under the ACL.
+            let frag = self.nodes[node]
+                .store
+                .read(&user.ticket, glsn)
+                .map_err(|e| AuditError::Log(e.to_string()))?;
+            frags.push(frag.clone());
+        }
+        dla_logstore::fragment::reassemble(&frags).map_err(|e| AuditError::Log(e.to_string()))
+    }
+}
+
+/// Cluster-journal blob tags.
+const BLOB_DEPOSIT: u8 = 0x01;
+const BLOB_TICKET_COUNTER: u8 = 0x02;
+
+fn encode_deposit_blob(
+    glsn: Glsn,
+    deposit: &Ubig,
+    public: &dla_crypto::schnorr::SchnorrPublicKey,
+    signature: &dla_crypto::schnorr::Signature,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(glsn.0)
+        .put_bytes(&deposit.to_bytes_be())
+        .put_bytes(&public.to_bytes())
+        .put_bytes(&signature.e.to_bytes_be())
+        .put_bytes(&signature.s.to_bytes_be());
+    w.finish().to_vec()
+}
+
+fn decode_deposit_blob(
+    bytes: &[u8],
+) -> Result<
+    (
+        Glsn,
+        Ubig,
+        dla_crypto::schnorr::SchnorrPublicKey,
+        dla_crypto::schnorr::Signature,
+    ),
+    AuditError,
+> {
+    let mut r = Reader::new(bytes);
+    let parse = |e: dla_net::wire::WireError| AuditError::Config(format!("deposit blob: {e}"));
+    let glsn = Glsn(r.get_u64().map_err(parse)?);
+    let deposit = Ubig::from_bytes_be(r.get_bytes().map_err(parse)?);
+    let public = dla_crypto::schnorr::SchnorrPublicKey::from_element(Ubig::from_bytes_be(
+        r.get_bytes().map_err(parse)?,
+    ));
+    let e = Ubig::from_bytes_be(r.get_bytes().map_err(parse)?);
+    let s = Ubig::from_bytes_be(r.get_bytes().map_err(parse)?);
+    r.finish().map_err(parse)?;
+    Ok((
+        glsn,
+        deposit,
+        public,
+        dla_crypto::schnorr::Signature { e, s },
+    ))
+}
+
+/// Canonical bytes the logging user signs for non-repudiation.
+fn origin_message(glsn: Glsn, deposit: &Ubig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(80);
+    out.extend_from_slice(b"dla-origin");
+    out.extend_from_slice(&glsn.0.to_be_bytes());
+    out.extend_from_slice(&deposit.to_bytes_be());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_logstore::gen::paper_table1;
+
+    fn cluster() -> DlaCluster {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        DlaCluster::new(
+            ClusterConfig::new(4, schema)
+                .with_partition(partition)
+                .with_seed(42),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_assigns_attributes() {
+        let c = cluster();
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.node(0).supported_attributes(), &[AttrName::new("time")]);
+        assert_eq!(c.node(1).supported_attributes().len(), 2);
+        // No node supports the full universe.
+        for node in c.nodes() {
+            assert!(node.supported_attributes().len() < c.schema().len());
+        }
+    }
+
+    #[test]
+    fn default_partition_is_round_robin() {
+        let c = DlaCluster::new(ClusterConfig::new(3, Schema::paper_example())).unwrap();
+        assert_eq!(c.partition().num_nodes(), 3);
+    }
+
+    #[test]
+    fn mismatched_partition_rejected() {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema); // 4 nodes
+        let err = DlaCluster::new(
+            ClusterConfig::new(3, schema).with_partition(partition),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("partition covers 4"));
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(DlaCluster::new(ClusterConfig::new(0, Schema::paper_example())).is_err());
+    }
+
+    #[test]
+    fn logging_fragments_across_all_nodes() {
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let glsns = c.log_records(&user, &paper_table1()).unwrap();
+        assert_eq!(glsns.len(), 5);
+        for node in c.nodes() {
+            assert_eq!(node.store().len(), 5, "every node holds 5 fragments");
+        }
+        // Deposits recorded for every record.
+        for glsn in glsns {
+            assert!(c.deposit(glsn).is_some());
+        }
+    }
+
+    #[test]
+    fn logging_generates_network_traffic() {
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let before = c.net().stats().messages_sent;
+        c.log_record(&user, &paper_table1()[0]).unwrap();
+        // 4 fragments + 4 deposit messages.
+        assert_eq!(c.net().stats().messages_sent - before, 8);
+    }
+
+    #[test]
+    fn glsns_are_fresh_regardless_of_input() {
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let records = paper_table1();
+        let g1 = c.log_record(&user, &records[0]).unwrap();
+        let g2 = c.log_record(&user, &records[0]).unwrap();
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn schema_violation_rejected_at_logging() {
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let bad = LogRecord::new(Glsn(0))
+            .with("salary", dla_logstore::model::AttrValue::Int(1));
+        assert!(c.log_record(&user, &bad).is_err());
+    }
+
+    #[test]
+    fn owner_retrieves_full_record() {
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let record = paper_table1().remove(0);
+        let glsn = c.log_record(&user, &record).unwrap();
+        let fetched = c.retrieve_record(&user, glsn).unwrap();
+        assert_eq!(fetched.len(), record.len());
+        assert_eq!(
+            fetched.get(&"c2".into()),
+            record.get(&"c2".into())
+        );
+    }
+
+    #[test]
+    fn stranger_cannot_retrieve_foreign_record() {
+        let mut c = cluster();
+        let owner = c.register_user("owner").unwrap();
+        let stranger = c.register_user("stranger").unwrap();
+        let glsn = c.log_record(&owner, &paper_table1()[0]).unwrap();
+        assert!(c.retrieve_record(&stranger, glsn).is_err());
+    }
+
+    #[test]
+    fn user_capacity_enforced() {
+        let schema = Schema::paper_example();
+        let mut c = DlaCluster::new(
+            ClusterConfig::new(2, schema).with_max_users(1),
+        )
+        .unwrap();
+        assert!(c.register_user("a").is_ok());
+        assert!(c.register_user("b").is_err());
+    }
+
+    #[test]
+    fn origin_signature_verifies_for_logged_records() {
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let glsns = c.log_records(&user, &paper_table1()).unwrap();
+        for glsn in glsns {
+            assert!(c.verify_origin(glsn).unwrap(), "non-repudiation for {glsn}");
+        }
+        assert!(c.verify_origin(Glsn(0xdead)).is_err());
+    }
+
+    #[test]
+    fn origin_is_bound_to_the_user() {
+        // The signature verifies only under the logging user's key; a
+        // forged deposit breaks it.
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let glsn = c.log_record(&user, &paper_table1()[0]).unwrap();
+        assert!(c.verify_origin(glsn).unwrap());
+        // Tamper with the stored deposit: the signature no longer matches.
+        let forged = Ubig::from_u64(12345);
+        c.deposits.insert(glsn, forged);
+        assert!(!c.verify_origin(glsn).unwrap());
+    }
+
+    #[test]
+    fn special_node_ids_are_disjoint() {
+        let c = cluster();
+        assert_eq!(c.auditor_node(), NodeId(4));
+        assert_eq!(c.ttp_node(), NodeId(5));
+        assert_ne!(c.auditor_node(), c.dla_node_id(3));
+    }
+}

@@ -1,0 +1,796 @@
+//! The distributed confidential query executor (paper §2, Figure 3).
+//!
+//! Each planned subquery produces a set of satisfying glsns:
+//!
+//! * **local** subqueries by a single node scanning its own fragments;
+//! * **cross** subqueries by the involved nodes collaborating — local
+//!   scans for constant predicates, a commutative-encryption equality
+//!   join for `A = B` across nodes, blind-TTP masked comparison for
+//!   `A < B` and friends, and a secure set *union* to take the clause's
+//!   disjunction without revealing which node matched what.
+//!
+//! Finally, "the conjunction of SQ_i is processed by a secure set
+//! intersection with glsn as the set element", and only the resulting
+//! glsn list reaches the auditor engine.
+
+use crate::cluster::DlaCluster;
+use crate::plan::{LiteralStep, QueryPlan, Subquery, SubqueryKind};
+use crate::query::{EvalError, Predicate};
+use crate::AuditError;
+use dla_crypto::affine::{MonotoneMasker, MONOTONE_MAX_INPUT};
+use dla_crypto::sha256;
+use dla_logstore::model::{AttrValue, Glsn};
+use dla_mpc::report::ProtocolReport;
+use dla_mpc::set_intersection::secure_set_intersection;
+use dla_mpc::set_union::secure_set_union;
+use dla_net::topology::Ring;
+use dla_net::wire::{Reader, Writer};
+use dla_net::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of a distributed query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Satisfying glsns, sorted ascending (empty when the query ran
+    /// without reveal).
+    pub glsns: Vec<Glsn>,
+    /// Number of satisfying records (known even without reveal).
+    pub cardinality: usize,
+    /// The plan that was executed.
+    pub plan: QueryPlan,
+    /// Reports of the MPC sub-protocol runs.
+    pub reports: Vec<ProtocolReport>,
+    /// `C_auditing` of the executed plan (Eq. 11).
+    pub auditing_confidentiality: f64,
+    /// Total messages attributable to this query.
+    pub messages: u64,
+    /// Total payload bytes attributable to this query.
+    pub bytes: u64,
+}
+
+type GlsnSet = BTreeSet<Glsn>;
+
+/// Recovers a glsn from a revealed set element. Group decoding strips
+/// leading zero bytes, so the element is right-aligned into its
+/// original `total_len` before the 8-byte glsn prefix is read.
+fn glsn_from_item(bytes: &[u8], total_len: usize) -> Glsn {
+    debug_assert!(bytes.len() <= total_len);
+    let mut buf = vec![0u8; total_len];
+    buf[total_len - bytes.len()..].copy_from_slice(bytes);
+    Glsn(u64::from_be_bytes(buf[..8].try_into().expect("8 bytes")))
+}
+
+/// Executes a plan on the cluster.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] on protocol failures, type errors during
+/// scanning, or unsupported cross-node operations (text ordering).
+pub fn execute(cluster: &mut DlaCluster, plan: &QueryPlan) -> Result<QueryResult, AuditError> {
+    execute_with_reveal(cluster, plan, true)
+}
+
+/// Like [`execute`], but with the final reveal optional: with
+/// `reveal = false` the auditor learns only the **cardinality** of the
+/// result (the confidential "number of transactions" aggregate) and
+/// `QueryResult::glsns` stays empty.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with_reveal(
+    cluster: &mut DlaCluster,
+    plan: &QueryPlan,
+    reveal: bool,
+) -> Result<QueryResult, AuditError> {
+    let start_messages = cluster.net().stats().messages_sent;
+    let start_bytes = cluster.net().stats().bytes_sent;
+    let mut reports = Vec::new();
+
+    // Per-subquery: (holder DLA node, glsn set at that holder).
+    let mut holder_sets: BTreeMap<usize, Vec<GlsnSet>> = BTreeMap::new();
+    for subquery in &plan.subqueries {
+        let (holder, set, mut subreports) = execute_subquery(cluster, subquery)?;
+        holder_sets.entry(holder).or_default().push(set);
+        reports.append(&mut subreports);
+    }
+
+    // Each holder intersects its own subquery results locally; the
+    // cross-holder conjunction runs as a secure set intersection with
+    // glsn as the element, revealed to the auditor engine.
+    let mut holders: Vec<usize> = holder_sets.keys().copied().collect();
+    holders.sort_unstable();
+    let inputs: Vec<Vec<Vec<u8>>> = holders
+        .iter()
+        .map(|h| {
+            let sets = &holder_sets[h];
+            let mut iter = sets.iter();
+            let first = iter.next().cloned().unwrap_or_default();
+            let local: GlsnSet = iter.fold(first, |acc, s| &acc & s);
+            local.iter().map(|g| g.0.to_be_bytes().to_vec()).collect()
+        })
+        .collect();
+
+    let ring = Ring::new(holders.iter().map(|&h| NodeId(h)).collect());
+    let auditor = cluster.auditor_node();
+    let domain = cluster.domain().clone();
+    let (net, rng) = cluster.net_and_rng();
+    let outcome = secure_set_intersection(net, &ring, &domain, &inputs, auditor, reveal, rng)
+        .map_err(AuditError::Mpc)?;
+    reports.push(outcome.report.clone());
+
+    let cardinality = outcome.cardinality();
+    let mut glsns: Vec<Glsn> = outcome
+        .common_items
+        .unwrap_or_default()
+        .iter()
+        .map(|bytes| glsn_from_item(bytes, 8))
+        .collect();
+    glsns.sort_unstable();
+
+    Ok(QueryResult {
+        glsns,
+        cardinality,
+        plan: plan.clone(),
+        auditing_confidentiality: crate::metrics::auditing_confidentiality(plan),
+        messages: cluster.net().stats().messages_sent - start_messages,
+        bytes: cluster.net().stats().bytes_sent - start_bytes,
+        reports,
+    })
+}
+
+/// Runs one subquery; returns (holder node, glsn set, protocol reports).
+fn execute_subquery(
+    cluster: &mut DlaCluster,
+    subquery: &Subquery,
+) -> Result<(usize, GlsnSet, Vec<ProtocolReport>), AuditError> {
+    match &subquery.kind {
+        SubqueryKind::Local { node } => {
+            let set = scan_clause_local(cluster, *node, subquery)?;
+            Ok((*node, set, Vec::new()))
+        }
+        SubqueryKind::Cross { nodes } => execute_cross(cluster, subquery, nodes),
+    }
+}
+
+/// A node evaluates a whole clause against its own fragments.
+fn scan_clause_local(
+    cluster: &DlaCluster,
+    node: usize,
+    subquery: &Subquery,
+) -> Result<GlsnSet, AuditError> {
+    let store = cluster.node(node).store();
+    let mut out = GlsnSet::new();
+    for frag in store.scan() {
+        let mut matched = false;
+        for literal in subquery.clause.literals() {
+            if eval_literal_lenient(literal, &frag.values)? {
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            out.insert(frag.glsn);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates a literal on a (possibly partial) fragment: a missing
+/// attribute makes the literal false rather than an error — fragments
+/// are partial by design.
+fn eval_literal_lenient(
+    literal: &Predicate,
+    record: &dla_logstore::model::LogRecord,
+) -> Result<bool, AuditError> {
+    match literal.eval(record) {
+        Ok(b) => Ok(b),
+        Err(EvalError::MissingAttribute(_)) => Ok(false),
+        Err(e @ EvalError::TypeMismatch { .. }) => Err(AuditError::Parse(e.to_string())),
+    }
+}
+
+/// One node's glsn set for a single constant literal.
+fn scan_literal(
+    cluster: &DlaCluster,
+    node: usize,
+    literal: &Predicate,
+) -> Result<GlsnSet, AuditError> {
+    let store = cluster.node(node).store();
+    let mut out = GlsnSet::new();
+    for frag in store.scan() {
+        if eval_literal_lenient(literal, &frag.values)? {
+            out.insert(frag.glsn);
+        }
+    }
+    Ok(out)
+}
+
+/// glsns for which `node` stores a value of `attr`.
+fn presence_set(cluster: &DlaCluster, node: usize, attr: &dla_logstore::model::AttrName) -> GlsnSet {
+    cluster
+        .node(node)
+        .store()
+        .scan()
+        .filter(|f| f.values.get(attr).is_some())
+        .map(|f| f.glsn)
+        .collect()
+}
+
+/// (glsn, value) pairs a node stores for `attr`.
+fn value_pairs(
+    cluster: &DlaCluster,
+    node: usize,
+    attr: &dla_logstore::model::AttrName,
+) -> Vec<(Glsn, AttrValue)> {
+    cluster
+        .node(node)
+        .store()
+        .scan()
+        .filter_map(|f| f.values.get(attr).map(|v| (f.glsn, v.clone())))
+        .collect()
+}
+
+fn execute_cross(
+    cluster: &mut DlaCluster,
+    subquery: &Subquery,
+    nodes: &BTreeSet<usize>,
+) -> Result<(usize, GlsnSet, Vec<ProtocolReport>), AuditError> {
+    let holder = *nodes.iter().next().expect("cross subquery has nodes");
+    let mut reports = Vec::new();
+    // literal-set accumulation per participating node.
+    let mut per_node: BTreeMap<usize, GlsnSet> = BTreeMap::new();
+
+    for step in &subquery.steps {
+        match step {
+            LiteralStep::LocalScan { node, literal } => {
+                let set =
+                    scan_literal(cluster, *node, &subquery.clause.literals()[*literal])?;
+                per_node.entry(*node).or_default().extend(set);
+            }
+            LiteralStep::CrossEqualityJoin {
+                left_node,
+                right_node,
+                literal,
+                negated,
+            } => {
+                let (set, mut r) = equality_join(
+                    cluster,
+                    *left_node,
+                    *right_node,
+                    &subquery.clause.literals()[*literal],
+                    *negated,
+                )?;
+                reports.append(&mut r);
+                per_node.entry(*left_node).or_default().extend(set);
+            }
+            LiteralStep::CrossMaskedCompare {
+                left_node,
+                right_node,
+                literal,
+            } => {
+                let set = masked_compare(
+                    cluster,
+                    *left_node,
+                    *right_node,
+                    &subquery.clause.literals()[*literal],
+                )?;
+                per_node.entry(*left_node).or_default().extend(set);
+            }
+        }
+    }
+
+    // Single contributing node: it already holds the clause set.
+    if per_node.len() == 1 {
+        let (node, set) = per_node.into_iter().next().expect("one entry");
+        return Ok((node, set, reports));
+    }
+
+    // Disjunction across nodes: secure set union over the contributing
+    // nodes, delivered to the holder.
+    let mut contributing: Vec<usize> = per_node.keys().copied().collect();
+    contributing.sort_unstable();
+    let inputs: Vec<Vec<Vec<u8>>> = contributing
+        .iter()
+        .map(|n| {
+            per_node[n]
+                .iter()
+                .map(|g| g.0.to_be_bytes().to_vec())
+                .collect()
+        })
+        .collect();
+    let ring = Ring::new(contributing.iter().map(|&n| NodeId(n)).collect());
+    let domain = cluster.domain().clone();
+    let (net, rng) = cluster.net_and_rng();
+    let outcome = secure_set_union(net, &ring, &domain, &inputs, NodeId(holder), rng)
+        .map_err(AuditError::Mpc)?;
+    reports.push(outcome.report.clone());
+    let set: GlsnSet = outcome
+        .items
+        .iter()
+        .map(|bytes| glsn_from_item(bytes, 8))
+        .collect();
+    Ok((holder, set, reports))
+}
+
+/// Cross-node equality join: glsns where `left.attr == right.attr`,
+/// computed as a secure set intersection on `glsn ‖ H(value)` items.
+/// For `≠`, the complement within the joint presence set (obtained by
+/// a second, values-free intersection).
+fn equality_join(
+    cluster: &mut DlaCluster,
+    left_node: usize,
+    right_node: usize,
+    literal: &Predicate,
+    negated: bool,
+) -> Result<(GlsnSet, Vec<ProtocolReport>), AuditError> {
+    let crate::query::Operand::Attr(rhs_attr) = &literal.rhs else {
+        return Err(AuditError::Planning(
+            "equality join on a constant predicate".into(),
+        ));
+    };
+    let mut reports = Vec::new();
+
+    let item = |glsn: Glsn, value: &AttrValue| {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&glsn.0.to_be_bytes());
+        out.extend_from_slice(&sha256::digest(&value.to_canonical_bytes())[..16]);
+        out
+    };
+    let left_items: Vec<Vec<u8>> = value_pairs(cluster, left_node, &literal.lhs)
+        .iter()
+        .map(|(g, v)| item(*g, v))
+        .collect();
+    let right_items: Vec<Vec<u8>> = value_pairs(cluster, right_node, rhs_attr)
+        .iter()
+        .map(|(g, v)| item(*g, v))
+        .collect();
+
+    let ring = Ring::new(vec![NodeId(left_node), NodeId(right_node)]);
+    let domain = cluster.domain().clone();
+    let (net, rng) = cluster.net_and_rng();
+    let outcome = secure_set_intersection(
+        net,
+        &ring,
+        &domain,
+        &[left_items, right_items],
+        NodeId(left_node),
+        true,
+        rng,
+    )
+    .map_err(AuditError::Mpc)?;
+    reports.push(outcome.report.clone());
+    let equal: GlsnSet = outcome
+        .common_items
+        .unwrap_or_default()
+        .iter()
+        .map(|b| glsn_from_item(b, 24))
+        .collect();
+
+    if !negated {
+        return Ok((equal, reports));
+    }
+
+    // ≠: joint presence minus the equal set.
+    let left_presence: Vec<Vec<u8>> = presence_set(cluster, left_node, &literal.lhs)
+        .iter()
+        .map(|g| g.0.to_be_bytes().to_vec())
+        .collect();
+    let right_presence: Vec<Vec<u8>> = presence_set(cluster, right_node, rhs_attr)
+        .iter()
+        .map(|g| g.0.to_be_bytes().to_vec())
+        .collect();
+    let ring = Ring::new(vec![NodeId(left_node), NodeId(right_node)]);
+    let (net, rng) = cluster.net_and_rng();
+    let presence = secure_set_intersection(
+        net,
+        &ring,
+        &domain,
+        &[left_presence, right_presence],
+        NodeId(left_node),
+        true,
+        rng,
+    )
+    .map_err(AuditError::Mpc)?;
+    reports.push(presence.report.clone());
+    let joint: GlsnSet = presence
+        .common_items
+        .unwrap_or_default()
+        .iter()
+        .map(|b| glsn_from_item(b, 8))
+        .collect();
+    Ok((&joint - &equal, reports))
+}
+
+/// Maps a comparable attribute value onto the masker's ordinal domain,
+/// order-preservingly.
+fn to_ordinal(value: &AttrValue) -> Result<u64, AuditError> {
+    const BIAS: i64 = 1 << 38;
+    match value {
+        AttrValue::Int(v) | AttrValue::Fixed2(v) => {
+            if v.unsigned_abs() >= (1 << 38) {
+                return Err(AuditError::Planning(format!(
+                    "value {v} outside the maskable comparison domain"
+                )));
+            }
+            Ok((v + BIAS) as u64)
+        }
+        AttrValue::Time(t) => {
+            if *t > MONOTONE_MAX_INPUT {
+                return Err(AuditError::Planning(format!(
+                    "timestamp {t} outside the maskable comparison domain"
+                )));
+            }
+            Ok(*t)
+        }
+        AttrValue::Text(_) => Err(AuditError::Planning(
+            "ordering comparison of text attributes across nodes is unsupported".into(),
+        )),
+    }
+}
+
+/// Cross-node ordering comparison via order-preserving masking and the
+/// cluster's blind TTP (§3.3 machinery applied per glsn).
+fn masked_compare(
+    cluster: &mut DlaCluster,
+    left_node: usize,
+    right_node: usize,
+    literal: &Predicate,
+) -> Result<GlsnSet, AuditError> {
+    let crate::query::Operand::Attr(rhs_attr) = &literal.rhs else {
+        return Err(AuditError::Planning(
+            "masked compare on a constant predicate".into(),
+        ));
+    };
+    let op = literal.op;
+    let left_pairs = value_pairs(cluster, left_node, &literal.lhs);
+    let right_pairs = value_pairs(cluster, right_node, rhs_attr);
+    let ttp = cluster.ttp_node();
+    let (left_id, right_id) = (NodeId(left_node), NodeId(right_node));
+
+    let (net, rng) = cluster.net_and_rng();
+
+    // Mask agreement between the two owners (sealed from the TTP).
+    let mask = MonotoneMasker::random(rng);
+    let mut w = Writer::new();
+    w.put_u8(0x30).put_bytes(&mask.to_bytes());
+    net.send(left_id, right_id, w.finish());
+    let envelope = net.recv_from(right_id, left_id).map_err(AuditError::Net)?;
+    let mut r = Reader::new(&envelope.payload);
+    let _ = r.get_u8().map_err(|e| AuditError::Parse(e.to_string()))?;
+    let right_mask = MonotoneMasker::from_bytes(
+        r.get_bytes().map_err(|e| AuditError::Parse(e.to_string()))?,
+    )
+    .map_err(|e| AuditError::Parse(e.to_string()))?;
+
+    // Both sides submit (glsn, masked ordinal) lists to the TTP.
+    let submit = |net: &mut dla_net::SimNet,
+                  from: NodeId,
+                  mask: &MonotoneMasker,
+                  pairs: &[(Glsn, AttrValue)]|
+     -> Result<(), AuditError> {
+        let mut w = Writer::new();
+        w.put_u8(0x31);
+        let ordinals: Vec<(u64, u128)> = pairs
+            .iter()
+            .map(|(g, v)| Ok((g.0, mask.apply(to_ordinal(v)?))))
+            .collect::<Result<_, AuditError>>()?;
+        w.put_list(&ordinals, |w, &(g, m)| {
+            w.put_u64(g);
+            w.put_u128(m);
+        });
+        net.send(from, ttp, w.finish());
+        Ok(())
+    };
+    submit(net, left_id, &mask, &left_pairs)?;
+    submit(net, right_id, &right_mask, &right_pairs)?;
+
+    let mut tables: Vec<BTreeMap<u64, u128>> = Vec::with_capacity(2);
+    for from in [left_id, right_id] {
+        let envelope = net.recv_from(ttp, from).map_err(AuditError::Net)?;
+        let mut r = Reader::new(&envelope.payload);
+        let _ = r.get_u8().map_err(|e| AuditError::Parse(e.to_string()))?;
+        let list = r
+            .get_list(|r| {
+                let g = r.get_u64()?;
+                let m = r.get_u128()?;
+                Ok((g, m))
+            })
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        tables.push(list.into_iter().collect());
+    }
+
+    // The blind TTP compares per glsn and returns satisfying glsns to
+    // the left owner.
+    let right_table = tables.pop().expect("two tables");
+    let left_table = tables.pop().expect("two tables");
+    let satisfying: Vec<u64> = left_table
+        .iter()
+        .filter_map(|(g, wl)| {
+            right_table.get(g).and_then(|wr| {
+                let ord = wl.cmp(wr);
+                op.test(ord).then_some(*g)
+            })
+        })
+        .collect();
+    let mut w = Writer::new();
+    w.put_u8(0x32).put_list(&satisfying, |w, &g| {
+        w.put_u64(g);
+    });
+    net.send(ttp, left_id, w.finish());
+    let envelope = net.recv_from(left_id, ttp).map_err(AuditError::Net)?;
+    let mut r = Reader::new(&envelope.payload);
+    let _ = r.get_u8().map_err(|e| AuditError::Parse(e.to_string()))?;
+    let glsns = r
+        .get_list(|r| r.get_u64().map(Glsn))
+        .map_err(|e| AuditError::Parse(e.to_string()))?;
+    Ok(glsns.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{AppUser, ClusterConfig};
+    use dla_logstore::fragment::Partition;
+    use dla_logstore::gen::paper_table1;
+    use dla_logstore::model::LogRecord;
+    use dla_logstore::schema::Schema;
+
+    /// Builds the paper cluster preloaded with Table 1.
+    fn loaded_cluster() -> (DlaCluster, AppUser, Vec<Glsn>) {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let mut cluster = DlaCluster::new(
+            ClusterConfig::new(4, schema)
+                .with_partition(partition)
+                .with_seed(99),
+        )
+        .unwrap();
+        let user = cluster.register_user("u0").unwrap();
+        let glsns = cluster.log_records(&user, &paper_table1()).unwrap();
+        (cluster, user, glsns)
+    }
+
+    /// Reference evaluation: run the criteria on the full records and
+    /// return the matching Table 1 row indices.
+    fn reference(query: &str) -> Vec<usize> {
+        let schema = Schema::paper_example();
+        let q = crate::parser::parse(query, &schema).unwrap();
+        paper_table1()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| q.eval(r).unwrap())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn run(query: &str) -> (Vec<usize>, QueryResult) {
+        let (mut cluster, _user, glsns) = loaded_cluster();
+        let result = cluster.query(query).unwrap();
+        let indices: Vec<usize> = result
+            .glsns
+            .iter()
+            .map(|g| glsns.iter().position(|x| x == g).expect("known glsn"))
+            .collect();
+        (indices, result)
+    }
+
+    #[test]
+    fn local_single_predicate() {
+        let (matched, result) = run("c1 > 30");
+        assert_eq!(matched, reference("c1 > 30"));
+        assert_eq!(result.plan.local_count(), 1);
+    }
+
+    #[test]
+    fn local_conjunction_across_nodes() {
+        // Two local subqueries on different nodes, conjoined by SSI.
+        let (matched, result) = run("c1 > 30 AND id = 'U1'");
+        assert_eq!(matched, reference("c1 > 30 AND id = 'U1'"));
+        assert_eq!(result.plan.subqueries.len(), 2);
+    }
+
+    #[test]
+    fn cross_disjunction() {
+        let q = "c1 > 40 OR id = 'U2'";
+        let (matched, result) = run(q);
+        assert_eq!(matched, reference(q));
+        assert_eq!(result.plan.cross_count(), 1);
+    }
+
+    #[test]
+    fn same_node_disjunction_stays_local() {
+        let q = "id = 'U3' OR c2 > 300.00";
+        let (matched, result) = run(q);
+        assert_eq!(matched, reference(q));
+        assert_eq!(result.plan.local_count(), 1);
+    }
+
+    #[test]
+    fn time_range_query() {
+        let q = "time > '20:20:00/05/12/2002' AND time < '20:24:00/05/12/2002'";
+        let (matched, _) = run(q);
+        assert_eq!(matched, reference(q));
+        assert_eq!(matched.len(), 3); // rows 2, 3, 4
+    }
+
+    #[test]
+    fn cross_equality_join_attr_attr() {
+        // id (P1) vs c3 (P2) — never equal in Table 1.
+        let (matched, _) = run("id = c3");
+        assert!(matched.is_empty());
+    }
+
+    #[test]
+    fn cross_inequality_join() {
+        // id != c3 holds for every Table 1 row (values always differ).
+        let (matched, _) = run("id != c3");
+        assert_eq!(matched.len(), 5);
+    }
+
+    #[test]
+    fn negation_and_nesting() {
+        let q = "NOT (protocol = 'UDP' OR c1 >= 45)";
+        let (matched, _) = run(q);
+        assert_eq!(matched, reference(q));
+        assert_eq!(matched.len(), 1); // only row 4 (TCP, c1=18)
+    }
+
+    #[test]
+    fn empty_result_set() {
+        let (matched, _) = run("c1 > 1000");
+        assert!(matched.is_empty());
+    }
+
+    #[test]
+    fn full_match() {
+        let (matched, _) = run("c1 > 0");
+        assert_eq!(matched.len(), 5);
+    }
+
+    #[test]
+    fn query_accounts_network_traffic() {
+        let (_, result) = run("c1 > 30 AND id = 'U1'");
+        assert!(result.messages > 0);
+        assert!(result.bytes > 0);
+        assert!(!result.reports.is_empty());
+    }
+
+    #[test]
+    fn masked_compare_across_nodes() {
+        // Need two same-typed attributes on different nodes with an
+        // ordering op: build a custom schema.
+        use dla_logstore::model::AttrType;
+        use dla_logstore::schema::AttrDef;
+        let schema = Schema::new(vec![
+            AttrDef::known("a", AttrType::Int),
+            AttrDef::known("b", AttrType::Int),
+        ])
+        .unwrap();
+        let partition = Partition::round_robin(&schema, 2).unwrap();
+        let mut cluster = DlaCluster::new(
+            ClusterConfig::new(2, schema)
+                .with_partition(partition)
+                .with_seed(7),
+        )
+        .unwrap();
+        let user = cluster.register_user("u").unwrap();
+        let data = [(10i64, 20i64), (30, 5), (7, 7), (-3, 2)];
+        let mut glsns = Vec::new();
+        for (a, b) in data {
+            let record = LogRecord::new(Glsn(0))
+                .with("a", AttrValue::Int(a))
+                .with("b", AttrValue::Int(b));
+            glsns.push(cluster.log_record(&user, &record).unwrap());
+        }
+        let result = cluster.query("a < b").unwrap();
+        let matched: Vec<usize> = result
+            .glsns
+            .iter()
+            .map(|g| glsns.iter().position(|x| x == g).unwrap())
+            .collect();
+        assert_eq!(matched, vec![0, 3]);
+
+        let result = cluster.query("a >= b").unwrap();
+        let matched: Vec<usize> = result
+            .glsns
+            .iter()
+            .map(|g| glsns.iter().position(|x| x == g).unwrap())
+            .collect();
+        assert_eq!(matched, vec![1, 2]);
+    }
+
+    #[test]
+    fn cross_protocols_robust_under_link_latency() {
+        // Attr-attr comparison sends from two owners to the TTP whose
+        // arrivals interleave under latency; selective receive keeps
+        // the answer deterministic.
+        use dla_logstore::model::AttrType;
+        use dla_logstore::schema::AttrDef;
+        for seed in 0..3u64 {
+            let schema = Schema::new(vec![
+                AttrDef::known("a", AttrType::Int),
+                AttrDef::known("b", AttrType::Int),
+            ])
+            .unwrap();
+            let partition = Partition::round_robin(&schema, 2).unwrap();
+            let mut cluster = DlaCluster::new(
+                ClusterConfig::new(2, schema)
+                    .with_partition(partition)
+                    .with_seed(seed)
+                    .with_latency(dla_net::latency::LatencyModel::lan()),
+            )
+            .unwrap();
+            let user = cluster.register_user("u").unwrap();
+            for (a, b) in [(1i64, 2i64), (5, 3), (4, 4)] {
+                let record = LogRecord::new(Glsn(0))
+                    .with("a", AttrValue::Int(a))
+                    .with("b", AttrValue::Int(b));
+                cluster.log_record(&user, &record).unwrap();
+            }
+            let result = cluster.query("a < b").unwrap();
+            assert_eq!(result.glsns.len(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized_on_random_workload() {
+        use dla_logstore::gen::{generate, WorkloadConfig};
+        use rand::SeedableRng;
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let mut cluster = DlaCluster::new(
+            ClusterConfig::new(4, schema.clone())
+                .with_partition(partition)
+                .with_seed(123),
+        )
+        .unwrap();
+        let user = cluster.register_user("u").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let records = generate(
+            &WorkloadConfig {
+                records: 40,
+                ..WorkloadConfig::default()
+            },
+            &mut rng,
+        );
+        let glsns = cluster.log_records(&user, &records).unwrap();
+        for q in [
+            "c1 > 50",
+            "c1 > 50 AND protocol = 'TCP'",
+            "(id = 'U1' OR c1 > 80) AND c2 < 500.00",
+            "NOT (protocol = 'UDP' OR c1 < 20)",
+            "id != c3",
+        ] {
+            let parsed = crate::parser::parse(q, &schema).unwrap();
+            let expect: BTreeSet<Glsn> = records
+                .iter()
+                .zip(&glsns)
+                .filter(|(r, _)| {
+                    let mut rr = LogRecord::new(Glsn(0));
+                    for (n, v) in r.iter() {
+                        rr.insert(n.clone(), v.clone());
+                    }
+                    parsed.eval(&rr).unwrap()
+                })
+                .map(|(_, g)| *g)
+                .collect();
+            let got: BTreeSet<Glsn> = cluster.query(q).unwrap().glsns.into_iter().collect();
+            assert_eq!(got, expect, "query {q}");
+        }
+    }
+
+    #[test]
+    fn ordinal_mapping_preserves_order_and_bounds() {
+        let vals = [
+            AttrValue::Int(-100),
+            AttrValue::Int(0),
+            AttrValue::Int(100),
+        ];
+        let ords: Vec<u64> = vals.iter().map(|v| to_ordinal(v).unwrap()).collect();
+        assert!(ords[0] < ords[1] && ords[1] < ords[2]);
+        assert!(to_ordinal(&AttrValue::Int(1 << 39)).is_err());
+        assert!(to_ordinal(&AttrValue::text("x")).is_err());
+        assert!(to_ordinal(&AttrValue::Time(1_021_234_715)).is_ok());
+    }
+}

@@ -1,0 +1,565 @@
+//! Anonymous-yet-accountable DLA membership: the undeniable evidence
+//! chain (paper §4.2, Figures 6–7).
+//!
+//! Joining the DLA cluster takes a three-phase handshake between the
+//! current chain tail `P_y` and the candidate `P_x`:
+//!
+//! 1. **PP** — `P_y` sends a policy proposal;
+//! 2. **SC** — `P_x` answers with a service commitment;
+//! 3. **RE** — both *spend* their one-time credential tokens on the
+//!    new evidence piece and sign it with their pseudonym keys. The
+//!    piece binds `(PP, SC)` into the chain (the "r-binding" of the
+//!    paper's reference \[30\]),
+//!    and the invite authority passes to `P_x`.
+//!
+//! `P_y` *can* physically invite again — nothing stops it — but doing
+//! so spends its token a second time on a different context, and
+//! [`EvidenceChain::detect_double_use`] then recovers its true identity
+//! from the two responses ("Doing so will subject P_y to exposure of
+//! its true identity and its misconduct").
+
+use crate::AuditError;
+use dla_bigint::Ubig;
+use dla_crypto::commitment::PedersenParams;
+use dla_crypto::evidence::{
+    recover_identity, spend_challenge, verify_spend, CredentialAuthority, SpendProof, Token,
+    TokenSecret,
+};
+use dla_crypto::schnorr::{self, SchnorrGroup, SchnorrPublicKey, Signature};
+use dla_crypto::sha256::{self, Digest};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The credential authority plus an identity registry (the CA knows
+/// who enrolled; peers only ever see pseudonyms).
+pub struct MembershipAuthority {
+    params: PedersenParams,
+    ca: CredentialAuthority,
+    registry: BTreeMap<String, String>, // identity-scalar hex → name
+}
+
+impl fmt::Debug for MembershipAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MembershipAuthority({} enrolled)", self.registry.len())
+    }
+}
+
+/// A node's credential: two one-time tokens plus secrets. The **join
+/// token** is spent when the node becomes a member; the **invite
+/// token** is spent when it exercises its one invite. Spending either
+/// twice exposes the holder's identity.
+pub struct NodeCredential {
+    /// The enrolled (true) name — known to the node and the CA only.
+    pub name: String,
+    join: TokenSecret,
+    invite: TokenSecret,
+}
+
+impl fmt::Debug for NodeCredential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NodeCredential({}, join serial {}, invite serial {})",
+            self.name, self.join.token.serial, self.invite.token.serial
+        )
+    }
+}
+
+impl NodeCredential {
+    /// The public join token.
+    #[must_use]
+    pub fn join_token(&self) -> &Token {
+        &self.join.token
+    }
+
+    /// The public invite token.
+    #[must_use]
+    pub fn invite_token(&self) -> &Token {
+        &self.invite.token
+    }
+}
+
+impl MembershipAuthority {
+    /// Creates an authority over the given group.
+    pub fn new<R: Rng + ?Sized>(group: &SchnorrGroup, rng: &mut R) -> Self {
+        let params = PedersenParams::derive(group);
+        let ca = CredentialAuthority::new(&params, rng);
+        MembershipAuthority {
+            params,
+            ca,
+            registry: BTreeMap::new(),
+        }
+    }
+
+    /// Enrolls a node: derives its identity scalar from its true name
+    /// and issues a one-time logging/auditing token (Fig. 7's grant).
+    pub fn enroll<R: Rng + ?Sized>(&mut self, name: &str, rng: &mut R) -> NodeCredential {
+        let identity = self.identity_scalar(name);
+        self.registry.insert(identity.to_hex(), name.to_owned());
+        let join = self.ca.issue(&identity, rng);
+        let invite = self.ca.issue(&identity, rng);
+        NodeCredential {
+            name: name.to_owned(),
+            join,
+            invite,
+        }
+    }
+
+    /// The deterministic identity scalar for a name.
+    #[must_use]
+    pub fn identity_scalar(&self, name: &str) -> Ubig {
+        self.params
+            .group()
+            .challenge(&[b"dla-identity", name.as_bytes()])
+    }
+
+    /// Resolves an exposed identity scalar back to the enrolled name.
+    #[must_use]
+    pub fn identify(&self, identity: &Ubig) -> Option<&str> {
+        self.registry.get(&identity.to_hex()).map(String::as_str)
+    }
+
+    /// The commitment parameters tokens verify against.
+    #[must_use]
+    pub fn params(&self) -> &PedersenParams {
+        &self.params
+    }
+
+    /// The CA verification key.
+    #[must_use]
+    pub fn ca_public(&self) -> &SchnorrPublicKey {
+        self.ca.public()
+    }
+}
+
+/// One party's contribution to an evidence piece.
+#[derive(Debug, Clone)]
+pub struct Participation {
+    /// The party's (pseudonymous) token.
+    pub token: Token,
+    /// The token spend bound to this piece.
+    pub spend: SpendProof,
+    /// Pseudonym signature over the piece content.
+    pub signature: Signature,
+}
+
+/// One link of the evidence chain (Fig. 6's `e_i`).
+#[derive(Debug, Clone)]
+pub struct EvidencePiece {
+    /// Position in the chain (0 = genesis).
+    pub seq: u64,
+    /// Digest of the previous piece (zeros for genesis).
+    pub prev_digest: Digest,
+    /// The inviter's policy proposal (PP).
+    pub policy_proposal: String,
+    /// The joiner's service commitment (SC).
+    pub service_commitment: String,
+    /// The inviter's participation; `None` only for the genesis piece.
+    pub inviter: Option<Participation>,
+    /// The joiner's participation.
+    pub joiner: Participation,
+    /// This piece's digest (chains into the next piece).
+    pub digest: Digest,
+}
+
+impl EvidencePiece {
+    /// The byte context both parties spend and sign over.
+    fn context(
+        seq: u64,
+        prev_digest: &Digest,
+        pp: &str,
+        sc: &str,
+        joiner_pseudonym: &SchnorrPublicKey,
+    ) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"dla-evidence");
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(prev_digest);
+        out.extend_from_slice(&(pp.len() as u64).to_be_bytes());
+        out.extend_from_slice(pp.as_bytes());
+        out.extend_from_slice(&(sc.len() as u64).to_be_bytes());
+        out.extend_from_slice(sc.as_bytes());
+        out.extend_from_slice(&joiner_pseudonym.to_bytes());
+        out
+    }
+}
+
+/// The cluster's membership evidence chain.
+pub struct EvidenceChain {
+    params: PedersenParams,
+    ca_public: SchnorrPublicKey,
+    pieces: Vec<EvidencePiece>,
+}
+
+impl fmt::Debug for EvidenceChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EvidenceChain({} pieces)", self.pieces.len())
+    }
+}
+
+/// An identity exposed by double token use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExposedIdentity {
+    /// Serial of the doubly-spent token.
+    pub serial: u64,
+    /// The recovered identity scalar.
+    pub identity: Ubig,
+}
+
+impl EvidenceChain {
+    /// Founds the chain: the founder spends its token on the genesis
+    /// piece (Fig. 6's `e₁`).
+    pub fn found<R: Rng + ?Sized>(
+        authority: &MembershipAuthority,
+        founder: &NodeCredential,
+        charter: &str,
+        rng: &mut R,
+    ) -> Self {
+        let prev = [0u8; 32];
+        let context =
+            EvidencePiece::context(0, &prev, charter, "", &founder.join.token.pseudonym);
+        let spend = founder.join.spend(&authority.params, &context);
+        let signature = founder.join.pseudonym_key.sign(&context, rng);
+        let digest = sha256::digest_parts(&[&context, &spend_bytes(&spend)]);
+        EvidenceChain {
+            params: authority.params.clone(),
+            ca_public: authority.ca_public().clone(),
+            pieces: vec![EvidencePiece {
+                seq: 0,
+                prev_digest: prev,
+                policy_proposal: charter.to_owned(),
+                service_commitment: String::new(),
+                inviter: None,
+                joiner: Participation {
+                    token: founder.join.token.clone(),
+                    spend,
+                    signature,
+                },
+                digest,
+            }],
+        }
+    }
+
+    /// The pieces, genesis first.
+    #[must_use]
+    pub fn pieces(&self) -> &[EvidencePiece] {
+        &self.pieces
+    }
+
+    /// **Adversarial test hook**: mutable piece access, modelling a
+    /// party rewriting recorded evidence after the fact.
+    pub fn pieces_mut(&mut self) -> &mut Vec<EvidencePiece> {
+        &mut self.pieces
+    }
+
+    /// Number of members admitted (including the founder).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Whether the chain is empty (never; chains begin at genesis).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// The token serial currently authorized to invite (the tail
+    /// joiner's).
+    #[must_use]
+    pub fn authorized_inviter(&self) -> u64 {
+        self.pieces
+            .last()
+            .expect("chain begins at genesis")
+            .joiner
+            .token
+            .serial
+    }
+
+    /// Runs the PP/SC/RE handshake appending a new piece. The inviter
+    /// *should* be the current tail; an out-of-turn inviter is not
+    /// rejected here (the deterrent is identity exposure, not
+    /// prevention — see [`Self::detect_double_use`]).
+    pub fn invite<R: Rng + ?Sized>(
+        &mut self,
+        inviter: &NodeCredential,
+        joiner: &NodeCredential,
+        policy_proposal: &str,
+        service_commitment: &str,
+        rng: &mut R,
+    ) -> &EvidencePiece {
+        let seq = self.pieces.len() as u64;
+        let prev_digest = self.pieces.last().expect("genesis exists").digest;
+        // Phase 1 (PP) and phase 2 (SC) fix the negotiated terms; phase
+        // 3 (RE) binds them into the piece both parties spend over.
+        let context = EvidencePiece::context(
+            seq,
+            &prev_digest,
+            policy_proposal,
+            service_commitment,
+            &joiner.join.token.pseudonym,
+        );
+        let inviter_spend = inviter.invite.spend(&self.params, &context);
+        let joiner_spend = joiner.join.spend(&self.params, &context);
+        let inviter_sig = inviter.invite.pseudonym_key.sign(&context, rng);
+        let joiner_sig = joiner.join.pseudonym_key.sign(&context, rng);
+        let digest = sha256::digest_parts(&[
+            &context,
+            &spend_bytes(&inviter_spend),
+            &spend_bytes(&joiner_spend),
+        ]);
+        self.pieces.push(EvidencePiece {
+            seq,
+            prev_digest,
+            policy_proposal: policy_proposal.to_owned(),
+            service_commitment: service_commitment.to_owned(),
+            inviter: Some(Participation {
+                token: inviter.invite.token.clone(),
+                spend: inviter_spend,
+                signature: inviter_sig,
+            }),
+            joiner: Participation {
+                token: joiner.join.token.clone(),
+                spend: joiner_spend,
+                signature: joiner_sig,
+            },
+            digest,
+        });
+        self.pieces.last().expect("just pushed")
+    }
+
+    /// Verifies the whole chain: digest links, CA certifications, token
+    /// spends and pseudonym signatures (the `f(e) =? 1` / `g(t) =? 1`
+    /// checks of Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Membership`] naming the first failing
+    /// piece and check.
+    pub fn verify(&self) -> Result<(), AuditError> {
+        let group = self.params.group();
+        let mut prev = [0u8; 32];
+        for piece in &self.pieces {
+            let fail = |what: &str| {
+                Err(AuditError::Membership(format!(
+                    "piece {}: {what}",
+                    piece.seq
+                )))
+            };
+            if piece.prev_digest != prev {
+                return fail("digest chain broken");
+            }
+            let context = EvidencePiece::context(
+                piece.seq,
+                &piece.prev_digest,
+                &piece.policy_proposal,
+                &piece.service_commitment,
+                &piece.joiner.token.pseudonym,
+            );
+            let mut participants: Vec<&Participation> = vec![&piece.joiner];
+            if let Some(inviter) = &piece.inviter {
+                participants.push(inviter);
+            }
+            let mut digest_parts: Vec<Vec<u8>> = vec![context.clone()];
+            for p in &participants {
+                if !p.token.verify_certification(group, &self.ca_public) {
+                    return fail("token not certified by the credential authority");
+                }
+                if !verify_spend(&self.params, &p.token, &context, &p.spend) {
+                    return fail("token spend does not verify");
+                }
+                if p.spend.challenge != spend_challenge(&self.params, &p.token, &context) {
+                    return fail("spend challenge mismatch");
+                }
+                if !schnorr::verify(group, &p.token.pseudonym, &context, &p.signature) {
+                    return fail("pseudonym signature invalid");
+                }
+            }
+            // Digest covers inviter (if any) then joiner, in creation
+            // order: context, [inviter], joiner.
+            if let Some(inviter) = &piece.inviter {
+                digest_parts.push(spend_bytes(&inviter.spend));
+            }
+            digest_parts.push(spend_bytes(&piece.joiner.spend));
+            let refs: Vec<&[u8]> = digest_parts.iter().map(Vec::as_slice).collect();
+            if sha256::digest_parts(&refs) != piece.digest {
+                return fail("piece digest mismatch");
+            }
+            prev = piece.digest;
+        }
+        Ok(())
+    }
+
+    /// Scans all spends for tokens used more than once and recovers the
+    /// cheaters' identities.
+    #[must_use]
+    pub fn detect_double_use(&self) -> Vec<ExposedIdentity> {
+        let mut by_serial: BTreeMap<u64, Vec<&SpendProof>> = BTreeMap::new();
+        for piece in &self.pieces {
+            by_serial
+                .entry(piece.joiner.spend.serial)
+                .or_default()
+                .push(&piece.joiner.spend);
+            if let Some(inviter) = &piece.inviter {
+                by_serial
+                    .entry(inviter.spend.serial)
+                    .or_default()
+                    .push(&inviter.spend);
+            }
+        }
+        let mut exposed = Vec::new();
+        for (serial, spends) in by_serial {
+            for pair in spends.windows(2) {
+                if pair[0].challenge != pair[1].challenge {
+                    if let Ok(identity) = recover_identity(&self.params, pair[0], pair[1]) {
+                        exposed.push(ExposedIdentity { serial, identity });
+                        break;
+                    }
+                }
+            }
+        }
+        exposed
+    }
+}
+
+fn spend_bytes(spend: &SpendProof) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&spend.serial.to_be_bytes());
+    out.extend_from_slice(&spend.challenge.to_bytes_be());
+    out.extend_from_slice(&spend.s1.to_bytes_be());
+    out.extend_from_slice(&spend.s2.to_bytes_be());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (MembershipAuthority, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+        let authority = MembershipAuthority::new(&SchnorrGroup::fixed_256(), &mut rng);
+        (authority, rng)
+    }
+
+    #[test]
+    fn honest_chain_verifies() {
+        let (mut authority, mut rng) = setup();
+        let p0 = authority.enroll("node-zero.example.org", &mut rng);
+        let p1 = authority.enroll("node-one.example.org", &mut rng);
+        let p2 = authority.enroll("node-two.example.org", &mut rng);
+
+        let mut chain = EvidenceChain::found(&authority, &p0, "DLA cluster charter", &mut rng);
+        chain.invite(&p0, &p1, "store fragments; serve ∩_s", "agreed", &mut rng);
+        chain.invite(&p1, &p2, "store fragments; serve Σ_s", "agreed", &mut rng);
+
+        assert_eq!(chain.len(), 3);
+        chain.verify().unwrap();
+        assert!(chain.detect_double_use().is_empty());
+        assert_eq!(chain.authorized_inviter(), p2.join_token().serial);
+    }
+
+    #[test]
+    fn double_invite_exposes_true_identity() {
+        let (mut authority, mut rng) = setup();
+        let p0 = authority.enroll("founder", &mut rng);
+        let p1 = authority.enroll("cheater.example.org", &mut rng);
+        let p2 = authority.enroll("victim-a", &mut rng);
+        let p3 = authority.enroll("victim-b", &mut rng);
+
+        let mut chain = EvidenceChain::found(&authority, &p0, "charter", &mut rng);
+        chain.invite(&p0, &p1, "pp", "sc", &mut rng);
+        // p1 invites p2 (legitimate — p1 is the tail)…
+        chain.invite(&p1, &p2, "pp", "sc", &mut rng);
+        // …then invites p3 too, after having passed authority on.
+        chain.invite(&p1, &p3, "pp", "sc", &mut rng);
+
+        chain.verify().unwrap(); // every piece is individually valid…
+        let exposed = chain.detect_double_use();
+        assert_eq!(exposed.len(), 1); // …but the cheater is exposed.
+        assert_eq!(exposed[0].serial, p1.invite_token().serial);
+        assert_eq!(
+            authority.identify(&exposed[0].identity),
+            Some("cheater.example.org")
+        );
+    }
+
+    #[test]
+    fn single_use_exposes_nobody() {
+        let (mut authority, mut rng) = setup();
+        let p0 = authority.enroll("a", &mut rng);
+        let p1 = authority.enroll("b", &mut rng);
+        let mut chain = EvidenceChain::found(&authority, &p0, "charter", &mut rng);
+        chain.invite(&p0, &p1, "pp", "sc", &mut rng);
+        assert!(chain.detect_double_use().is_empty());
+    }
+
+    #[test]
+    fn tampered_terms_break_verification() {
+        let (mut authority, mut rng) = setup();
+        let p0 = authority.enroll("a", &mut rng);
+        let p1 = authority.enroll("b", &mut rng);
+        let mut chain = EvidenceChain::found(&authority, &p0, "charter", &mut rng);
+        chain.invite(&p0, &p1, "the real terms", "sc", &mut rng);
+        // Rewrite the negotiated policy after the fact.
+        chain.pieces[1].policy_proposal = "sneaky new terms".into();
+        assert!(chain.verify().is_err());
+    }
+
+    #[test]
+    fn broken_digest_link_detected() {
+        let (mut authority, mut rng) = setup();
+        let p0 = authority.enroll("a", &mut rng);
+        let p1 = authority.enroll("b", &mut rng);
+        let p2 = authority.enroll("c", &mut rng);
+        let mut chain = EvidenceChain::found(&authority, &p0, "charter", &mut rng);
+        chain.invite(&p0, &p1, "pp", "sc", &mut rng);
+        chain.invite(&p1, &p2, "pp", "sc", &mut rng);
+        // Excise the middle piece: the chain must not verify.
+        chain.pieces.remove(1);
+        let err = chain.verify().unwrap_err();
+        assert!(err.to_string().contains("digest chain broken"));
+    }
+
+    #[test]
+    fn foreign_token_rejected() {
+        let (mut authority, mut rng) = setup();
+        let p0 = authority.enroll("a", &mut rng);
+        let p1 = authority.enroll("b", &mut rng);
+        // A second, unrelated authority.
+        let mut other = MembershipAuthority::new(&SchnorrGroup::fixed_256(), &mut rng);
+        let intruder = other.enroll("intruder", &mut rng);
+
+        let mut chain = EvidenceChain::found(&authority, &p0, "charter", &mut rng);
+        chain.invite(&p0, &p1, "pp", "sc", &mut rng);
+        chain.invite(&p1, &intruder, "pp", "sc", &mut rng);
+        let err = chain.verify().unwrap_err();
+        assert!(err.to_string().contains("not certified"));
+    }
+
+    #[test]
+    fn identity_scalars_are_stable_and_distinct() {
+        let (authority, _) = setup();
+        assert_eq!(
+            authority.identity_scalar("x"),
+            authority.identity_scalar("x")
+        );
+        assert_ne!(
+            authority.identity_scalar("x"),
+            authority.identity_scalar("y")
+        );
+        assert_eq!(authority.identify(&Ubig::from_u64(12345)), None);
+    }
+
+    #[test]
+    fn anonymity_pieces_carry_no_names() {
+        let (mut authority, mut rng) = setup();
+        let p0 = authority.enroll("very-secret-corporation", &mut rng);
+        let chain = EvidenceChain::found(&authority, &p0, "charter", &mut rng);
+        // The serialized piece must not contain the enrolled name.
+        let piece = &chain.pieces()[0];
+        let blob = format!("{piece:?}");
+        assert!(!blob.contains("very-secret-corporation"));
+    }
+}

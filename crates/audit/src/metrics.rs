@@ -1,0 +1,200 @@
+//! The paper's confidentiality metrics (§5, Eqs. 10–13).
+//!
+//! * **Store confidentiality** (Eq. 10): `C_store(Log) = v·u / w`,
+//!   where `w` is the number of attributes in the record, `v` the
+//!   number of *undefined* attributes among them, and `u` the minimum
+//!   number of DLA nodes needed to cover all of the record's
+//!   attributes. More private attributes and wider fragmentation both
+//!   raise it.
+//! * **Auditing confidentiality** (Eq. 11):
+//!   `C_auditing(Q) = (t + q) / (s + q)` over the normalized query,
+//!   with `s` total atomic predicates, `t` atomic predicates belonging
+//!   to cross subqueries, and `q` conjunctive connectives. A query
+//!   answered purely by local scans exposes its whole shape to single
+//!   nodes (low score); one dominated by cross subqueries keeps every
+//!   node partially blind (high score).
+//! * **Query confidentiality** (Eq. 12): the product of the two.
+//! * **DLA confidentiality** (Eq. 13): the average query
+//!   confidentiality over a workload.
+
+use crate::plan::QueryPlan;
+use dla_logstore::fragment::Partition;
+use dla_logstore::model::LogRecord;
+use dla_logstore::schema::Schema;
+
+/// `C_store(Log)` (Eq. 10).
+///
+/// Returns 0 for an empty record.
+#[must_use]
+pub fn store_confidentiality(record: &LogRecord, schema: &Schema, partition: &Partition) -> f64 {
+    let w = record.len();
+    if w == 0 {
+        return 0.0;
+    }
+    let v = record
+        .iter()
+        .filter(|(name, _)| schema.get(name).is_some_and(|d| d.is_undefined()))
+        .count();
+    let u = partition.covering_nodes(record);
+    (v as f64) * (u as f64) / (w as f64)
+}
+
+/// `C_auditing(Q)` (Eq. 11), computed from a plan's `(s, t, q)`.
+///
+/// Returns 0 for a plan with no predicates.
+#[must_use]
+pub fn auditing_confidentiality(plan: &QueryPlan) -> f64 {
+    let s = plan.atom_count;
+    let t = plan.cross_atom_count;
+    let q = plan.conjunct_count;
+    if s + q == 0 {
+        return 0.0;
+    }
+    (t + q) as f64 / (s + q) as f64
+}
+
+/// `C_query(Q, Log)` (Eq. 12).
+#[must_use]
+pub fn query_confidentiality(
+    plan: &QueryPlan,
+    record: &LogRecord,
+    schema: &Schema,
+    partition: &Partition,
+) -> f64 {
+    auditing_confidentiality(plan) * store_confidentiality(record, schema, partition)
+}
+
+/// `C_DLA(I, P)` (Eq. 13): the mean of [`query_confidentiality`] over a
+/// workload of (plan, record) pairs.
+///
+/// Returns 0 for an empty workload.
+#[must_use]
+pub fn dla_confidentiality(workload: &[(QueryPlan, LogRecord)], schema: &Schema, partition: &Partition) -> f64 {
+    if workload.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = workload
+        .iter()
+        .map(|(plan, record)| query_confidentiality(plan, record, schema, partition))
+        .sum();
+    total / workload.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::normalize;
+    use crate::parser::parse;
+    use crate::plan::plan;
+    use dla_logstore::gen::paper_table1;
+    use dla_logstore::model::{AttrValue, Glsn};
+
+    fn env() -> (Schema, Partition) {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        (schema, partition)
+    }
+
+    fn planned(src: &str, schema: &Schema, partition: &Partition) -> QueryPlan {
+        plan(&normalize(&parse(src, schema).unwrap()), partition).unwrap()
+    }
+
+    #[test]
+    fn store_confidentiality_of_table1_records() {
+        let (schema, partition) = env();
+        for record in paper_table1() {
+            // w = 7, v = 3 (c1, c2, c3), u = 4 (paper partition).
+            let c = store_confidentiality(&record, &schema, &partition);
+            assert!((c - 3.0 * 4.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn store_confidentiality_rises_with_undefined_attrs() {
+        let (schema, partition) = env();
+        let few = LogRecord::new(Glsn(1))
+            .with("time", AttrValue::Time(0))
+            .with("id", AttrValue::text("U1"));
+        let many = LogRecord::new(Glsn(2))
+            .with("c1", AttrValue::Int(1))
+            .with("c2", AttrValue::Fixed2(1));
+        assert!(
+            store_confidentiality(&many, &schema, &partition)
+                > store_confidentiality(&few, &schema, &partition)
+        );
+    }
+
+    #[test]
+    fn store_confidentiality_rises_with_fragmentation() {
+        let schema = Schema::paper_example();
+        let wide = Partition::paper_example(&schema); // 4 nodes
+        let narrow = Partition::round_robin(&schema, 1).unwrap(); // 1 node
+        let record = paper_table1().remove(0);
+        assert!(
+            store_confidentiality(&record, &schema, &wide)
+                > store_confidentiality(&record, &schema, &narrow)
+        );
+    }
+
+    #[test]
+    fn empty_record_scores_zero() {
+        let (schema, partition) = env();
+        assert_eq!(
+            store_confidentiality(&LogRecord::new(Glsn(1)), &schema, &partition),
+            0.0
+        );
+    }
+
+    #[test]
+    fn auditing_confidentiality_local_query_is_low() {
+        let (schema, partition) = env();
+        // Single local predicate: s=1, t=0, q=0 → 0.
+        let p = planned("c1 > 5", &schema, &partition);
+        assert_eq!(auditing_confidentiality(&p), 0.0);
+    }
+
+    #[test]
+    fn auditing_confidentiality_cross_query_is_high() {
+        let (schema, partition) = env();
+        // One cross clause: s=2, t=2, q=0 → 1.0.
+        let p = planned("c1 > 5 OR id = 'U1'", &schema, &partition);
+        assert_eq!(auditing_confidentiality(&p), 1.0);
+    }
+
+    #[test]
+    fn auditing_confidentiality_mixed_query() {
+        let (schema, partition) = env();
+        // (cross: c1 OR id → t=2) AND (local: c2) → s=3, t=2, q=1 → 3/4.
+        let p = planned("(c1 > 5 OR id = 'U1') AND c2 < 9.00", &schema, &partition);
+        assert!((auditing_confidentiality(&p) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_confidentiality_is_product() {
+        let (schema, partition) = env();
+        let p = planned("(c1 > 5 OR id = 'U1') AND c2 < 9.00", &schema, &partition);
+        let record = paper_table1().remove(0);
+        let expect = auditing_confidentiality(&p)
+            * store_confidentiality(&record, &schema, &partition);
+        assert_eq!(
+            query_confidentiality(&p, &record, &schema, &partition),
+            expect
+        );
+    }
+
+    #[test]
+    fn dla_confidentiality_averages() {
+        let (schema, partition) = env();
+        let record = paper_table1().remove(0);
+        let high = planned("c1 > 5 OR id = 'U1'", &schema, &partition);
+        let low = planned("c1 > 5", &schema, &partition);
+        let workload = vec![(high, record.clone()), (low, record)];
+        let avg = dla_confidentiality(&workload, &schema, &partition);
+        let each: Vec<f64> = workload
+            .iter()
+            .map(|(p, r)| query_confidentiality(p, r, &schema, &partition))
+            .collect();
+        assert!((avg - (each[0] + each[1]) / 2.0).abs() < 1e-12);
+        assert_eq!(dla_confidentiality(&[], &schema, &partition), 0.0);
+    }
+}

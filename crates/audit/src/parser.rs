@@ -1,0 +1,534 @@
+//! A textual surface syntax for auditing criteria ("simple auditing
+//! query statements", §1).
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! expr    := term (OR term)*
+//! term    := factor (AND factor)*
+//! factor  := NOT factor | '(' expr ')' | predicate
+//! pred    := ident op operand
+//! op      := '<' | '<=' | '>' | '>=' | '=' | '!=' | '<>'
+//! operand := ident | number | 'string' | "string"
+//! ```
+//!
+//! Numeric literals with a decimal point become fixed-point values
+//! (`23.45` → hundredths); a time-typed left attribute accepts the
+//! paper's `'HH:MM:SS/MM/DD/YYYY'` literal form. Literal typing is
+//! resolved against the schema so `c2 > 20` coerces to fixed-point when
+//! `c2` is.
+
+use crate::query::{CmpOp, Criteria, Operand, Predicate};
+use dla_logstore::model::{epoch_from_civil, AttrName, AttrType, AttrValue};
+use dla_logstore::schema::Schema;
+use std::fmt;
+
+/// Error produced when a query string cannot be parsed or typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    position: usize,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Op(CmpOp),
+    LParen,
+    RParen,
+    And,
+    Or,
+    Not,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, i));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Op(CmpOp::Le), i));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Token::Op(CmpOp::Ne), i));
+                    i += 2;
+                } else {
+                    out.push((Token::Op(CmpOp::Lt), i));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Op(CmpOp::Ge), i));
+                    i += 2;
+                } else {
+                    out.push((Token::Op(CmpOp::Gt), i));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((Token::Op(CmpOp::Eq), i));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Op(CmpOp::Ne), i));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '=' after '!'", i));
+                }
+            }
+            '-' => {
+                // Unary minus: only valid immediately before a number.
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                    {
+                        i += 1;
+                    }
+                    out.push((Token::Number(input[start..i].to_owned()), start));
+                } else {
+                    return Err(ParseError::new("expected digits after '-'", i));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(ParseError::new("unterminated string literal", i));
+                }
+                out.push((Token::Str(input[start..j].to_owned()), i));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push((Token::Number(input[start..i].to_owned()), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => out.push((Token::And, start)),
+                    "OR" => out.push((Token::Or, start)),
+                    "NOT" => out.push((Token::Not, start)),
+                    _ => out.push((Token::Ident(word.to_owned()), start)),
+                }
+            }
+            other => {
+                return Err(ParseError::new(format!("unexpected character {other:?}"), i))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    schema: &'a Schema,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |&(_, p)| p)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expr(&mut self) -> Result<Criteria, ParseError> {
+        let mut left = self.term()?;
+        while self.peek() == Some(&Token::Or) {
+            self.advance();
+            let right = self.term()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Criteria, ParseError> {
+        let mut left = self.factor()?;
+        while self.peek() == Some(&Token::And) {
+            self.advance();
+            let right = self.factor()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Criteria, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.advance();
+                Ok(self.factor()?.not())
+            }
+            Some(Token::LParen) => {
+                self.advance();
+                let inner = self.expr()?;
+                if self.advance() != Some(Token::RParen) {
+                    return Err(ParseError::new("expected ')'", self.here()));
+                }
+                Ok(inner)
+            }
+            _ => self.predicate(),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Criteria, ParseError> {
+        let at = self.here();
+        let Some(Token::Ident(lhs)) = self.advance() else {
+            return Err(ParseError::new("expected attribute name", at));
+        };
+        let lhs_name = AttrName::new(&lhs);
+        let lhs_def = self
+            .schema
+            .get(&lhs_name)
+            .ok_or_else(|| ParseError::new(format!("unknown attribute {lhs}"), at))?;
+        let lhs_type = lhs_def.attr_type();
+
+        let at = self.here();
+        let Some(Token::Op(op)) = self.advance() else {
+            return Err(ParseError::new("expected comparison operator", at));
+        };
+
+        let at = self.here();
+        let rhs = match self.advance() {
+            Some(Token::Ident(name)) => {
+                let rhs_name = AttrName::new(&name);
+                if self.schema.contains(&rhs_name) {
+                    Operand::Attr(rhs_name)
+                } else {
+                    return Err(ParseError::new(format!("unknown attribute {name}"), at));
+                }
+            }
+            Some(Token::Number(text)) => Operand::Const(typed_number(&text, lhs_type, at)?),
+            Some(Token::Str(text)) => Operand::Const(typed_string(&text, lhs_type, at)?),
+            _ => return Err(ParseError::new("expected attribute or literal", at)),
+        };
+
+        let pred = Predicate {
+            lhs: lhs_name,
+            op,
+            rhs,
+        };
+        pred.check(self.schema)
+            .map_err(|e| ParseError::new(e.to_string(), at))?;
+        Ok(Criteria::pred(pred))
+    }
+}
+
+fn typed_number(text: &str, target: AttrType, at: usize) -> Result<AttrValue, ParseError> {
+    match target {
+        AttrType::Int => text
+            .parse::<i64>()
+            .map(AttrValue::Int)
+            .map_err(|_| ParseError::new(format!("invalid integer {text}"), at)),
+        AttrType::Fixed2 => {
+            let (negative, unsigned) = match text.strip_prefix('-') {
+                Some(rest) => (true, rest),
+                None => (false, text),
+            };
+            let (whole, frac) = match unsigned.split_once('.') {
+                Some((w, f)) => (w, f),
+                None => (unsigned, ""),
+            };
+            if frac.len() > 2 || frac.chars().any(|c| !c.is_ascii_digit()) {
+                return Err(ParseError::new(
+                    format!("fixed-point literal {text} has more than two decimals"),
+                    at,
+                ));
+            }
+            let whole: i64 = whole
+                .parse()
+                .map_err(|_| ParseError::new(format!("invalid number {text}"), at))?;
+            let frac_val: i64 = if frac.is_empty() {
+                0
+            } else {
+                let padded = format!("{frac:0<2}");
+                padded.parse().expect("digits only")
+            };
+            let magnitude = whole * 100 + frac_val;
+            Ok(AttrValue::Fixed2(if negative { -magnitude } else { magnitude }))
+        }
+        AttrType::Time => text
+            .parse::<u64>()
+            .map(AttrValue::Time)
+            .map_err(|_| ParseError::new(format!("invalid epoch time {text}"), at)),
+        AttrType::Text => Err(ParseError::new(
+            "numeric literal compared to a text attribute",
+            at,
+        )),
+    }
+}
+
+fn typed_string(text: &str, target: AttrType, at: usize) -> Result<AttrValue, ParseError> {
+    match target {
+        AttrType::Text => Ok(AttrValue::text(text)),
+        AttrType::Time => parse_paper_time(text)
+            .map(AttrValue::Time)
+            .ok_or_else(|| {
+                ParseError::new(
+                    format!("invalid time literal {text:?} (want HH:MM:SS/MM/DD/YYYY)"),
+                    at,
+                )
+            }),
+        other => Err(ParseError::new(
+            format!("string literal compared to a {other} attribute"),
+            at,
+        )),
+    }
+}
+
+/// Parses the paper's `HH:MM:SS/MM/DD/YYYY` timestamp format.
+#[must_use]
+pub fn parse_paper_time(text: &str) -> Option<u64> {
+    let (clock, date) = text.split_once('/')?;
+    let mut clock_parts = clock.split(':');
+    let h: u64 = clock_parts.next()?.parse().ok()?;
+    let m: u64 = clock_parts.next()?.parse().ok()?;
+    let s: u64 = clock_parts.next()?.parse().ok()?;
+    if clock_parts.next().is_some() {
+        return None;
+    }
+    let mut date_parts = date.split('/');
+    let month: u64 = date_parts.next()?.parse().ok()?;
+    let day: u64 = date_parts.next()?.parse().ok()?;
+    let year: i64 = date_parts.next()?.parse().ok()?;
+    if date_parts.next().is_some()
+        || !(1..=12).contains(&month)
+        || !(1..=31).contains(&day)
+        || h >= 24
+        || m >= 60
+        || s >= 60
+    {
+        return None;
+    }
+    Some(epoch_from_civil(year, month, day, h, m, s))
+}
+
+/// Parses an auditing criterion, typing literals against `schema`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors, unknown attributes or
+/// literal/attribute type mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use dla_audit::parser::parse;
+/// use dla_logstore::schema::Schema;
+///
+/// let schema = Schema::paper_example();
+/// let q = parse("id = 'U1' AND c2 > 100.00", &schema)?;
+/// assert_eq!(q.atom_count(), 2);
+/// # Ok::<(), dla_audit::parser::ParseError>(())
+/// ```
+pub fn parse(input: &str, schema: &Schema) -> Result<Criteria, ParseError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new("empty query", 0));
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        schema,
+        input_len: input.len(),
+    };
+    let criteria = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError::new("trailing tokens", parser.here()));
+    }
+    Ok(criteria)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_logstore::gen::paper_table1;
+
+    fn schema() -> Schema {
+        Schema::paper_example()
+    }
+
+    #[test]
+    fn parses_simple_predicates() {
+        let q = parse("c1 > 30", &schema()).unwrap();
+        assert_eq!(q.to_string(), "c1 > 30");
+        let q = parse("id = 'U1'", &schema()).unwrap();
+        assert_eq!(q.to_string(), "id = 'U1'");
+        let q = parse("c2 >= 100.50", &schema()).unwrap();
+        assert_eq!(q.to_string(), "c2 >= 100.50");
+    }
+
+    #[test]
+    fn parses_connectives_with_precedence() {
+        // AND binds tighter than OR.
+        let q = parse("c1 > 1 OR c1 < 5 AND id = 'U1'", &schema()).unwrap();
+        assert_eq!(q.to_string(), "(c1 > 1 OR (c1 < 5 AND id = 'U1'))");
+        let q = parse("(c1 > 1 OR c1 < 5) AND NOT id = 'U1'", &schema()).unwrap();
+        assert_eq!(q.to_string(), "((c1 > 1 OR c1 < 5) AND (NOT id = 'U1'))");
+    }
+
+    #[test]
+    fn parses_attr_attr_predicates() {
+        let q = parse("id = c3", &schema()).unwrap();
+        assert_eq!(q.to_string(), "id = c3");
+    }
+
+    #[test]
+    fn parses_time_literals() {
+        let q = parse("time > '20:18:35/05/12/2002'", &schema()).unwrap();
+        // Evaluate against Table 1: rows 2-5 are later than row 1.
+        let matching = paper_table1()
+            .iter()
+            .filter(|r| q.eval(r).unwrap())
+            .count();
+        assert_eq!(matching, 4);
+    }
+
+    #[test]
+    fn fixed2_literals_coerce() {
+        let q = parse("c2 > 100", &schema()).unwrap();
+        // 100 → 100.00; Table 1 c2 values: 23.45, 345.11, 235.00, 45.02, 678.75.
+        let matching = paper_table1()
+            .iter()
+            .filter(|r| q.eval(r).unwrap())
+            .count();
+        assert_eq!(matching, 3);
+    }
+
+    #[test]
+    fn alternative_ne_spellings() {
+        for src in ["protocol != 'TCP'", "protocol <> 'TCP'"] {
+            let q = parse(src, &schema()).unwrap();
+            let matching = paper_table1()
+                .iter()
+                .filter(|r| q.eval(r).unwrap())
+                .count();
+            assert_eq!(matching, 3, "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let q = parse("c1 > -5", &schema()).unwrap();
+        assert_eq!(q.to_string(), "c1 > -5");
+        let q = parse("c2 <= -1.50", &schema()).unwrap();
+        assert_eq!(q.to_string(), "c2 <= -1.50");
+        // A bare '-' is still an error.
+        assert!(parse("c1 > - 5", &schema()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let err = parse("salary > 100", &schema()).unwrap_err();
+        assert!(err.to_string().contains("unknown attribute"));
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        assert!(parse("id > 5", &schema()).is_err());
+        assert!(parse("c1 = 'x'", &schema()).is_err());
+        assert!(parse("c1 = c2", &schema()).is_err());
+        assert!(parse("c2 > 1.234", &schema()).is_err(), "3 decimals");
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("", &schema()).is_err());
+        assert!(parse("c1 >", &schema()).is_err());
+        assert!(parse("c1 5", &schema()).is_err());
+        assert!(parse("(c1 > 5", &schema()).is_err());
+        assert!(parse("c1 > 5 garbage garbage", &schema()).is_err());
+        assert!(parse("c1 ! 5", &schema()).is_err());
+        assert!(parse("id = 'unterminated", &schema()).is_err());
+        assert!(parse("c1 > 5 @", &schema()).is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("c1 > 1 and not c1 > 50 or id = 'U9'", &schema()).unwrap();
+        assert!(q.to_string().contains("AND"));
+    }
+
+    #[test]
+    fn paper_time_parser_validates() {
+        assert!(parse_paper_time("20:18:35/05/12/2002").is_some());
+        assert!(parse_paper_time("24:00:00/05/12/2002").is_none());
+        assert!(parse_paper_time("20:18:35/13/12/2002").is_none());
+        assert!(parse_paper_time("garbage").is_none());
+        assert!(parse_paper_time("20:18/05/12/2002").is_none());
+    }
+
+    #[test]
+    fn parsed_query_matches_hand_built_ast() {
+        use crate::query::{CmpOp, Predicate};
+        use dla_logstore::model::AttrValue;
+        let parsed = parse("c1 >= 20 AND id = 'U1'", &schema()).unwrap();
+        let built = Criteria::pred(Predicate::with_const("c1", CmpOp::Ge, AttrValue::Int(20)))
+            .and(Criteria::pred(Predicate::with_const(
+                "id",
+                CmpOp::Eq,
+                AttrValue::text("U1"),
+            )));
+        assert_eq!(parsed, built);
+    }
+}

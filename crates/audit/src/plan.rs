@@ -1,0 +1,374 @@
+//! Query planning (paper §2, Figure 3): classify each normalized
+//! subquery as **local** (all attributes served by one DLA node) or
+//! **cross** (attributes spanning nodes, requiring relaxed secure
+//! computation among them), and lay out the per-clause execution steps
+//! the distributed executor will run.
+
+use crate::normal::{Clause, NormalizedQuery};
+use crate::query::{Operand, Predicate};
+use crate::AuditError;
+use dla_logstore::fragment::Partition;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Where a subquery executes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SubqueryKind {
+    /// Every attribute lives on one node; evaluated entirely locally
+    /// ("local auditing predicate").
+    Local {
+        /// The owning DLA node.
+        node: usize,
+    },
+    /// Attributes span nodes; evaluated collaboratively ("global
+    /// auditing predicate", Fig. 3's `SQ_ijk`).
+    Cross {
+        /// The DLA nodes that must collaborate.
+        nodes: BTreeSet<usize>,
+    },
+}
+
+/// How one literal of a clause is computed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LiteralStep {
+    /// `A θ c` scanned on the node owning `A`.
+    LocalScan {
+        /// Owning node.
+        node: usize,
+        /// Index into the clause's literal list.
+        literal: usize,
+    },
+    /// `A = B` / `A ≠ B` with owners differing: commutative-encryption
+    /// equality join on (glsn ‖ value) fingerprints between the two
+    /// owners.
+    CrossEqualityJoin {
+        /// Node owning `A`.
+        left_node: usize,
+        /// Node owning `B`.
+        right_node: usize,
+        /// Index into the clause's literal list.
+        literal: usize,
+        /// True for `≠` (complement of the join).
+        negated: bool,
+    },
+    /// `A θ B` (ordering) with owners differing: order-preserving
+    /// masking + blind-TTP comparison per glsn (§3.3 machinery).
+    CrossMaskedCompare {
+        /// Node owning `A`.
+        left_node: usize,
+        /// Node owning `B`.
+        right_node: usize,
+        /// Index into the clause's literal list.
+        literal: usize,
+    },
+}
+
+/// One planned subquery.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Subquery {
+    /// The normalized clause.
+    pub clause: Clause,
+    /// Local or cross.
+    pub kind: SubqueryKind,
+    /// Execution steps, one per literal.
+    pub steps: Vec<LiteralStep>,
+}
+
+impl fmt::Display for Subquery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SubqueryKind::Local { node } => write!(f, "{} @ P{node} [local]", self.clause),
+            SubqueryKind::Cross { nodes } => {
+                let list: Vec<String> = nodes.iter().map(|n| format!("P{n}")).collect();
+                write!(f, "{} @ {{{}}} [cross]", self.clause, list.join(","))
+            }
+        }
+    }
+}
+
+/// A full query plan plus the §5 metric inputs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QueryPlan {
+    /// Planned subqueries, one per normalized clause.
+    pub subqueries: Vec<Subquery>,
+    /// `s`: total atomic predicates in `Q_N`.
+    pub atom_count: usize,
+    /// `t`: atomic predicates belonging to cross subqueries.
+    pub cross_atom_count: usize,
+    /// `q`: conjunctive connectives in `Q_N` (subquery count − 1).
+    pub conjunct_count: usize,
+}
+
+impl QueryPlan {
+    /// Number of local subqueries.
+    #[must_use]
+    pub fn local_count(&self) -> usize {
+        self.subqueries
+            .iter()
+            .filter(|s| matches!(s.kind, SubqueryKind::Local { .. }))
+            .count()
+    }
+
+    /// Number of cross subqueries.
+    #[must_use]
+    pub fn cross_count(&self) -> usize {
+        self.subqueries.len() - self.local_count()
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, sq) in self.subqueries.iter().enumerate() {
+            writeln!(f, "SQ{i}: {sq}")?;
+        }
+        write!(
+            f,
+            "s={} t={} q={}",
+            self.atom_count, self.cross_atom_count, self.conjunct_count
+        )
+    }
+}
+
+fn owner(partition: &Partition, attr: &dla_logstore::model::AttrName) -> Result<usize, AuditError> {
+    partition.node_of(attr).ok_or_else(|| {
+        AuditError::Planning(format!("attribute {attr} is not served by any DLA node"))
+    })
+}
+
+fn plan_literal(
+    partition: &Partition,
+    literal: &Predicate,
+    index: usize,
+) -> Result<LiteralStep, AuditError> {
+    let left_node = owner(partition, &literal.lhs)?;
+    match &literal.rhs {
+        Operand::Const(_) => Ok(LiteralStep::LocalScan {
+            node: left_node,
+            literal: index,
+        }),
+        Operand::Attr(b) => {
+            let right_node = owner(partition, b)?;
+            if right_node == left_node {
+                // Both attributes on one node: still a local scan.
+                return Ok(LiteralStep::LocalScan {
+                    node: left_node,
+                    literal: index,
+                });
+            }
+            use crate::query::CmpOp;
+            match literal.op {
+                CmpOp::Eq => Ok(LiteralStep::CrossEqualityJoin {
+                    left_node,
+                    right_node,
+                    literal: index,
+                    negated: false,
+                }),
+                CmpOp::Ne => Ok(LiteralStep::CrossEqualityJoin {
+                    left_node,
+                    right_node,
+                    literal: index,
+                    negated: true,
+                }),
+                _ => Ok(LiteralStep::CrossMaskedCompare {
+                    left_node,
+                    right_node,
+                    literal: index,
+                }),
+            }
+        }
+    }
+}
+
+/// Plans a normalized query over a partition.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Planning`] if an attribute is not served by
+/// any node or the query is empty.
+pub fn plan(normalized: &NormalizedQuery, partition: &Partition) -> Result<QueryPlan, AuditError> {
+    if normalized.is_empty() {
+        return Err(AuditError::Planning("empty query".into()));
+    }
+    let mut subqueries = Vec::with_capacity(normalized.len());
+    let mut cross_atom_count = 0usize;
+    for clause in normalized.clauses() {
+        let mut steps = Vec::with_capacity(clause.literals().len());
+        let mut nodes: BTreeSet<usize> = BTreeSet::new();
+        for (i, literal) in clause.literals().iter().enumerate() {
+            let step = plan_literal(partition, literal, i)?;
+            match &step {
+                LiteralStep::LocalScan { node, .. } => {
+                    nodes.insert(*node);
+                }
+                LiteralStep::CrossEqualityJoin {
+                    left_node,
+                    right_node,
+                    ..
+                }
+                | LiteralStep::CrossMaskedCompare {
+                    left_node,
+                    right_node,
+                    ..
+                } => {
+                    nodes.insert(*left_node);
+                    nodes.insert(*right_node);
+                }
+            }
+            steps.push(step);
+        }
+        let kind = if nodes.len() == 1 {
+            SubqueryKind::Local {
+                node: *nodes.iter().next().expect("nonempty clause"),
+            }
+        } else {
+            cross_atom_count += clause.literals().len();
+            SubqueryKind::Cross { nodes }
+        };
+        subqueries.push(Subquery {
+            clause: clause.clone(),
+            kind,
+            steps,
+        });
+    }
+    Ok(QueryPlan {
+        atom_count: normalized.atom_count(),
+        cross_atom_count,
+        conjunct_count: normalized.len() - 1,
+        subqueries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::normalize;
+    use crate::parser::parse;
+    use dla_logstore::schema::Schema;
+
+    fn planned(src: &str) -> QueryPlan {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        plan(&normalize(&parse(src, &schema).unwrap()), &partition).unwrap()
+    }
+
+    #[test]
+    fn single_attribute_clause_is_local() {
+        let p = planned("c1 > 5");
+        assert_eq!(p.subqueries.len(), 1);
+        assert_eq!(p.subqueries[0].kind, SubqueryKind::Local { node: 3 });
+        assert_eq!(p.cross_atom_count, 0);
+        assert_eq!(p.conjunct_count, 0);
+    }
+
+    #[test]
+    fn same_node_attributes_stay_local() {
+        // id and c2 both live on P1; tid and c3 both on P2.
+        let p = planned("id = 'U1' OR c2 > 10.00");
+        assert_eq!(p.subqueries[0].kind, SubqueryKind::Local { node: 1 });
+        let p = planned("tid = c3");
+        assert_eq!(p.subqueries[0].kind, SubqueryKind::Local { node: 2 });
+        assert!(matches!(
+            p.subqueries[0].steps[0],
+            LiteralStep::LocalScan { node: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn mixed_node_disjunction_is_cross() {
+        // c1 on P3, id on P1.
+        let p = planned("c1 > 5 OR id = 'U1'");
+        assert_eq!(
+            p.subqueries[0].kind,
+            SubqueryKind::Cross {
+                nodes: [1usize, 3].into_iter().collect()
+            }
+        );
+        assert_eq!(p.cross_atom_count, 2);
+    }
+
+    #[test]
+    fn attr_attr_across_nodes_plans_protocol_steps() {
+        // id (P1) = c3 (P2): equality join.
+        let p = planned("id = c3");
+        assert!(matches!(
+            p.subqueries[0].steps[0],
+            LiteralStep::CrossEqualityJoin {
+                left_node: 1,
+                right_node: 2,
+                negated: false,
+                ..
+            }
+        ));
+        // Negated equality.
+        let p = planned("id != c3");
+        assert!(matches!(
+            p.subqueries[0].steps[0],
+            LiteralStep::CrossEqualityJoin { negated: true, .. }
+        ));
+        // Ordering across nodes: time (P0) vs … only time is Time-typed;
+        // use c1 (P3, int) with a same-type partner — none exists in the
+        // paper schema, so build one via c2/c2 … instead verify masked
+        // compare with a custom schema below.
+    }
+
+    #[test]
+    fn ordering_attr_attr_uses_masked_compare() {
+        use dla_logstore::schema::{AttrDef, Schema};
+        let schema = Schema::new(vec![
+            AttrDef::known("a", dla_logstore::model::AttrType::Int),
+            AttrDef::known("b", dla_logstore::model::AttrType::Int),
+        ])
+        .unwrap();
+        let partition = Partition::round_robin(&schema, 2).unwrap();
+        let p = plan(
+            &normalize(&parse("a < b", &schema).unwrap()),
+            &partition,
+        )
+        .unwrap();
+        assert!(matches!(
+            p.subqueries[0].steps[0],
+            LiteralStep::CrossMaskedCompare {
+                left_node: 0,
+                right_node: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn figure3_style_query_decomposes() {
+        // Two local + one cross subquery, mirroring Fig. 3's SQ shapes.
+        let p = planned("time > '20:00:00/05/12/2002' AND (c1 > 5 OR id = 'U1') AND c2 < 100.00");
+        assert_eq!(p.subqueries.len(), 3);
+        assert_eq!(p.local_count(), 2);
+        assert_eq!(p.cross_count(), 1);
+        assert_eq!(p.atom_count, 4);
+        assert_eq!(p.cross_atom_count, 2);
+        assert_eq!(p.conjunct_count, 2);
+    }
+
+    #[test]
+    fn plan_display_shows_placement() {
+        let p = planned("c1 > 5 AND id = 'U1'");
+        let text = p.to_string();
+        assert!(text.contains("[local]"));
+        assert!(text.contains("P3"));
+        assert!(text.contains("s=2 t=0 q=1"));
+    }
+
+    #[test]
+    fn unserved_attribute_fails_planning() {
+        use dla_logstore::schema::{AttrDef, Schema};
+        let schema = Schema::new(vec![
+            AttrDef::known("a", dla_logstore::model::AttrType::Int),
+            AttrDef::known("b", dla_logstore::model::AttrType::Int),
+        ])
+        .unwrap();
+        // Partition over a *different* schema lacking `b`.
+        let small = Schema::new(vec![AttrDef::known("a", dla_logstore::model::AttrType::Int)])
+            .unwrap();
+        let partition = Partition::round_robin(&small, 2).unwrap();
+        let q = normalize(&parse("b > 1", &schema).unwrap());
+        assert!(plan(&q, &partition).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The decisive correctness property of the whole system: for *any*
+//! well-typed criteria tree, the distributed confidential executor
+//! returns exactly the records that plain whole-record evaluation
+//! (the centralized Figure 1 semantics) returns.
+
+use dla_audit::cluster::{ClusterConfig, DlaCluster};
+use dla_audit::query::{CmpOp, Criteria, Predicate};
+use dla_logstore::fragment::Partition;
+use dla_logstore::gen::{generate, WorkloadConfig};
+use dla_logstore::model::{AttrValue, Glsn, LogRecord};
+use dla_logstore::schema::Schema;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(vec![
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ])
+}
+
+/// Predicates likely to select non-trivial subsets of the generated
+/// workload (values drawn from the generator's ranges).
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (arb_op(), 1i64..100)
+            .prop_map(|(op, c)| Predicate::with_const("c1", op, AttrValue::Int(c))),
+        (arb_op(), 100i64..100_000)
+            .prop_map(|(op, c)| Predicate::with_const("c2", op, AttrValue::Fixed2(c))),
+        (arb_op(), 1u64..6).prop_map(|(op, u)| Predicate::with_const(
+            "id",
+            op,
+            AttrValue::text(&format!("U{u}"))
+        )),
+        prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne]).prop_map(|op| {
+            Predicate::with_const("protocol", op, AttrValue::text("UDP"))
+        }),
+        prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne])
+            .prop_map(|op| Predicate::with_attr("id", op, "c3")),
+    ]
+}
+
+fn arb_criteria() -> impl Strategy<Value = Criteria> {
+    arb_predicate().prop_map(Criteria::pred).prop_recursive(
+        3,  // depth
+        12, // nodes
+        2,  // per collection
+        |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                inner.prop_map(Criteria::not),
+            ]
+        },
+    )
+}
+
+fn loaded_cluster(seed: u64) -> (DlaCluster, Vec<LogRecord>, Vec<Glsn>) {
+    let schema = Schema::paper_example();
+    let partition = Partition::paper_example(&schema);
+    let mut cluster = DlaCluster::new(
+        ClusterConfig::new(4, schema)
+            .with_partition(partition)
+            .with_seed(seed),
+    )
+    .expect("cluster builds");
+    let user = cluster.register_user("u").expect("capacity");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let records = generate(
+        &WorkloadConfig {
+            records: 15,
+            ..WorkloadConfig::default()
+        },
+        &mut rng,
+    );
+    let glsns = cluster.log_records(&user, &records).expect("logs");
+    (cluster, records, glsns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn distributed_executor_matches_whole_record_semantics(
+        criteria in arb_criteria(),
+        seed in 0u64..1_000,
+    ) {
+        let (mut cluster, records, glsns) = loaded_cluster(seed);
+        let expect: BTreeSet<Glsn> = records
+            .iter()
+            .zip(&glsns)
+            .filter(|(r, _)| {
+                let mut keyed = LogRecord::new(Glsn(0));
+                for (n, v) in r.iter() {
+                    keyed.insert(n.clone(), v.clone());
+                }
+                criteria.eval(&keyed).unwrap()
+            })
+            .map(|(_, g)| *g)
+            .collect();
+        let got: BTreeSet<Glsn> = cluster
+            .query_criteria(&criteria)
+            .unwrap_or_else(|e| panic!("query {criteria} failed: {e}"))
+            .glsns
+            .into_iter()
+            .collect();
+        prop_assert_eq!(got, expect, "criteria {} diverged", criteria);
+    }
+}

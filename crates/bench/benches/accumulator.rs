@@ -1,0 +1,47 @@
+//! Experiment E8 (Criterion form): one-way accumulator folding and the
+//! §4.1 integrity circulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dla_audit::integrity;
+use dla_crypto::accumulator::AccumulatorParams;
+use std::hint::black_box;
+
+fn bench_accumulator(c: &mut Criterion) {
+    let params = AccumulatorParams::fixed_512();
+    let mut group = c.benchmark_group("accumulator");
+
+    group.bench_function("fold_one_item", |b| {
+        let acc = params.start().clone();
+        b.iter(|| black_box(params.fold(&acc, b"fragment canonical bytes: 128 bytes of payload xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")));
+    });
+
+    for items in [4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("accumulate", items),
+            &items,
+            |b, &items| {
+                let data: Vec<Vec<u8>> = (0..items)
+                    .map(|i| format!("fragment-{i}").into_bytes())
+                    .collect();
+                b.iter(|| {
+                    black_box(params.accumulate(data.iter().map(Vec::as_slice)))
+                });
+            },
+        );
+    }
+
+    group.sample_size(10);
+    group.bench_function("integrity_circulation_4_nodes", |b| {
+        let (mut cluster, _, glsns) = dla_bench::paper_cluster(9);
+        b.iter(|| {
+            black_box(
+                integrity::check_record(&mut cluster, glsns[0], 0).expect("check runs"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulator);
+criterion_main!(benches);

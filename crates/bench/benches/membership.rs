@@ -1,0 +1,47 @@
+//! Figures 6–7 cost profile: evidence-chain construction, full-chain
+//! verification and the double-use scan, by chain length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dla_audit::membership::{EvidenceChain, MembershipAuthority, NodeCredential};
+use dla_crypto::schnorr::SchnorrGroup;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build_chain(len: usize, seed: u64) -> (MembershipAuthority, EvidenceChain) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let group = SchnorrGroup::fixed_256();
+    let mut authority = MembershipAuthority::new(&group, &mut rng);
+    let creds: Vec<NodeCredential> = (0..len)
+        .map(|i| authority.enroll(&format!("org-{i}"), &mut rng))
+        .collect();
+    let mut chain = EvidenceChain::found(&authority, &creds[0], "charter", &mut rng);
+    for i in 1..len {
+        chain.invite(&creds[i - 1], &creds[i], "pp", "sc", &mut rng);
+    }
+    (authority, chain)
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    group.sample_size(10);
+    for len in [2usize, 8] {
+        let (_, chain) = build_chain(len, 7);
+        group.bench_with_input(BenchmarkId::new("verify_chain", len), &chain, |b, chain| {
+            b.iter(|| black_box(chain.verify().expect("honest chain verifies")));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("double_use_scan", len),
+            &chain,
+            |b, chain| {
+                b.iter(|| black_box(chain.detect_double_use()));
+            },
+        );
+    }
+    group.bench_function("enroll_and_invite", |b| {
+        b.iter(|| black_box(build_chain(2, 9)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership);
+criterion_main!(benches);

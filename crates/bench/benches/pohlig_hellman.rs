@@ -1,0 +1,42 @@
+//! Experiment P4: Pohlig–Hellman commutative-cipher microbenchmarks —
+//! key generation, encryption/decryption and message encoding at 256-
+//! and 512-bit moduli (Eq. 6–7 substrate costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dla_crypto::pohlig_hellman::{CommutativeDomain, CommutativeKey, PhKey};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pohlig_hellman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pohlig_hellman");
+    for (label, domain) in [
+        ("256", CommutativeDomain::fixed_256()),
+        ("512", CommutativeDomain::fixed_512()),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let key = PhKey::generate(&domain, &mut rng);
+        let message = domain.fingerprint(b"glsn=139aef78");
+        let ciphertext = key.encrypt(&message);
+
+        group.bench_with_input(BenchmarkId::new("keygen", label), &domain, |b, d| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| black_box(PhKey::generate(d, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("encrypt", label), &message, |b, m| {
+            b.iter(|| black_box(key.encrypt(m)));
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt", label), &ciphertext, |b, ct| {
+            b.iter(|| black_box(key.decrypt(ct)));
+        });
+        group.bench_with_input(BenchmarkId::new("fingerprint", label), &domain, |b, d| {
+            b.iter(|| black_box(d.fingerprint(b"transaction T1100265 event 3")));
+        });
+        group.bench_with_input(BenchmarkId::new("encode", label), &domain, |b, d| {
+            b.iter(|| black_box(d.encode(b"glsn=139aef78").expect("encodes")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pohlig_hellman);
+criterion_main!(benches);

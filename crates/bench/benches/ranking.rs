@@ -1,0 +1,47 @@
+//! Experiment P3 (Criterion form): blind-TTP `Rank_s` vs. the pairwise
+//! comparison tournament.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dla_crypto::pohlig_hellman::CommutativeDomain;
+use dla_mpc::baseline::baseline_ranking;
+use dla_mpc::ranking::secure_ranking;
+use dla_net::{NetConfig, NodeId, SimNet};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ranking(c: &mut Criterion) {
+    let domain = CommutativeDomain::fixed_256();
+    let mut group = c.benchmark_group("ranking");
+    group.sample_size(10);
+
+    for n in [3usize, 5] {
+        let parties: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let values: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 100).collect();
+
+        group.bench_with_input(BenchmarkId::new("relaxed_blind_ttp", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                let mut net = SimNet::new(n + 1, NetConfig::ideal());
+                black_box(
+                    secure_ranking(&mut net, &parties, NodeId(n), &values, &mut rng)
+                        .expect("runs"),
+                )
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("classical_pairwise", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                let mut net = SimNet::new(n, NetConfig::ideal());
+                black_box(
+                    baseline_ranking(&mut net, &domain, &parties, &values, &mut rng)
+                        .expect("runs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Experiment P1 (§3 cost claim): relaxed secure sum vs. the classical
+//! zero-disclosure baseline (Feldman-VSS verified sharing with result
+//! broadcast) vs. the insecure plaintext reference, swept over the
+//! party count.
+//!
+//! The paper claims classical protocols have "excessive computing and
+//! communication overheads"; this experiment quantifies the gap on
+//! identical inputs.
+//!
+//! Run with: `cargo run -p dla-bench --bin exp_sum_scaling --release`
+
+use dla_bench::{fmt_bytes, render_table, timed};
+use dla_bigint::{F61, Ubig};
+use dla_crypto::schnorr::SchnorrGroup;
+use dla_mpc::baseline::{plaintext_sum, vss_sum};
+use dla_mpc::sum::secure_sum;
+use dla_net::{NetConfig, NodeId, SimNet};
+use rand::SeedableRng;
+
+fn main() {
+    let group = SchnorrGroup::fixed_256();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(111);
+    let mut rows = Vec::new();
+
+    for n in [2usize, 4, 8, 16, 32] {
+        let k = n / 2 + 1;
+        let values: Vec<u64> = (1..=n as u64).map(|v| v * 10).collect();
+        let expect: u64 = values.iter().sum();
+        let parties: Vec<NodeId> = (0..n).map(NodeId).collect();
+
+        // Plaintext reference.
+        let mut net = SimNet::new(n + 1, NetConfig::ideal());
+        let (plain, plain_ms) = timed(|| {
+            plaintext_sum(&mut net, &parties, &values, NodeId(n)).expect("runs")
+        });
+        assert_eq!(plain.total, Ubig::from_u64(expect));
+
+        // Relaxed §3.5 secure sum.
+        let mut net = SimNet::new(n + 1, NetConfig::ideal());
+        let inputs: Vec<F61> = values.iter().map(|&v| F61::new(v)).collect();
+        let (relaxed, relaxed_ms) = timed(|| {
+            secure_sum(&mut net, &parties, &inputs, k, NodeId(n), &mut rng).expect("runs")
+        });
+        assert_eq!(relaxed.total, F61::new(expect));
+
+        // Classical VSS baseline.
+        let mut net = SimNet::new(n, NetConfig::ideal());
+        let inputs_big: Vec<Ubig> = values.iter().map(|&v| Ubig::from_u64(v)).collect();
+        let (vss, vss_ms) = timed(|| {
+            vss_sum(&mut net, &group, &parties, &inputs_big, k, &mut rng).expect("runs")
+        });
+        assert_eq!(vss.total, Ubig::from_u64(expect));
+
+        rows.push(vec![
+            n.to_string(),
+            format!(
+                "{} / {} / {:.1}ms",
+                plain.report.messages,
+                fmt_bytes(plain.report.bytes),
+                plain_ms
+            ),
+            format!(
+                "{} / {} / {:.1}ms",
+                relaxed.report.messages,
+                fmt_bytes(relaxed.report.bytes),
+                relaxed_ms
+            ),
+            format!(
+                "{} / {} / {:.1}ms",
+                vss.report.messages,
+                fmt_bytes(vss.report.bytes),
+                vss_ms
+            ),
+            format!("{:.1}x", vss.report.bytes as f64 / relaxed.report.bytes as f64),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "P1 - SECURE SUM: relaxed (Shamir, §3.5) vs classical (Feldman VSS + broadcast)",
+            &[
+                "n",
+                "plaintext msgs/bytes/time",
+                "relaxed msgs/bytes/time",
+                "classical msgs/bytes/time",
+                "bytes ratio",
+            ],
+            &rows
+        )
+    );
+    println!("shape: both secure protocols are O(n^2) messages, but the classical");
+    println!("baseline ships k commitments per share and runs O(n^2 k) modexp");
+    println!("verifications — the byte and CPU gap widens with n, matching the");
+    println!("paper's argument for the relaxed model.");
+}

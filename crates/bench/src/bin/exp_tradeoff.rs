@@ -1,0 +1,91 @@
+//! Experiment P7: the design tradeoff the paper implies but never
+//! plots — confidentiality (§5 metrics) versus protocol cost, as the
+//! fragmentation width grows. Wider partitions make every node blinder
+//! (C_store and C_auditing rise) but turn local subqueries into cross
+//! subqueries, which cost relay messages and commutative encryption.
+//!
+//! Run with: `cargo run -p dla-bench --bin exp_tradeoff --release`
+
+use dla_audit::cluster::{ClusterConfig, DlaCluster};
+use dla_audit::metrics;
+use dla_bench::{fmt_bytes, render_table, timed};
+use dla_logstore::gen::{generate, WorkloadConfig};
+use dla_logstore::schema::Schema;
+use rand::SeedableRng;
+
+const QUERIES: [&str; 4] = [
+    "c1 > 50",
+    "c1 > 50 AND protocol = 'TCP'",
+    "id = 'U1' OR c1 > 80",
+    "(id = 'U1' OR c1 > 80) AND c2 < 500.00",
+];
+
+fn main() {
+    let schema = Schema::paper_example();
+    let mut rows = Vec::new();
+
+    for n in [1usize, 2, 4, 7] {
+        let mut cluster = DlaCluster::new(
+            ClusterConfig::new(n, schema.clone()).with_seed(20),
+        )
+        .expect("cluster builds");
+        let user = cluster.register_user("u").expect("capacity");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let records = generate(
+            &WorkloadConfig {
+                records: 60,
+                ..WorkloadConfig::default()
+            },
+            &mut rng,
+        );
+        cluster.log_records(&user, &records).expect("logs");
+        let sample_record = {
+            // A representative full record for C_store.
+            dla_logstore::gen::paper_table1().remove(0)
+        };
+
+        let mut total_ms = 0.0;
+        let mut total_msgs = 0u64;
+        let mut total_bytes = 0u64;
+        let mut workload = Vec::new();
+        for q in QUERIES {
+            let (result, ms) = timed(|| cluster.query(q).expect("query runs"));
+            total_ms += ms;
+            total_msgs += result.messages;
+            total_bytes += result.bytes;
+            workload.push((result.plan, sample_record.clone()));
+        }
+        let cdla = metrics::dla_confidentiality(&workload, &schema, cluster.partition());
+        let cstore =
+            metrics::store_confidentiality(&sample_record, &schema, cluster.partition());
+
+        rows.push(vec![
+            n.to_string(),
+            format!("{cstore:.2}"),
+            format!("{cdla:.2}"),
+            (total_msgs / QUERIES.len() as u64).to_string(),
+            fmt_bytes(total_bytes / QUERIES.len() as u64),
+            format!("{:.1} ms", total_ms / QUERIES.len() as f64),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "P7 - CONFIDENTIALITY vs COST as fragmentation widens (60-record store, 4 queries)",
+            &[
+                "DLA nodes",
+                "C_store",
+                "C_DLA",
+                "avg msgs/query",
+                "avg bytes/query",
+                "avg latency/query",
+            ],
+            &rows
+        )
+    );
+    println!("shape: both confidentiality metrics and protocol cost rise with the");
+    println!("node count — the knob the paper leaves to the deployment. A single");
+    println!("node is the Figure 1 auditor in disguise (C = 0, near-zero cost);");
+    println!("one attribute per node maximizes blindness at peak protocol cost.");
+}

@@ -1,0 +1,313 @@
+//! A fast fixed prime field `F_p` with `p = 2^61 − 1` (a Mersenne prime).
+//!
+//! The paper's secure-sum protocol (§3.5) runs Shamir secret sharing
+//! "over a finite field E" with `p >> a_i`. Secret inputs are event
+//! counts and transaction volumes, which comfortably fit in 61 bits, so
+//! a single-limb Mersenne field is both honest to the protocol and fast
+//! enough that secure-sum benchmarks measure protocol structure rather
+//! than bignum overhead.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus `2^61 − 1`.
+pub const P61: u64 = (1u64 << 61) - 1;
+
+/// An element of the prime field `F_{2^61 − 1}`, always kept reduced.
+///
+/// # Examples
+///
+/// ```
+/// use dla_bigint::F61;
+///
+/// let a = F61::new(10);
+/// let b = F61::new(4);
+/// assert_eq!((a - b).value(), 6);
+/// assert_eq!((a / b) * b, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct F61(u64);
+
+impl F61 {
+    /// The additive identity.
+    pub const ZERO: F61 = F61(0);
+    /// The multiplicative identity.
+    pub const ONE: F61 = F61(1);
+
+    /// Creates a field element, reducing `v` modulo `2^61 − 1`.
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        F61(v % P61)
+    }
+
+    /// The canonical representative in `[0, p)`.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` for the additive identity.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self^exp` by square-and-multiply.
+    #[must_use]
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = F61::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    ///
+    /// Uses Fermat: `a^(p−2) = a^{-1}` in a prime field.
+    #[must_use]
+    pub fn inverse(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(P61 - 2))
+        }
+    }
+
+    /// Samples a uniform field element.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v: u64 = rng.gen::<u64>() & ((1u64 << 61) - 1);
+            if v < P61 {
+                return F61(v);
+            }
+        }
+    }
+
+    /// Samples a uniform *nonzero* field element.
+    pub fn random_nonzero<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v = Self::random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+}
+
+#[inline]
+fn reduce128(v: u128) -> u64 {
+    // 2^61 ≡ 1 (mod p) makes Mersenne reduction two folds + conditional sub.
+    let lo = (v as u64) & P61;
+    let hi = v >> 61;
+    let folded = u128::from(lo) + hi;
+    let lo2 = (folded as u64) & P61;
+    let hi2 = (folded >> 61) as u64;
+    let mut r = lo2 + hi2;
+    if r >= P61 {
+        r -= P61;
+    }
+    r
+}
+
+impl Add for F61 {
+    type Output = F61;
+    fn add(self, rhs: F61) -> F61 {
+        let mut s = self.0 + rhs.0;
+        if s >= P61 {
+            s -= P61;
+        }
+        F61(s)
+    }
+}
+
+impl Sub for F61 {
+    type Output = F61;
+    fn sub(self, rhs: F61) -> F61 {
+        if self.0 >= rhs.0 {
+            F61(self.0 - rhs.0)
+        } else {
+            F61(self.0 + P61 - rhs.0)
+        }
+    }
+}
+
+impl Mul for F61 {
+    type Output = F61;
+    fn mul(self, rhs: F61) -> F61 {
+        F61(reduce128(u128::from(self.0) * u128::from(rhs.0)))
+    }
+}
+
+impl Div for F61 {
+    type Output = F61;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    // Field division IS multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: F61) -> F61 {
+        self * rhs.inverse().expect("F61 division by zero")
+    }
+}
+
+impl Neg for F61 {
+    type Output = F61;
+    fn neg(self) -> F61 {
+        if self.0 == 0 {
+            self
+        } else {
+            F61(P61 - self.0)
+        }
+    }
+}
+
+impl AddAssign for F61 {
+    fn add_assign(&mut self, rhs: F61) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for F61 {
+    fn sub_assign(&mut self, rhs: F61) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for F61 {
+    fn mul_assign(&mut self, rhs: F61) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for F61 {
+    fn sum<I: Iterator<Item = F61>>(iter: I) -> F61 {
+        iter.fold(F61::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for F61 {
+    fn product<I: Iterator<Item = F61>>(iter: I) -> F61 {
+        iter.fold(F61::ONE, |a, b| a * b)
+    }
+}
+
+impl From<u64> for F61 {
+    fn from(v: u64) -> Self {
+        F61::new(v)
+    }
+}
+
+impl fmt::Debug for F61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F61({})", self.0)
+    }
+}
+
+impl fmt::Display for F61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modulus_is_mersenne_prime_61() {
+        assert_eq!(P61, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn new_reduces() {
+        assert_eq!(F61::new(P61).value(), 0);
+        assert_eq!(F61::new(P61 + 5).value(), 5);
+        assert_eq!(F61::new(u64::MAX).value(), u64::MAX % P61);
+    }
+
+    #[test]
+    fn add_wraps_at_modulus() {
+        let a = F61::new(P61 - 1);
+        assert_eq!((a + F61::ONE).value(), 0);
+        assert_eq!((a + F61::new(2)).value(), 1);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!((F61::ZERO - F61::ONE).value(), P61 - 1);
+        assert_eq!((F61::new(5) - F61::new(3)).value(), 2);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+        for _ in 0..100 {
+            let a = F61::random(&mut rng);
+            assert_eq!(a + (-a), F61::ZERO);
+        }
+        assert_eq!(-F61::ZERO, F61::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..500 {
+            let a = F61::random(&mut rng);
+            let b = F61::random(&mut rng);
+            let expect = (u128::from(a.value()) * u128::from(b.value()) % u128::from(P61)) as u64;
+            assert_eq!((a * b).value(), expect);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        for _ in 0..100 {
+            let a = F61::random_nonzero(&mut rng);
+            assert_eq!(a * a.inverse().unwrap(), F61::ONE);
+        }
+        assert_eq!(F61::ZERO.inverse(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = F61::ONE / F61::ZERO;
+    }
+
+    #[test]
+    fn pow_laws() {
+        let a = F61::new(123456789);
+        assert_eq!(a.pow(0), F61::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(5), a.pow(2) * a.pow(3));
+        // Fermat's little theorem.
+        assert_eq!(a.pow(P61 - 1), F61::ONE);
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [F61::new(1), F61::new(2), F61::new(3), F61::new(4)];
+        assert_eq!(xs.iter().copied().sum::<F61>(), F61::new(10));
+        assert_eq!(xs.iter().copied().product::<F61>(), F61::new(24));
+    }
+
+    #[test]
+    fn distributivity_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        for _ in 0..200 {
+            let a = F61::random(&mut rng);
+            let b = F61::random(&mut rng);
+            let c = F61::random(&mut rng);
+            assert_eq!(a * (b + c), a * b + a * c);
+        }
+    }
+}

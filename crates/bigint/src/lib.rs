@@ -1,0 +1,37 @@
+//! Arbitrary-precision unsigned modular arithmetic for the DLA
+//! confidential-auditing stack.
+//!
+//! The paper's cryptographic substrate — Pohlig–Hellman commutative
+//! encryption, Benaloh–de Mare one-way accumulators, Schnorr signatures —
+//! needs multi-hundred-bit modular exponentiation, primality testing and
+//! safe-prime generation. None of the crates on the approved dependency
+//! list provide big integers, so this crate hand-rolls them (see
+//! `DESIGN.md` §2, "commutative encryption needs hand-rolling").
+//!
+//! The centrepiece is [`Ubig`], a little-endian `u64`-limb unsigned
+//! integer with schoolbook multiplication and Knuth Algorithm D division —
+//! entirely adequate for the 256–1024-bit operands used by the protocols.
+//! On top of it sit [`modular`] (modexp / modinv / egcd), [`prime`]
+//! (Miller–Rabin, safe primes) and [`field`] (a fixed 61-bit Mersenne
+//! prime field used by Shamir secret sharing, where speed matters more
+//! than size).
+//!
+//! # Examples
+//!
+//! ```
+//! use dla_bigint::{Ubig, modular};
+//!
+//! let p = Ubig::from_u64(1_000_000_007);
+//! let x = Ubig::from_u64(1234);
+//! let y = modular::modexp(&x, &Ubig::from_u64(1_000_000_006), &p);
+//! assert_eq!(y, Ubig::one()); // Fermat's little theorem
+//! ```
+
+pub mod field;
+pub mod modular;
+pub mod montgomery;
+pub mod prime;
+mod ubig;
+
+pub use field::F61;
+pub use ubig::{ParseUbigError, Ubig};

@@ -1,0 +1,295 @@
+//! Montgomery modular arithmetic.
+//!
+//! Every DLA protocol bottoms out in modular exponentiation over a
+//! fixed odd modulus (the safe prime `p` or the RSA modulus `n`), so
+//! exponentiation cost is the system's CPU budget. Montgomery REDC
+//! replaces the per-step division of schoolbook reduction with two
+//! multiplications and a shift, roughly tripling `modexp` throughput at
+//! the 256–512-bit sizes used here (see the `bigint` bench in
+//! `dla-bench` for the measured ablation).
+//!
+//! [`crate::modular::modexp`] uses a [`MontgomeryContext`]
+//! automatically whenever the modulus is odd and large enough to
+//! benefit; the schoolbook path remains for even moduli.
+
+use crate::Ubig;
+
+/// Precomputed per-modulus state for Montgomery reduction.
+#[derive(Clone, Debug)]
+pub struct MontgomeryContext {
+    /// The modulus limbs, little-endian, length `k`.
+    n: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n0_inv: u64,
+    /// `R² mod n` where `R = 2^{64k}` (converts into Montgomery form).
+    r2: Vec<u64>,
+    /// `1` in Montgomery form (`R mod n`).
+    one_mont: Vec<u64>,
+}
+
+impl MontgomeryContext {
+    /// Builds a context for an odd modulus `≥ 3`; returns `None`
+    /// otherwise (Montgomery reduction requires `gcd(n, 2⁶⁴) = 1`).
+    #[must_use]
+    pub fn new(modulus: &Ubig) -> Option<Self> {
+        if modulus.is_even() || *modulus < Ubig::from_u64(3) {
+            return None;
+        }
+        let n = modulus.limbs().to_vec();
+        let k = n.len();
+
+        // -n[0]^{-1} mod 2^64 by Newton–Hensel lifting (5 iterations
+        // double the valid bits each time: 5 -> 10 -> 20 -> 40 -> 80).
+        let mut inv: u64 = n[0]; // valid to 5 bits already (odd n[0])
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+
+        // R mod n and R^2 mod n via Ubig arithmetic (setup-time only).
+        let r = Ubig::one() << (64 * k);
+        let one_mont = pad(&(&r % modulus), k);
+        let r2 = pad(&(&(&r * &r) % modulus), k);
+
+        Some(MontgomeryContext {
+            n,
+            n0_inv,
+            r2,
+            one_mont,
+        })
+    }
+
+    /// Number of limbs `k`.
+    fn k(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Montgomery product: `REDC(a · b) = a·b·R⁻¹ mod n`.
+    /// Operands are `k`-limb Montgomery-form values.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        // CIOS (coarsely integrated operand scanning).
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = u128::from(t[j]) + u128::from(ai) * u128::from(b[j]) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t[k]) + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64 ; t += m * n ; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = (u128::from(t[0]) + u128::from(m) * u128::from(self.n[0])) >> 64;
+            for j in 1..k {
+                let cur = u128::from(t[j]) + u128::from(m) * u128::from(self.n[j]) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t[k]) + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1] + ((cur >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+
+        // Conditional subtraction: t may be in [0, 2n).
+        if t[k] != 0 || ge(&t[..k], &self.n) {
+            sub_in_place(&mut t, &self.n);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts into Montgomery form: `a·R mod n`.
+    fn to_mont(&self, a: &Ubig) -> Vec<u64> {
+        let reduced = a % &self.modulus_ubig();
+        self.mont_mul(&pad(&reduced, self.k()), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_mont(&self, a: &[u64]) -> Ubig {
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        Ubig::from_limbs(self.mont_mul(a, &one))
+    }
+
+    fn modulus_ubig(&self) -> Ubig {
+        Ubig::from_limbs(self.n.clone())
+    }
+
+    /// `base^exp mod n` by left-to-right square-and-multiply in
+    /// Montgomery form.
+    #[must_use]
+    pub fn modexp(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one() % &self.modulus_ubig();
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = self.one_mont.clone();
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// `a · b mod n` through Montgomery form (three REDC passes; only
+    /// worthwhile when amortized — [`Self::modexp`] is the hot path).
+    #[must_use]
+    pub fn modmul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+fn pad(v: &Ubig, k: usize) -> Vec<u64> {
+    let mut out = v.limbs().to_vec();
+    out.resize(k, 0);
+    out
+}
+
+/// `a >= b` on equal-length limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `a -= b` on limb slices (`a` at least as long as `b`; no underflow).
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..b.len() {
+        let (d1, o1) = a[i].overflowing_sub(b[i]);
+        let (d2, o2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = u64::from(o1) + u64::from(o2);
+    }
+    let mut i = b.len();
+    while borrow != 0 && i < a.len() {
+        let (d, o) = a[i].overflowing_sub(borrow);
+        a[i] = d;
+        borrow = u64::from(o);
+        i += 1;
+    }
+    debug_assert_eq!(borrow, 0, "montgomery subtraction underflow");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn rejects_even_and_tiny_moduli() {
+        assert!(MontgomeryContext::new(&Ubig::from_u64(100)).is_none());
+        assert!(MontgomeryContext::new(&Ubig::from_u64(2)).is_none());
+        assert!(MontgomeryContext::new(&Ubig::from_u64(1)).is_none());
+        assert!(MontgomeryContext::new(&Ubig::from_u64(0)).is_none());
+        assert!(MontgomeryContext::new(&Ubig::from_u64(3)).is_some());
+    }
+
+    #[test]
+    fn modexp_matches_schoolbook_small() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let n = {
+                let v: u64 = rand::Rng::gen_range(&mut rng, 3u64..1 << 32);
+                Ubig::from_u64(v | 1)
+            };
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            let base = Ubig::random_below(&mut rng, &n);
+            let exp = Ubig::from_u64(rand::Rng::gen_range(&mut rng, 0u64..1000));
+            assert_eq!(
+                ctx.modexp(&base, &exp),
+                modular::modexp_schoolbook(&base, &exp, &n),
+                "base={base} exp={exp} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn modexp_matches_schoolbook_multi_limb() {
+        let mut rng = rng();
+        for bits in [65usize, 127, 256, 511] {
+            for _ in 0..10 {
+                let mut n = Ubig::random_bits(&mut rng, bits);
+                if n.is_even() {
+                    n = n + Ubig::one();
+                }
+                let ctx = MontgomeryContext::new(&n).unwrap();
+                let base = Ubig::random_below(&mut rng, &n);
+                let exp = Ubig::random_bits(&mut rng, 64);
+                assert_eq!(
+                    ctx.modexp(&base, &exp),
+                    modular::modexp_schoolbook(&base, &exp, &n),
+                    "bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modmul_matches_reference() {
+        let mut rng = rng();
+        let n = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        for _ in 0..50 {
+            let a = Ubig::random_below(&mut rng, &n);
+            let b = Ubig::random_below(&mut rng, &n);
+            assert_eq!(ctx.modmul(&a, &b), modular::modmul(&a, &b, &n));
+        }
+    }
+
+    #[test]
+    fn edge_exponents() {
+        let n = (Ubig::one() << 89) - Ubig::one();
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let base = Ubig::from_u64(12345);
+        assert_eq!(ctx.modexp(&base, &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.modexp(&base, &Ubig::one()), base);
+        assert_eq!(ctx.modexp(&Ubig::zero(), &Ubig::from_u64(5)), Ubig::zero());
+        // Fermat: base^(n-1) = 1 for prime n.
+        let exp = &n - &Ubig::one();
+        assert_eq!(ctx.modexp(&base, &exp), Ubig::one());
+    }
+
+    #[test]
+    fn unreduced_base_is_reduced_first() {
+        let n = Ubig::from_u64(1_000_003);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let big_base = Ubig::from_u128(u128::MAX);
+        assert_eq!(
+            ctx.modexp(&big_base, &Ubig::from_u64(3)),
+            modular::modexp_schoolbook(&big_base, &Ubig::from_u64(3), &n)
+        );
+    }
+
+    #[test]
+    fn n0_inv_property() {
+        // n[0] * (-n0_inv) = 1 mod 2^64, i.e. n[0] * n0_inv = -1.
+        for n in [3u64, 5, 0xFFFF_FFFF_FFFF_FFC5, 1_000_000_007] {
+            let ctx = MontgomeryContext::new(&Ubig::from_u64(n)).unwrap();
+            assert_eq!(n.wrapping_mul(ctx.n0_inv), u64::MAX, "n = {n}");
+        }
+    }
+}

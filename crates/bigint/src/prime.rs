@@ -1,0 +1,239 @@
+//! Primality testing and prime generation.
+//!
+//! The Pohlig–Hellman cipher (paper §3, Eq. 6–7) requires "a large prime
+//! number `p` for which `p−1` has a large prime factor"; a *safe prime*
+//! `p = 2q + 1` with `q` prime is the canonical choice and is what
+//! [`gen_safe_prime`] produces. The one-way accumulator (§4.1, Eq. 8)
+//! needs an RSA modulus `n = p·q`, produced by [`gen_rsa_modulus`].
+
+use crate::modular::modexp;
+use crate::Ubig;
+use rand::Rng;
+
+/// Number of Miller–Rabin rounds. 40 rounds push the error probability
+/// below 2^-80 even for adversarially chosen inputs.
+const MILLER_RABIN_ROUNDS: usize = 40;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Probabilistic primality test (trial division + Miller–Rabin).
+///
+/// # Examples
+///
+/// ```
+/// use dla_bigint::{prime, Ubig};
+///
+/// let mut rng = rand::thread_rng();
+/// assert!(prime::is_prime(&Ubig::from_u64(1_000_000_007), &mut rng));
+/// assert!(!prime::is_prime(&Ubig::from_u64(1_000_000_008), &mut rng));
+/// ```
+pub fn is_prime<R: Rng + ?Sized>(n: &Ubig, rng: &mut R) -> bool {
+    if n < &Ubig::two() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = Ubig::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if (n % &pb).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(n, MILLER_RABIN_ROUNDS, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases. Caller must ensure `n` is odd
+/// and `n > 3` (guaranteed when called through [`is_prime`]).
+fn miller_rabin<R: Rng + ?Sized>(n: &Ubig, rounds: usize, rng: &mut R) -> bool {
+    let one = Ubig::one();
+    let n_minus_1 = n - &one;
+    // Write n-1 = 2^s * d with d odd.
+    let mut s = 0usize;
+    let mut d = n_minus_1.clone();
+    while d.is_even() {
+        d = d >> 1;
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = Ubig::random_range(rng, &Ubig::two(), &n_minus_1);
+        let mut x = modexp(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = crate::modular::modmul(&x, &x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` significant bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Ubig {
+    assert!(bits >= 2, "gen_prime: need at least 2 bits");
+    loop {
+        let mut candidate = Ubig::random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = candidate + Ubig::one();
+        }
+        if candidate.bit_len() != bits {
+            continue;
+        }
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a *safe prime* `p = 2q + 1` (both `p` and `q` prime) with
+/// exactly `bits` significant bits. Returns `(p, q)`.
+///
+/// Safe primes make `p−1 = 2q` have the "large prime factor" required by
+/// the Pohlig–Hellman construction, and give a prime-order subgroup of
+/// size `q` for Schnorr signatures.
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> (Ubig, Ubig) {
+    assert!(bits >= 3, "gen_safe_prime: need at least 3 bits");
+    loop {
+        let q = gen_prime(bits - 1, rng);
+        let p = (&q << 1) + Ubig::one();
+        if p.bit_len() == bits && is_prime(&p, rng) {
+            return (p, q);
+        }
+    }
+}
+
+/// Generates an RSA-style modulus `n = p·q` from two random primes of
+/// `bits/2` bits each. Returns `(n, p, q)`.
+///
+/// Used by the Benaloh–de Mare one-way accumulator (paper Eq. 8), which
+/// requires "`n` is the product of two primes".
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+pub fn gen_rsa_modulus<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> (Ubig, Ubig, Ubig) {
+    assert!(bits >= 8, "gen_rsa_modulus: need at least 8 bits");
+    let half = bits / 2;
+    loop {
+        let p = gen_prime(half, rng);
+        let q = gen_prime(bits - half, rng);
+        if p == q {
+            continue;
+        }
+        let n = &p * &q;
+        return (n, p, q);
+    }
+}
+
+/// Finds a generator of the subgroup of order `q` in `Z_p^*` where
+/// `p = 2q + 1` is a safe prime: any `h^2 mod p != 1` works.
+pub fn subgroup_generator<R: Rng + ?Sized>(p: &Ubig, rng: &mut R) -> Ubig {
+    loop {
+        let h = Ubig::random_range(rng, &Ubig::two(), &(p - &Ubig::one()));
+        let g = crate::modular::modmul(&h, &h, p);
+        if !g.is_one() {
+            return g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn small_numbers_classified_correctly() {
+        let mut rng = rng();
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 101, 199, 211, 65537];
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 100, 65536, 561, 1105, 6601];
+        for p in primes {
+            assert!(is_prime(&Ubig::from_u64(p), &mut rng), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&Ubig::from_u64(c), &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        let mut rng = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_prime(&Ubig::from_u64(c), &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes_accepted() {
+        let mut rng = rng();
+        // 2^127 - 1 (Mersenne) and 2^89 - 1 (Mersenne).
+        assert!(is_prime(&((Ubig::one() << 127) - Ubig::one()), &mut rng));
+        assert!(is_prime(&((Ubig::one() << 89) - Ubig::one()), &mut rng));
+        // 2^128 + 51 is a known prime just above 2^128.
+        let p = (Ubig::one() << 128) + Ubig::from_u64(51);
+        assert!(is_prime(&p, &mut rng));
+        // But 2^128 + 1 = 59649589127497217 * 5704689200685129054721.
+        assert!(!is_prime(&((Ubig::one() << 128) + Ubig::one()), &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_produces_primes_of_right_size() {
+        let mut rng = rng();
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut rng = rng();
+        let (p, q) = gen_safe_prime(64, &mut rng);
+        assert_eq!(p.bit_len(), 64);
+        assert_eq!(p, (&q << 1) + Ubig::one());
+        assert!(is_prime(&p, &mut rng));
+        assert!(is_prime(&q, &mut rng));
+    }
+
+    #[test]
+    fn rsa_modulus_factors() {
+        let mut rng = rng();
+        let (n, p, q) = gen_rsa_modulus(128, &mut rng);
+        assert_eq!(&p * &q, n);
+        assert!(is_prime(&p, &mut rng));
+        assert!(is_prime(&q, &mut rng));
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn subgroup_generator_has_order_q() {
+        let mut rng = rng();
+        let (p, q) = gen_safe_prime(48, &mut rng);
+        let g = subgroup_generator(&p, &mut rng);
+        assert_eq!(modexp(&g, &q, &p), Ubig::one());
+        assert_ne!(g, Ubig::one());
+    }
+}

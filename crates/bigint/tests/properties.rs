@@ -1,0 +1,137 @@
+//! Property-based tests for `dla-bigint`: ring axioms, division
+//! identities, base conversions and modular-arithmetic laws.
+
+use dla_bigint::{modular, Ubig};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary Ubig of up to `limbs` limbs.
+fn ubig(limbs: usize) -> impl Strategy<Value = Ubig> {
+    prop::collection::vec(any::<u64>(), 0..=limbs).prop_map(Ubig::from_limbs)
+}
+
+fn ubig_nonzero(limbs: usize) -> impl Strategy<Value = Ubig> {
+    ubig(limbs).prop_map(|v| if v.is_zero() { Ubig::one() } else { v })
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in ubig(6), b in ubig(6)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in ubig(5), b in ubig(5), c in ubig(5)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative(a in ubig(5), b in ubig(5)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associative(a in ubig(3), b in ubig(3), c in ubig(3)) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in ubig(4), b in ubig(4), c in ubig(4)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_then_sub_round_trips(a in ubig(6), b in ubig(6)) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_identity(a in ubig(8), b in ubig_nonzero(4)) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in ubig(6)) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ubig>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in ubig(6)) {
+        prop_assert_eq!(Ubig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_round_trip(a in ubig(6)) {
+        prop_assert_eq!(Ubig::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in ubig(4), n in 0usize..200) {
+        prop_assert_eq!(&a << n, &a * &(Ubig::one() << n));
+    }
+
+    #[test]
+    fn shr_discards_low_bits(a in ubig(4), n in 0usize..200) {
+        let (expect, _) = a.div_rem(&(Ubig::one() << n));
+        prop_assert_eq!(&a >> n, expect);
+    }
+
+    #[test]
+    fn cmp_agrees_with_sub(a in ubig(5), b in ubig(5)) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+
+    #[test]
+    fn modexp_product_law(a in ubig(2), e1 in 0u64..200, e2 in 0u64..200, m in ubig_nonzero(2)) {
+        // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let lhs = modular::modexp(&a, &Ubig::from_u64(e1 + e2), &m);
+        let rhs = modular::modmul(
+            &modular::modexp(&a, &Ubig::from_u64(e1), &m),
+            &modular::modexp(&a, &Ubig::from_u64(e2), &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in ubig_nonzero(3), m in ubig_nonzero(3)) {
+        if let Some(inv) = modular::modinv(&a, &m) {
+            if !m.is_one() {
+                prop_assert_eq!(modular::modmul(&a, &inv, &m), Ubig::one() % &m);
+            }
+        } else {
+            prop_assert!(!modular::gcd(&a, &m).is_one());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(4), b in ubig_nonzero(4)) {
+        let g = modular::gcd(&a, &b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f61_field_axioms(x in any::<u64>(), y in any::<u64>(), z in any::<u64>()) {
+        use dla_bigint::F61;
+        let (a, b, c) = (F61::new(x), F61::new(y), F61::new(z));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, F61::ZERO);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), F61::ONE);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Benaloh–de Mare one-way accumulator (paper §4.1, Eq. 8–9).
+//!
+//! `A(x, y) = x^y mod n` with `n` an RSA modulus is a *quasi-commutative*
+//! one-way function: accumulating a multiset of items yields the same
+//! value in any order,
+//! `A(A(A(x₀,y₁),y₂),y₃) = A(A(A(x₀,y₂),y₃),y₁)` (Eq. 9).
+//!
+//! The DLA cluster uses this for **distributed integrity checking**: a
+//! user accumulates all fragments of a log record and deposits the value
+//! at every DLA node; later, the nodes circulate a partial accumulation
+//! (each folding in its own stored fragment, keyed by `glsn`) and the
+//! initiator compares the final value with the deposited one. Order
+//! independence is what lets the check start at any node and traverse
+//! the ring in any order — and a single tampered fragment changes the
+//! result.
+
+use crate::sha256;
+use dla_bigint::montgomery::MontgomeryContext;
+use dla_bigint::{prime, Ubig};
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Public parameters of a one-way accumulator: an RSA modulus `n`
+/// (factorization discarded after setup — a "rigid" modulus in the
+/// Benaloh–de Mare sense) and an agreed starting value `x₀`.
+#[derive(Clone)]
+pub struct AccumulatorParams {
+    n: Arc<Ubig>,
+    x0: Ubig,
+    ctx: Arc<MontgomeryContext>,
+}
+
+impl PartialEq for AccumulatorParams {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.x0 == other.x0
+    }
+}
+
+impl Eq for AccumulatorParams {}
+
+impl fmt::Debug for AccumulatorParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AccumulatorParams(n: {} bits, x0: {} bits)",
+            self.n.bit_len(),
+            self.x0.bit_len()
+        )
+    }
+}
+
+/// A precomputed 512-bit RSA modulus for deterministic tests/benches
+/// (factors were generated and discarded; verified composite & odd by
+/// the test suite).
+pub const RSA_MODULUS_512_HEX: &str = "b73acbd60cd937ea48dadd7c9e723d7c80b202525158ef7fc41c1fd14387edbc9c064bc43958643f0de39942f514ca540335f74de50589eff414431f12ff6129";
+
+impl AccumulatorParams {
+    /// Generates fresh parameters with a `bits`-bit RSA modulus; the
+    /// prime factors are dropped on the floor, never returned.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        let (n, _p, _q) = prime::gen_rsa_modulus(bits, rng);
+        Self::from_modulus(n)
+    }
+
+    /// Builds parameters from an externally agreed modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` (no room for nontrivial residues).
+    #[must_use]
+    pub fn from_modulus(n: Ubig) -> Self {
+        assert!(n > Ubig::from_u64(3), "accumulator modulus too small");
+        let x0 = Self::derive_x0(&n);
+        let ctx = MontgomeryContext::new(&n)
+            .expect("RSA moduli are odd products of odd primes");
+        AccumulatorParams {
+            n: Arc::new(n),
+            x0,
+            ctx: Arc::new(ctx),
+        }
+    }
+
+    /// The standard 512-bit test parameters.
+    #[must_use]
+    pub fn fixed_512() -> Self {
+        Self::from_modulus(Ubig::from_hex(RSA_MODULUS_512_HEX).expect("valid constant"))
+    }
+
+    /// `x₀` is derived deterministically from `n` so all parties agree
+    /// on it without extra negotiation ("x₀ must be agreed upon in
+    /// advance", §4.1).
+    fn derive_x0(n: &Ubig) -> Ubig {
+        let h = sha256::digest_parts(&[b"dla-accumulator-x0", &n.to_bytes_be()]);
+        let x = &Ubig::from_bytes_be(&h) % n;
+        // Square so x0 is a quadratic residue and never 0/1.
+        let sq = dla_bigint::modular::modmul(&x, &x, n);
+        if sq.is_zero() || sq.is_one() {
+            Ubig::from_u64(4) % n
+        } else {
+            sq
+        }
+    }
+
+    /// The modulus `n`.
+    #[must_use]
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// The agreed start value `x₀`.
+    #[must_use]
+    pub fn start(&self) -> &Ubig {
+        &self.x0
+    }
+
+    /// Maps an arbitrary item to an odd exponent `y ≥ 3`, so every item
+    /// contributes a nontrivial power.
+    #[must_use]
+    pub fn item_exponent(&self, item: &[u8]) -> Ubig {
+        let h = sha256::digest_parts(&[b"dla-accumulator-item", item]);
+        let mut y = Ubig::from_bytes_be(&h);
+        if y.is_even() {
+            y = y + Ubig::one();
+        }
+        if y.is_one() {
+            y = Ubig::from_u64(3);
+        }
+        y
+    }
+
+    /// One accumulation step: `A(acc, item) = acc^{y(item)} mod n`.
+    #[must_use]
+    pub fn fold(&self, acc: &Ubig, item: &[u8]) -> Ubig {
+        self.ctx.modexp(acc, &self.item_exponent(item))
+    }
+
+    /// Accumulates a full collection starting from `x₀`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dla_crypto::accumulator::AccumulatorParams;
+    ///
+    /// let mut rng = rand::thread_rng();
+    /// let params = AccumulatorParams::generate(256, &mut rng);
+    /// let a = params.accumulate([b"y1".as_slice(), b"y2", b"y3"]);
+    /// let b = params.accumulate([b"y2".as_slice(), b"y3", b"y1"]);
+    /// assert_eq!(a, b); // Eq. 9: order independence
+    /// ```
+    #[must_use]
+    pub fn accumulate<'a, I>(&self, items: I) -> Ubig
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        items
+            .into_iter()
+            .fold(self.x0.clone(), |acc, item| self.fold(&acc, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn params() -> AccumulatorParams {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        AccumulatorParams::generate(256, &mut rng)
+    }
+
+    #[test]
+    fn order_independence_eq9() {
+        let p = params();
+        let items: Vec<&[u8]> = vec![b"y1", b"y2", b"y3"];
+        let a = p.accumulate(items.iter().copied());
+        for perm in [
+            vec![0usize, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ] {
+            let b = p.accumulate(perm.iter().map(|&i| items[i]));
+            assert_eq!(a, b, "permutation {perm:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_fold_matches_batch() {
+        let p = params();
+        let batch = p.accumulate([b"a".as_slice(), b"b", b"c"]);
+        let mut acc = p.start().clone();
+        for item in [b"a".as_slice(), b"b", b"c"] {
+            acc = p.fold(&acc, item);
+        }
+        assert_eq!(acc, batch);
+    }
+
+    #[test]
+    fn tampering_changes_value() {
+        let p = params();
+        let honest = p.accumulate([b"frag0".as_slice(), b"frag1", b"frag2"]);
+        let tampered = p.accumulate([b"frag0".as_slice(), b"frag1-evil", b"frag2"]);
+        assert_ne!(honest, tampered);
+    }
+
+    #[test]
+    fn missing_item_changes_value() {
+        let p = params();
+        let all = p.accumulate([b"frag0".as_slice(), b"frag1"]);
+        let partial = p.accumulate([b"frag0".as_slice()]);
+        assert_ne!(all, partial);
+    }
+
+    #[test]
+    fn empty_accumulation_is_start_value() {
+        let p = params();
+        assert_eq!(p.accumulate(std::iter::empty()), *p.start());
+    }
+
+    #[test]
+    fn item_exponents_are_odd_and_distinct() {
+        let p = params();
+        let y1 = p.item_exponent(b"a");
+        let y2 = p.item_exponent(b"b");
+        assert!(!y1.is_even());
+        assert!(!y2.is_even());
+        assert_ne!(y1, y2);
+        assert!(y1 > Ubig::two());
+    }
+
+    #[test]
+    fn x0_is_deterministic_per_modulus() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let (n, _, _) = prime::gen_rsa_modulus(128, &mut rng);
+        let a = AccumulatorParams::from_modulus(n.clone());
+        let b = AccumulatorParams::from_modulus(n);
+        assert_eq!(a.start(), b.start());
+    }
+
+    #[test]
+    fn fixed_params_are_usable() {
+        let p = AccumulatorParams::fixed_512();
+        assert_eq!(p.modulus().bit_len(), 512);
+        assert!(!p.modulus().is_even(), "RSA modulus must be odd");
+        let a = p.accumulate([b"x".as_slice(), b"y"]);
+        let b = p.accumulate([b"y".as_slice(), b"x"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_modulus_rejected() {
+        let _ = AccumulatorParams::from_modulus(Ubig::two());
+    }
+}

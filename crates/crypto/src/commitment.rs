@@ -1,0 +1,195 @@
+//! Pedersen commitments over the Schnorr group.
+//!
+//! `C = g^m · h^r mod p` with independent generators `g, h` of the
+//! order-`q` subgroup. Perfectly hiding (uniform for random `r`) and
+//! computationally binding (opening two ways yields `log_g h`).
+//!
+//! Used by the evidence chain (§4.2): a node's true identity is bound
+//! into its logging/auditing token as a commitment that only opens —
+//! involuntarily — if the node misuses the token (see
+//! [`crate::evidence`]).
+
+use crate::schnorr::SchnorrGroup;
+use crate::sha256;
+use dla_bigint::modular::{modexp, modmul};
+use dla_bigint::Ubig;
+use rand::Rng;
+use std::fmt;
+
+/// Commitment parameters: the group plus a second generator `h` with
+/// unknown discrete log relative to `g` (derived by hashing into the
+/// quadratic-residue subgroup — "nothing up my sleeve").
+#[derive(Clone, PartialEq, Eq)]
+pub struct PedersenParams {
+    group: SchnorrGroup,
+    h: Ubig,
+}
+
+impl fmt::Debug for PedersenParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PedersenParams({:?})", self.group)
+    }
+}
+
+impl PedersenParams {
+    /// Derives parameters deterministically from a group.
+    #[must_use]
+    pub fn derive(group: &SchnorrGroup) -> Self {
+        let p = group.modulus();
+        let mut counter = 0u64;
+        let h = loop {
+            let d = sha256::digest_parts(&[
+                b"dla-pedersen-h",
+                &p.to_bytes_be(),
+                &counter.to_be_bytes(),
+            ]);
+            let x = &Ubig::from_bytes_be(&d) % p;
+            let candidate = modmul(&x, &x, p); // square into the QR subgroup
+            if !candidate.is_zero() && !candidate.is_one() && candidate != *group.generator() {
+                break candidate;
+            }
+            counter += 1;
+        };
+        PedersenParams {
+            group: group.clone(),
+            h,
+        }
+    }
+
+    /// The underlying group.
+    #[must_use]
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// The second generator `h`.
+    #[must_use]
+    pub fn h(&self) -> &Ubig {
+        &self.h
+    }
+
+    /// Commits to `m` with explicit randomness `r` (both mod `q`).
+    #[must_use]
+    pub fn commit_with(&self, m: &Ubig, r: &Ubig) -> Commitment {
+        let p = self.group.modulus();
+        let c = modmul(&self.group.pow_g(m), &modexp(&self.h, r, p), p);
+        Commitment { c }
+    }
+
+    /// Commits to `m` with fresh randomness; returns the commitment and
+    /// the opening randomness.
+    pub fn commit<R: Rng + ?Sized>(&self, m: &Ubig, rng: &mut R) -> (Commitment, Ubig) {
+        let r = self.group.random_exponent(rng);
+        (self.commit_with(m, &r), r)
+    }
+
+    /// Verifies an opening `(m, r)` of `commitment`.
+    #[must_use]
+    pub fn verify(&self, commitment: &Commitment, m: &Ubig, r: &Ubig) -> bool {
+        self.commit_with(m, r) == *commitment
+    }
+}
+
+/// A Pedersen commitment value.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Commitment {
+    c: Ubig,
+}
+
+impl fmt::Debug for Commitment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex = self.c.to_hex();
+        write!(f, "Commitment({}…)", &hex[..hex.len().min(12)])
+    }
+}
+
+impl Commitment {
+    /// The committed group element.
+    #[must_use]
+    pub fn element(&self) -> &Ubig {
+        &self.c
+    }
+
+    /// Canonical byte encoding.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.c.to_bytes_be()
+    }
+
+    /// Reconstructs a commitment from a group element.
+    #[must_use]
+    pub fn from_element(c: Ubig) -> Self {
+        Commitment { c }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (PedersenParams, rand::rngs::StdRng) {
+        (
+            PedersenParams::derive(&SchnorrGroup::fixed_256()),
+            rand::rngs::StdRng::seed_from_u64(99),
+        )
+    }
+
+    #[test]
+    fn commit_verify_round_trip() {
+        let (params, mut rng) = setup();
+        let m = Ubig::from_u64(123456);
+        let (c, r) = params.commit(&m, &mut rng);
+        assert!(params.verify(&c, &m, &r));
+    }
+
+    #[test]
+    fn wrong_opening_rejected() {
+        let (params, mut rng) = setup();
+        let m = Ubig::from_u64(123456);
+        let (c, r) = params.commit(&m, &mut rng);
+        assert!(!params.verify(&c, &Ubig::from_u64(123457), &r));
+        assert!(!params.verify(&c, &m, &(&r + &Ubig::one())));
+    }
+
+    #[test]
+    fn hiding_same_message_different_commitments() {
+        let (params, mut rng) = setup();
+        let m = Ubig::from_u64(7);
+        let (c1, _) = params.commit(&m, &mut rng);
+        let (c2, _) = params.commit(&m, &mut rng);
+        assert_ne!(c1, c2, "fresh randomness must hide the message");
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        // C(m1, r1) * C(m2, r2) = C(m1 + m2, r1 + r2)
+        let (params, mut rng) = setup();
+        let q = params.group().order().clone();
+        let p = params.group().modulus().clone();
+        let (m1, m2) = (Ubig::from_u64(10), Ubig::from_u64(32));
+        let (c1, r1) = params.commit(&m1, &mut rng);
+        let (c2, r2) = params.commit(&m2, &mut rng);
+        let prod = Commitment::from_element(modmul(c1.element(), c2.element(), &p));
+        assert!(params.verify(&prod, &((&m1 + &m2) % &q), &((&r1 + &r2) % &q)));
+    }
+
+    #[test]
+    fn h_is_in_subgroup_and_independent() {
+        let (params, _) = setup();
+        let g = params.group();
+        assert_eq!(
+            modexp(params.h(), g.order(), g.modulus()),
+            Ubig::one(),
+            "h must lie in the order-q subgroup"
+        );
+        assert_ne!(params.h(), g.generator());
+        assert!(!params.h().is_one());
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let g = SchnorrGroup::fixed_256();
+        assert_eq!(PedersenParams::derive(&g), PedersenParams::derive(&g));
+    }
+}

@@ -1,0 +1,397 @@
+//! E-coin style tokens with double-use identity exposure — the
+//! cryptographic core of the paper's evidence chain (§4.2, Figs. 6–7).
+//!
+//! The paper extends "the notion of e-coin to create undeniable
+//! evidences even when nodes remain anonymous": a credential authority
+//! grants each node a one-time **logging/auditing token**; the node can
+//! *spend* the token once (to invite a new DLA member and create an
+//! evidence piece) while staying pseudonymous. Spending the same token
+//! twice — e.g. `P_y` inviting two different nodes after passing on its
+//! invite authority — algebraically reveals the cheater's true identity,
+//! which is exactly the deterrent the paper wants ("Doing so will
+//! subject P_y to exposure of its true identity and its misconduct").
+//!
+//! Construction (Okamoto-style double-spend detection):
+//! token issuance fixes `C = g^id · h^ρ` (identity commitment) and
+//! `W = g^{w₁} · h^{w₂}` (nonce commitment), both CA-signed. A spend on
+//! context `ctx` answers the Fiat–Shamir challenge `c = H(ctx ‖ token)`
+//! with `s₁ = w₁ + id·c`, `s₂ = w₂ + ρ·c (mod q)`; anyone verifies
+//! `g^{s₁} h^{s₂} = W · C^c`. Two spends with distinct challenges solve
+//! for `id = (s₁ − s₁′)/(c − c′)`.
+
+use crate::commitment::{Commitment, PedersenParams};
+use crate::schnorr::{self, SchnorrGroup, SchnorrKeyPair, SchnorrPublicKey, Signature};
+use crate::CryptoError;
+use dla_bigint::modular::{modexp, modinv, modmul, modsub};
+use dla_bigint::Ubig;
+use rand::Rng;
+use std::fmt;
+
+/// The credential authority of §4.2: issues one-time tokens binding a
+/// node's (secret) identity, and certifies them.
+pub struct CredentialAuthority {
+    params: PedersenParams,
+    key: SchnorrKeyPair,
+    next_serial: u64,
+}
+
+impl fmt::Debug for CredentialAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CredentialAuthority(next_serial: {})", self.next_serial)
+    }
+}
+
+/// The public face of a token: serial, commitments, pseudonym key and
+/// the CA's certifying signature.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Unique serial number assigned by the CA.
+    pub serial: u64,
+    /// Identity commitment `C = g^id · h^ρ`.
+    pub id_commitment: Commitment,
+    /// Nonce commitment `W = g^{w₁} · h^{w₂}`.
+    pub nonce_commitment: Commitment,
+    /// The holder's pseudonymous signing key.
+    pub pseudonym: SchnorrPublicKey,
+    /// CA signature over (serial ‖ C ‖ W ‖ pseudonym).
+    pub ca_signature: Signature,
+}
+
+impl Token {
+    /// Canonical bytes of the certified content.
+    #[must_use]
+    pub fn signed_content(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        out.extend_from_slice(&self.id_commitment.to_bytes());
+        out.extend_from_slice(&self.nonce_commitment.to_bytes());
+        out.extend_from_slice(&self.pseudonym.to_bytes());
+        out
+    }
+
+    /// Checks the CA certification ("g(t) =? 1" in Fig. 7).
+    #[must_use]
+    pub fn verify_certification(&self, group: &SchnorrGroup, ca: &SchnorrPublicKey) -> bool {
+        schnorr::verify(group, ca, &self.signed_content(), &self.ca_signature)
+    }
+}
+
+/// The holder's secret half of a token. One-time use.
+pub struct TokenSecret {
+    /// Matching public token.
+    pub token: Token,
+    identity: Ubig,
+    rho: Ubig,
+    w1: Ubig,
+    w2: Ubig,
+    /// Pseudonymous signing key pair.
+    pub pseudonym_key: SchnorrKeyPair,
+}
+
+impl fmt::Debug for TokenSecret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TokenSecret(serial: {})", self.token.serial)
+    }
+}
+
+/// A token spend: the challenge/response pair proving token ownership,
+/// bound to a context (the evidence piece being created).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpendProof {
+    /// Serial of the token spent.
+    pub serial: u64,
+    /// Fiat–Shamir challenge `c = H(ctx ‖ token)`.
+    pub challenge: Ubig,
+    /// Response `s₁ = w₁ + id·c mod q`.
+    pub s1: Ubig,
+    /// Response `s₂ = w₂ + ρ·c mod q`.
+    pub s2: Ubig,
+}
+
+impl CredentialAuthority {
+    /// Creates an authority with a fresh signing key.
+    pub fn new<R: Rng + ?Sized>(params: &PedersenParams, rng: &mut R) -> Self {
+        CredentialAuthority {
+            params: params.clone(),
+            key: SchnorrKeyPair::generate(params.group(), rng),
+            next_serial: 1,
+        }
+    }
+
+    /// The CA's verification key.
+    #[must_use]
+    pub fn public(&self) -> &SchnorrPublicKey {
+        self.key.public()
+    }
+
+    /// The commitment parameters all tokens use.
+    #[must_use]
+    pub fn params(&self) -> &PedersenParams {
+        &self.params
+    }
+
+    /// Issues a one-time token to a node whose true identity is the
+    /// scalar `identity` (e.g. a hash of its legal name / certificate).
+    ///
+    /// The CA sees the identity at issuance (it is the registrar) but
+    /// the token itself only carries the hiding commitment, so DLA
+    /// peers learn nothing — anonymity with accountability.
+    pub fn issue<R: Rng + ?Sized>(&mut self, identity: &Ubig, rng: &mut R) -> TokenSecret {
+        let group = self.params.group();
+        let q = group.order();
+        let identity = identity % q;
+        let rho = group.random_exponent(rng);
+        let w1 = group.random_exponent(rng);
+        let w2 = group.random_exponent(rng);
+        let id_commitment = self.params.commit_with(&identity, &rho);
+        let nonce_commitment = self.params.commit_with(&w1, &w2);
+        let pseudonym_key = SchnorrKeyPair::generate(group, rng);
+        let serial = self.next_serial;
+        self.next_serial += 1;
+
+        let mut token = Token {
+            serial,
+            id_commitment,
+            nonce_commitment,
+            pseudonym: pseudonym_key.public().clone(),
+            ca_signature: Signature {
+                e: Ubig::zero(),
+                s: Ubig::zero(),
+            },
+        };
+        token.ca_signature = self.key.sign(&token.signed_content(), rng);
+
+        TokenSecret {
+            token,
+            identity,
+            rho,
+            w1,
+            w2,
+            pseudonym_key,
+        }
+    }
+}
+
+impl TokenSecret {
+    /// Spends the token on `context`, producing the proof to embed in an
+    /// evidence piece.
+    ///
+    /// Spending twice (on different contexts) is possible — nothing
+    /// *prevents* it — but [`recover_identity`] then exposes the holder.
+    #[must_use]
+    pub fn spend(&self, params: &PedersenParams, context: &[u8]) -> SpendProof {
+        let q = params.group().order();
+        let challenge = spend_challenge(params, &self.token, context);
+        let s1 = (&self.w1 + &modmul(&self.identity, &challenge, q)) % q;
+        let s2 = (&self.rho_term(&challenge, q)) % q;
+        SpendProof {
+            serial: self.token.serial,
+            challenge,
+            s1,
+            s2,
+        }
+    }
+
+    fn rho_term(&self, c: &Ubig, q: &Ubig) -> Ubig {
+        (&self.w2 + &modmul(&self.rho, c, q)) % q
+    }
+
+    /// The identity scalar (test/demonstration accessor).
+    #[must_use]
+    pub fn identity(&self) -> &Ubig {
+        &self.identity
+    }
+}
+
+/// Derives the Fiat–Shamir spend challenge for a token on a context.
+#[must_use]
+pub fn spend_challenge(params: &PedersenParams, token: &Token, context: &[u8]) -> Ubig {
+    params.group().challenge(&[
+        b"dla-token-spend",
+        &token.serial.to_be_bytes(),
+        &token.signed_content(),
+        context,
+    ])
+}
+
+/// Verifies a spend proof against its token and context:
+/// `g^{s₁} · h^{s₂} =? W · C^c`.
+#[must_use]
+pub fn verify_spend(
+    params: &PedersenParams,
+    token: &Token,
+    context: &[u8],
+    proof: &SpendProof,
+) -> bool {
+    if proof.serial != token.serial {
+        return false;
+    }
+    let expected_c = spend_challenge(params, token, context);
+    if proof.challenge != expected_c {
+        return false;
+    }
+    let group = params.group();
+    let p = group.modulus();
+    let lhs = modmul(
+        &group.pow_g(&proof.s1),
+        &modexp(params.h(), &proof.s2, p),
+        p,
+    );
+    let rhs = modmul(
+        token.nonce_commitment.element(),
+        &modexp(token.id_commitment.element(), &proof.challenge, p),
+        p,
+    );
+    lhs == rhs
+}
+
+/// Recovers the true identity from two spends of the *same* token on
+/// different contexts: `id = (s₁ − s₁′) / (c − c′) mod q`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParameter`] if the proofs are not two
+/// distinct spends of one token.
+pub fn recover_identity(
+    params: &PedersenParams,
+    a: &SpendProof,
+    b: &SpendProof,
+) -> Result<Ubig, CryptoError> {
+    if a.serial != b.serial {
+        return Err(CryptoError::InvalidParameter(
+            "proofs spend different tokens",
+        ));
+    }
+    if a.challenge == b.challenge {
+        return Err(CryptoError::InvalidParameter(
+            "identical challenges: same spend presented twice",
+        ));
+    }
+    let q = params.group().order();
+    let ds = modsub(&(&a.s1 % q), &(&b.s1 % q), q);
+    let dc = modsub(&(&a.challenge % q), &(&b.challenge % q), q);
+    let inv = modinv(&dc, q).ok_or(CryptoError::InvalidParameter(
+        "challenge difference not invertible",
+    ))?;
+    Ok(modmul(&ds, &inv, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (PedersenParams, CredentialAuthority, rand::rngs::StdRng) {
+        let params = PedersenParams::derive(&SchnorrGroup::fixed_256());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(111);
+        let ca = CredentialAuthority::new(&params, &mut rng);
+        (params, ca, rng)
+    }
+
+    #[test]
+    fn issued_token_is_certified() {
+        let (params, mut ca, mut rng) = setup();
+        let secret = ca.issue(&Ubig::from_u64(9001), &mut rng);
+        assert!(secret
+            .token
+            .verify_certification(params.group(), ca.public()));
+    }
+
+    #[test]
+    fn forged_token_fails_certification() {
+        let (params, mut ca, mut rng) = setup();
+        let secret = ca.issue(&Ubig::from_u64(9001), &mut rng);
+        let mut forged = secret.token.clone();
+        forged.serial += 1;
+        assert!(!forged.verify_certification(params.group(), ca.public()));
+    }
+
+    #[test]
+    fn spend_verifies_on_its_context() {
+        let (params, mut ca, mut rng) = setup();
+        let secret = ca.issue(&Ubig::from_u64(42), &mut rng);
+        let proof = secret.spend(&params, b"invite node P_x into cluster 7");
+        assert!(verify_spend(
+            &params,
+            &secret.token,
+            b"invite node P_x into cluster 7",
+            &proof
+        ));
+    }
+
+    #[test]
+    fn spend_bound_to_context() {
+        let (params, mut ca, mut rng) = setup();
+        let secret = ca.issue(&Ubig::from_u64(42), &mut rng);
+        let proof = secret.spend(&params, b"context A");
+        assert!(!verify_spend(&params, &secret.token, b"context B", &proof));
+    }
+
+    #[test]
+    fn spend_bound_to_token() {
+        let (params, mut ca, mut rng) = setup();
+        let s1 = ca.issue(&Ubig::from_u64(1), &mut rng);
+        let s2 = ca.issue(&Ubig::from_u64(2), &mut rng);
+        let proof = s1.spend(&params, b"ctx");
+        assert!(!verify_spend(&params, &s2.token, b"ctx", &proof));
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let (params, mut ca, mut rng) = setup();
+        let secret = ca.issue(&Ubig::from_u64(42), &mut rng);
+        let mut proof = secret.spend(&params, b"ctx");
+        proof.s1 = (&proof.s1 + &Ubig::one()) % params.group().order();
+        assert!(!verify_spend(&params, &secret.token, b"ctx", &proof));
+    }
+
+    #[test]
+    fn double_spend_reveals_identity() {
+        let (params, mut ca, mut rng) = setup();
+        let identity = Ubig::from_u64(0xDEAD_BEEF);
+        let secret = ca.issue(&identity, &mut rng);
+        let p1 = secret.spend(&params, b"invite alpha");
+        let p2 = secret.spend(&params, b"invite beta");
+        let recovered = recover_identity(&params, &p1, &p2).unwrap();
+        assert_eq!(recovered, identity);
+    }
+
+    #[test]
+    fn single_spend_does_not_reveal_identity() {
+        // The verification equation alone (one spend) is satisfied by the
+        // committed values without exposing id: check the proof verifies
+        // but recovery demands two distinct spends.
+        let (params, mut ca, mut rng) = setup();
+        let secret = ca.issue(&Ubig::from_u64(77), &mut rng);
+        let p1 = secret.spend(&params, b"only once");
+        assert!(recover_identity(&params, &p1, &p1).is_err());
+    }
+
+    #[test]
+    fn recovery_rejects_mismatched_serials() {
+        let (params, mut ca, mut rng) = setup();
+        let sa = ca.issue(&Ubig::from_u64(1), &mut rng);
+        let sb = ca.issue(&Ubig::from_u64(2), &mut rng);
+        let pa = sa.spend(&params, b"x");
+        let pb = sb.spend(&params, b"y");
+        assert!(recover_identity(&params, &pa, &pb).is_err());
+    }
+
+    #[test]
+    fn serials_are_unique_and_increasing() {
+        let (_, mut ca, mut rng) = setup();
+        let t1 = ca.issue(&Ubig::from_u64(1), &mut rng);
+        let t2 = ca.issue(&Ubig::from_u64(1), &mut rng);
+        assert!(t2.token.serial > t1.token.serial);
+    }
+
+    #[test]
+    fn tokens_of_same_identity_are_unlinkable() {
+        // Fresh rho per token: the identity commitments differ.
+        let (_, mut ca, mut rng) = setup();
+        let id = Ubig::from_u64(5);
+        let t1 = ca.issue(&id, &mut rng);
+        let t2 = ca.issue(&id, &mut rng);
+        assert_ne!(t1.token.id_commitment, t2.token.id_commitment);
+    }
+}

@@ -1,0 +1,362 @@
+//! (k, n) Shamir secret sharing over `F_{2^61−1}` (paper §3.5).
+//!
+//! The secure-sum protocol has every node `P_i` pick a random polynomial
+//! `f_i` of degree ≤ k−1 with `f_i(0) = a_i` (its secret), send the
+//! share `s_ij = f_i(x_j)` to node `P_j`, and let each `P_j` publish
+//! `F(x_j) = Σ_i s_ij`. Because polynomial addition is linear, `F` is
+//! itself a (k, n) sharing of `Σ_i a_i`, and any `k` published points
+//! reconstruct the total **without any individual `a_i` ever leaving
+//! its owner in the clear**.
+//!
+//! This module provides the dealer side ([`SecretPolynomial`]), the
+//! evaluation points ([`SharePoints`]) and Lagrange reconstruction
+//! ([`reconstruct`], [`reconstruct_at`]).
+
+use crate::CryptoError;
+use dla_bigint::F61;
+use rand::Rng;
+
+/// A share: the evaluation of a secret polynomial at a public point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Share {
+    /// The public evaluation point `x_j` (never zero).
+    pub x: F61,
+    /// The polynomial value `f(x_j)`.
+    pub y: F61,
+}
+
+/// The public, distinct, nonzero evaluation points `x_0 … x_{n-1}`
+/// "predetermined by P₀ … P_{n−1}" (§3.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharePoints {
+    points: Vec<F61>,
+}
+
+impl SharePoints {
+    /// The canonical choice `x_j = j + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn canonical(n: usize) -> Self {
+        assert!(n > 0, "need at least one share point");
+        SharePoints {
+            points: (1..=n as u64).map(F61::new).collect(),
+        }
+    }
+
+    /// Custom points; must be distinct and nonzero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] on zero or duplicate
+    /// points.
+    pub fn new(points: Vec<F61>) -> Result<Self, CryptoError> {
+        if points.is_empty() {
+            return Err(CryptoError::InvalidParameter("no share points"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &points {
+            if p.is_zero() {
+                return Err(CryptoError::InvalidParameter("share point is zero"));
+            }
+            if !seen.insert(p.value()) {
+                return Err(CryptoError::InvalidParameter("duplicate share point"));
+            }
+        }
+        Ok(SharePoints { points })
+    }
+
+    /// Number of points (the `n` of the (k, n) scheme).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if there are no points (never true for valid sets).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `j`-th point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn point(&self, j: usize) -> F61 {
+        self.points[j]
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> impl Iterator<Item = F61> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+/// A dealer-side random polynomial `f(z) = a + f₁z + … + f_{k−1}z^{k−1}`
+/// whose free coefficient is the secret.
+#[derive(Clone, Debug)]
+pub struct SecretPolynomial {
+    coeffs: Vec<F61>, // coeffs[0] = secret
+}
+
+impl SecretPolynomial {
+    /// Samples a degree-`(k−1)` polynomial hiding `secret`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn random<R: Rng + ?Sized>(secret: F61, k: usize, rng: &mut R) -> Self {
+        assert!(k >= 1, "threshold k must be at least 1");
+        let mut coeffs = Vec::with_capacity(k);
+        coeffs.push(secret);
+        for _ in 1..k {
+            coeffs.push(F61::random(rng));
+        }
+        SecretPolynomial { coeffs }
+    }
+
+    /// The hidden secret `f(0)`.
+    #[must_use]
+    pub fn secret(&self) -> F61 {
+        self.coeffs[0]
+    }
+
+    /// The threshold `k` (number of coefficients).
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates `f(x)` by Horner's rule.
+    #[must_use]
+    pub fn eval(&self, x: F61) -> F61 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(F61::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Produces the share for point `x`.
+    #[must_use]
+    pub fn share_at(&self, x: F61) -> Share {
+        Share {
+            x,
+            y: self.eval(x),
+        }
+    }
+
+    /// Produces all `n` shares for the given points.
+    #[must_use]
+    pub fn shares(&self, points: &SharePoints) -> Vec<Share> {
+        points.iter().map(|x| self.share_at(x)).collect()
+    }
+}
+
+/// Convenience: deal a (k, n) sharing of `secret` at canonical points.
+///
+/// # Examples
+///
+/// ```
+/// use dla_bigint::F61;
+/// use dla_crypto::shamir;
+///
+/// let mut rng = rand::thread_rng();
+/// let shares = shamir::share(F61::new(42), 3, 5, &mut rng);
+/// let secret = shamir::reconstruct(&shares[1..4])?; // any 3 of 5
+/// assert_eq!(secret, F61::new(42));
+/// # Ok::<(), dla_crypto::CryptoError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `n == 0` or `k > n`.
+pub fn share<R: Rng + ?Sized>(secret: F61, k: usize, n: usize, rng: &mut R) -> Vec<Share> {
+    assert!(k >= 1 && n >= 1 && k <= n, "invalid (k, n) = ({k}, {n})");
+    let poly = SecretPolynomial::random(secret, k, rng);
+    poly.shares(&SharePoints::canonical(n))
+}
+
+/// Lagrange-interpolates the polynomial defined by `shares` at point
+/// `at`. Passing exactly `k` shares of a degree-(k−1) polynomial
+/// recovers `f(at)` exactly; extra consistent shares are harmless.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParameter`] if fewer than one share is
+/// given or two shares repeat an `x` coordinate.
+pub fn reconstruct_at(shares: &[Share], at: F61) -> Result<F61, CryptoError> {
+    if shares.is_empty() {
+        return Err(CryptoError::InvalidParameter("no shares"));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for s in shares {
+        if !seen.insert(s.x.value()) {
+            return Err(CryptoError::InvalidParameter("duplicate share x"));
+        }
+    }
+    let mut acc = F61::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = F61::ONE;
+        let mut den = F61::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= at - sj.x;
+            den *= si.x - sj.x;
+        }
+        acc += si.y * num * den.inverse().expect("distinct points => nonzero denominator");
+    }
+    Ok(acc)
+}
+
+/// Recovers the secret `f(0)` from at least `k` shares.
+///
+/// # Errors
+///
+/// Propagates [`reconstruct_at`] errors.
+pub fn reconstruct(shares: &[Share]) -> Result<F61, CryptoError> {
+    reconstruct_at(shares, F61::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(55)
+    }
+
+    #[test]
+    fn any_k_of_n_reconstruct() {
+        let mut rng = rng();
+        let secret = F61::new(123_456_789);
+        let shares = share(secret, 3, 6, &mut rng);
+        // A few k-subsets, including non-contiguous ones.
+        for subset in [[0usize, 1, 2], [3, 4, 5], [0, 2, 4], [1, 3, 5]] {
+            let picked: Vec<Share> = subset.iter().map(|&i| shares[i]).collect();
+            assert_eq!(reconstruct(&picked).unwrap(), secret, "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn more_than_k_consistent_shares_ok() {
+        let mut rng = rng();
+        let secret = F61::new(7);
+        let shares = share(secret, 2, 5, &mut rng);
+        assert_eq!(reconstruct(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn k_minus_1_shares_are_uniform() {
+        // Information-theoretic hiding: with k-1 shares, every candidate
+        // secret is consistent. Check that reconstructing from k-1 shares
+        // plus a forged k-th share can hit any target secret.
+        let mut rng = rng();
+        let secret = F61::new(999);
+        let shares = share(secret, 3, 3, &mut rng);
+        let partial = &shares[..2];
+        for target in [0u64, 1, 424242] {
+            // Find the y the adversary would need at x=3 to force `target`:
+            // interpolate through (x1,y1),(x2,y2),(0,target) and evaluate at 3.
+            let forged_poly = [
+                Share {
+                    x: F61::ZERO,
+                    y: F61::new(target),
+                },
+                partial[0],
+                partial[1],
+            ];
+            let y3 = reconstruct_at(&forged_poly, F61::new(3)).unwrap();
+            let forged = [partial[0], partial[1], Share { x: F61::new(3), y: y3 }];
+            assert_eq!(reconstruct(&forged).unwrap(), F61::new(target));
+        }
+    }
+
+    #[test]
+    fn linearity_of_sharing() {
+        // The crux of the secure-sum protocol: sharewise sums share the sum.
+        let mut rng = rng();
+        let points = SharePoints::canonical(5);
+        let pa = SecretPolynomial::random(F61::new(100), 3, &mut rng);
+        let pb = SecretPolynomial::random(F61::new(23), 3, &mut rng);
+        let summed: Vec<Share> = points
+            .iter()
+            .map(|x| Share {
+                x,
+                y: pa.eval(x) + pb.eval(x),
+            })
+            .collect();
+        assert_eq!(reconstruct(&summed[..3]).unwrap(), F61::new(123));
+    }
+
+    #[test]
+    fn weighted_linearity() {
+        // §3.5 extension: publicly weighted sums α₀a₀ + α₁a₁.
+        let mut rng = rng();
+        let points = SharePoints::canonical(4);
+        let pa = SecretPolynomial::random(F61::new(10), 2, &mut rng);
+        let pb = SecretPolynomial::random(F61::new(5), 2, &mut rng);
+        let (alpha, beta) = (F61::new(3), F61::new(7));
+        let weighted: Vec<Share> = points
+            .iter()
+            .map(|x| Share {
+                x,
+                y: alpha * pa.eval(x) + beta * pb.eval(x),
+            })
+            .collect();
+        assert_eq!(reconstruct(&weighted[..2]).unwrap(), F61::new(65));
+    }
+
+    #[test]
+    fn share_points_validation() {
+        assert!(SharePoints::new(vec![]).is_err());
+        assert!(SharePoints::new(vec![F61::ZERO]).is_err());
+        assert!(SharePoints::new(vec![F61::new(1), F61::new(1)]).is_err());
+        let ok = SharePoints::new(vec![F61::new(5), F61::new(9)]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.point(1), F61::new(9));
+    }
+
+    #[test]
+    fn reconstruct_rejects_duplicates_and_empty() {
+        let s = Share {
+            x: F61::new(1),
+            y: F61::new(2),
+        };
+        assert!(reconstruct(&[]).is_err());
+        assert!(reconstruct(&[s, s]).is_err());
+    }
+
+    #[test]
+    fn threshold_one_is_plain_replication() {
+        let mut rng = rng();
+        let shares = share(F61::new(77), 1, 4, &mut rng);
+        for s in &shares {
+            assert_eq!(s.y, F61::new(77), "degree-0 polynomial is constant");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid (k, n)")]
+    fn k_greater_than_n_panics() {
+        let mut rng = rng();
+        let _ = share(F61::ONE, 5, 3, &mut rng);
+    }
+
+    #[test]
+    fn polynomial_eval_matches_naive() {
+        let mut rng = rng();
+        let poly = SecretPolynomial::random(F61::new(3), 4, &mut rng);
+        let x = F61::new(17);
+        let naive = (0..4).fold(F61::ZERO, |acc, i| {
+            acc + poly.coeffs[i] * x.pow(i as u64)
+        });
+        assert_eq!(poly.eval(x), naive);
+    }
+}

@@ -1,0 +1,208 @@
+//! Shamir secret sharing over a big prime field `Z_q` (arbitrary
+//! [`Ubig`] modulus).
+//!
+//! The fast [`crate::shamir`] module works over the fixed 61-bit field
+//! and serves the secure-sum protocol. This module shares *group
+//! exponents* (e.g. Schnorr secret keys, Feldman-VSS secrets) whose
+//! modulus is the several-hundred-bit subgroup order `q` — used by the
+//! threshold-signature dealer and by the classical zero-disclosure
+//! baseline protocols in `dla-mpc`.
+
+use crate::CryptoError;
+use dla_bigint::modular::{modinv, modmul, modsub};
+use dla_bigint::Ubig;
+use rand::Rng;
+
+/// A share `(x, f(x))` over `Z_q`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BigShare {
+    /// Public evaluation point (nonzero mod q).
+    pub x: Ubig,
+    /// Secret evaluation `f(x) mod q`.
+    pub y: Ubig,
+}
+
+/// A dealer polynomial over `Z_q` with `f(0) = secret`.
+#[derive(Clone, Debug)]
+pub struct BigPolynomial {
+    modulus: Ubig,
+    coeffs: Vec<Ubig>,
+}
+
+impl BigPolynomial {
+    /// Samples a degree-(k−1) polynomial hiding `secret` mod `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or `q < 2`.
+    pub fn random<R: Rng + ?Sized>(secret: &Ubig, k: usize, q: &Ubig, rng: &mut R) -> Self {
+        assert!(k >= 1, "threshold k must be at least 1");
+        assert!(*q >= Ubig::two(), "modulus must be at least 2");
+        let mut coeffs = Vec::with_capacity(k);
+        coeffs.push(secret % q);
+        for _ in 1..k {
+            coeffs.push(Ubig::random_below(rng, q));
+        }
+        BigPolynomial {
+            modulus: q.clone(),
+            coeffs,
+        }
+    }
+
+    /// The hidden secret `f(0)`.
+    #[must_use]
+    pub fn secret(&self) -> &Ubig {
+        &self.coeffs[0]
+    }
+
+    /// The coefficients `f₀ … f_{k−1}` (Feldman VSS commits to these).
+    #[must_use]
+    pub fn coefficients(&self) -> &[Ubig] {
+        &self.coeffs
+    }
+
+    /// Evaluates `f(x) mod q` by Horner's rule.
+    #[must_use]
+    pub fn eval(&self, x: &Ubig) -> Ubig {
+        let q = &self.modulus;
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Ubig::zero(), |acc, c| (&modmul(&acc, x, q) + c) % q)
+    }
+
+    /// Shares at canonical points `x = 1 … n`.
+    #[must_use]
+    pub fn shares(&self, n: usize) -> Vec<BigShare> {
+        (1..=n as u64)
+            .map(|i| {
+                let x = Ubig::from_u64(i);
+                BigShare {
+                    y: self.eval(&x),
+                    x,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Lagrange-interpolates `f(0)` from shares over `Z_q`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParameter`] on an empty share list or
+/// duplicate evaluation points.
+pub fn reconstruct(shares: &[BigShare], q: &Ubig) -> Result<Ubig, CryptoError> {
+    if shares.is_empty() {
+        return Err(CryptoError::InvalidParameter("no shares"));
+    }
+    for (i, a) in shares.iter().enumerate() {
+        for b in &shares[i + 1..] {
+            if a.x == b.x {
+                return Err(CryptoError::InvalidParameter("duplicate share x"));
+            }
+        }
+    }
+    let mut acc = Ubig::zero();
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = Ubig::one();
+        let mut den = Ubig::one();
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = modmul(&num, &modsub(&Ubig::zero(), &(&sj.x % q), q), q);
+            den = modmul(&den, &modsub(&(&si.x % q), &(&sj.x % q), q), q);
+        }
+        let inv = modinv(&den, q).ok_or(CryptoError::InvalidParameter(
+            "degenerate evaluation points",
+        ))?;
+        acc = (&acc + &modmul(&si.y, &modmul(&num, &inv, q), q)) % q;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::SchnorrGroup;
+    use rand::SeedableRng;
+
+    fn q() -> Ubig {
+        SchnorrGroup::fixed_256().order().clone()
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(202)
+    }
+
+    #[test]
+    fn any_k_shares_reconstruct() {
+        let q = q();
+        let mut rng = rng();
+        let secret = Ubig::random_below(&mut rng, &q);
+        let poly = BigPolynomial::random(&secret, 3, &q, &mut rng);
+        let shares = poly.shares(6);
+        for subset in [[0usize, 1, 2], [3, 4, 5], [0, 2, 5]] {
+            let picked: Vec<BigShare> = subset.iter().map(|&i| shares[i].clone()).collect();
+            assert_eq!(reconstruct(&picked, &q).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn linearity_enables_share_addition() {
+        let q = q();
+        let mut rng = rng();
+        let pa = BigPolynomial::random(&Ubig::from_u64(1000), 2, &q, &mut rng);
+        let pb = BigPolynomial::random(&Ubig::from_u64(337), 2, &q, &mut rng);
+        let summed: Vec<BigShare> = (1..=3u64)
+            .map(|i| {
+                let x = Ubig::from_u64(i);
+                BigShare {
+                    y: (&pa.eval(&x) + &pb.eval(&x)) % &q,
+                    x,
+                }
+            })
+            .collect();
+        assert_eq!(
+            reconstruct(&summed[..2], &q).unwrap(),
+            Ubig::from_u64(1337)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let q = q();
+        assert!(reconstruct(&[], &q).is_err());
+        let s = BigShare {
+            x: Ubig::one(),
+            y: Ubig::two(),
+        };
+        assert!(reconstruct(&[s.clone(), s], &q).is_err());
+    }
+
+    #[test]
+    fn secret_is_reduced_mod_q() {
+        let q = q();
+        let mut rng = rng();
+        let big_secret = &q + &Ubig::from_u64(5);
+        let poly = BigPolynomial::random(&big_secret, 2, &q, &mut rng);
+        assert_eq!(poly.secret(), &Ubig::from_u64(5));
+    }
+
+    #[test]
+    fn coefficients_exposed_for_vss() {
+        let q = q();
+        let mut rng = rng();
+        let poly = BigPolynomial::random(&Ubig::from_u64(9), 4, &q, &mut rng);
+        assert_eq!(poly.coefficients().len(), 4);
+        assert_eq!(poly.coefficients()[0], Ubig::from_u64(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold k")]
+    fn zero_threshold_panics() {
+        let mut rng = rng();
+        let _ = BigPolynomial::random(&Ubig::one(), 0, &Ubig::from_u64(17), &mut rng);
+    }
+}

@@ -1,0 +1,398 @@
+//! (k, n) threshold Schnorr signatures (paper §2: "DLA nodes use secure
+//! multiparty computations, **threshold signature** and distributed
+//! majority agreement to provide trusted and reliable auditing").
+//!
+//! A dealer Shamir-shares the signing exponent `x` over `Z_q` among the
+//! `n` DLA nodes. Any `k` nodes jointly produce an ordinary Schnorr
+//! signature — no single node (and no coalition below `k`) can sign an
+//! audit result alone, which is exactly the paper's "no single node can
+//! misuse log information" requirement applied to result attestation.
+//!
+//! Protocol (dealer-assisted keygen, standard two-round signing):
+//! 1. each participating node `i` samples a nonce `k_i` and publishes
+//!    `r_i = g^{k_i}`;
+//! 2. everyone computes `r = Π r_i`, the challenge `e = H(r ‖ m ‖ y)`,
+//!    and node `i` responds `s_i = k_i + λ_i·x_i·e (mod q)` where `λ_i`
+//!    is the Lagrange coefficient of the signing subset;
+//! 3. `s = Σ s_i (mod q)` and `(e, s)` verifies under the *group* public
+//!    key with the plain [`crate::schnorr::verify`].
+
+use crate::schnorr::{SchnorrGroup, SchnorrKeyPair, SchnorrPublicKey, Signature};
+use crate::CryptoError;
+use dla_bigint::modular::{modinv, modmul, modsub};
+use dla_bigint::Ubig;
+use rand::Rng;
+use std::fmt;
+
+/// One node's share of the group signing key.
+#[derive(Clone)]
+pub struct KeyShare {
+    /// Public, distinct, nonzero evaluation point.
+    pub index: u64,
+    /// Secret polynomial evaluation `f(index) mod q`.
+    share: Ubig,
+}
+
+impl fmt::Debug for KeyShare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyShare(index: {})", self.index)
+    }
+}
+
+/// The dealer's output: the group public key plus one [`KeyShare`] per
+/// node.
+#[derive(Debug, Clone)]
+pub struct ThresholdKey {
+    group: SchnorrGroup,
+    threshold: usize,
+    public: SchnorrPublicKey,
+    shares: Vec<KeyShare>,
+}
+
+impl ThresholdKey {
+    /// Deals a fresh (k, n) threshold key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] unless
+    /// `1 ≤ k ≤ n`.
+    pub fn deal<R: Rng + ?Sized>(
+        group: &SchnorrGroup,
+        k: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Self, CryptoError> {
+        if k == 0 || n == 0 || k > n {
+            return Err(CryptoError::InvalidParameter("need 1 <= k <= n"));
+        }
+        let master = SchnorrKeyPair::generate(group, rng);
+        let q = group.order();
+        // Random degree-(k-1) polynomial over Z_q with f(0) = x.
+        let mut coeffs = Vec::with_capacity(k);
+        coeffs.push(master.secret().clone());
+        for _ in 1..k {
+            coeffs.push(Ubig::random_below(rng, q));
+        }
+        let shares = (1..=n as u64)
+            .map(|index| {
+                let x = Ubig::from_u64(index);
+                // Horner evaluation mod q.
+                let y = coeffs
+                    .iter()
+                    .rev()
+                    .fold(Ubig::zero(), |acc, c| (&modmul(&acc, &x, q) + c) % q);
+                KeyShare { index, share: y }
+            })
+            .collect();
+        Ok(ThresholdKey {
+            group: group.clone(),
+            threshold: k,
+            public: master.public().clone(),
+            shares,
+        })
+    }
+
+    /// The group public key the combined signatures verify under.
+    #[must_use]
+    pub fn public(&self) -> &SchnorrPublicKey {
+        &self.public
+    }
+
+    /// The threshold `k`.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The per-node shares (dealer hands these out, one per node).
+    #[must_use]
+    pub fn shares(&self) -> &[KeyShare] {
+        &self.shares
+    }
+
+    /// The group.
+    #[must_use]
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+}
+
+/// Round-1 output of one signer: the nonce commitment `r_i = g^{k_i}`
+/// (public) and the nonce itself (kept by the signer).
+#[derive(Debug, Clone)]
+pub struct NonceCommitment {
+    /// Signer's share index.
+    pub index: u64,
+    /// Public commitment `g^{k_i} mod p`.
+    pub r: Ubig,
+}
+
+/// A signer's in-flight signing session (round-1 secret state).
+pub struct SigningSession {
+    share: KeyShare,
+    nonce: Ubig,
+    commitment: NonceCommitment,
+}
+
+impl fmt::Debug for SigningSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SigningSession(index: {})", self.share.index)
+    }
+}
+
+impl SigningSession {
+    /// Round 1: commit to a fresh nonce.
+    pub fn start<R: Rng + ?Sized>(group: &SchnorrGroup, share: &KeyShare, rng: &mut R) -> Self {
+        let nonce = group.random_exponent(rng);
+        let commitment = NonceCommitment {
+            index: share.index,
+            r: group.pow_g(&nonce),
+        };
+        SigningSession {
+            share: share.clone(),
+            nonce,
+            commitment,
+        }
+    }
+
+    /// The public round-1 commitment to broadcast.
+    #[must_use]
+    pub fn commitment(&self) -> &NonceCommitment {
+        &self.commitment
+    }
+
+    /// Round 2: produce the partial response `s_i` given every signer's
+    /// commitment and the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] if this signer's index
+    /// is missing from `signers` or indices repeat.
+    pub fn respond(
+        self,
+        group: &SchnorrGroup,
+        public: &SchnorrPublicKey,
+        signers: &[NonceCommitment],
+        message: &[u8],
+    ) -> Result<PartialSignature, CryptoError> {
+        let indices: Vec<u64> = signers.iter().map(|c| c.index).collect();
+        let mut dedup = indices.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        if dedup.len() != indices.len() {
+            return Err(CryptoError::InvalidParameter("duplicate signer index"));
+        }
+        if !indices.contains(&self.share.index) {
+            return Err(CryptoError::InvalidParameter("signer not in the subset"));
+        }
+        let q = group.order();
+        let e = combined_challenge(group, public, signers, message);
+        let lambda = lagrange_at_zero(&indices, self.share.index, q)?;
+        let s_i = (&self.nonce + &modmul(&modmul(&lambda, &self.share.share, q), &e, q)) % q;
+        Ok(PartialSignature {
+            index: self.share.index,
+            s: s_i,
+        })
+    }
+}
+
+/// One signer's round-2 response.
+#[derive(Debug, Clone)]
+pub struct PartialSignature {
+    /// Signer's share index.
+    pub index: u64,
+    /// Response scalar `s_i`.
+    pub s: Ubig,
+}
+
+/// Computes the joint challenge `e = H(Π r_i ‖ m ‖ y)`.
+fn combined_challenge(
+    group: &SchnorrGroup,
+    public: &SchnorrPublicKey,
+    signers: &[NonceCommitment],
+    message: &[u8],
+) -> Ubig {
+    let p = group.modulus();
+    let r = signers
+        .iter()
+        .fold(Ubig::one(), |acc, c| modmul(&acc, &c.r, p));
+    group.challenge(&[
+        b"dla-schnorr",
+        &r.to_bytes_be(),
+        message,
+        &public.to_bytes(),
+    ])
+}
+
+/// Combines round-2 responses into a standard Schnorr [`Signature`].
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParameter`] if the responses do not
+/// match the commitments one-to-one.
+pub fn combine(
+    group: &SchnorrGroup,
+    public: &SchnorrPublicKey,
+    signers: &[NonceCommitment],
+    partials: &[PartialSignature],
+    message: &[u8],
+) -> Result<Signature, CryptoError> {
+    if signers.len() != partials.len() {
+        return Err(CryptoError::InvalidParameter(
+            "commitment/response count mismatch",
+        ));
+    }
+    let q = group.order();
+    let e = combined_challenge(group, public, signers, message);
+    let s = partials
+        .iter()
+        .fold(Ubig::zero(), |acc, p| (&acc + &p.s) % q);
+    Ok(Signature { e, s })
+}
+
+/// Lagrange coefficient `λ_i(0)` for signer `i` within `indices`, mod q.
+fn lagrange_at_zero(indices: &[u64], i: u64, q: &Ubig) -> Result<Ubig, CryptoError> {
+    let xi = Ubig::from_u64(i) % q;
+    let mut num = Ubig::one();
+    let mut den = Ubig::one();
+    for &j in indices {
+        if j == i {
+            continue;
+        }
+        let xj = Ubig::from_u64(j) % q;
+        // num *= (0 - xj) = q - xj ; den *= (xi - xj)
+        num = modmul(&num, &modsub(&Ubig::zero(), &xj, q), q);
+        den = modmul(&den, &modsub(&xi, &xj, q), q);
+    }
+    let inv = modinv(&den, q).ok_or(CryptoError::InvalidParameter(
+        "degenerate signer subset (repeated indices mod q)",
+    ))?;
+    Ok(modmul(&num, &inv, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::verify;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(88)
+    }
+
+    fn sign_with(
+        tk: &ThresholdKey,
+        subset: &[usize],
+        message: &[u8],
+        rng: &mut impl Rng,
+    ) -> Signature {
+        let group = tk.group().clone();
+        let sessions: Vec<SigningSession> = subset
+            .iter()
+            .map(|&i| SigningSession::start(&group, &tk.shares()[i], rng))
+            .collect();
+        let commitments: Vec<NonceCommitment> =
+            sessions.iter().map(|s| s.commitment().clone()).collect();
+        let partials: Vec<PartialSignature> = sessions
+            .into_iter()
+            .map(|s| {
+                s.respond(&group, tk.public(), &commitments, message)
+                    .unwrap()
+            })
+            .collect();
+        combine(&group, tk.public(), &commitments, &partials, message).unwrap()
+    }
+
+    #[test]
+    fn k_of_n_signature_verifies() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 3, 5, &mut rng).unwrap();
+        let sig = sign_with(&tk, &[0, 2, 4], b"audit result: 42", &mut rng);
+        assert!(verify(&group, tk.public(), b"audit result: 42", &sig));
+    }
+
+    #[test]
+    fn different_subsets_all_verify() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 2, 4, &mut rng).unwrap();
+        for subset in [[0usize, 1], [1, 2], [2, 3], [0, 3]] {
+            let sig = sign_with(&tk, &subset, b"m", &mut rng);
+            assert!(verify(&group, tk.public(), b"m", &sig), "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_signers_fail() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 3, 5, &mut rng).unwrap();
+        // Two signers using 2-party Lagrange coefficients reconstruct the
+        // wrong exponent for a degree-2 polynomial.
+        let sig = sign_with(&tk, &[0, 1], b"m", &mut rng);
+        assert!(!verify(&group, tk.public(), b"m", &sig));
+    }
+
+    #[test]
+    fn signature_bound_to_message() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 2, 3, &mut rng).unwrap();
+        let sig = sign_with(&tk, &[0, 1], b"original", &mut rng);
+        assert!(!verify(&group, tk.public(), b"tampered", &sig));
+    }
+
+    #[test]
+    fn deal_validates_parameters() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        assert!(ThresholdKey::deal(&group, 0, 3, &mut rng).is_err());
+        assert!(ThresholdKey::deal(&group, 4, 3, &mut rng).is_err());
+        assert!(ThresholdKey::deal(&group, 3, 0, &mut rng).is_err());
+        assert!(ThresholdKey::deal(&group, 1, 1, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn respond_rejects_foreign_subset() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 2, 3, &mut rng).unwrap();
+        let session = SigningSession::start(&group, &tk.shares()[0], &mut rng);
+        let other = SigningSession::start(&group, &tk.shares()[1], &mut rng);
+        // Subset without this signer's own index.
+        let foreign = vec![other.commitment().clone()];
+        assert!(session
+            .respond(&group, tk.public(), &foreign, b"m")
+            .is_err());
+    }
+
+    #[test]
+    fn respond_rejects_duplicate_indices() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 2, 3, &mut rng).unwrap();
+        let session = SigningSession::start(&group, &tk.shares()[0], &mut rng);
+        let c = session.commitment().clone();
+        let dup = vec![c.clone(), c];
+        assert!(session.respond(&group, tk.public(), &dup, b"m").is_err());
+    }
+
+    #[test]
+    fn one_of_one_threshold_is_plain_schnorr() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 1, 1, &mut rng).unwrap();
+        let sig = sign_with(&tk, &[0], b"solo", &mut rng);
+        assert!(verify(&group, tk.public(), b"solo", &sig));
+    }
+
+    #[test]
+    fn key_share_debug_hides_secret() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng();
+        let tk = ThresholdKey::deal(&group, 2, 3, &mut rng).unwrap();
+        let dbg = format!("{:?}", tk.shares()[0]);
+        assert!(!dbg.contains(&tk.shares()[0].share.to_hex()));
+    }
+}

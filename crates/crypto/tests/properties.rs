@@ -1,0 +1,166 @@
+//! Property tests for the cryptographic primitives: the paper's Eq. 6
+//! (commutativity under arbitrary permutations), Eq. 7 (distinctness),
+//! Eq. 9 (accumulator order independence), Shamir reconstruction and
+//! signature soundness on randomized inputs.
+
+use dla_bigint::{F61, Ubig};
+use dla_crypto::accumulator::AccumulatorParams;
+use dla_crypto::pohlig_hellman::{CommutativeDomain, CommutativeKey, PhKey, XorKey};
+use dla_crypto::schnorr::{self, SchnorrGroup, SchnorrKeyPair};
+use dla_crypto::{shamir, shamir_big};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng_from(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn eq6_commutativity_under_any_permutation(
+        seed in 0u64..10_000,
+        perm_seed in 0u64..10_000,
+        message in prop::collection::vec(any::<u8>(), 1..24),
+        n_keys in 2usize..5,
+    ) {
+        let domain = CommutativeDomain::fixed_256();
+        let mut rng = rng_from(seed);
+        let keys: Vec<PhKey> = (0..n_keys).map(|_| PhKey::generate(&domain, &mut rng)).collect();
+        let m = domain.encode(&message).unwrap();
+
+        // Apply in index order vs. a shuffled order.
+        let mut order: Vec<usize> = (0..n_keys).collect();
+        let mut prng = rng_from(perm_seed);
+        for i in (1..order.len()).rev() {
+            let j = rand::Rng::gen_range(&mut prng, 0..=i);
+            order.swap(i, j);
+        }
+        let forward = keys.iter().fold(m.clone(), |c, k| k.encrypt(&c));
+        let shuffled = order.iter().fold(m.clone(), |c, &i| keys[i].encrypt(&c));
+        prop_assert_eq!(forward, shuffled);
+
+        // And every layer is removable in the shuffled order too.
+        let back = order.iter().rev().fold(
+            keys.iter().fold(m.clone(), |c, k| k.encrypt(&c)),
+            |c, &i| keys[i].decrypt(&c),
+        );
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn eq7_distinct_plaintexts_distinct_ciphertexts(
+        seed in 0u64..10_000,
+        a in prop::collection::vec(any::<u8>(), 1..20),
+        b in prop::collection::vec(any::<u8>(), 1..20),
+    ) {
+        prop_assume!(a != b);
+        let domain = CommutativeDomain::fixed_256();
+        let mut rng = rng_from(seed);
+        let key = PhKey::generate(&domain, &mut rng);
+        let ca = key.encrypt(&domain.encode(&a).unwrap());
+        let cb = key.encrypt(&domain.encode(&b).unwrap());
+        prop_assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn eq9_accumulator_order_independence(
+        items in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 1..6),
+        perm_seed in 0u64..10_000,
+    ) {
+        let params = AccumulatorParams::fixed_512();
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        let mut prng = rng_from(perm_seed);
+        for i in (1..order.len()).rev() {
+            let j = rand::Rng::gen_range(&mut prng, 0..=i);
+            order.swap(i, j);
+        }
+        let a = params.accumulate(items.iter().map(Vec::as_slice));
+        let b = params.accumulate(order.iter().map(|&i| items[i].as_slice()));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shamir_reconstructs_from_any_quorum(
+        secret in any::<u64>(),
+        k in 1usize..5,
+        extra in 0usize..3,
+        seed in 0u64..10_000,
+        pick_seed in 0u64..10_000,
+    ) {
+        let n = k + extra;
+        let mut rng = rng_from(seed);
+        let shares = shamir::share(F61::new(secret), k, n, &mut rng);
+        // Pick k distinct shares pseudo-randomly.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut prng = rng_from(pick_seed);
+        for i in (1..idx.len()).rev() {
+            let j = rand::Rng::gen_range(&mut prng, 0..=i);
+            idx.swap(i, j);
+        }
+        let picked: Vec<_> = idx[..k].iter().map(|&i| shares[i]).collect();
+        prop_assert_eq!(shamir::reconstruct(&picked).unwrap(), F61::new(secret));
+    }
+
+    #[test]
+    fn shamir_big_linear_combinations(
+        a in any::<u32>(),
+        b in any::<u32>(),
+        seed in 0u64..10_000,
+    ) {
+        let q = SchnorrGroup::fixed_256().order().clone();
+        let mut rng = rng_from(seed);
+        let pa = shamir_big::BigPolynomial::random(&Ubig::from_u64(u64::from(a)), 2, &q, &mut rng);
+        let pb = shamir_big::BigPolynomial::random(&Ubig::from_u64(u64::from(b)), 2, &q, &mut rng);
+        let summed: Vec<shamir_big::BigShare> = (1..=2u64)
+            .map(|i| {
+                let x = Ubig::from_u64(i);
+                shamir_big::BigShare {
+                    y: (&pa.eval(&x) + &pb.eval(&x)) % &q,
+                    x,
+                }
+            })
+            .collect();
+        prop_assert_eq!(
+            shamir_big::reconstruct(&summed, &q).unwrap(),
+            Ubig::from_u64(u64::from(a) + u64::from(b))
+        );
+    }
+
+    #[test]
+    fn signatures_never_cross_verify(
+        seed in 0u64..10_000,
+        m1 in prop::collection::vec(any::<u8>(), 0..64),
+        m2 in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(m1 != m2);
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rng_from(seed);
+        let key = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = key.sign(&m1, &mut rng);
+        prop_assert!(schnorr::verify(&group, key.public(), &m1, &sig));
+        prop_assert!(!schnorr::verify(&group, key.public(), &m2, &sig));
+    }
+
+    #[test]
+    fn xor_cipher_commutes_and_round_trips(
+        seed in 0u64..10_000,
+        message in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut rng = rng_from(seed);
+        let ka = XorKey::generate(&mut rng);
+        let kb = XorKey::generate(&mut rng);
+        let m = Ubig::from_bytes_be(&message);
+        prop_assert_eq!(ka.encrypt(&kb.encrypt(&m)), kb.encrypt(&ka.encrypt(&m)));
+        prop_assert_eq!(ka.decrypt(&ka.encrypt(&m)), m);
+    }
+
+    #[test]
+    fn group_encode_round_trips(message in prop::collection::vec(1u8..=255, 1..24)) {
+        // Leading nonzero byte so the byte round-trip is exact.
+        let domain = CommutativeDomain::fixed_256();
+        let element = domain.encode(&message).unwrap();
+        prop_assert_eq!(domain.decode(&element), message);
+    }
+}

@@ -1,0 +1,92 @@
+//! Event-log storage for the DLA cluster: the data model, attribute
+//! fragmentation, tickets/ACLs and per-node fragment stores.
+//!
+//! This crate realizes the paper's §2/§4 storage design:
+//!
+//! * [`model`] — records `Log = {glsn, L}`, typed attribute values, the
+//!   paper's time rendering (Table 1).
+//! * [`schema`] — the attribute universe `I` with well-known vs.
+//!   *undefined* attributes (§5).
+//! * [`fragment`] — splitting records across DLA nodes so "no single
+//!   node owns the full set of log records" (Tables 2–5).
+//! * [`acl`] — tickets and the replicated access-control table
+//!   (Table 6).
+//! * [`store`] — per-node fragment stores and the glsn allocator.
+//! * [`gen`] — the Table 1 dataset and synthetic workload generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use dla_logstore::fragment::{fragment, reassemble, Partition};
+//! use dla_logstore::gen::paper_table1;
+//! use dla_logstore::schema::Schema;
+//!
+//! let schema = Schema::paper_example();
+//! let partition = Partition::paper_example(&schema);
+//! for record in paper_table1() {
+//!     let frags = fragment(&record, &partition);
+//!     // The cluster as a whole holds the record; no node holds it all.
+//!     assert!(frags.iter().all(|f| f.values.len() < record.len()));
+//!     assert_eq!(reassemble(&frags)?, record);
+//! }
+//! # Ok::<(), dla_logstore::LogError>(())
+//! ```
+
+use std::fmt;
+
+pub mod acl;
+pub mod fragment;
+pub mod gen;
+pub mod journal;
+pub mod model;
+pub mod schema;
+pub mod store;
+
+pub use model::{AttrName, AttrType, AttrValue, Glsn, LogRecord, TransactionId};
+
+/// Errors surfaced by the log-storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogError {
+    /// Schema violation (unknown attribute, type mismatch, duplicates).
+    Schema(String),
+    /// Partition violation (unassigned/doubly assigned attributes,
+    /// fragment mismatches).
+    Partition(String),
+    /// An operation was denied by a ticket or access-control table.
+    AccessDenied(String),
+    /// A storage-level failure (missing or duplicate glsn, wrong node).
+    Store(String),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Schema(msg) => write!(f, "schema error: {msg}"),
+            LogError::Partition(msg) => write!(f, "partition error: {msg}"),
+            LogError::AccessDenied(msg) => write!(f, "access denied: {msg}"),
+            LogError::Store(msg) => write!(f, "store error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_prefixes() {
+        assert!(LogError::Schema("x".into()).to_string().starts_with("schema error"));
+        assert!(LogError::AccessDenied("x".into())
+            .to_string()
+            .starts_with("access denied"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogError>();
+    }
+}

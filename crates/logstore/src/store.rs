@@ -1,0 +1,457 @@
+//! Per-node fragment storage and the cluster-wide glsn allocator.
+
+use crate::acl::{AccessControlTable, Operation, OperationSet, Ticket};
+use crate::fragment::Fragment;
+use crate::journal::{Journal, JournalEntry};
+use crate::model::{AttrName, AttrValue, Glsn};
+use crate::LogError;
+use std::path::Path;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocates monotonically increasing, cluster-unique glsns ("uniquely
+/// assigned by DLA cluster", §4). Thread-safe so concurrent application
+/// nodes can log in parallel.
+#[derive(Debug)]
+pub struct GlsnAllocator {
+    next: AtomicU64,
+}
+
+impl GlsnAllocator {
+    /// Starts allocation at `first` (the paper's examples start at
+    /// `0x139aef78`).
+    #[must_use]
+    pub fn starting_at(first: Glsn) -> Self {
+        GlsnAllocator {
+            next: AtomicU64::new(first.0),
+        }
+    }
+
+    /// Allocates the next glsn.
+    pub fn allocate(&self) -> Glsn {
+        Glsn(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl Default for GlsnAllocator {
+    fn default() -> Self {
+        GlsnAllocator::starting_at(Glsn(0x139a_ef78))
+    }
+}
+
+/// One DLA node's fragment store plus its replica of the access-control
+/// table. Optionally backed by a durable [`Journal`]: writes and
+/// deletes are then logged (fsynced) before they apply, and
+/// [`FragmentStore::restore`] rebuilds the store after a restart.
+#[derive(Default)]
+pub struct FragmentStore {
+    node: usize,
+    fragments: BTreeMap<Glsn, Fragment>,
+    acl: AccessControlTable,
+    journal: Option<Journal>,
+}
+
+impl fmt::Debug for FragmentStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FragmentStore(node: {}, fragments: {})",
+            self.node,
+            self.fragments.len()
+        )
+    }
+}
+
+impl FragmentStore {
+    /// Creates the store for DLA node `node`.
+    #[must_use]
+    pub fn new(node: usize) -> Self {
+        FragmentStore {
+            node,
+            fragments: BTreeMap::new(),
+            acl: AccessControlTable::new(),
+            journal: None,
+        }
+    }
+
+    /// Creates a durable store journaling to `path` (which may already
+    /// contain a previous run's entries — they are replayed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] on I/O failure or journal corruption.
+    pub fn restore(node: usize, path: &Path) -> Result<Self, LogError> {
+        let (journal, entries) = Journal::open(path)?;
+        let mut acl = AccessControlTable::new();
+        for entry in &entries {
+            if let JournalEntry::AclGrant { ticket, ops, glsn } = entry {
+                acl.authorize_parts(
+                    crate::acl::TicketId::new(ticket),
+                    OperationSet::from_byte(*ops),
+                    *glsn,
+                );
+            }
+        }
+        let fragments = Journal::materialize(entries)
+            .into_iter()
+            .map(|f| (f.glsn, f))
+            .collect();
+        Ok(FragmentStore {
+            node,
+            fragments,
+            acl,
+            journal: Some(journal),
+        })
+    }
+
+    /// Whether the store is journal-backed.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The owning node index.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Writes a fragment under a ticket: the glsn is registered in the
+    /// ACL and the fragment stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::AccessDenied`] if the ticket does not permit
+    /// writes, [`LogError::Store`] if the fragment belongs to another
+    /// node or the glsn is already present.
+    pub fn write(&mut self, ticket: &Ticket, fragment: Fragment) -> Result<(), LogError> {
+        if !ticket.ops.allows(Operation::Write) {
+            return Err(LogError::AccessDenied(format!(
+                "ticket {} does not permit W",
+                ticket.id
+            )));
+        }
+        if fragment.node != self.node {
+            return Err(LogError::Store(format!(
+                "fragment for node {} written to node {}",
+                fragment.node, self.node
+            )));
+        }
+        if self.fragments.contains_key(&fragment.glsn) {
+            return Err(LogError::Store(format!(
+                "glsn {} already stored at node {}",
+                fragment.glsn, self.node
+            )));
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append(&JournalEntry::Fragment(fragment.clone()))?;
+            journal.append(&JournalEntry::AclGrant {
+                ticket: ticket.id.as_str().to_owned(),
+                ops: ticket.ops.to_byte(),
+                glsn: fragment.glsn,
+            })?;
+        }
+        self.acl.authorize(ticket, fragment.glsn);
+        self.fragments.insert(fragment.glsn, fragment);
+        Ok(())
+    }
+
+    /// Reads a fragment under a ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::AccessDenied`] per the ACL, or
+    /// [`LogError::Store`] if the glsn is absent.
+    pub fn read(&self, ticket: &Ticket, glsn: Glsn) -> Result<&Fragment, LogError> {
+        self.acl.check(ticket, Operation::Read, glsn)?;
+        self.fragments
+            .get(&glsn)
+            .ok_or_else(|| LogError::Store(format!("glsn {glsn} not stored at node {}", self.node)))
+    }
+
+    /// Deletes a fragment under a ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::AccessDenied`] per the ACL, or
+    /// [`LogError::Store`] if the glsn is absent.
+    pub fn delete(&mut self, ticket: &Ticket, glsn: Glsn) -> Result<Fragment, LogError> {
+        self.acl.check(ticket, Operation::Delete, glsn)?;
+        if !self.fragments.contains_key(&glsn) {
+            return Err(LogError::Store(format!(
+                "glsn {glsn} not stored at node {}",
+                self.node
+            )));
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append(&JournalEntry::Tombstone(glsn))?;
+        }
+        Ok(self.fragments.remove(&glsn).expect("checked above"))
+    }
+
+    /// Node-internal access for protocol machinery (integrity checking,
+    /// local predicate evaluation). "P_i has full access to its own
+    /// stored log fragments" (§4).
+    #[must_use]
+    pub fn get_local(&self, glsn: Glsn) -> Option<&Fragment> {
+        self.fragments.get(&glsn)
+    }
+
+    /// Iterates all fragments in glsn order.
+    pub fn scan(&self) -> impl Iterator<Item = &Fragment> {
+        self.fragments.values()
+    }
+
+    /// Number of stored fragments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// The node's ACL replica.
+    #[must_use]
+    pub fn acl(&self) -> &AccessControlTable {
+        &self.acl
+    }
+
+    /// **Adversarial test hook**: mutable ACL access, modelling a
+    /// compromised node rewriting its access-control table (§4.1).
+    pub fn acl_mut_for_tests(&mut self) -> &mut AccessControlTable {
+        &mut self.acl
+    }
+
+    /// **Adversarial test hook**: silently modifies a stored value, as a
+    /// compromised node would (§4.1: "when a DLA node is compromised,
+    /// its access control tables and log records could be modified").
+    /// Returns `true` if the glsn/attribute existed.
+    pub fn tamper(&mut self, glsn: Glsn, attr: &AttrName, value: AttrValue) -> bool {
+        match self.fragments.get_mut(&glsn) {
+            Some(frag) if frag.values.get(attr).is_some() => {
+                frag.values.insert(attr.clone(), value);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{OperationSet, TicketAuthority};
+    use crate::fragment::{fragment, Partition};
+    use crate::model::LogRecord;
+    use crate::schema::Schema;
+    use dla_crypto::schnorr::{SchnorrGroup, SchnorrKeyPair};
+    use rand::SeedableRng;
+
+    fn ticket(ops: OperationSet) -> Ticket {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(321);
+        let mut authority = TicketAuthority::new(&group, &mut rng);
+        let user = SchnorrKeyPair::generate(&group, &mut rng);
+        authority.issue(user.public(), ops, &mut rng)
+    }
+
+    fn sample_fragments(glsn: u64) -> Vec<Fragment> {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let record = LogRecord::new(Glsn(glsn))
+            .with("time", AttrValue::Time(100))
+            .with("id", AttrValue::text("U1"))
+            .with("protocol", AttrValue::text("UDP"))
+            .with("tid", AttrValue::text("T1"))
+            .with("c1", AttrValue::Int(20))
+            .with("c2", AttrValue::Fixed2(2345))
+            .with("c3", AttrValue::text("sig"));
+        fragment(&record, &partition)
+    }
+
+    #[test]
+    fn glsn_allocator_is_monotonic_and_unique() {
+        let alloc = GlsnAllocator::default();
+        let a = alloc.allocate();
+        let b = alloc.allocate();
+        assert_eq!(a, Glsn(0x139a_ef78));
+        assert_eq!(b, Glsn(0x139a_ef79));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn glsn_allocator_is_thread_safe() {
+        let alloc = std::sync::Arc::new(GlsnAllocator::starting_at(Glsn(0)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let alloc = std::sync::Arc::clone(&alloc);
+                std::thread::spawn(move || (0..250).map(|_| alloc.allocate().0).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "no duplicate glsns under concurrency");
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let t = ticket(OperationSet::read_write());
+        let mut store = FragmentStore::new(1);
+        let frag = sample_fragments(7).remove(1);
+        store.write(&t, frag.clone()).unwrap();
+        assert_eq!(store.read(&t, Glsn(7)).unwrap(), &frag);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn write_rejects_wrong_node() {
+        let t = ticket(OperationSet::read_write());
+        let mut store = FragmentStore::new(0);
+        let frag_for_p1 = sample_fragments(7).remove(1);
+        let err = store.write(&t, frag_for_p1).unwrap_err();
+        assert!(err.to_string().contains("node 1 written to node 0"));
+    }
+
+    #[test]
+    fn write_rejects_duplicate_glsn() {
+        let t = ticket(OperationSet::read_write());
+        let mut store = FragmentStore::new(1);
+        let frag = sample_fragments(7).remove(1);
+        store.write(&t, frag.clone()).unwrap();
+        assert!(store.write(&t, frag).is_err());
+    }
+
+    #[test]
+    fn read_requires_authorized_ticket() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut authority = TicketAuthority::new(&group, &mut rng);
+        let user = SchnorrKeyPair::generate(&group, &mut rng);
+        let writer = authority.issue(user.public(), OperationSet::read_write(), &mut rng);
+        let stranger = authority.issue(user.public(), OperationSet::all(), &mut rng);
+
+        let mut store = FragmentStore::new(1);
+        store.write(&writer, sample_fragments(7).remove(1)).unwrap();
+        // A different ticket (no glsns authorized under it) is denied.
+        assert!(store.read(&stranger, Glsn(7)).is_err());
+    }
+
+    #[test]
+    fn write_only_ticket_cannot_read() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut authority = TicketAuthority::new(&group, &mut rng);
+        let user = SchnorrKeyPair::generate(&group, &mut rng);
+        let wo = authority.issue(
+            user.public(),
+            OperationSet::none().with(Operation::Write),
+            &mut rng,
+        );
+        let mut store = FragmentStore::new(1);
+        store.write(&wo, sample_fragments(7).remove(1)).unwrap();
+        let err = store.read(&wo, Glsn(7)).unwrap_err();
+        assert!(err.to_string().contains("does not permit R"));
+    }
+
+    #[test]
+    fn delete_requires_delete_right() {
+        let group = SchnorrGroup::fixed_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut authority = TicketAuthority::new(&group, &mut rng);
+        let user = SchnorrKeyPair::generate(&group, &mut rng);
+        let rw = authority.issue(user.public(), OperationSet::read_write(), &mut rng);
+        let all = authority.issue(user.public(), OperationSet::all(), &mut rng);
+
+        let mut store = FragmentStore::new(1);
+        store.write(&rw, sample_fragments(7).remove(1)).unwrap();
+        assert!(store.delete(&rw, Glsn(7)).is_err(), "W/R cannot delete");
+
+        let mut store2 = FragmentStore::new(1);
+        store2.write(&all, sample_fragments(8).remove(1)).unwrap();
+        assert!(store2.delete(&all, Glsn(8)).is_ok());
+        assert!(store2.is_empty());
+    }
+
+    #[test]
+    fn tamper_changes_stored_value() {
+        let t = ticket(OperationSet::read_write());
+        let mut store = FragmentStore::new(1);
+        store.write(&t, sample_fragments(7).remove(1)).unwrap();
+        assert!(store.tamper(Glsn(7), &"c2".into(), AttrValue::Fixed2(999_999)));
+        assert_eq!(
+            store.get_local(Glsn(7)).unwrap().values.get(&"c2".into()),
+            Some(&AttrValue::Fixed2(999_999))
+        );
+        // Tampering a missing attribute or glsn reports false.
+        assert!(!store.tamper(Glsn(7), &"time".into(), AttrValue::Time(0)));
+        assert!(!store.tamper(Glsn(99), &"c2".into(), AttrValue::Fixed2(0)));
+    }
+
+    #[test]
+    fn durable_store_survives_restart() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let t = ticket(OperationSet::read_write());
+        {
+            let mut store = FragmentStore::restore(1, &path).unwrap();
+            assert!(store.is_durable());
+            assert!(store.is_empty());
+            for glsn in [3u64, 7] {
+                store.write(&t, sample_fragments(glsn).remove(1)).unwrap();
+            }
+        }
+        // "Restart": restore from the journal; data and ACL survive.
+        let store = FragmentStore::restore(1, &path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.read(&t, Glsn(3)).is_ok());
+        assert!(store.read(&t, Glsn(7)).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_delete_survives_restart() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-del-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let t = ticket(OperationSet::all());
+        {
+            let mut store = FragmentStore::restore(1, &path).unwrap();
+            store.write(&t, sample_fragments(9).remove(1)).unwrap();
+            store.delete(&t, Glsn(9)).unwrap();
+        }
+        let store = FragmentStore::restore(1, &path).unwrap();
+        assert!(store.is_empty(), "tombstone must survive restart");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scan_is_glsn_ordered() {
+        let t = ticket(OperationSet::read_write());
+        let mut store = FragmentStore::new(1);
+        for glsn in [9u64, 3, 7] {
+            store.write(&t, sample_fragments(glsn).remove(1)).unwrap();
+        }
+        let order: Vec<u64> = store.scan().map(|f| f.glsn.0).collect();
+        assert_eq!(order, vec![3, 7, 9]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Secure distributed sorting: `Max_s`, `Min_s`, `Rank_s` (paper §3.3).
+//!
+//! "If all n parties negotiate for a transformation, and let a blind
+//! TTP process these transformed numbers, the cost of the three
+//! operations will be significantly reduced."
+//!
+//! Protocol: the initiating party samples an order-preserving mask
+//! (slope + offset + keyed jitter, see
+//! [`dla_crypto::affine::MonotoneMasker`]) and seals it to the other
+//! parties; every party sends only its *masked* value to the TTP; the
+//! TTP sorts masked values — which sorts the plaintext values — and
+//! broadcasts the ranking of party indices. Nobody (TTP included)
+//! learns any plaintext; the TTP additionally cannot learn value *gaps*
+//! thanks to the jitter. Ties are visible to the TTP (equal plaintexts
+//! mask equally) — a permitted secondary-information leak under
+//! Definition 1, and what makes `Rank_s` well-defined on ties.
+
+use crate::report::{Meter, ProtocolReport};
+use crate::MpcError;
+use dla_crypto::affine::MonotoneMasker;
+use dla_net::wire::{Reader, Writer};
+use dla_net::{NodeId, SimNet};
+use rand::Rng;
+
+/// Result of a secure-ranking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankOutcome {
+    /// Party indices sorted by their value, ascending (ties by party
+    /// index).
+    pub ascending: Vec<usize>,
+    /// `ranks[i]` = 0-based rank of party `i` (0 = smallest; equal
+    /// values share the smaller rank).
+    pub ranks: Vec<usize>,
+    /// Index of the party holding the maximum.
+    pub max_party: usize,
+    /// Index of the party holding the minimum.
+    pub min_party: usize,
+    /// Cost accounting.
+    pub report: ProtocolReport,
+}
+
+/// Runs `Rank_s` (and with it `Max_s`/`Min_s`) over `parties` with the
+/// blind `ttp`. `values[i]` is the private value of `parties[i]`.
+///
+/// # Errors
+///
+/// Returns [`MpcError`] on network failure or malformed messages.
+///
+/// # Panics
+///
+/// Panics if parties are empty, the TTP is among the parties, or any
+/// value exceeds [`dla_crypto::affine::MONOTONE_MAX_INPUT`].
+pub fn secure_ranking<R: Rng + ?Sized>(
+    net: &mut SimNet,
+    parties: &[NodeId],
+    ttp: NodeId,
+    values: &[u64],
+    rng: &mut R,
+) -> Result<RankOutcome, MpcError> {
+    let n = parties.len();
+    assert!(n >= 1, "need at least one party");
+    assert_eq!(values.len(), n, "one value per party");
+    assert!(!parties.contains(&ttp), "TTP must not be a party");
+    let meter = Meter::start(net);
+
+    // Negotiation round: initiator seals the mask to each peer.
+    let mask = MonotoneMasker::random(rng);
+    for &peer in &parties[1..] {
+        let mut w = Writer::new();
+        w.put_u8(0x07).put_bytes(&mask.to_bytes());
+        net.send(parties[0], peer, w.finish());
+        let envelope = net.recv_from(peer, parties[0])?;
+        let mut r = Reader::new(&envelope.payload);
+        if r.get_u8()? != 0x07 {
+            return Err(MpcError::Wire("unexpected negotiation tag".into()));
+        }
+        let _peer_mask = MonotoneMasker::from_bytes(r.get_bytes()?)?;
+        r.finish()?;
+    }
+
+    // Submission round: masked values to the TTP.
+    for (i, &party) in parties.iter().enumerate() {
+        let mut w = Writer::new();
+        w.put_u8(0x08).put_u64(i as u64).put_u128(mask.apply(values[i]));
+        net.send(party, ttp, w.finish());
+    }
+    let mut masked: Vec<(u128, usize)> = Vec::with_capacity(n);
+    for &party in parties {
+        let envelope = net.recv_from(ttp, party)?;
+        let mut r = Reader::new(&envelope.payload);
+        if r.get_u8()? != 0x08 {
+            return Err(MpcError::Wire("unexpected submission tag".into()));
+        }
+        let idx = r.get_u64()? as usize;
+        let w = r.get_u128()?;
+        r.finish()?;
+        masked.push((w, idx));
+    }
+
+    // The blind TTP sorts masked values; order-preservation makes this
+    // the plaintext ranking.
+    masked.sort_unstable();
+    let ascending: Vec<usize> = masked.iter().map(|&(_, i)| i).collect();
+    let mut ranks = vec![0usize; n];
+    for (pos, &(w, party)) in masked.iter().enumerate() {
+        // Equal masked values (ties) share the smaller rank.
+        if pos > 0 && masked[pos - 1].0 == w {
+            ranks[party] = ranks[masked[pos - 1].1];
+        } else {
+            ranks[party] = pos;
+        }
+    }
+
+    // Result broadcast.
+    for &party in parties {
+        let mut w = Writer::new();
+        w.put_u8(0x09).put_list(&ascending, |w, &i| {
+            w.put_u64(i as u64);
+        });
+        net.send(ttp, party, w.finish());
+        let envelope = net.recv_from(party, ttp)?;
+        let mut r = Reader::new(&envelope.payload);
+        if r.get_u8()? != 0x09 {
+            return Err(MpcError::Wire("unexpected result tag".into()));
+        }
+        let reported = r.get_list(|r| r.get_u64().map(|v| v as usize))?;
+        r.finish()?;
+        if reported != ascending {
+            return Err(MpcError::Protocol("ranking broadcast mismatch".into()));
+        }
+    }
+
+    let report = meter.finish(net, "secure-ranking", n, 3);
+    Ok(RankOutcome {
+        max_party: *ascending.last().expect("nonempty"),
+        min_party: ascending[0],
+        ascending,
+        ranks,
+        report,
+    })
+}
+
+/// Result of a `Max_s`/`Min_s` run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtremumOutcome {
+    /// The party holding the extremum.
+    pub party: usize,
+    /// Cost accounting.
+    pub report: ProtocolReport,
+}
+
+/// `Max_s` (§3.3): which party holds the maximum — nobody learns any
+/// value, only the winner's index.
+///
+/// # Errors
+///
+/// As [`secure_ranking`].
+///
+/// # Panics
+///
+/// As [`secure_ranking`].
+pub fn secure_max<R: Rng + ?Sized>(
+    net: &mut SimNet,
+    parties: &[NodeId],
+    ttp: NodeId,
+    values: &[u64],
+    rng: &mut R,
+) -> Result<ExtremumOutcome, MpcError> {
+    let outcome = secure_ranking(net, parties, ttp, values, rng)?;
+    Ok(ExtremumOutcome {
+        party: outcome.max_party,
+        report: outcome.report,
+    })
+}
+
+/// `Min_s` (§3.3): which party holds the minimum.
+///
+/// # Errors
+///
+/// As [`secure_ranking`].
+///
+/// # Panics
+///
+/// As [`secure_ranking`].
+pub fn secure_min<R: Rng + ?Sized>(
+    net: &mut SimNet,
+    parties: &[NodeId],
+    ttp: NodeId,
+    values: &[u64],
+    rng: &mut R,
+) -> Result<ExtremumOutcome, MpcError> {
+    let outcome = secure_ranking(net, parties, ttp, values, rng)?;
+    Ok(ExtremumOutcome {
+        party: outcome.min_party,
+        report: outcome.report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_net::NetConfig;
+    use rand::SeedableRng;
+
+    fn setup(n: usize) -> (SimNet, Vec<NodeId>, NodeId, rand::rngs::StdRng) {
+        (
+            SimNet::new(n + 1, NetConfig::ideal()),
+            (0..n).map(NodeId).collect(),
+            NodeId(n),
+            rand::rngs::StdRng::seed_from_u64(5000),
+        )
+    }
+
+    #[test]
+    fn ranks_distinct_values() {
+        let (mut net, parties, ttp, mut rng) = setup(4);
+        let values = [300u64, 100, 400, 200];
+        let outcome = secure_ranking(&mut net, &parties, ttp, &values, &mut rng).unwrap();
+        assert_eq!(outcome.ascending, vec![1, 3, 0, 2]);
+        assert_eq!(outcome.ranks, vec![2, 0, 3, 1]);
+        assert_eq!(outcome.max_party, 2);
+        assert_eq!(outcome.min_party, 1);
+    }
+
+    #[test]
+    fn matches_plain_sort_on_random_inputs() {
+        let (_, _, _, mut rng) = setup(1);
+        for n in [2usize, 5, 9] {
+            let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 32)).collect();
+            let (mut net, parties, ttp, mut prng) = setup(n);
+            let outcome = secure_ranking(&mut net, &parties, ttp, &values, &mut prng).unwrap();
+            let mut expect: Vec<usize> = (0..n).collect();
+            expect.sort_by_key(|&i| (values[i], i));
+            assert_eq!(outcome.ascending, expect);
+        }
+    }
+
+    #[test]
+    fn ties_share_rank() {
+        let (mut net, parties, ttp, mut rng) = setup(3);
+        let values = [7u64, 7, 3];
+        let outcome = secure_ranking(&mut net, &parties, ttp, &values, &mut rng).unwrap();
+        assert_eq!(outcome.min_party, 2);
+        assert_eq!(outcome.ranks[0], outcome.ranks[1], "equal values, equal rank");
+        assert_eq!(outcome.ranks[2], 0);
+    }
+
+    #[test]
+    fn message_complexity_is_linear() {
+        for n in [2usize, 4, 8] {
+            let (mut net, parties, ttp, mut rng) = setup(n);
+            let values: Vec<u64> = (0..n as u64).collect();
+            let outcome = secure_ranking(&mut net, &parties, ttp, &values, &mut rng).unwrap();
+            // (n−1) negotiation + n submissions + n broadcasts.
+            assert_eq!(outcome.report.messages as usize, 3 * n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_party_trivial() {
+        let (mut net, parties, ttp, mut rng) = setup(1);
+        let outcome = secure_ranking(&mut net, &parties, ttp, &[42], &mut rng).unwrap();
+        assert_eq!(outcome.ascending, vec![0]);
+        assert_eq!(outcome.max_party, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TTP must not be a party")]
+    fn ttp_overlap_panics() {
+        let (mut net, parties, _, mut rng) = setup(2);
+        let _ = secure_ranking(&mut net, &parties, parties[0], &[1, 2], &mut rng);
+    }
+
+    #[test]
+    fn max_and_min_wrappers() {
+        let (mut net, parties, ttp, mut rng) = setup(4);
+        let values = [30u64, 10, 40, 20];
+        let max = secure_max(&mut net, &parties, ttp, &values, &mut rng).unwrap();
+        assert_eq!(max.party, 2);
+        let min = secure_min(&mut net, &parties, ttp, &values, &mut rng).unwrap();
+        assert_eq!(min.party, 1);
+    }
+
+    #[test]
+    fn robust_under_link_latency() {
+        // Submissions from different parties interleave arbitrarily
+        // under random latency; selective receive must keep the
+        // protocol deterministic in outcome.
+        use dla_net::latency::LatencyModel;
+        for seed in 0..5u64 {
+            let n = 5;
+            let cfg = NetConfig::ideal()
+                .with_latency(LatencyModel::lan())
+                .with_seed(seed);
+            let mut net = SimNet::new(n + 1, cfg);
+            let parties: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let values = [42u64, 7, 99, 7, 13];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let outcome =
+                secure_ranking(&mut net, &parties, NodeId(n), &values, &mut rng).unwrap();
+            assert_eq!(outcome.max_party, 2, "seed {seed}");
+            assert_eq!(outcome.min_party, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dropped_submission_detected() {
+        let (mut net, parties, ttp, mut rng) = setup(3);
+        net.faults_mut()
+            .inject_once(1, 3, dla_net::fault::FaultOutcome::Drop);
+        assert!(secure_ranking(&mut net, &parties, ttp, &[5, 6, 7], &mut rng).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-protocol cost reporting: message count, bytes, simulated network
+//! latency and round count — the quantities behind the paper's
+//! relaxed-vs-classical efficiency argument.
+
+use dla_net::{SimNet, SimTime};
+use std::fmt;
+
+/// Cost summary of one protocol execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Number of participating parties (excluding a coordinating TTP).
+    pub parties: usize,
+    /// Messages sent during the run.
+    pub messages: u64,
+    /// Payload bytes sent during the run.
+    pub bytes: u64,
+    /// Simulated network makespan attributable to the run.
+    pub elapsed: SimTime,
+    /// Communication rounds (protocol-defined).
+    pub rounds: usize,
+}
+
+impl fmt::Display for ProtocolReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} rounds={} msgs={} bytes={} net-latency={}",
+            self.protocol, self.parties, self.rounds, self.messages, self.bytes, self.elapsed
+        )
+    }
+}
+
+/// Snapshot-based meter: construct before the protocol, call
+/// [`Meter::finish`] after.
+#[derive(Debug, Clone, Copy)]
+pub struct Meter {
+    messages0: u64,
+    bytes0: u64,
+    elapsed0: SimTime,
+}
+
+impl Meter {
+    /// Snapshots the network counters.
+    #[must_use]
+    pub fn start(net: &SimNet) -> Self {
+        Meter {
+            messages0: net.stats().messages_sent,
+            bytes0: net.stats().bytes_sent,
+            elapsed0: net.elapsed(),
+        }
+    }
+
+    /// Produces the report for everything sent since [`Meter::start`].
+    #[must_use]
+    pub fn finish(
+        self,
+        net: &SimNet,
+        protocol: &'static str,
+        parties: usize,
+        rounds: usize,
+    ) -> ProtocolReport {
+        ProtocolReport {
+            protocol,
+            parties,
+            messages: net.stats().messages_sent - self.messages0,
+            bytes: net.stats().bytes_sent - self.bytes0,
+            elapsed: net.elapsed() - self.elapsed0,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dla_net::{NetConfig, NodeId};
+
+    #[test]
+    fn meter_measures_deltas_only() {
+        let mut net = SimNet::new(2, NetConfig::ideal());
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"before"));
+        let meter = Meter::start(&net);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"during!"));
+        net.send(NodeId(1), NodeId(0), Bytes::from_static(b"during!"));
+        let report = meter.finish(&net, "test", 2, 1);
+        assert_eq!(report.messages, 2);
+        assert_eq!(report.bytes, 14);
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn report_display_mentions_all_costs() {
+        let r = ProtocolReport {
+            protocol: "ssi",
+            parties: 3,
+            messages: 9,
+            bytes: 1024,
+            elapsed: SimTime::from_millis(5),
+            rounds: 3,
+        };
+        let s = r.to_string();
+        assert!(s.contains("ssi"));
+        assert!(s.contains("msgs=9"));
+        assert!(s.contains("bytes=1024"));
+    }
+}

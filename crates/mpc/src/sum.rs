@@ -1,0 +1,279 @@
+//! Secure sum `Σ_s` and publicly weighted sums (paper §3.5).
+//!
+//! Each node `P_i` hides its secret `a_i` as the free coefficient of a
+//! random degree-(k−1) polynomial `f_i` and sends the share
+//! `s_ij = f_i(x_j)` to node `P_j`. Every node publishes
+//! `F(x_j) = Σ_i s_ij` — a share of `F = Σ_i f_i`, whose free
+//! coefficient is exactly `Σ_i a_i`. Any `k` published points
+//! reconstruct the total; fewer than `k` colluding nodes learn nothing
+//! about any individual `a_i` (information-theoretic, as Shamir
+//! guarantees).
+//!
+//! The weighted variant computes `Σ α_i·a_i` for public constants
+//! `α_i` ("Let α₀, α₁ … denote publicly known constants"): node `j`
+//! simply sums `α_i·s_ij`.
+
+use crate::report::{Meter, ProtocolReport};
+use crate::MpcError;
+use dla_bigint::F61;
+use dla_crypto::shamir::{self, SecretPolynomial, Share, SharePoints};
+use dla_net::wire::{Reader, Writer};
+use dla_net::{NodeId, SimNet};
+use rand::Rng;
+
+/// Result of a secure-sum run.
+#[derive(Debug, Clone)]
+pub struct SumOutcome {
+    /// The aggregate `Σ α_i·a_i` (α ≡ 1 for the unweighted protocol).
+    pub total: F61,
+    /// Cost accounting.
+    pub report: ProtocolReport,
+}
+
+/// Runs the unweighted secure sum over `parties`, with threshold `k`;
+/// the `collector` (one of the parties or an auditor node) receives the
+/// published shares and reconstructs.
+///
+/// # Errors
+///
+/// Returns [`MpcError`] on network failure, malformed messages, or
+/// inconsistent published shares (a corrupted or tampered message).
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ parties.len()` and inputs match parties.
+pub fn secure_sum<R: Rng + ?Sized>(
+    net: &mut SimNet,
+    parties: &[NodeId],
+    inputs: &[F61],
+    k: usize,
+    collector: NodeId,
+    rng: &mut R,
+) -> Result<SumOutcome, MpcError> {
+    let weights = vec![F61::ONE; parties.len()];
+    secure_weighted_sum(net, parties, inputs, &weights, k, collector, rng)
+}
+
+/// Runs the weighted secure sum `Σ α_i·a_i` with public `weights`.
+///
+/// # Errors
+///
+/// As [`secure_sum`].
+///
+/// # Panics
+///
+/// As [`secure_sum`], plus `weights.len()` must match.
+pub fn secure_weighted_sum<R: Rng + ?Sized>(
+    net: &mut SimNet,
+    parties: &[NodeId],
+    inputs: &[F61],
+    weights: &[F61],
+    k: usize,
+    collector: NodeId,
+    rng: &mut R,
+) -> Result<SumOutcome, MpcError> {
+    let n = parties.len();
+    assert!(n >= 1, "need at least one party");
+    assert_eq!(inputs.len(), n, "one input per party");
+    assert_eq!(weights.len(), n, "one weight per party");
+    assert!(k >= 1 && k <= n, "threshold must satisfy 1 <= k <= n");
+    let meter = Meter::start(net);
+
+    let points = SharePoints::canonical(n);
+
+    // Round 1: each party deals shares of its secret to every peer.
+    let polys: Vec<SecretPolynomial> = inputs
+        .iter()
+        .map(|&a| SecretPolynomial::random(a, k, rng))
+        .collect();
+    // received[j][i] = s_ij, the share party j holds of party i's secret.
+    let mut received: Vec<Vec<F61>> = vec![vec![F61::ZERO; n]; n];
+    for (i, poly) in polys.iter().enumerate() {
+        for j in 0..n {
+            let share = poly.share_at(points.point(j));
+            if i == j {
+                received[j][i] = share.y;
+                continue;
+            }
+            net.send(parties[i], parties[j], encode_share(i as u64, share.y));
+            let envelope = net.recv_from(parties[j], parties[i])?;
+            let (origin, y) = decode_share(&envelope.payload)?;
+            if origin as usize != i {
+                return Err(MpcError::Protocol(format!(
+                    "share labeled from {origin} arrived on {i}'s channel"
+                )));
+            }
+            received[j][i] = y;
+        }
+    }
+
+    // Round 2: each party publishes F(x_j) = Σ_i α_i·s_ij to the
+    // collector.
+    let mut published: Vec<Share> = Vec::with_capacity(n);
+    for j in 0..n {
+        let f_xj: F61 = (0..n).map(|i| weights[i] * received[j][i]).sum();
+        net.send(parties[j], collector, encode_share(j as u64, f_xj));
+        let envelope = net.recv_from(collector, parties[j])?;
+        let (idx, y) = decode_share(&envelope.payload)?;
+        if idx as usize >= n {
+            return Err(MpcError::Protocol(format!(
+                "published share carries out-of-range index {idx}"
+            )));
+        }
+        published.push(Share {
+            x: points.point(idx as usize),
+            y,
+        });
+    }
+
+    // Reconstruct from the first k shares, then verify the remaining
+    // published shares lie on the same polynomial — a cheap integrity
+    // check that catches corrupted/tampered messages.
+    let total = shamir::reconstruct(&published[..k])?;
+    for extra in &published[k..] {
+        let predicted = shamir::reconstruct_at(&published[..k], extra.x)?;
+        if predicted != extra.y {
+            return Err(MpcError::Protocol(
+                "published shares are inconsistent: corrupted share detected".into(),
+            ));
+        }
+    }
+
+    let report = meter.finish(net, "secure-sum", n, 2);
+    Ok(SumOutcome { total, report })
+}
+
+fn encode_share(origin: u64, y: F61) -> bytes::Bytes {
+    let mut w = Writer::new();
+    w.put_u8(0x03).put_u64(origin).put_u64(y.value());
+    w.finish()
+}
+
+fn decode_share(payload: &[u8]) -> Result<(u64, F61), MpcError> {
+    let mut r = Reader::new(payload);
+    let tag = r.get_u8()?;
+    if tag != 0x03 {
+        return Err(MpcError::Wire(format!("unexpected message tag {tag}")));
+    }
+    let origin = r.get_u64()?;
+    let y = F61::new(r.get_u64()?);
+    r.finish()?;
+    Ok((origin, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_net::NetConfig;
+    use rand::SeedableRng;
+
+    fn setup(n: usize) -> (SimNet, Vec<NodeId>, rand::rngs::StdRng) {
+        (
+            // One extra node to act as an off-party collector.
+            SimNet::new(n + 1, NetConfig::ideal()),
+            (0..n).map(NodeId).collect(),
+            rand::rngs::StdRng::seed_from_u64(3000),
+        )
+    }
+
+    #[test]
+    fn sums_correctly() {
+        let (mut net, parties, mut rng) = setup(4);
+        let inputs = [10u64, 20, 30, 40].map(F61::new);
+        let outcome =
+            secure_sum(&mut net, &parties, &inputs, 3, NodeId(4), &mut rng).unwrap();
+        assert_eq!(outcome.total, F61::new(100));
+    }
+
+    #[test]
+    fn weighted_sum_matches_paper_extension() {
+        let (mut net, parties, mut rng) = setup(3);
+        let inputs = [5u64, 7, 9].map(F61::new);
+        let weights = [2u64, 3, 10].map(F61::new);
+        let outcome = secure_weighted_sum(
+            &mut net, &parties, &inputs, &weights, 2, NodeId(3), &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.total, F61::new(2 * 5 + 3 * 7 + 10 * 9));
+    }
+
+    #[test]
+    fn collector_can_be_a_party() {
+        let (mut net, parties, mut rng) = setup(3);
+        let inputs = [1u64, 2, 3].map(F61::new);
+        let outcome =
+            secure_sum(&mut net, &parties, &inputs, 2, parties[0], &mut rng).unwrap();
+        assert_eq!(outcome.total, F61::new(6));
+    }
+
+    #[test]
+    fn wraps_in_the_field() {
+        use dla_bigint::field::P61;
+        let (mut net, parties, mut rng) = setup(2);
+        let inputs = [F61::new(P61 - 1), F61::new(5)];
+        let outcome =
+            secure_sum(&mut net, &parties, &inputs, 2, NodeId(2), &mut rng).unwrap();
+        assert_eq!(outcome.total, F61::new(4));
+    }
+
+    #[test]
+    fn message_complexity_is_quadratic_share_round_plus_publish() {
+        for n in [2usize, 3, 6] {
+            let (mut net, parties, mut rng) = setup(n);
+            let inputs: Vec<F61> = (0..n as u64).map(F61::new).collect();
+            let outcome =
+                secure_sum(&mut net, &parties, &inputs, 2.min(n), NodeId(n), &mut rng).unwrap();
+            assert_eq!(
+                outcome.report.messages as usize,
+                n * (n - 1) + n,
+                "n={n}"
+            );
+            assert_eq!(outcome.report.rounds, 2);
+        }
+    }
+
+    #[test]
+    fn corrupted_share_detected_by_consistency_check() {
+        let (mut net, parties, mut rng) = setup(4);
+        // Corrupt a round-2 publish (party 3 -> collector 4).
+        net.faults_mut()
+            .inject_once(3, 4, dla_net::fault::FaultOutcome::Corrupt);
+        let inputs = [1u64, 2, 3, 4].map(F61::new);
+        // k=3 < n=4 so the 4th share is cross-checked.
+        let result = secure_sum(&mut net, &parties, &inputs, 3, NodeId(4), &mut rng);
+        match result {
+            Err(MpcError::Protocol(_)) => {} // inconsistent share or bad index
+            Err(MpcError::Wire(_)) => {}     // corruption hit the wire framing
+            other => panic!("corruption must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_party_degenerate_sum() {
+        let (mut net, parties, mut rng) = setup(1);
+        let inputs = [F61::new(42)];
+        let outcome =
+            secure_sum(&mut net, &parties, &inputs, 1, NodeId(1), &mut rng).unwrap();
+        assert_eq!(outcome.total, F61::new(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let (mut net, parties, mut rng) = setup(3);
+        let inputs = [1u64, 2, 3].map(F61::new);
+        let _ = secure_sum(&mut net, &parties, &inputs, 4, NodeId(3), &mut rng);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let (mut net, parties, mut rng) = setup(3);
+            let inputs = [11u64, 22, 33].map(F61::new);
+            secure_sum(&mut net, &parties, &inputs, 2, NodeId(3), &mut rng)
+                .unwrap()
+                .total
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,161 @@
+//! Fault injection for protocol robustness tests.
+
+use rand::Rng;
+
+/// What the network decided to do with one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Delivered normally.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Delivered twice (duplicate in flight).
+    Duplicate,
+    /// Delivered with a corrupted payload (one byte flipped).
+    Corrupt,
+}
+
+/// Probabilistic fault plan applied to every message, plus targeted
+/// one-shot faults for deterministic failure tests.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability a message is dropped.
+    pub drop_probability: f64,
+    /// Probability a message is duplicated.
+    pub duplicate_probability: f64,
+    /// Probability a message payload is corrupted.
+    pub corrupt_probability: f64,
+    targeted: Vec<TargetedFault>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct TargetedFault {
+    from: usize,
+    to: usize,
+    outcome: FaultOutcome,
+}
+
+impl FaultPlan {
+    /// A fault-free network.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A lossy network dropping each message with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[must_use]
+    pub fn lossy(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        FaultPlan {
+            drop_probability: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Queues a one-shot fault for the next message `from → to`.
+    /// Targeted faults fire before probabilistic ones and in FIFO order.
+    pub fn inject_once(&mut self, from: usize, to: usize, outcome: FaultOutcome) {
+        self.targeted.push(TargetedFault { from, to, outcome });
+    }
+
+    /// Decides the fate of one message.
+    pub fn decide<R: Rng + ?Sized>(&mut self, from: usize, to: usize, rng: &mut R) -> FaultOutcome {
+        if let Some(pos) = self
+            .targeted
+            .iter()
+            .position(|t| t.from == from && t.to == to)
+        {
+            return self.targeted.remove(pos).outcome;
+        }
+        let roll: f64 = rng.gen();
+        if roll < self.drop_probability {
+            FaultOutcome::Drop
+        } else if roll < self.drop_probability + self.duplicate_probability {
+            FaultOutcome::Duplicate
+        } else if roll < self.drop_probability + self.duplicate_probability + self.corrupt_probability
+        {
+            FaultOutcome::Corrupt
+        } else {
+            FaultOutcome::Deliver
+        }
+    }
+
+    /// Number of pending targeted faults.
+    #[must_use]
+    pub fn pending_targeted(&self) -> usize {
+        self.targeted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn no_faults_always_delivers() {
+        let mut plan = FaultPlan::none();
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(plan.decide(0, 1, &mut rng), FaultOutcome::Deliver);
+        }
+    }
+
+    #[test]
+    fn full_loss_always_drops() {
+        let mut plan = FaultPlan::lossy(1.0);
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(plan.decide(0, 1, &mut rng), FaultOutcome::Drop);
+        }
+    }
+
+    #[test]
+    fn partial_loss_is_roughly_calibrated() {
+        let mut plan = FaultPlan::lossy(0.3);
+        let mut rng = rng();
+        let drops = (0..10_000)
+            .filter(|_| plan.decide(0, 1, &mut rng) == FaultOutcome::Drop)
+            .count();
+        assert!((2_500..3_500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn targeted_fault_fires_once_for_matching_link() {
+        let mut plan = FaultPlan::none();
+        let mut rng = rng();
+        plan.inject_once(2, 3, FaultOutcome::Corrupt);
+        // Non-matching link unaffected.
+        assert_eq!(plan.decide(0, 1, &mut rng), FaultOutcome::Deliver);
+        assert_eq!(plan.pending_targeted(), 1);
+        // Matching link gets the fault exactly once.
+        assert_eq!(plan.decide(2, 3, &mut rng), FaultOutcome::Corrupt);
+        assert_eq!(plan.decide(2, 3, &mut rng), FaultOutcome::Deliver);
+        assert_eq!(plan.pending_targeted(), 0);
+    }
+
+    #[test]
+    fn targeted_faults_fifo_per_link() {
+        let mut plan = FaultPlan::none();
+        let mut rng = rng();
+        plan.inject_once(0, 1, FaultOutcome::Drop);
+        plan.inject_once(0, 1, FaultOutcome::Duplicate);
+        assert_eq!(plan.decide(0, 1, &mut rng), FaultOutcome::Drop);
+        assert_eq!(plan.decide(0, 1, &mut rng), FaultOutcome::Duplicate);
+        assert_eq!(plan.decide(0, 1, &mut rng), FaultOutcome::Deliver);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn lossy_rejects_bad_probability() {
+        let _ = FaultPlan::lossy(1.5);
+    }
+}

@@ -1,0 +1,142 @@
+//! Link latency and serialization-cost models.
+
+use crate::time::SimTime;
+use rand::Rng;
+
+/// How long a message of a given size takes from send to delivery.
+///
+/// The model is `propagation + len / bandwidth`, with propagation drawn
+/// per message.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(Default)]
+pub enum LatencyModel {
+    /// Instant delivery (pure message/byte counting).
+    #[default]
+    Zero,
+    /// Constant propagation delay, infinite bandwidth.
+    Fixed(SimTime),
+    /// Uniform propagation in `[min, max]`, with a bandwidth in
+    /// bytes/µs (0 = infinite).
+    Uniform {
+        /// Minimum propagation delay.
+        min: SimTime,
+        /// Maximum propagation delay.
+        max: SimTime,
+        /// Bandwidth in bytes per microsecond (0 disables the term).
+        bytes_per_us: u64,
+    },
+}
+
+impl LatencyModel {
+    /// A typical switched-LAN profile: 50–200 µs propagation,
+    /// ~1 GbE bandwidth (125 bytes/µs ≈ 1 Gbit/s).
+    #[must_use]
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: SimTime::from_micros(50),
+            max: SimTime::from_micros(200),
+            bytes_per_us: 125,
+        }
+    }
+
+    /// A wide-area profile: 10–40 ms propagation, ~12 bytes/µs
+    /// (≈ 100 Mbit/s) — the cross-organization setting the paper's
+    /// "independent systems collaborate in network-wide auditing"
+    /// scenario implies.
+    #[must_use]
+    pub fn wan() -> Self {
+        LatencyModel::Uniform {
+            min: SimTime::from_millis(10),
+            max: SimTime::from_millis(40),
+            bytes_per_us: 12,
+        }
+    }
+
+    /// Samples the delivery delay for a message of `len` bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> SimTime {
+        match self {
+            LatencyModel::Zero => SimTime::ZERO,
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Uniform {
+                min,
+                max,
+                bytes_per_us,
+            } => {
+                let prop = if max > min {
+                    SimTime::from_nanos(rng.gen_range(min.as_nanos()..=max.as_nanos()))
+                } else {
+                    *min
+                };
+                let ser = if *bytes_per_us == 0 {
+                    SimTime::ZERO
+                } else {
+                    SimTime::from_nanos((len as u64 * 1_000) / bytes_per_us)
+                };
+                prop + ser
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn zero_model_is_instant() {
+        let mut rng = rng();
+        assert_eq!(LatencyModel::Zero.sample(1_000_000, &mut rng), SimTime::ZERO);
+    }
+
+    #[test]
+    fn fixed_model_ignores_size() {
+        let mut rng = rng();
+        let m = LatencyModel::Fixed(SimTime::from_micros(10));
+        assert_eq!(m.sample(0, &mut rng), SimTime::from_micros(10));
+        assert_eq!(m.sample(1 << 20, &mut rng), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn uniform_model_within_bounds() {
+        let mut rng = rng();
+        let m = LatencyModel::Uniform {
+            min: SimTime::from_micros(10),
+            max: SimTime::from_micros(20),
+            bytes_per_us: 0,
+        };
+        for _ in 0..100 {
+            let d = m.sample(100, &mut rng);
+            assert!(d >= SimTime::from_micros(10) && d <= SimTime::from_micros(20));
+        }
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let mut rng = rng();
+        let m = LatencyModel::Uniform {
+            min: SimTime::ZERO,
+            max: SimTime::ZERO,
+            bytes_per_us: 100,
+        };
+        assert_eq!(m.sample(100, &mut rng), SimTime::from_micros(1));
+        assert_eq!(m.sample(1000, &mut rng), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn lan_is_faster_than_wan() {
+        let mut rng = rng();
+        let lan: u64 = (0..50)
+            .map(|_| LatencyModel::lan().sample(1000, &mut rng).as_nanos())
+            .sum();
+        let wan: u64 = (0..50)
+            .map(|_| LatencyModel::wan().sample(1000, &mut rng).as_nanos())
+            .sum();
+        assert!(lan < wan);
+    }
+}

@@ -1,0 +1,546 @@
+//! The deterministic simulated network ([`SimNet`]).
+//!
+//! Protocol code sends byte payloads between nodes; the simulator
+//! applies a latency model to per-node virtual clocks, injects faults,
+//! and accounts every message and byte. Determinism (given a seed)
+//! makes protocol tests reproducible and lets benches report *simulated*
+//! network latency alongside measured CPU time.
+
+use crate::fault::{FaultOutcome, FaultPlan};
+use crate::latency::LatencyModel;
+use crate::stats::TrafficStats;
+use crate::time::SimTime;
+use crate::{NetError, NodeId};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// A delivered message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload (possibly corrupted by fault injection).
+    pub payload: Bytes,
+    /// Virtual time the sender handed it to the network.
+    pub sent_at: SimTime,
+    /// Virtual time it became available at the receiver.
+    pub deliver_at: SimTime,
+}
+
+/// Heap entry ordered by delivery time (earliest first), tie-broken by
+/// sequence number for determinism.
+#[derive(Debug)]
+struct Pending {
+    deliver_at: SimTime,
+    seq: u64,
+    envelope: Envelope,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// Configuration for a [`SimNet`].
+#[derive(Clone, Debug, Default)]
+pub struct NetConfig {
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// Fault injection plan.
+    pub faults: FaultPlan,
+    /// RNG seed (latency sampling and fault rolls).
+    pub seed: u64,
+    /// Keep a copy of every sent payload for post-hoc inspection
+    /// (leak-detection tests). Off by default: it retains memory.
+    pub capture_payloads: bool,
+}
+
+impl NetConfig {
+    /// Zero-latency, fault-free, seed 0 — pure message counting.
+    #[must_use]
+    pub fn ideal() -> Self {
+        NetConfig::default()
+    }
+
+    /// Sets the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables payload capture.
+    #[must_use]
+    pub fn with_payload_capture(mut self) -> Self {
+        self.capture_payloads = true;
+        self
+    }
+}
+
+/// A simulated message network over `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use dla_net::sim::{NetConfig, SimNet};
+/// use dla_net::NodeId;
+/// use bytes::Bytes;
+///
+/// let mut net = SimNet::new(3, NetConfig::ideal());
+/// net.send(NodeId(0), NodeId(2), Bytes::from_static(b"ping"));
+/// let msg = net.recv(NodeId(2))?;
+/// assert_eq!(&msg.payload[..], b"ping");
+/// assert_eq!(msg.from, NodeId(0));
+/// # Ok::<(), dla_net::NetError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimNet {
+    latency: LatencyModel,
+    faults: FaultPlan,
+    stats: TrafficStats,
+    clocks: Vec<SimTime>,
+    inboxes: Vec<BinaryHeap<Pending>>,
+    rng: StdRng,
+    seq: u64,
+    capture: Option<Vec<(NodeId, NodeId, Bytes)>>,
+}
+
+impl SimNet {
+    /// Creates a network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, config: NetConfig) -> Self {
+        assert!(n > 0, "network needs at least one node");
+        SimNet {
+            latency: config.latency,
+            faults: config.faults,
+            stats: TrafficStats::new(),
+            clocks: vec![SimTime::ZERO; n],
+            inboxes: (0..n).map(|_| BinaryHeap::new()).collect(),
+            rng: StdRng::seed_from_u64(config.seed),
+            seq: 0,
+            capture: config.capture_payloads.then(Vec::new),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Sends `payload` from `from` to `to`. Delivery is subject to the
+    /// fault plan; the send is always accounted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
+        self.check(from);
+        self.check(to);
+        if let Some(capture) = &mut self.capture {
+            capture.push((from, to, payload.clone()));
+        }
+        self.stats.record_send(from.0, to.0, payload.len());
+        let outcome = self.faults.decide(from.0, to.0, &mut self.rng);
+        match outcome {
+            FaultOutcome::Drop => {
+                self.stats.messages_dropped += 1;
+            }
+            FaultOutcome::Deliver => {
+                self.enqueue(from, to, payload);
+            }
+            FaultOutcome::Duplicate => {
+                self.stats.messages_duplicated += 1;
+                self.enqueue(from, to, payload.clone());
+                self.enqueue(from, to, payload);
+            }
+            FaultOutcome::Corrupt => {
+                self.stats.messages_corrupted += 1;
+                let mut bytes = payload.to_vec();
+                if !bytes.is_empty() {
+                    let idx = self.rng.gen_range(0..bytes.len());
+                    bytes[idx] ^= 0xA5;
+                }
+                self.enqueue(from, to, Bytes::from(bytes));
+            }
+        }
+    }
+
+    fn enqueue(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
+        let sent_at = self.clocks[from.0];
+        let deliver_at = sent_at + self.latency.sample(payload.len(), &mut self.rng);
+        self.seq += 1;
+        self.inboxes[to.0].push(Pending {
+            deliver_at,
+            seq: self.seq,
+            envelope: Envelope {
+                from,
+                to,
+                payload,
+                sent_at,
+                deliver_at,
+            },
+        });
+    }
+
+    /// Receives the earliest pending message at `node`, advancing the
+    /// node's virtual clock to the delivery time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyInbox`] if nothing is pending — in a
+    /// deterministic protocol this means a message was dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn recv(&mut self, node: NodeId) -> Result<Envelope, NetError> {
+        self.check(node);
+        let pending = self.inboxes[node.0]
+            .pop()
+            .ok_or(NetError::EmptyInbox(node))?;
+        self.clocks[node.0] = self.clocks[node.0].max(pending.deliver_at);
+        self.stats.messages_delivered += 1;
+        Ok(pending.envelope)
+    }
+
+    /// Selective receive: delivers the earliest pending message **from
+    /// `from`**, leaving messages from other senders queued (they may
+    /// have arrived earlier — concurrent protocol steps interleave
+    /// freely under non-zero link latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyInbox`] when nothing at all is pending
+    /// and [`NetError::UnexpectedSender`] when messages are pending but
+    /// none from `from` (nothing is consumed in either case).
+    pub fn recv_from(&mut self, node: NodeId, from: NodeId) -> Result<Envelope, NetError> {
+        self.check(node);
+        if self.inboxes[node.0].is_empty() {
+            return Err(NetError::EmptyInbox(node));
+        }
+        // Pop (in delivery order) until a matching sender is found,
+        // stashing earlier messages from other senders for re-insertion.
+        let mut stash = Vec::new();
+        let mut found = None;
+        while let Some(pending) = self.inboxes[node.0].pop() {
+            if pending.envelope.from == from {
+                found = Some(pending);
+                break;
+            }
+            stash.push(pending);
+        }
+        // The first stashed entry (if any) was the earliest overall.
+        let actual_head = stash.first().map(|p| p.envelope.from);
+        for pending in stash {
+            self.inboxes[node.0].push(pending);
+        }
+        match found {
+            Some(pending) => {
+                self.clocks[node.0] = self.clocks[node.0].max(pending.deliver_at);
+                self.stats.messages_delivered += 1;
+                Ok(pending.envelope)
+            }
+            None => Err(NetError::UnexpectedSender {
+                node,
+                expected: from,
+                actual: actual_head.expect("inbox was nonempty"),
+            }),
+        }
+    }
+
+    /// Number of messages waiting at `node`.
+    #[must_use]
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.inboxes[node.0].len()
+    }
+
+    /// Charges local computation time to a node's virtual clock (e.g.
+    /// to model an encryption pass).
+    pub fn charge(&mut self, node: NodeId, cost: SimTime) {
+        self.check(node);
+        self.clocks[node.0] += cost;
+    }
+
+    /// A node's current virtual clock.
+    #[must_use]
+    pub fn clock(&self, node: NodeId) -> SimTime {
+        self.clocks[node.0]
+    }
+
+    /// The protocol makespan so far: the latest clock over all nodes.
+    #[must_use]
+    pub fn elapsed(&self) -> SimTime {
+        self.clocks
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets counters and clocks, keeping topology/config (for
+    /// benchmark phases).
+    pub fn reset_accounting(&mut self) {
+        self.stats.reset();
+        for c in &mut self.clocks {
+            *c = SimTime::ZERO;
+        }
+    }
+
+    /// Mutable access to the fault plan (to inject targeted faults
+    /// mid-test).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Every payload sent so far, in send order — only populated when
+    /// the network was built with
+    /// [`NetConfig::with_payload_capture`]. The tool of choice for
+    /// "does any protocol message contain this plaintext?" tests.
+    #[must_use]
+    pub fn captured_payloads(&self) -> &[(NodeId, NodeId, Bytes)] {
+        self.capture.as_deref().unwrap_or(&[])
+    }
+
+    fn check(&self, node: NodeId) {
+        assert!(
+            node.0 < self.clocks.len(),
+            "node {node} out of range (n = {})",
+            self.clocks.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> SimNet {
+        SimNet::new(n, NetConfig::ideal())
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let mut net = net(2);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"hello"));
+        let msg = net.recv(NodeId(1)).unwrap();
+        assert_eq!(&msg.payload[..], b"hello");
+        assert_eq!(msg.from, NodeId(0));
+        assert_eq!(msg.to, NodeId(1));
+    }
+
+    #[test]
+    fn empty_inbox_is_an_error() {
+        let mut net = net(2);
+        assert_eq!(net.recv(NodeId(0)), Err(NetError::EmptyInbox(NodeId(0))));
+    }
+
+    #[test]
+    fn messages_delivered_in_time_order() {
+        let cfg = NetConfig::ideal().with_latency(LatencyModel::Uniform {
+            min: SimTime::from_micros(1),
+            max: SimTime::from_micros(100),
+            bytes_per_us: 0,
+        });
+        let mut net = SimNet::new(3, cfg);
+        for i in 0..20u8 {
+            net.send(NodeId(0), NodeId(2), Bytes::copy_from_slice(&[i]));
+        }
+        let mut last = SimTime::ZERO;
+        for _ in 0..20 {
+            let m = net.recv(NodeId(2)).unwrap();
+            assert!(m.deliver_at >= last);
+            last = m.deliver_at;
+        }
+    }
+
+    #[test]
+    fn clocks_advance_on_recv() {
+        let cfg = NetConfig::ideal().with_latency(LatencyModel::Fixed(SimTime::from_millis(5)));
+        let mut net = SimNet::new(2, cfg);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"x"));
+        assert_eq!(net.clock(NodeId(1)), SimTime::ZERO);
+        let _ = net.recv(NodeId(1)).unwrap();
+        assert_eq!(net.clock(NodeId(1)), SimTime::from_millis(5));
+        assert_eq!(net.elapsed(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn latency_chains_across_hops() {
+        // 0 -> 1 -> 2 with 5ms fixed latency: node 2's clock ends at 10ms.
+        let cfg = NetConfig::ideal().with_latency(LatencyModel::Fixed(SimTime::from_millis(5)));
+        let mut net = SimNet::new(3, cfg);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"x"));
+        let m = net.recv(NodeId(1)).unwrap();
+        net.send(NodeId(1), NodeId(2), m.payload);
+        let _ = net.recv(NodeId(2)).unwrap();
+        assert_eq!(net.clock(NodeId(2)), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn charge_adds_compute_cost() {
+        let mut net = net(1);
+        net.charge(NodeId(0), SimTime::from_micros(250));
+        assert_eq!(net.clock(NodeId(0)), SimTime::from_micros(250));
+    }
+
+    #[test]
+    fn stats_account_sends_and_drops() {
+        let mut net = net(2);
+        net.faults_mut()
+            .inject_once(0, 1, crate::fault::FaultOutcome::Drop);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"lost"));
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"kept"));
+        assert_eq!(net.stats().messages_sent, 2);
+        assert_eq!(net.stats().messages_dropped, 1);
+        assert_eq!(net.stats().bytes_sent, 8);
+        let m = net.recv(NodeId(1)).unwrap();
+        assert_eq!(&m.payload[..], b"kept");
+        assert!(net.recv(NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let mut net = net(2);
+        net.faults_mut()
+            .inject_once(0, 1, crate::fault::FaultOutcome::Duplicate);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"dup"));
+        assert_eq!(net.pending(NodeId(1)), 2);
+        assert_eq!(&net.recv(NodeId(1)).unwrap().payload[..], b"dup");
+        assert_eq!(&net.recv(NodeId(1)).unwrap().payload[..], b"dup");
+    }
+
+    #[test]
+    fn corruption_flips_a_byte() {
+        let mut net = net(2);
+        net.faults_mut()
+            .inject_once(0, 1, crate::fault::FaultOutcome::Corrupt);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"payload"));
+        let m = net.recv(NodeId(1)).unwrap();
+        assert_ne!(&m.payload[..], b"payload");
+        assert_eq!(m.payload.len(), 7);
+        assert_eq!(net.stats().messages_corrupted, 1);
+    }
+
+    #[test]
+    fn recv_from_enforces_sender() {
+        let mut net = net(3);
+        net.send(NodeId(0), NodeId(2), Bytes::from_static(b"a"));
+        let err = net.recv_from(NodeId(2), NodeId(1)).unwrap_err();
+        assert!(matches!(err, NetError::UnexpectedSender { .. }));
+        // Message was not consumed.
+        assert_eq!(net.pending(NodeId(2)), 1);
+        assert!(net.recv_from(NodeId(2), NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn recv_from_is_selective_across_interleaved_senders() {
+        // Under nonzero latency, a message from node 1 may be delivered
+        // before node 0's; selective receive must still hand back node
+        // 0's message without disturbing the queue order of the rest.
+        let cfg = NetConfig::ideal().with_latency(LatencyModel::Uniform {
+            min: SimTime::from_micros(1),
+            max: SimTime::from_micros(500),
+            bytes_per_us: 0,
+        });
+        let mut net = SimNet::new(3, cfg);
+        for round in 0..10u8 {
+            net.send(NodeId(0), NodeId(2), Bytes::copy_from_slice(&[round]));
+            net.send(NodeId(1), NodeId(2), Bytes::copy_from_slice(&[100 + round]));
+        }
+        // Drain node 0's messages first, then node 1's: both arrive in
+        // their own per-sender delivery order.
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            let m = net.recv_from(NodeId(2), NodeId(0)).unwrap();
+            assert_eq!(m.from, NodeId(0));
+            assert!(m.deliver_at >= last || last == SimTime::ZERO);
+            last = m.deliver_at;
+        }
+        for _ in 0..10 {
+            assert_eq!(net.recv_from(NodeId(2), NodeId(1)).unwrap().from, NodeId(1));
+        }
+        assert_eq!(net.pending(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn reset_accounting_clears_stats_and_clocks() {
+        let cfg = NetConfig::ideal().with_latency(LatencyModel::Fixed(SimTime::from_millis(1)));
+        let mut net = SimNet::new(2, cfg);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"x"));
+        let _ = net.recv(NodeId(1));
+        net.reset_accounting();
+        assert_eq!(net.stats().messages_sent, 0);
+        assert_eq!(net.elapsed(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let cfg = || {
+            NetConfig::ideal()
+                .with_latency(LatencyModel::lan())
+                .with_seed(1234)
+        };
+        let run = |mut net: SimNet| {
+            for i in 0..10u8 {
+                net.send(NodeId(0), NodeId(1), Bytes::copy_from_slice(&[i]));
+            }
+            let mut times = Vec::new();
+            while let Ok(m) = net.recv(NodeId(1)) {
+                times.push(m.deliver_at);
+            }
+            times
+        };
+        assert_eq!(run(SimNet::new(2, cfg())), run(SimNet::new(2, cfg())));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_node_panics() {
+        let mut net = net(2);
+        net.send(NodeId(0), NodeId(5), Bytes::new());
+    }
+}

@@ -1,0 +1,124 @@
+//! Traffic accounting — the raw material of every cost experiment.
+//!
+//! The paper's central efficiency claim is that *relaxed* secure
+//! multiparty computation needs far less communication than classical
+//! zero-disclosure protocols. [`TrafficStats`] counts messages and
+//! bytes (total and per directed link) so the benchmark harness can
+//! print exactly that comparison.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Cumulative traffic counters for one network.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages handed to the network (including later-dropped ones).
+    pub messages_sent: u64,
+    /// Messages actually delivered (duplicates count individually).
+    pub messages_delivered: u64,
+    /// Messages dropped by fault injection.
+    pub messages_dropped: u64,
+    /// Duplicate deliveries created by fault injection.
+    pub messages_duplicated: u64,
+    /// Payloads corrupted by fault injection.
+    pub messages_corrupted: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+    per_link: BTreeMap<(usize, usize), LinkStats>,
+}
+
+/// Counters for one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages sent on this link.
+    pub messages: u64,
+    /// Payload bytes sent on this link.
+    pub bytes: u64,
+}
+
+impl TrafficStats {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    /// Records a send of `bytes` payload bytes on `from → to`.
+    pub fn record_send(&mut self, from: usize, to: usize, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        let link = self.per_link.entry((from, to)).or_default();
+        link.messages += 1;
+        link.bytes += bytes as u64;
+    }
+
+    /// Per-link counters for `from → to`.
+    #[must_use]
+    pub fn link(&self, from: usize, to: usize) -> LinkStats {
+        self.per_link.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all active links.
+    pub fn links(&self) -> impl Iterator<Item = ((usize, usize), LinkStats)> + '_ {
+        self.per_link.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Resets every counter (e.g. between benchmark phases).
+    pub fn reset(&mut self) {
+        *self = TrafficStats::default();
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} msgs ({} delivered, {} dropped, {} dup, {} corrupt), {} bytes",
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+            self.messages_duplicated,
+            self.messages_corrupted,
+            self.bytes_sent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_accumulates() {
+        let mut s = TrafficStats::new();
+        s.record_send(0, 1, 100);
+        s.record_send(0, 1, 50);
+        s.record_send(1, 2, 10);
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.bytes_sent, 160);
+        assert_eq!(s.link(0, 1).messages, 2);
+        assert_eq!(s.link(0, 1).bytes, 150);
+        assert_eq!(s.link(1, 2).bytes, 10);
+        assert_eq!(s.link(2, 1), LinkStats::default(), "direction matters");
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = TrafficStats::new();
+        s.record_send(0, 1, 5);
+        s.messages_delivered = 1;
+        s.reset();
+        assert_eq!(s, TrafficStats::new());
+        assert_eq!(s.links().count(), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = TrafficStats::new();
+        s.record_send(0, 1, 42);
+        s.messages_delivered = 1;
+        let text = s.to_string();
+        assert!(text.contains("1 msgs"));
+        assert!(text.contains("42 bytes"));
+    }
+}

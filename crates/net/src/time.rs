@@ -1,0 +1,145 @@
+//! Virtual time for the simulated network.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) of simulated time, in nanoseconds.
+///
+/// The simulator uses virtual clocks so experiments measure *protocol*
+/// latency (rounds × link latency + serialization) deterministically,
+/// independent of host speed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs from microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanosecond count.
+    #[must_use]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// The later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on underflow (subtracting a later time from an earlier one).
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1.0e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1.0e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1.0e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_nanos(7).as_nanos(), 7);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(5);
+        let b = SimTime::from_micros(3);
+        assert_eq!((a + b).as_nanos(), 8_000);
+        assert_eq!((a - b).as_nanos(), 2_000);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_nanos(), 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert_eq!(
+            SimTime::from_nanos(1).max(SimTime::from_nanos(2)),
+            SimTime::from_nanos(2)
+        );
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(SimTime::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimTime::from_millis(2_500).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn millis_f64() {
+        assert!((SimTime::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! Cluster topologies: the ring used by relay protocols and helpers for
+//! full-mesh baselines.
+
+use crate::NodeId;
+
+/// A ring ordering of nodes — the route commutatively-encrypted sets
+/// travel in the paper's §3.1/§3.4 protocols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ring {
+    order: Vec<NodeId>,
+}
+
+impl Ring {
+    /// The canonical ring `0 → 1 → … → n−1 → 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn canonical(n: usize) -> Self {
+        assert!(n > 0, "ring needs at least one node");
+        Ring {
+            order: (0..n).map(NodeId).collect(),
+        }
+    }
+
+    /// A ring over an explicit ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty or contains duplicates.
+    #[must_use]
+    pub fn new(order: Vec<NodeId>) -> Self {
+        assert!(!order.is_empty(), "ring needs at least one node");
+        let mut seen = std::collections::HashSet::new();
+        for node in &order {
+            assert!(seen.insert(node.0), "duplicate node {node} in ring");
+        }
+        Ring { order }
+    }
+
+    /// Number of nodes on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the ring is empty (never, for constructed rings).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The node at ring position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn at(&self, i: usize) -> NodeId {
+        self.order[i]
+    }
+
+    /// Ring position of `node`, if present.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.order.iter().position(|&n| n == node)
+    }
+
+    /// The successor of `node` on the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not on the ring.
+    #[must_use]
+    pub fn next(&self, node: NodeId) -> NodeId {
+        let pos = self.position(node).expect("node not on ring");
+        self.order[(pos + 1) % self.order.len()]
+    }
+
+    /// The predecessor of `node` on the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not on the ring.
+    #[must_use]
+    pub fn prev(&self, node: NodeId) -> NodeId {
+        let pos = self.position(node).expect("node not on ring");
+        self.order[(pos + self.order.len() - 1) % self.order.len()]
+    }
+
+    /// Iterates one full revolution starting at `start` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not on the ring.
+    pub fn walk_from(&self, start: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let pos = self.position(start).expect("node not on ring");
+        let n = self.order.len();
+        (0..n).map(move |i| self.order[(pos + i) % n])
+    }
+
+    /// Iterates the nodes in ring order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+/// All ordered pairs `(i, j)`, `i ≠ j`, over `n` nodes — the message
+/// pattern of full-mesh (classical MPC) baselines.
+pub fn all_ordered_pairs(n: usize) -> impl Iterator<Item = (NodeId, NodeId)> {
+    (0..n).flat_map(move |i| {
+        (0..n)
+            .filter(move |&j| j != i)
+            .map(move |j| (NodeId(i), NodeId(j)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_ring_wraps() {
+        let ring = Ring::canonical(4);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.next(NodeId(0)), NodeId(1));
+        assert_eq!(ring.next(NodeId(3)), NodeId(0));
+        assert_eq!(ring.prev(NodeId(0)), NodeId(3));
+        assert_eq!(ring.prev(NodeId(2)), NodeId(1));
+    }
+
+    #[test]
+    fn custom_order_respected() {
+        let ring = Ring::new(vec![NodeId(2), NodeId(0), NodeId(1)]);
+        assert_eq!(ring.next(NodeId(2)), NodeId(0));
+        assert_eq!(ring.next(NodeId(1)), NodeId(2));
+        assert_eq!(ring.position(NodeId(0)), Some(1));
+        assert_eq!(ring.position(NodeId(9)), None);
+    }
+
+    #[test]
+    fn walk_from_visits_everyone_once() {
+        let ring = Ring::canonical(5);
+        let walk: Vec<NodeId> = ring.walk_from(NodeId(3)).collect();
+        assert_eq!(
+            walk,
+            vec![NodeId(3), NodeId(4), NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn singleton_ring_self_loops() {
+        let ring = Ring::canonical(1);
+        assert_eq!(ring.next(NodeId(0)), NodeId(0));
+        assert_eq!(ring.prev(NodeId(0)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_nodes_rejected() {
+        let _ = Ring::new(vec![NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    fn ordered_pairs_count() {
+        let pairs: Vec<_> = all_ordered_pairs(4).collect();
+        assert_eq!(pairs.len(), 12); // n(n-1)
+        assert!(pairs.contains(&(NodeId(0), NodeId(3))));
+        assert!(pairs.contains(&(NodeId(3), NodeId(0))));
+        assert!(!pairs.contains(&(NodeId(2), NodeId(2))));
+    }
+}

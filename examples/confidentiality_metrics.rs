@@ -1,0 +1,69 @@
+//! The §5 confidentiality metrics, evaluated live on the paper's
+//! running example: `C_store` (Eq. 10), `C_auditing` (Eq. 11),
+//! `C_query` (Eq. 12) and `C_DLA` (Eq. 13).
+//!
+//! Run with: `cargo run --example confidentiality_metrics`
+
+use confidential_audit::audit::metrics;
+use confidential_audit::audit::normal::normalize;
+use confidential_audit::audit::parser::parse;
+use confidential_audit::audit::plan::plan;
+use confidential_audit::logstore::fragment::Partition;
+use confidential_audit::logstore::gen::paper_table1;
+use confidential_audit::logstore::schema::Schema;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::paper_example();
+    let record = paper_table1().remove(0);
+
+    // C_store across fragmentation widths: the same record, spread over
+    // 1..=7 nodes.
+    println!("C_store(Table 1 record) vs number of DLA nodes (Eq. 10):");
+    println!("  w = {} attributes, v = {} undefined", record.len(), 3);
+    for n in 1..=7 {
+        let partition = Partition::round_robin(&schema, n)?;
+        let c = metrics::store_confidentiality(&record, &schema, &partition);
+        println!("  n = {n}: u = {} covering nodes, C_store = {c:.3}", partition.covering_nodes(&record));
+    }
+
+    // C_auditing across query shapes on the paper partition.
+    let partition = Partition::paper_example(&schema);
+    println!("\nC_auditing by query shape (Eq. 11) on the Tables 2-5 partition:");
+    for (label, q) in [
+        ("purely local", "c1 > 5"),
+        ("local conjunction", "c1 > 5 AND c2 > 10.00"),
+        ("one cross clause", "c1 > 5 OR id = 'U1'"),
+        ("mixed", "(c1 > 5 OR id = 'U1') AND c2 < 9.00"),
+        ("cross join", "id = c3"),
+        (
+            "wide cross",
+            "(c1 > 5 OR id = 'U1' OR time > '20:00:00/05/12/2002') AND tid = 'T1100265'",
+        ),
+    ] {
+        let planned = plan(&normalize(&parse(q, &schema)?), &partition)?;
+        let c = metrics::auditing_confidentiality(&planned);
+        println!(
+            "  {label:<18} s={} t={} q={}  C_auditing = {c:.3}   [{q}]",
+            planned.atom_count, planned.cross_atom_count, planned.conjunct_count
+        );
+    }
+
+    // C_query and C_DLA over a mixed workload.
+    println!("\nC_query = C_auditing x C_store (Eq. 12); C_DLA = mean (Eq. 13):");
+    let queries = [
+        "c1 > 5",
+        "c1 > 5 OR id = 'U1'",
+        "(c1 > 5 OR id = 'U1') AND c2 < 9.00",
+        "id = c3",
+    ];
+    let mut workload = Vec::new();
+    for q in queries {
+        let planned = plan(&normalize(&parse(q, &schema)?), &partition)?;
+        let cq = metrics::query_confidentiality(&planned, &record, &schema, &partition);
+        println!("  C_query({q:<40}) = {cq:.3}");
+        workload.push((planned, record.clone()));
+    }
+    let cdla = metrics::dla_confidentiality(&workload, &schema, &partition);
+    println!("\n  C_DLA over the workload = {cdla:.3}");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # confidential-audit
+//!
+//! A full Rust reproduction of *On the Confidential Auditing of
+//! Distributed Computing Systems* (Shen, Liu, Zhao — Texas A&M TR
+//! 2003-8-2 / ICDCS 2004): a cluster-based trusted-third-party (TTP)
+//! architecture for **distributed logging and auditing (DLA)** in which
+//! no single node ever holds a complete log record, yet auditors can
+//! evaluate aggregate queries through *relaxed secure multiparty
+//! computation*.
+//!
+//! This facade crate re-exports the individual subsystem crates:
+//!
+//! * [`bigint`] — hand-rolled arbitrary-precision modular arithmetic.
+//! * [`crypto`] — commutative (Pohlig–Hellman) encryption, one-way
+//!   accumulators, Shamir secret sharing, Schnorr/threshold signatures,
+//!   commitments and evidence chains.
+//! * [`net`] — the simulated cluster message network.
+//! * [`logstore`] — the event-log model, fragmentation and access control.
+//! * [`mpc`] — relaxed secure multiparty primitives and classical
+//!   baselines.
+//! * [`audit`] — the DLA cluster core: query processing, integrity
+//!   checking, membership and confidentiality metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use confidential_audit::audit::cluster::{ClusterConfig, DlaCluster};
+//! use confidential_audit::logstore::schema::Schema;
+//!
+//! // Build a 4-node DLA cluster over the paper's Table 1 schema and
+//! // verify that no node supports every attribute.
+//! let schema = Schema::paper_example();
+//! let cluster = DlaCluster::new(ClusterConfig::new(4, schema).with_seed(7))?;
+//! for node in cluster.nodes() {
+//!     assert!(node.supported_attributes().len() < cluster.schema().len());
+//! }
+//! # Ok::<(), confidential_audit::audit::AuditError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! experiment harness regenerating every table and figure of the paper.
+
+pub use dla_audit as audit;
+pub use dla_bigint as bigint;
+pub use dla_crypto as crypto;
+pub use dla_logstore as logstore;
+pub use dla_mpc as mpc;
+pub use dla_net as net;

@@ -1,0 +1,145 @@
+//! Crash-recovery integration: a journal-backed DLA cluster restarts
+//! with its fragments, ACLs, deposits, origin signatures and ticket
+//! counter intact — queries, integrity circulations and non-repudiation
+//! checks all keep working on the recovered state.
+
+use confidential_audit::audit::cluster::{ClusterConfig, DlaCluster};
+use confidential_audit::audit::integrity;
+use confidential_audit::logstore::fragment::Partition;
+use confidential_audit::logstore::gen::paper_table1;
+use confidential_audit::logstore::model::AttrValue;
+use confidential_audit::logstore::schema::Schema;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!(
+        "dla-cluster-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &PathBuf) -> ClusterConfig {
+    let schema = Schema::paper_example();
+    let partition = Partition::paper_example(&schema);
+    ClusterConfig::new(4, schema)
+        .with_partition(partition)
+        .with_seed(99)
+        .with_journal_dir(dir.clone())
+}
+
+#[test]
+fn cluster_state_survives_restart() {
+    let dir = temp_dir("restart");
+    let glsns = {
+        let mut cluster = DlaCluster::new(config(&dir)).unwrap();
+        let user = cluster.register_user("u0").unwrap();
+        cluster.log_records(&user, &paper_table1()).unwrap()
+        // cluster dropped here: the "crash".
+    };
+
+    let mut recovered = DlaCluster::new(config(&dir)).unwrap();
+    // Fragments and deposits are back.
+    for node in recovered.nodes() {
+        assert_eq!(node.store().len(), 5);
+        assert!(node.store().is_durable());
+    }
+    for &glsn in &glsns {
+        assert!(recovered.deposit(glsn).is_some());
+        assert!(recovered.verify_origin(glsn).unwrap(), "origin for {glsn}");
+    }
+
+    // Queries run against recovered fragments.
+    let result = recovered.query("protocol = 'UDP' AND c2 > 100.00").unwrap();
+    assert_eq!(result.glsns, vec![glsns[1], glsns[2]]);
+
+    // Integrity circulation still matches the recovered deposits.
+    let verdicts = integrity::check_all(&mut recovered, 0).unwrap();
+    assert_eq!(verdicts.len(), 5);
+    assert!(verdicts.iter().all(|v| v.ok));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tampering_before_restart_is_still_detected_after() {
+    let dir = temp_dir("tamper");
+    let target = {
+        let mut cluster = DlaCluster::new(config(&dir)).unwrap();
+        let user = cluster.register_user("u0").unwrap();
+        let glsns = cluster.log_records(&user, &paper_table1()).unwrap();
+        glsns[2]
+    };
+    // Corrupt node 1's journal *on disk* between runs: rewrite a stored
+    // amount by appending a forged fragment entry for the same glsn.
+    {
+        let mut cluster = DlaCluster::new(config(&dir)).unwrap();
+        cluster
+            .node_mut(1)
+            .store_mut()
+            .tamper(target, &"c2".into(), AttrValue::Fixed2(1));
+        // The in-memory tamper is not journaled (a real compromise would
+        // rewrite the file); emulate the on-disk variant through the
+        // journal API directly.
+        let path = dir.join("node-1.journal");
+        let (mut journal, _) =
+            confidential_audit::logstore::journal::Journal::open(&path).unwrap();
+        let forged = cluster.node(1).store().get_local(target).unwrap().clone();
+        journal
+            .append(&confidential_audit::logstore::journal::JournalEntry::Fragment(forged))
+            .unwrap();
+    }
+
+    let mut recovered = DlaCluster::new(config(&dir)).unwrap();
+    let verdict = integrity::check_record(&mut recovered, target, 0).unwrap();
+    assert!(!verdict.ok, "on-disk tampering must be detected after restart");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ticket_ids_never_collide_across_restarts() {
+    let dir = temp_dir("tickets");
+    let first_id = {
+        let mut cluster = DlaCluster::new(config(&dir)).unwrap();
+        let user = cluster.register_user("u0").unwrap();
+        cluster.log_records(&user, &paper_table1()[..1]).unwrap();
+        user.ticket.id.clone()
+    };
+
+    let mut recovered = DlaCluster::new(config(&dir)).unwrap();
+    let new_user = recovered.register_user("u1").unwrap();
+    assert_ne!(
+        new_user.ticket.id, first_id,
+        "a post-restart ticket must not reuse a recovered ACL's ticket id"
+    );
+    // And the new user cannot read the old user's record.
+    let old_glsn = recovered.logged_glsns()[0];
+    assert!(recovered.retrieve_record(&new_user, old_glsn).is_err());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn glsn_allocation_resumes_past_recovered_records() {
+    let dir = temp_dir("glsn");
+    let old = {
+        let mut cluster = DlaCluster::new(config(&dir)).unwrap();
+        let user = cluster.register_user("u0").unwrap();
+        cluster.log_records(&user, &paper_table1()[..3]).unwrap()
+    };
+
+    let mut recovered = DlaCluster::new(config(&dir)).unwrap();
+    let user = recovered.register_user("u1").unwrap();
+    let fresh = recovered.log_record(&user, &paper_table1()[3]).unwrap();
+    assert!(
+        fresh > *old.last().unwrap(),
+        "fresh glsn {fresh} must exceed recovered maximum {}",
+        old.last().unwrap()
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
