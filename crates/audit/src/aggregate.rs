@@ -38,7 +38,10 @@ pub struct CountOutcome {
 /// # Errors
 ///
 /// Returns [`AuditError`] on parse/plan/protocol failures.
-pub fn count_matching(cluster: &mut DlaCluster, criteria: &str) -> Result<CountOutcome, AuditError> {
+pub fn count_matching(
+    cluster: &mut DlaCluster,
+    criteria: &str,
+) -> Result<CountOutcome, AuditError> {
     let parsed = crate::parser::parse(criteria, cluster.schema())
         .map_err(|e| AuditError::Parse(e.to_string()))?;
     let normalized = crate::normal::normalize(&parsed);
@@ -109,8 +112,9 @@ pub fn sum_matching(
         .map_err(|e| AuditError::Parse(e.to_string()))?;
 
     let mut partial: u64 = 0;
+    let owner_store = cluster.node(owner).store();
     for glsn in &requested {
-        let Some(frag) = cluster.node(owner).store().get_local(*glsn) else {
+        let Some(frag) = owner_store.get_local(*glsn) else {
             continue;
         };
         match frag.values.get(attr) {
@@ -130,17 +134,24 @@ pub fn sum_matching(
             None => {}
         }
     }
+    drop(owner_store);
 
     // Phase 3: the §3.5 secure sum over all nodes (owner contributes
     // its partial, everyone else 0), reconstructed by the auditor.
     let n = cluster.num_nodes();
     let parties: Vec<NodeId> = (0..n).map(NodeId).collect();
     let inputs: Vec<F61> = (0..n)
-        .map(|i| if i == owner { F61::new(partial) } else { F61::ZERO })
+        .map(|i| {
+            if i == owner {
+                F61::new(partial)
+            } else {
+                F61::ZERO
+            }
+        })
         .collect();
     let k = (n / 2 + 1).min(n);
-    let (net, rng) = cluster.net_and_rng();
-    let sum = secure_sum(net, &parties, &inputs, k, auditor, rng).map_err(AuditError::Mpc)?;
+    let (mut net, rng) = cluster.net_and_rng();
+    let sum = secure_sum(&mut net, &parties, &inputs, k, auditor, rng).map_err(AuditError::Mpc)?;
     reports.push(sum.report.clone());
 
     Ok(SumOutcome {
@@ -185,8 +196,7 @@ mod tests {
     fn sum_of_volumes_matches_table1() {
         let mut cluster = loaded();
         // Total volume (c2) over UDP transactions: 23.45+345.11+235.00.
-        let outcome =
-            sum_matching(&mut cluster, "protocol = 'UDP'", &"c2".into()).unwrap();
+        let outcome = sum_matching(&mut cluster, "protocol = 'UDP'", &"c2".into()).unwrap();
         assert_eq!(outcome.total, 2345 + 34511 + 23500);
         assert_eq!(outcome.count, 3);
     }
@@ -225,9 +235,6 @@ mod tests {
     fn aggregate_uses_secure_sum_protocol() {
         let mut cluster = loaded();
         let outcome = sum_matching(&mut cluster, "c1 > 0", &"c1".into()).unwrap();
-        assert!(outcome
-            .reports
-            .iter()
-            .any(|r| r.protocol == "secure-sum"));
+        assert!(outcome.reports.iter().any(|r| r.protocol == "secure-sum"));
     }
 }

@@ -13,7 +13,9 @@
 use crate::cluster::DlaCluster;
 use crate::AuditError;
 use dla_crypto::schnorr::{self, SchnorrGroup, SchnorrPublicKey, Signature};
-use dla_crypto::threshold::{self, NonceCommitment, PartialSignature, SigningSession, ThresholdKey};
+use dla_crypto::threshold::{
+    self, NonceCommitment, PartialSignature, SigningSession, ThresholdKey,
+};
 use dla_net::wire::{Reader, Writer};
 use dla_net::NodeId;
 use rand::Rng;
@@ -58,8 +60,8 @@ impl Attestor {
         rng: &mut R,
     ) -> Result<Self, AuditError> {
         let k = n / 2 + 1;
-        let key = ThresholdKey::deal(group, k, n, rng)
-            .map_err(|e| AuditError::Config(e.to_string()))?;
+        let key =
+            ThresholdKey::deal(group, k, n, rng).map_err(|e| AuditError::Config(e.to_string()))?;
         Ok(Attestor { key })
     }
 
@@ -93,7 +95,7 @@ impl Attestor {
 
         // Round 1: each signer commits to a nonce and sends the
         // commitment to the coordinator.
-        let (net, rng) = cluster.net_and_rng();
+        let (mut net, rng) = cluster.net_and_rng();
         let sessions: Vec<SigningSession> = signers
             .iter()
             .map(|&i| SigningSession::start(&group, &self.key.shares()[i], rng))
@@ -106,12 +108,15 @@ impl Attestor {
                 .put_u64(c.index)
                 .put_bytes(&c.r.to_bytes_be());
             net.send(NodeId(i), coordinator, w.finish());
-            let envelope = net.recv_from(coordinator, NodeId(i)).map_err(AuditError::Net)?;
+            let envelope = net
+                .recv_from(coordinator, NodeId(i))
+                .map_err(AuditError::Net)?;
             let mut r = Reader::new(&envelope.payload);
             let _ = r.get_u8().map_err(|e| AuditError::Config(e.to_string()))?;
             let index = r.get_u64().map_err(|e| AuditError::Config(e.to_string()))?;
             let point = dla_bigint::Ubig::from_bytes_be(
-                r.get_bytes().map_err(|e| AuditError::Config(e.to_string()))?,
+                r.get_bytes()
+                    .map_err(|e| AuditError::Config(e.to_string()))?,
             );
             commitments.push(NonceCommitment { index, r: point });
         }
@@ -125,7 +130,9 @@ impl Attestor {
                 w.put_bytes(&c.r.to_bytes_be());
             });
             net.send(coordinator, NodeId(i), w.finish());
-            let _ = net.recv_from(NodeId(i), coordinator).map_err(AuditError::Net)?;
+            let _ = net
+                .recv_from(NodeId(i), coordinator)
+                .map_err(AuditError::Net)?;
             let partial = session
                 .respond(&group, self.key.public(), &commitments, message)
                 .map_err(|e| AuditError::Config(e.to_string()))?;
@@ -134,12 +141,15 @@ impl Attestor {
                 .put_u64(partial.index)
                 .put_bytes(&partial.s.to_bytes_be());
             net.send(NodeId(i), coordinator, w.finish());
-            let _ = net.recv_from(coordinator, NodeId(i)).map_err(AuditError::Net)?;
+            let _ = net
+                .recv_from(coordinator, NodeId(i))
+                .map_err(AuditError::Net)?;
             partials.push(partial);
         }
 
-        let signature = threshold::combine(&group, self.key.public(), &commitments, &partials, message)
-            .map_err(|e| AuditError::Config(e.to_string()))?;
+        let signature =
+            threshold::combine(&group, self.key.public(), &commitments, &partials, message)
+                .map_err(|e| AuditError::Config(e.to_string()))?;
         Ok(Attestation {
             message: message.to_vec(),
             signature,
@@ -182,10 +192,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (DlaCluster, Attestor) {
-        let cluster = DlaCluster::new(
-            ClusterConfig::new(4, Schema::paper_example()).with_seed(5),
-        )
-        .unwrap();
+        let cluster =
+            DlaCluster::new(ClusterConfig::new(4, Schema::paper_example()).with_seed(5)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let attestor = Attestor::deal(cluster.group(), 4, &mut rng).unwrap();
         (cluster, attestor)

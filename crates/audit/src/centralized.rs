@@ -195,8 +195,7 @@ mod tests {
     fn schema_still_enforced() {
         let mut auditor = CentralizedAuditor::new(Schema::paper_example(), 1);
         let user = auditor.register_user().unwrap();
-        let bad = LogRecord::new(Glsn(0))
-            .with("salary", dla_logstore::model::AttrValue::Int(1));
+        let bad = LogRecord::new(Glsn(0)).with("salary", dla_logstore::model::AttrValue::Int(1));
         assert!(auditor.log_record(user, &bad).is_err());
     }
 

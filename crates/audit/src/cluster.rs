@@ -3,6 +3,7 @@
 //! tickets, and the simulated network tying them together.
 
 use crate::AuditError;
+use dla_bigint::Ubig;
 use dla_crypto::accumulator::AccumulatorParams;
 use dla_crypto::pohlig_hellman::CommutativeDomain;
 use dla_crypto::schnorr::{SchnorrGroup, SchnorrKeyPair};
@@ -13,12 +14,14 @@ use dla_logstore::schema::Schema;
 use dla_logstore::store::{FragmentStore, GlsnAllocator};
 use dla_net::latency::LatencyModel;
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NetConfig, NodeId, SimNet};
-use dla_bigint::Ubig;
+use dla_net::{NetConfig, NodeId, SharedNet, SimNet};
+use parking_lot::{MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Configuration for [`DlaCluster::new`].
 #[derive(Clone, Debug)]
@@ -104,11 +107,60 @@ impl ClusterConfig {
     }
 }
 
+/// The immutable, shareable cluster context: schema, partition and
+/// crypto domains. Every concurrent subquery session reads these
+/// without coordination — only per-node stores and the network carry
+/// mutable state.
+#[derive(Debug)]
+pub struct ClusterCtx {
+    schema: Schema,
+    partition: Partition,
+    group: SchnorrGroup,
+    domain: CommutativeDomain,
+    acc_params: AccumulatorParams,
+}
+
+impl ClusterCtx {
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The attribute partition.
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The Schnorr group (tickets, signatures).
+    #[must_use]
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// The commutative-encryption domain shared by the cluster.
+    #[must_use]
+    pub fn domain(&self) -> &CommutativeDomain {
+        &self.domain
+    }
+
+    /// The accumulator parameters (§4.1).
+    #[must_use]
+    pub fn accumulator_params(&self) -> &AccumulatorParams {
+        &self.acc_params
+    }
+}
+
 /// One DLA node: its fragment store plus the attributes it serves.
+///
+/// The store sits behind a read/write lock so concurrent subquery
+/// sessions can scan different (or the same) nodes from worker threads
+/// while mutation (logging, tampering test hooks) takes the write lock.
 pub struct DlaNode {
     id: usize,
     attrs: Vec<AttrName>,
-    store: FragmentStore,
+    store: RwLock<FragmentStore>,
 }
 
 impl fmt::Debug for DlaNode {
@@ -118,7 +170,7 @@ impl fmt::Debug for DlaNode {
             "DlaNode(P{}, attrs: {:?}, fragments: {})",
             self.id,
             self.attrs.iter().map(AttrName::as_str).collect::<Vec<_>>(),
-            self.store.len()
+            self.store.read().len()
         )
     }
 }
@@ -136,15 +188,14 @@ impl DlaNode {
         &self.attrs
     }
 
-    /// The node's fragment store.
-    #[must_use]
-    pub fn store(&self) -> &FragmentStore {
-        &self.store
+    /// Read access to the node's fragment store.
+    pub fn store(&self) -> RwLockReadGuard<'_, FragmentStore> {
+        self.store.read()
     }
 
-    /// Mutable store access (protocol machinery and test hooks).
-    pub fn store_mut(&mut self) -> &mut FragmentStore {
-        &mut self.store
+    /// Write access to the store (protocol machinery and test hooks).
+    pub fn store_mut(&self) -> RwLockWriteGuard<'_, FragmentStore> {
+        self.store.write()
     }
 }
 
@@ -170,15 +221,13 @@ impl AppUser {
 
 /// The assembled DLA cluster.
 pub struct DlaCluster {
-    schema: Schema,
-    partition: Partition,
+    ctx: Arc<ClusterCtx>,
     nodes: Vec<DlaNode>,
-    net: SimNet,
+    net: SharedNet,
+    seed: u64,
+    query_counter: AtomicU64,
     allocator: GlsnAllocator,
     authority: TicketAuthority,
-    group: SchnorrGroup,
-    domain: CommutativeDomain,
-    acc_params: AccumulatorParams,
     /// User-deposited accumulator values, replicated at every node
     /// (stored once here since replicas are identical by construction;
     /// integrity checking re-derives per-node views from fragments).
@@ -188,7 +237,13 @@ pub struct DlaCluster {
     /// integrity circulation this gives **non-repudiation**: the user
     /// signed the accumulator value, and the accumulator binds every
     /// fragment.
-    origins: BTreeMap<Glsn, (dla_crypto::schnorr::SchnorrPublicKey, dla_crypto::schnorr::Signature)>,
+    origins: BTreeMap<
+        Glsn,
+        (
+            dla_crypto::schnorr::SchnorrPublicKey,
+            dla_crypto::schnorr::Signature,
+        ),
+    >,
     cluster_journal: Option<dla_logstore::journal::Journal>,
     users: usize,
     max_users: usize,
@@ -242,9 +297,8 @@ impl DlaCluster {
             .map(|i| {
                 let store = match &config.journal_dir {
                     Some(dir) => {
-                        std::fs::create_dir_all(dir).map_err(|e| {
-                            AuditError::Config(format!("journal dir: {e}"))
-                        })?;
+                        std::fs::create_dir_all(dir)
+                            .map_err(|e| AuditError::Config(format!("journal dir: {e}")))?;
                         FragmentStore::restore(i, &dir.join(format!("node-{i}.journal")))
                             .map_err(|e| AuditError::Config(e.to_string()))?
                     }
@@ -253,7 +307,7 @@ impl DlaCluster {
                 Ok(DlaNode {
                     id: i,
                     attrs: partition.attrs_of(i).to_vec(),
-                    store,
+                    store: RwLock::new(store),
                 })
             })
             .collect::<Result<_, AuditError>>()?;
@@ -275,18 +329,15 @@ impl DlaCluster {
                     dla_logstore::journal::Journal::open(&dir.join("cluster.journal"))
                         .map_err(|e| AuditError::Config(e.to_string()))?;
                 for entry in entries {
-                    let dla_logstore::journal::JournalEntry::Blob { tag, bytes } = entry
-                    else {
+                    let dla_logstore::journal::JournalEntry::Blob { tag, bytes } = entry else {
                         continue;
                     };
                     match tag {
                         BLOB_DEPOSIT => {
-                            let (glsn, deposit, public, signature) =
-                                decode_deposit_blob(&bytes)?;
-                            next_glsn = Some(next_glsn.map_or(
-                                Glsn(glsn.0 + 1),
-                                |g| Glsn(g.0.max(glsn.0 + 1)),
-                            ));
+                            let (glsn, deposit, public, signature) = decode_deposit_blob(&bytes)?;
+                            next_glsn = Some(
+                                next_glsn.map_or(Glsn(glsn.0 + 1), |g| Glsn(g.0.max(glsn.0 + 1))),
+                            );
                             deposits.insert(glsn, deposit);
                             origins.insert(glsn, (public, signature));
                         }
@@ -308,15 +359,19 @@ impl DlaCluster {
         };
 
         Ok(DlaCluster {
-            schema: config.schema,
-            partition,
+            ctx: Arc::new(ClusterCtx {
+                schema: config.schema,
+                partition,
+                group,
+                domain: CommutativeDomain::fixed_256(),
+                acc_params: AccumulatorParams::fixed_512(),
+            }),
             nodes,
-            net,
+            net: SharedNet::new(net),
+            seed: config.seed,
+            query_counter: AtomicU64::new(0),
             allocator,
             authority,
-            group,
-            domain: CommutativeDomain::fixed_256(),
-            acc_params: AccumulatorParams::fixed_512(),
             deposits,
             origins,
             cluster_journal,
@@ -326,16 +381,23 @@ impl DlaCluster {
         })
     }
 
+    /// The immutable shared context (schema, partition, crypto
+    /// domains). Cheap to clone out for worker threads.
+    #[must_use]
+    pub fn ctx(&self) -> &Arc<ClusterCtx> {
+        &self.ctx
+    }
+
     /// The schema.
     #[must_use]
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        &self.ctx.schema
     }
 
     /// The attribute partition.
     #[must_use]
     pub fn partition(&self) -> &Partition {
-        &self.partition
+        &self.ctx.partition
     }
 
     /// The DLA nodes.
@@ -354,7 +416,10 @@ impl DlaCluster {
         &self.nodes[i]
     }
 
-    /// Mutable node access (test hooks, protocol internals).
+    /// Mutable node access (test hooks, protocol internals). Node
+    /// stores use interior mutability, so most callers only need
+    /// [`DlaNode::store_mut`] on a shared reference; this remains for
+    /// exclusive access.
     pub fn node_mut(&mut self, i: usize) -> &mut DlaNode {
         &mut self.nodes[i]
     }
@@ -386,36 +451,64 @@ impl DlaCluster {
     /// The commutative-encryption domain shared by the cluster.
     #[must_use]
     pub fn domain(&self) -> &CommutativeDomain {
-        &self.domain
+        &self.ctx.domain
     }
 
     /// The Schnorr group (tickets, signatures).
     #[must_use]
     pub fn group(&self) -> &SchnorrGroup {
-        &self.group
+        &self.ctx.group
     }
 
     /// The accumulator parameters (§4.1).
     #[must_use]
     pub fn accumulator_params(&self) -> &AccumulatorParams {
-        &self.acc_params
+        &self.ctx.acc_params
     }
 
-    /// The network (stats, fault injection).
+    /// Locks the network (stats, clocks, fault inspection). The guard
+    /// dereferences to [`SimNet`].
+    ///
+    /// The lock is not reentrant: bind the guard once rather than
+    /// calling `net()` twice within a single expression (the second
+    /// call would block on the lock the first still holds).
+    pub fn net(&self) -> MutexGuard<'_, SimNet> {
+        self.net.lock()
+    }
+
+    /// Mutable network access (same lock as [`DlaCluster::net`]; the
+    /// name survives from the pre-session API).
+    pub fn net_mut(&self) -> MutexGuard<'_, SimNet> {
+        self.net.lock()
+    }
+
+    /// The session-multiplexed shared transport the cluster runs over.
     #[must_use]
-    pub fn net(&self) -> &SimNet {
+    pub fn shared_net(&self) -> &SharedNet {
         &self.net
-    }
-
-    /// Mutable network access.
-    pub fn net_mut(&mut self) -> &mut SimNet {
-        &mut self.net
     }
 
     /// Borrows the network and RNG together (protocol modules need
     /// both mutably alongside node state).
-    pub(crate) fn net_and_rng(&mut self) -> (&mut SimNet, &mut StdRng) {
-        (&mut self.net, &mut self.rng)
+    pub(crate) fn net_and_rng(&mut self) -> (MutexGuard<'_, SimNet>, &mut StdRng) {
+        (self.net.lock(), &mut self.rng)
+    }
+
+    /// The cluster RNG (seeding derived per-session generators).
+    pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Allocates a fresh query index (deterministic per-query seed
+    /// derivation for [`DlaCluster::query_shared`]).
+    pub(crate) fn next_query_index(&self) -> u64 {
+        self.query_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The configured base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The deposited accumulator value for a glsn.
@@ -445,7 +538,7 @@ impl DlaCluster {
         }
         let node = NodeId(self.nodes.len() + 2 + self.users);
         self.users += 1;
-        let key = SchnorrKeyPair::generate(&self.group, &mut self.rng);
+        let key = SchnorrKeyPair::generate(&self.ctx.group, &mut self.rng);
         let ticket = self
             .authority
             .issue(key.public(), OperationSet::read_write(), &mut self.rng);
@@ -476,7 +569,8 @@ impl DlaCluster {
     ///
     /// Returns [`AuditError`] on schema violations or storage failures.
     pub fn log_record(&mut self, user: &AppUser, record: &LogRecord) -> Result<Glsn, AuditError> {
-        self.schema
+        self.ctx
+            .schema
             .validate(record)
             .map_err(|e| AuditError::Log(e.to_string()))?;
         let glsn = self.allocator.allocate();
@@ -484,11 +578,11 @@ impl DlaCluster {
         for (name, value) in record.iter() {
             stamped.insert(name.clone(), value.clone());
         }
-        let fragments = fragment(&stamped, &self.partition);
+        let fragments = fragment(&stamped, &self.ctx.partition);
 
         // The user computes the deposit over all fragments (§4.1:
         // "it also computes the one-way accumulator of all fragments").
-        let deposit = self.acc_params.accumulate(
+        let deposit = self.ctx.acc_params.accumulate(
             fragments
                 .iter()
                 .map(Fragment::to_canonical_bytes)
@@ -504,11 +598,12 @@ impl DlaCluster {
             w.put_u8(0x20)
                 .put_u64(glsn.0)
                 .put_bytes(&frag.to_canonical_bytes());
-            self.net.send(user.node, NodeId(node), w.finish());
-            let envelope = self
-                .net
+            let mut net = self.net.lock();
+            net.send(user.node, NodeId(node), w.finish());
+            let envelope = net
                 .recv_from(NodeId(node), user.node)
                 .map_err(AuditError::Net)?;
+            drop(net);
             let mut r = Reader::new(&envelope.payload);
             let _ = r.get_u8().map_err(|e| AuditError::Log(e.to_string()))?;
             // The wire carries canonical bytes for accounting realism;
@@ -516,7 +611,7 @@ impl DlaCluster {
             // full codec for records adds nothing to the protocols
             // under study).
             self.nodes[node]
-                .store
+                .store_mut()
                 .write(&user.ticket, frag)
                 .map_err(|e| AuditError::Log(e.to_string()))?;
         }
@@ -534,9 +629,9 @@ impl DlaCluster {
                 .put_u64(glsn.0)
                 .put_bytes(&deposit.to_bytes_be())
                 .put_bytes(&origin_sig.to_bytes());
-            self.net.send(user.node, NodeId(node), w.finish());
-            let _ = self
-                .net
+            let mut net = self.net.lock();
+            net.send(user.node, NodeId(node), w.finish());
+            let _ = net
                 .recv_from(NodeId(node), user.node)
                 .map_err(AuditError::Net)?;
         }
@@ -544,12 +639,7 @@ impl DlaCluster {
             journal
                 .append(&dla_logstore::journal::JournalEntry::Blob {
                     tag: BLOB_DEPOSIT,
-                    bytes: encode_deposit_blob(
-                        glsn,
-                        &deposit,
-                        user.key().public(),
-                        &origin_sig,
-                    ),
+                    bytes: encode_deposit_blob(glsn, &deposit, user.key().public(), &origin_sig),
                 })
                 .map_err(|e| AuditError::Log(e.to_string()))?;
         }
@@ -573,11 +663,12 @@ impl DlaCluster {
         let (public, signature) = self.origins.get(&glsn).ok_or_else(|| {
             AuditError::Integrity(format!("no origin attestation for glsn {glsn}"))
         })?;
-        let deposit = self.deposits.get(&glsn).ok_or_else(|| {
-            AuditError::Integrity(format!("no deposit for glsn {glsn}"))
-        })?;
+        let deposit = self
+            .deposits
+            .get(&glsn)
+            .ok_or_else(|| AuditError::Integrity(format!("no deposit for glsn {glsn}")))?;
         Ok(dla_crypto::schnorr::verify(
-            &self.group,
+            &self.ctx.group,
             public,
             &origin_message(glsn, deposit),
             signature,
@@ -594,10 +685,7 @@ impl DlaCluster {
         user: &AppUser,
         records: &[LogRecord],
     ) -> Result<Vec<Glsn>, AuditError> {
-        records
-            .iter()
-            .map(|r| self.log_record(user, r))
-            .collect()
+        records.iter().map(|r| self.log_record(user, r)).collect()
     }
 
     /// Parses, normalizes, plans and executes an auditing query,
@@ -608,7 +696,7 @@ impl DlaCluster {
     ///
     /// Returns [`AuditError`] on parse/plan/protocol failures.
     pub fn query(&mut self, criteria: &str) -> Result<crate::exec::QueryResult, AuditError> {
-        let parsed = crate::parser::parse(criteria, &self.schema)
+        let parsed = crate::parser::parse(criteria, &self.ctx.schema)
             .map_err(|e| AuditError::Parse(e.to_string()))?;
         self.query_criteria(&parsed)
     }
@@ -623,11 +711,39 @@ impl DlaCluster {
         criteria: &crate::query::Criteria,
     ) -> Result<crate::exec::QueryResult, AuditError> {
         criteria
-            .check(&self.schema)
+            .check(&self.ctx.schema)
             .map_err(|e| AuditError::Parse(e.to_string()))?;
         let normalized = crate::normal::normalize(criteria);
-        let plan = crate::plan::plan(&normalized, &self.partition)?;
+        let plan = crate::plan::plan(&normalized, &self.ctx.partition)?;
         crate::exec::execute(self, &plan)
+    }
+
+    /// Like [`DlaCluster::query`], but on a **shared** reference, so
+    /// many auditors can issue queries from separate threads at once.
+    /// Every subquery (and the final conjunction) runs in its own
+    /// transport session; per-query randomness derives from the cluster
+    /// seed and an atomic query counter instead of the exclusive RNG.
+    ///
+    /// # Errors
+    ///
+    /// As [`DlaCluster::query`].
+    pub fn query_shared(&self, criteria: &str) -> Result<crate::exec::QueryResult, AuditError> {
+        let parsed = crate::parser::parse(criteria, &self.ctx.schema)
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        parsed
+            .check(&self.ctx.schema)
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        let normalized = crate::normal::normalize(&parsed);
+        let plan = crate::plan::plan(&normalized, &self.ctx.partition)?;
+        let mut index = self.next_query_index().wrapping_add(0xA5A5_5A5A);
+        let query_seed = self.seed ^ rand::splitmix64(&mut index);
+        crate::exec::execute_shared(
+            self,
+            &plan,
+            true,
+            crate::exec::ExecMode::Concurrent,
+            query_seed,
+        )
     }
 
     /// Retrieves and reassembles a full record for its owner: each
@@ -644,17 +760,19 @@ impl DlaCluster {
             // Request over the network (accounted)…
             let mut w = Writer::new();
             w.put_u8(0x22).put_u64(glsn.0);
-            self.net.send(user.node, NodeId(node), w.finish());
-            let _ = self
-                .net
+            let mut net = self.net.lock();
+            net.send(user.node, NodeId(node), w.finish());
+            let _ = net
                 .recv_from(NodeId(node), user.node)
                 .map_err(AuditError::Net)?;
+            drop(net);
             // …and serve under the ACL.
             let frag = self.nodes[node]
-                .store
+                .store()
                 .read(&user.ticket, glsn)
-                .map_err(|e| AuditError::Log(e.to_string()))?;
-            frags.push(frag.clone());
+                .map_err(|e| AuditError::Log(e.to_string()))?
+                .clone();
+            frags.push(frag);
         }
         dla_logstore::fragment::reassemble(&frags).map_err(|e| AuditError::Log(e.to_string()))
     }
@@ -755,10 +873,8 @@ mod tests {
     fn mismatched_partition_rejected() {
         let schema = Schema::paper_example();
         let partition = Partition::paper_example(&schema); // 4 nodes
-        let err = DlaCluster::new(
-            ClusterConfig::new(3, schema).with_partition(partition),
-        )
-        .unwrap_err();
+        let err =
+            DlaCluster::new(ClusterConfig::new(3, schema).with_partition(partition)).unwrap_err();
         assert!(err.to_string().contains("partition covers 4"));
     }
 
@@ -806,8 +922,7 @@ mod tests {
     fn schema_violation_rejected_at_logging() {
         let mut c = cluster();
         let user = c.register_user("u0").unwrap();
-        let bad = LogRecord::new(Glsn(0))
-            .with("salary", dla_logstore::model::AttrValue::Int(1));
+        let bad = LogRecord::new(Glsn(0)).with("salary", dla_logstore::model::AttrValue::Int(1));
         assert!(c.log_record(&user, &bad).is_err());
     }
 
@@ -819,10 +934,7 @@ mod tests {
         let glsn = c.log_record(&user, &record).unwrap();
         let fetched = c.retrieve_record(&user, glsn).unwrap();
         assert_eq!(fetched.len(), record.len());
-        assert_eq!(
-            fetched.get(&"c2".into()),
-            record.get(&"c2".into())
-        );
+        assert_eq!(fetched.get(&"c2".into()), record.get(&"c2".into()));
     }
 
     #[test]
@@ -837,10 +949,7 @@ mod tests {
     #[test]
     fn user_capacity_enforced() {
         let schema = Schema::paper_example();
-        let mut c = DlaCluster::new(
-            ClusterConfig::new(2, schema).with_max_users(1),
-        )
-        .unwrap();
+        let mut c = DlaCluster::new(ClusterConfig::new(2, schema).with_max_users(1)).unwrap();
         assert!(c.register_user("a").is_ok());
         assert!(c.register_user("b").is_err());
     }

@@ -172,19 +172,18 @@ fn window_buckets(
         .map_err(|e| AuditError::Parse(e.to_string()))?;
 
     // Owner-side bucketing.
-    let pairs: Vec<(u64, Glsn)> = requested
-        .iter()
-        .filter_map(|g| {
-            cluster
-                .node(owner)
-                .store()
-                .get_local(*g)
-                .and_then(|f| match f.values.get(&time_attr) {
-                    Some(AttrValue::Time(t)) => Some((t / window_seconds, *g)),
-                    _ => None,
+    let pairs: Vec<(u64, Glsn)> =
+        requested
+            .iter()
+            .filter_map(|g| {
+                cluster.node(owner).store().get_local(*g).and_then(|f| {
+                    match f.values.get(&time_attr) {
+                        Some(AttrValue::Time(t)) => Some((t / window_seconds, *g)),
+                        _ => None,
+                    }
                 })
-        })
-        .collect();
+            })
+            .collect();
 
     // Owner -> auditor: the bucketed pairs.
     let mut w = Writer::new();
@@ -232,10 +231,8 @@ mod tests {
     }
 
     fn cluster() -> (DlaCluster, AppUser) {
-        let mut cluster = DlaCluster::new(
-            ClusterConfig::new(4, auth_schema()).with_seed(91),
-        )
-        .unwrap();
+        let mut cluster =
+            DlaCluster::new(ClusterConfig::new(4, auth_schema()).with_seed(91)).unwrap();
         let user = cluster.register_user("u").unwrap();
         (cluster, user)
     }
@@ -331,8 +328,7 @@ mod tests {
             AttrDef::known("c1", dla_logstore::model::AttrType::Int),
         ])
         .unwrap();
-        let mut cluster =
-            DlaCluster::new(ClusterConfig::new(2, schema).with_seed(1)).unwrap();
+        let mut cluster = DlaCluster::new(ClusterConfig::new(2, schema).with_seed(1)).unwrap();
         let err = detect(&mut cluster, &rule()).unwrap_err();
         assert!(err.to_string().contains("id"));
     }

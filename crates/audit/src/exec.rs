@@ -12,6 +12,20 @@
 //! Finally, "the conjunction of SQ_i is processed by a secure set
 //! intersection with glsn as the set element", and only the resulting
 //! glsn list reaches the auditor engine.
+//!
+//! # Scheduling
+//!
+//! Subqueries are mutually independent (Fig. 3's SQ0..SQ3 touch
+//! disjoint protocol state), so the executor runs each one in its own
+//! **transport session** ([`dla_net::Session`]). Under
+//! [`ExecMode::Concurrent`] — the default — a scheduler drives the
+//! sessions from scoped worker threads over the cluster's
+//! [`dla_net::SharedNet`]; per-session virtual clocks make the query's
+//! network makespan the *maximum* of the subquery latencies instead of
+//! their sum. [`ExecMode::Serial`] preserves the legacy one-at-a-time
+//! execution on the root session for comparison and debugging; both
+//! modes return identical glsn sets (protocol results are independent
+//! of scheduling and randomness).
 
 use crate::cluster::DlaCluster;
 use crate::plan::{LiteralStep, QueryPlan, Subquery, SubqueryKind};
@@ -21,12 +35,24 @@ use dla_crypto::affine::{MonotoneMasker, MONOTONE_MAX_INPUT};
 use dla_crypto::sha256;
 use dla_logstore::model::{AttrValue, Glsn};
 use dla_mpc::report::ProtocolReport;
-use dla_mpc::set_intersection::secure_set_intersection;
-use dla_mpc::set_union::secure_set_union;
+use dla_mpc::{SsiSession, UnionSession};
 use dla_net::topology::Ring;
 use dla_net::wire::{Reader, Writer};
-use dla_net::NodeId;
+use dla_net::{NodeId, Session, SessionId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// How the executor schedules independent subqueries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One subquery at a time on the root session (legacy behavior).
+    Serial,
+    /// Each subquery in its own session on its own worker thread,
+    /// joined at the ∧-combiner.
+    #[default]
+    Concurrent,
+}
 
 /// The outcome of a distributed query.
 #[derive(Debug)]
@@ -46,9 +72,23 @@ pub struct QueryResult {
     pub messages: u64,
     /// Total payload bytes attributable to this query.
     pub bytes: u64,
+    /// Simulated network makespan of the query: sum of subquery
+    /// latencies under [`ExecMode::Serial`], max under
+    /// [`ExecMode::Concurrent`] (plus the ∧-combiner in both).
+    pub elapsed: SimTime,
+    /// The transport sessions the subqueries ran on (empty in serial
+    /// mode, which stays on the root session).
+    pub sessions: Vec<SessionId>,
 }
 
 type GlsnSet = BTreeSet<Glsn>;
+
+/// Deterministic per-subquery RNG seed: independent of scheduling
+/// order, so serial and concurrent runs are byte-identical per session.
+fn subquery_seed(query_seed: u64, index: u64) -> u64 {
+    let mut x = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    query_seed ^ rand::splitmix64(&mut x)
+}
 
 /// Recovers a glsn from a revealed set element. Group decoding strips
 /// leading zero bytes, so the element is right-aligned into its
@@ -60,7 +100,7 @@ fn glsn_from_item(bytes: &[u8], total_len: usize) -> Glsn {
     Glsn(u64::from_be_bytes(buf[..8].try_into().expect("8 bytes")))
 }
 
-/// Executes a plan on the cluster.
+/// Executes a plan on the cluster (concurrent scheduler, with reveal).
 ///
 /// # Errors
 ///
@@ -83,21 +123,120 @@ pub fn execute_with_reveal(
     plan: &QueryPlan,
     reveal: bool,
 ) -> Result<QueryResult, AuditError> {
-    let start_messages = cluster.net().stats().messages_sent;
-    let start_bytes = cluster.net().stats().bytes_sent;
-    let mut reports = Vec::new();
+    execute_with_options(cluster, plan, reveal, ExecMode::default())
+}
 
-    // Per-subquery: (holder DLA node, glsn set at that holder).
+/// [`execute_with_reveal`] with an explicit [`ExecMode`].
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with_options(
+    cluster: &mut DlaCluster,
+    plan: &QueryPlan,
+    reveal: bool,
+    mode: ExecMode,
+) -> Result<QueryResult, AuditError> {
+    use rand::Rng;
+    let query_seed: u64 = cluster.rng_mut().gen();
+    execute_shared(cluster, plan, reveal, mode, query_seed)
+}
+
+/// The shared-reference executor: runs a plan against `&DlaCluster`,
+/// deriving all randomness from `query_seed`, so multiple auditors can
+/// execute queries from separate threads simultaneously.
+///
+/// # Errors
+///
+/// As [`execute`].
+///
+/// # Panics
+///
+/// Panics if a subquery worker thread panics.
+pub fn execute_shared(
+    cluster: &DlaCluster,
+    plan: &QueryPlan,
+    reveal: bool,
+    mode: ExecMode,
+    query_seed: u64,
+) -> Result<QueryResult, AuditError> {
+    let net = cluster.shared_net();
+    let (start_messages, start_bytes, start_elapsed) = {
+        let n = net.lock();
+        (n.stats().messages_sent, n.stats().bytes_sent, n.elapsed())
+    };
+
+    // Phase 1: independent subqueries — the scheduler.
+    let mut sessions: Vec<SessionId> = Vec::new();
+    let mut per_subquery: Vec<(usize, GlsnSet, Vec<ProtocolReport>)> =
+        Vec::with_capacity(plan.subqueries.len());
+    let combine_session;
+    match mode {
+        ExecMode::Serial => {
+            for (i, subquery) in plan.subqueries.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(subquery_seed(query_seed, i as u64));
+                let session = Session::root(net);
+                per_subquery.push(run_subquery(cluster, &session, subquery, &mut rng)?);
+            }
+            combine_session = SessionId::ROOT;
+        }
+        ExecMode::Concurrent => {
+            // Allocate sessions deterministically *before* spawning so
+            // ids (and so per-session RNG streams and accounting) do
+            // not depend on thread interleaving.
+            sessions = {
+                let mut n = net.lock();
+                plan.subqueries.iter().map(|_| n.open_session()).collect()
+            };
+            let outcomes = crossbeam::scope(|s| {
+                let handles: Vec<_> = plan
+                    .subqueries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, subquery)| {
+                        let sid = sessions[i];
+                        s.spawn(move || {
+                            let mut rng =
+                                StdRng::seed_from_u64(subquery_seed(query_seed, i as u64));
+                            let session = Session::new(net, sid);
+                            run_subquery(cluster, &session, subquery, &mut rng)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("subquery worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("subquery scheduler scope");
+            for outcome in outcomes {
+                per_subquery.push(outcome?);
+            }
+
+            // ∧-join barrier: the conjunction can only start once every
+            // subquery session has delivered, so open the combiner
+            // session and advance it to the latest subquery finish.
+            let mut n = net.lock();
+            let join_at = sessions
+                .iter()
+                .map(|&sid| n.session_elapsed(sid))
+                .max()
+                .unwrap_or(start_elapsed);
+            combine_session = n.open_session();
+            n.sync_session(combine_session, join_at);
+        }
+    }
+
+    let mut reports = Vec::new();
     let mut holder_sets: BTreeMap<usize, Vec<GlsnSet>> = BTreeMap::new();
-    for subquery in &plan.subqueries {
-        let (holder, set, mut subreports) = execute_subquery(cluster, subquery)?;
+    for (holder, set, mut subreports) in per_subquery {
         holder_sets.entry(holder).or_default().push(set);
         reports.append(&mut subreports);
     }
 
-    // Each holder intersects its own subquery results locally; the
-    // cross-holder conjunction runs as a secure set intersection with
-    // glsn as the element, revealed to the auditor engine.
+    // Phase 2: each holder intersects its own subquery results locally;
+    // the cross-holder conjunction runs as a secure set intersection
+    // with glsn as the element, revealed to the auditor engine.
     let mut holders: Vec<usize> = holder_sets.keys().copied().collect();
     holders.sort_unstable();
     let inputs: Vec<Vec<Vec<u8>>> = holders
@@ -112,10 +251,11 @@ pub fn execute_with_reveal(
         .collect();
 
     let ring = Ring::new(holders.iter().map(|&h| NodeId(h)).collect());
-    let auditor = cluster.auditor_node();
-    let domain = cluster.domain().clone();
-    let (net, rng) = cluster.net_and_rng();
-    let outcome = secure_set_intersection(net, &ring, &domain, &inputs, auditor, reveal, rng)
+    let mut rng = StdRng::seed_from_u64(subquery_seed(query_seed, u64::MAX));
+    let session = Session::new(net, combine_session);
+    let outcome = SsiSession::new(session, &ring, cluster.domain(), cluster.auditor_node())
+        .reveal(reveal)
+        .run(&inputs, &mut rng)
         .map_err(AuditError::Mpc)?;
     reports.push(outcome.report.clone());
 
@@ -128,28 +268,46 @@ pub fn execute_with_reveal(
         .collect();
     glsns.sort_unstable();
 
+    let (messages, bytes, elapsed) = {
+        let mut n = net.lock();
+        // Fold the query's finish time back into the root timeline so
+        // cluster-level elapsed time reflects completed queries.
+        let end = n.session_elapsed(combine_session);
+        n.sync_session(SessionId::ROOT, end);
+        (
+            n.stats().messages_sent - start_messages,
+            n.stats().bytes_sent - start_bytes,
+            end - start_elapsed,
+        )
+    };
+
     Ok(QueryResult {
         glsns,
         cardinality,
         plan: plan.clone(),
         auditing_confidentiality: crate::metrics::auditing_confidentiality(plan),
-        messages: cluster.net().stats().messages_sent - start_messages,
-        bytes: cluster.net().stats().bytes_sent - start_bytes,
+        messages,
+        bytes,
+        elapsed,
+        sessions,
         reports,
     })
 }
 
-/// Runs one subquery; returns (holder node, glsn set, protocol reports).
-fn execute_subquery(
-    cluster: &mut DlaCluster,
+/// Runs one subquery on `session`; returns (holder node, glsn set,
+/// protocol reports).
+fn run_subquery(
+    cluster: &DlaCluster,
+    session: &Session<'_>,
     subquery: &Subquery,
+    rng: &mut StdRng,
 ) -> Result<(usize, GlsnSet, Vec<ProtocolReport>), AuditError> {
     match &subquery.kind {
         SubqueryKind::Local { node } => {
             let set = scan_clause_local(cluster, *node, subquery)?;
             Ok((*node, set, Vec::new()))
         }
-        SubqueryKind::Cross { nodes } => execute_cross(cluster, subquery, nodes),
+        SubqueryKind::Cross { nodes } => execute_cross(cluster, session, subquery, nodes, rng),
     }
 }
 
@@ -207,7 +365,11 @@ fn scan_literal(
 }
 
 /// glsns for which `node` stores a value of `attr`.
-fn presence_set(cluster: &DlaCluster, node: usize, attr: &dla_logstore::model::AttrName) -> GlsnSet {
+fn presence_set(
+    cluster: &DlaCluster,
+    node: usize,
+    attr: &dla_logstore::model::AttrName,
+) -> GlsnSet {
     cluster
         .node(node)
         .store()
@@ -232,9 +394,11 @@ fn value_pairs(
 }
 
 fn execute_cross(
-    cluster: &mut DlaCluster,
+    cluster: &DlaCluster,
+    session: &Session<'_>,
     subquery: &Subquery,
     nodes: &BTreeSet<usize>,
+    rng: &mut StdRng,
 ) -> Result<(usize, GlsnSet, Vec<ProtocolReport>), AuditError> {
     let holder = *nodes.iter().next().expect("cross subquery has nodes");
     let mut reports = Vec::new();
@@ -244,8 +408,7 @@ fn execute_cross(
     for step in &subquery.steps {
         match step {
             LiteralStep::LocalScan { node, literal } => {
-                let set =
-                    scan_literal(cluster, *node, &subquery.clause.literals()[*literal])?;
+                let set = scan_literal(cluster, *node, &subquery.clause.literals()[*literal])?;
                 per_node.entry(*node).or_default().extend(set);
             }
             LiteralStep::CrossEqualityJoin {
@@ -256,10 +419,12 @@ fn execute_cross(
             } => {
                 let (set, mut r) = equality_join(
                     cluster,
+                    session,
                     *left_node,
                     *right_node,
                     &subquery.clause.literals()[*literal],
                     *negated,
+                    rng,
                 )?;
                 reports.append(&mut r);
                 per_node.entry(*left_node).or_default().extend(set);
@@ -271,9 +436,11 @@ fn execute_cross(
             } => {
                 let set = masked_compare(
                     cluster,
+                    session,
                     *left_node,
                     *right_node,
                     &subquery.clause.literals()[*literal],
+                    rng,
                 )?;
                 per_node.entry(*left_node).or_default().extend(set);
             }
@@ -300,9 +467,8 @@ fn execute_cross(
         })
         .collect();
     let ring = Ring::new(contributing.iter().map(|&n| NodeId(n)).collect());
-    let domain = cluster.domain().clone();
-    let (net, rng) = cluster.net_and_rng();
-    let outcome = secure_set_union(net, &ring, &domain, &inputs, NodeId(holder), rng)
+    let outcome = UnionSession::new(*session, &ring, cluster.domain(), NodeId(holder))
+        .run(&inputs, rng)
         .map_err(AuditError::Mpc)?;
     reports.push(outcome.report.clone());
     let set: GlsnSet = outcome
@@ -318,11 +484,13 @@ fn execute_cross(
 /// For `≠`, the complement within the joint presence set (obtained by
 /// a second, values-free intersection).
 fn equality_join(
-    cluster: &mut DlaCluster,
+    cluster: &DlaCluster,
+    session: &Session<'_>,
     left_node: usize,
     right_node: usize,
     literal: &Predicate,
     negated: bool,
+    rng: &mut StdRng,
 ) -> Result<(GlsnSet, Vec<ProtocolReport>), AuditError> {
     let crate::query::Operand::Attr(rhs_attr) = &literal.rhs else {
         return Err(AuditError::Planning(
@@ -347,18 +515,10 @@ fn equality_join(
         .collect();
 
     let ring = Ring::new(vec![NodeId(left_node), NodeId(right_node)]);
-    let domain = cluster.domain().clone();
-    let (net, rng) = cluster.net_and_rng();
-    let outcome = secure_set_intersection(
-        net,
-        &ring,
-        &domain,
-        &[left_items, right_items],
-        NodeId(left_node),
-        true,
-        rng,
-    )
-    .map_err(AuditError::Mpc)?;
+    let outcome = SsiSession::new(*session, &ring, cluster.domain(), NodeId(left_node))
+        .reveal(true)
+        .run(&[left_items, right_items], rng)
+        .map_err(AuditError::Mpc)?;
     reports.push(outcome.report.clone());
     let equal: GlsnSet = outcome
         .common_items
@@ -381,17 +541,10 @@ fn equality_join(
         .map(|g| g.0.to_be_bytes().to_vec())
         .collect();
     let ring = Ring::new(vec![NodeId(left_node), NodeId(right_node)]);
-    let (net, rng) = cluster.net_and_rng();
-    let presence = secure_set_intersection(
-        net,
-        &ring,
-        &domain,
-        &[left_presence, right_presence],
-        NodeId(left_node),
-        true,
-        rng,
-    )
-    .map_err(AuditError::Mpc)?;
+    let presence = SsiSession::new(*session, &ring, cluster.domain(), NodeId(left_node))
+        .reveal(true)
+        .run(&[left_presence, right_presence], rng)
+        .map_err(AuditError::Mpc)?;
     reports.push(presence.report.clone());
     let joint: GlsnSet = presence
         .common_items
@@ -432,10 +585,12 @@ fn to_ordinal(value: &AttrValue) -> Result<u64, AuditError> {
 /// Cross-node ordering comparison via order-preserving masking and the
 /// cluster's blind TTP (§3.3 machinery applied per glsn).
 fn masked_compare(
-    cluster: &mut DlaCluster,
+    cluster: &DlaCluster,
+    session: &Session<'_>,
     left_node: usize,
     right_node: usize,
     literal: &Predicate,
+    rng: &mut StdRng,
 ) -> Result<GlsnSet, AuditError> {
     let crate::query::Operand::Attr(rhs_attr) = &literal.rhs else {
         return Err(AuditError::Planning(
@@ -448,23 +603,24 @@ fn masked_compare(
     let ttp = cluster.ttp_node();
     let (left_id, right_id) = (NodeId(left_node), NodeId(right_node));
 
-    let (net, rng) = cluster.net_and_rng();
-
     // Mask agreement between the two owners (sealed from the TTP).
     let mask = MonotoneMasker::random(rng);
     let mut w = Writer::new();
     w.put_u8(0x30).put_bytes(&mask.to_bytes());
-    net.send(left_id, right_id, w.finish());
-    let envelope = net.recv_from(right_id, left_id).map_err(AuditError::Net)?;
+    session.send(left_id, right_id, w.finish());
+    let envelope = session
+        .recv_from(right_id, left_id)
+        .map_err(AuditError::Net)?;
     let mut r = Reader::new(&envelope.payload);
     let _ = r.get_u8().map_err(|e| AuditError::Parse(e.to_string()))?;
     let right_mask = MonotoneMasker::from_bytes(
-        r.get_bytes().map_err(|e| AuditError::Parse(e.to_string()))?,
+        r.get_bytes()
+            .map_err(|e| AuditError::Parse(e.to_string()))?,
     )
     .map_err(|e| AuditError::Parse(e.to_string()))?;
 
     // Both sides submit (glsn, masked ordinal) lists to the TTP.
-    let submit = |net: &mut dla_net::SimNet,
+    let submit = |net: &Session<'_>,
                   from: NodeId,
                   mask: &MonotoneMasker,
                   pairs: &[(Glsn, AttrValue)]|
@@ -482,12 +638,12 @@ fn masked_compare(
         net.send(from, ttp, w.finish());
         Ok(())
     };
-    submit(net, left_id, &mask, &left_pairs)?;
-    submit(net, right_id, &right_mask, &right_pairs)?;
+    submit(session, left_id, &mask, &left_pairs)?;
+    submit(session, right_id, &right_mask, &right_pairs)?;
 
     let mut tables: Vec<BTreeMap<u64, u128>> = Vec::with_capacity(2);
     for from in [left_id, right_id] {
-        let envelope = net.recv_from(ttp, from).map_err(AuditError::Net)?;
+        let envelope = session.recv_from(ttp, from).map_err(AuditError::Net)?;
         let mut r = Reader::new(&envelope.payload);
         let _ = r.get_u8().map_err(|e| AuditError::Parse(e.to_string()))?;
         let list = r
@@ -517,8 +673,8 @@ fn masked_compare(
     w.put_u8(0x32).put_list(&satisfying, |w, &g| {
         w.put_u64(g);
     });
-    net.send(ttp, left_id, w.finish());
-    let envelope = net.recv_from(left_id, ttp).map_err(AuditError::Net)?;
+    session.send(ttp, left_id, w.finish());
+    let envelope = session.recv_from(left_id, ttp).map_err(AuditError::Net)?;
     let mut r = Reader::new(&envelope.payload);
     let _ = r.get_u8().map_err(|e| AuditError::Parse(e.to_string()))?;
     let glsns = r
@@ -657,6 +813,84 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_subqueries_run_in_separate_sessions() {
+        let (mut cluster, _user, _glsns) = loaded_cluster();
+        let parsed = crate::parser::parse("c1 > 30 AND id = 'U1'", cluster.schema()).unwrap();
+        let normalized = crate::normal::normalize(&parsed);
+        let plan = crate::plan::plan(&normalized, cluster.partition()).unwrap();
+        let result = execute_with_options(&mut cluster, &plan, true, ExecMode::Concurrent).unwrap();
+        assert_eq!(result.sessions.len(), plan.subqueries.len());
+        let net = cluster.net();
+        for &sid in &result.sessions {
+            let s = net.stats().session(sid);
+            // Local subqueries send nothing; cross sessions do. Either
+            // way the session is tracked distinctly from the root.
+            assert_ne!(sid, SessionId::ROOT);
+            let _ = s;
+        }
+    }
+
+    #[test]
+    fn serial_and_concurrent_agree_on_paper_queries() {
+        for q in [
+            "c1 > 30",
+            "c1 > 30 AND id = 'U1'",
+            "c1 > 40 OR id = 'U2'",
+            "id != c3",
+            "NOT (protocol = 'UDP' OR c1 >= 45)",
+        ] {
+            let (mut cluster, _user, _) = loaded_cluster();
+            let parsed = crate::parser::parse(q, cluster.schema()).unwrap();
+            let normalized = crate::normal::normalize(&parsed);
+            let plan = crate::plan::plan(&normalized, cluster.partition()).unwrap();
+            let serial = execute_with_options(&mut cluster, &plan, true, ExecMode::Serial).unwrap();
+            let concurrent =
+                execute_with_options(&mut cluster, &plan, true, ExecMode::Concurrent).unwrap();
+            assert_eq!(serial.glsns, concurrent.glsns, "query {q}");
+            assert_eq!(serial.cardinality, concurrent.cardinality, "query {q}");
+        }
+    }
+
+    #[test]
+    fn concurrent_makespan_not_worse_under_latency() {
+        // With per-link latency, the concurrent scheduler's makespan is
+        // the max of the subquery latencies; serial pays the sum.
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let build = || {
+            let mut c = DlaCluster::new(
+                ClusterConfig::new(4, schema.clone())
+                    .with_partition(partition.clone())
+                    .with_seed(11)
+                    .with_latency(dla_net::latency::LatencyModel::lan()),
+            )
+            .unwrap();
+            let user = c.register_user("u").unwrap();
+            c.log_records(&user, &paper_table1()).unwrap();
+            c
+        };
+        let q = "c1 > 30 AND id = 'U1' AND protocol = 'TCP'";
+        let plan_for = |c: &DlaCluster| {
+            let parsed = crate::parser::parse(q, c.schema()).unwrap();
+            crate::plan::plan(&crate::normal::normalize(&parsed), c.partition()).unwrap()
+        };
+        let mut serial_cluster = build();
+        let plan = plan_for(&serial_cluster);
+        let serial =
+            execute_with_options(&mut serial_cluster, &plan, true, ExecMode::Serial).unwrap();
+        let mut conc_cluster = build();
+        let concurrent =
+            execute_with_options(&mut conc_cluster, &plan, true, ExecMode::Concurrent).unwrap();
+        assert_eq!(serial.glsns, concurrent.glsns);
+        assert!(
+            concurrent.elapsed <= serial.elapsed,
+            "concurrent {} should not exceed serial {}",
+            concurrent.elapsed,
+            serial.elapsed
+        );
+    }
+
+    #[test]
     fn masked_compare_across_nodes() {
         // Need two same-typed attributes on different nodes with an
         // ordering op: build a custom schema.
@@ -782,11 +1016,7 @@ mod tests {
 
     #[test]
     fn ordinal_mapping_preserves_order_and_bounds() {
-        let vals = [
-            AttrValue::Int(-100),
-            AttrValue::Int(0),
-            AttrValue::Int(100),
-        ];
+        let vals = [AttrValue::Int(-100), AttrValue::Int(0), AttrValue::Int(100)];
         let ords: Vec<u64> = vals.iter().map(|v| to_ordinal(v).unwrap()).collect();
         assert!(ords[0] < ords[1] && ords[1] < ords[2]);
         assert!(to_ordinal(&AttrValue::Int(1 << 39)).is_err());

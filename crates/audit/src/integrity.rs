@@ -71,9 +71,7 @@ pub fn check_record(
     for step in 1..n {
         let next = (initiator + step) % n;
         let mut w = Writer::new();
-        w.put_u8(0x40)
-            .put_u64(glsn.0)
-            .put_bytes(&acc.to_bytes_be());
+        w.put_u8(0x40).put_u64(glsn.0).put_bytes(&acc.to_bytes_be());
         cluster
             .net_mut()
             .send(NodeId(holder), NodeId(next), w.finish());
@@ -82,7 +80,9 @@ pub fn check_record(
             .recv_from(NodeId(next), NodeId(holder))
             .map_err(AuditError::Net)?;
         let mut r = Reader::new(&envelope.payload);
-        let _ = r.get_u8().map_err(|e| AuditError::Integrity(e.to_string()))?;
+        let _ = r
+            .get_u8()
+            .map_err(|e| AuditError::Integrity(e.to_string()))?;
         let tagged_glsn = r
             .get_u64()
             .map_err(|e| AuditError::Integrity(e.to_string()))?;
@@ -101,9 +101,7 @@ pub fn check_record(
 
     // Return to the initiator for the final comparison.
     let mut w = Writer::new();
-    w.put_u8(0x41)
-        .put_u64(glsn.0)
-        .put_bytes(&acc.to_bytes_be());
+    w.put_u8(0x41).put_u64(glsn.0).put_bytes(&acc.to_bytes_be());
     cluster
         .net_mut()
         .send(NodeId(holder), NodeId(initiator), w.finish());
@@ -112,8 +110,12 @@ pub fn check_record(
         .recv_from(NodeId(initiator), NodeId(holder))
         .map_err(AuditError::Net)?;
     let mut r = Reader::new(&envelope.payload);
-    let _ = r.get_u8().map_err(|e| AuditError::Integrity(e.to_string()))?;
-    let _ = r.get_u64().map_err(|e| AuditError::Integrity(e.to_string()))?;
+    let _ = r
+        .get_u8()
+        .map_err(|e| AuditError::Integrity(e.to_string()))?;
+    let _ = r
+        .get_u64()
+        .map_err(|e| AuditError::Integrity(e.to_string()))?;
     let final_acc = Ubig::from_bytes_be(
         r.get_bytes()
             .map_err(|e| AuditError::Integrity(e.to_string()))?,
@@ -202,8 +204,8 @@ pub fn check_acl_consistency(
     let ring = Ring::canonical(n);
     let auditor = cluster.auditor_node();
     let domain = cluster.domain().clone();
-    let (net, rng) = cluster.net_and_rng();
-    let outcome = secure_set_intersection(net, &ring, &domain, &inputs, auditor, false, rng)
+    let (mut net, rng) = cluster.net_and_rng();
+    let outcome = secure_set_intersection(&mut net, &ring, &domain, &inputs, auditor, false, rng)
         .map_err(AuditError::Mpc)?;
     let agreed = outcome.cardinality();
     Ok(AclConsistency {
@@ -343,8 +345,7 @@ mod tests {
     #[test]
     fn acl_check_for_unknown_ticket_is_vacuously_consistent() {
         let (mut cluster, _, _) = loaded();
-        let result =
-            check_acl_consistency(&mut cluster, &TicketId::new("T999")).unwrap();
+        let result = check_acl_consistency(&mut cluster, &TicketId::new("T999")).unwrap();
         assert!(result.consistent);
         assert_eq!(result.agreed, 0);
     }

@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! The DLA cluster core: confidential logging and auditing for
 //! distributed systems.
 //!

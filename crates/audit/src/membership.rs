@@ -217,8 +217,7 @@ impl EvidenceChain {
         rng: &mut R,
     ) -> Self {
         let prev = [0u8; 32];
-        let context =
-            EvidencePiece::context(0, &prev, charter, "", &founder.join.token.pseudonym);
+        let context = EvidencePiece::context(0, &prev, charter, "", &founder.join.token.pseudonym);
         let spend = founder.join.spend(&authority.params, &context);
         let signature = founder.join.pseudonym_key.sign(&context, rng);
         let digest = sha256::digest_parts(&[&context, &spend_bytes(&spend)]);

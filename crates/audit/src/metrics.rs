@@ -69,7 +69,11 @@ pub fn query_confidentiality(
 ///
 /// Returns 0 for an empty workload.
 #[must_use]
-pub fn dla_confidentiality(workload: &[(QueryPlan, LogRecord)], schema: &Schema, partition: &Partition) -> f64 {
+pub fn dla_confidentiality(
+    workload: &[(QueryPlan, LogRecord)],
+    schema: &Schema,
+    partition: &Partition,
+) -> f64 {
     if workload.is_empty() {
         return 0.0;
     }
@@ -174,8 +178,8 @@ mod tests {
         let (schema, partition) = env();
         let p = planned("(c1 > 5 OR id = 'U1') AND c2 < 9.00", &schema, &partition);
         let record = paper_table1().remove(0);
-        let expect = auditing_confidentiality(&p)
-            * store_confidentiality(&record, &schema, &partition);
+        let expect =
+            auditing_confidentiality(&p) * store_confidentiality(&record, &schema, &partition);
         assert_eq!(
             query_confidentiality(&p, &record, &schema, &partition),
             expect

@@ -139,9 +139,7 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 out.push((Token::Number(input[start..i].to_owned()), start));
@@ -162,7 +160,10 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
                 }
             }
             other => {
-                return Err(ParseError::new(format!("unexpected character {other:?}"), i))
+                return Err(ParseError::new(
+                    format!("unexpected character {other:?}"),
+                    i,
+                ))
             }
         }
     }
@@ -305,7 +306,11 @@ fn typed_number(text: &str, target: AttrType, at: usize) -> Result<AttrValue, Pa
                 padded.parse().expect("digits only")
             };
             let magnitude = whole * 100 + frac_val;
-            Ok(AttrValue::Fixed2(if negative { -magnitude } else { magnitude }))
+            Ok(AttrValue::Fixed2(if negative {
+                -magnitude
+            } else {
+                magnitude
+            }))
         }
         AttrType::Time => text
             .parse::<u64>()
@@ -321,14 +326,12 @@ fn typed_number(text: &str, target: AttrType, at: usize) -> Result<AttrValue, Pa
 fn typed_string(text: &str, target: AttrType, at: usize) -> Result<AttrValue, ParseError> {
     match target {
         AttrType::Text => Ok(AttrValue::text(text)),
-        AttrType::Time => parse_paper_time(text)
-            .map(AttrValue::Time)
-            .ok_or_else(|| {
-                ParseError::new(
-                    format!("invalid time literal {text:?} (want HH:MM:SS/MM/DD/YYYY)"),
-                    at,
-                )
-            }),
+        AttrType::Time => parse_paper_time(text).map(AttrValue::Time).ok_or_else(|| {
+            ParseError::new(
+                format!("invalid time literal {text:?} (want HH:MM:SS/MM/DD/YYYY)"),
+                at,
+            )
+        }),
         other => Err(ParseError::new(
             format!("string literal compared to a {other} attribute"),
             at,
@@ -437,10 +440,7 @@ mod tests {
     fn parses_time_literals() {
         let q = parse("time > '20:18:35/05/12/2002'", &schema()).unwrap();
         // Evaluate against Table 1: rows 2-5 are later than row 1.
-        let matching = paper_table1()
-            .iter()
-            .filter(|r| q.eval(r).unwrap())
-            .count();
+        let matching = paper_table1().iter().filter(|r| q.eval(r).unwrap()).count();
         assert_eq!(matching, 4);
     }
 
@@ -448,10 +448,7 @@ mod tests {
     fn fixed2_literals_coerce() {
         let q = parse("c2 > 100", &schema()).unwrap();
         // 100 → 100.00; Table 1 c2 values: 23.45, 345.11, 235.00, 45.02, 678.75.
-        let matching = paper_table1()
-            .iter()
-            .filter(|r| q.eval(r).unwrap())
-            .count();
+        let matching = paper_table1().iter().filter(|r| q.eval(r).unwrap()).count();
         assert_eq!(matching, 3);
     }
 
@@ -459,10 +456,7 @@ mod tests {
     fn alternative_ne_spellings() {
         for src in ["protocol != 'TCP'", "protocol <> 'TCP'"] {
             let q = parse(src, &schema()).unwrap();
-            let matching = paper_table1()
-                .iter()
-                .filter(|r| q.eval(r).unwrap())
-                .count();
+            let matching = paper_table1().iter().filter(|r| q.eval(r).unwrap()).count();
             assert_eq!(matching, 3, "{src}");
         }
     }
@@ -523,12 +517,13 @@ mod tests {
         use crate::query::{CmpOp, Predicate};
         use dla_logstore::model::AttrValue;
         let parsed = parse("c1 >= 20 AND id = 'U1'", &schema()).unwrap();
-        let built = Criteria::pred(Predicate::with_const("c1", CmpOp::Ge, AttrValue::Int(20)))
-            .and(Criteria::pred(Predicate::with_const(
+        let built = Criteria::pred(Predicate::with_const("c1", CmpOp::Ge, AttrValue::Int(20))).and(
+            Criteria::pred(Predicate::with_const(
                 "id",
                 CmpOp::Eq,
                 AttrValue::text("U1"),
-            )));
+            )),
+        );
         assert_eq!(parsed, built);
     }
 }

@@ -320,11 +320,7 @@ mod tests {
         ])
         .unwrap();
         let partition = Partition::round_robin(&schema, 2).unwrap();
-        let p = plan(
-            &normalize(&parse("a < b", &schema).unwrap()),
-            &partition,
-        )
-        .unwrap();
+        let p = plan(&normalize(&parse("a < b", &schema).unwrap()), &partition).unwrap();
         assert!(matches!(
             p.subqueries[0].steps[0],
             LiteralStep::CrossMaskedCompare {
@@ -365,8 +361,11 @@ mod tests {
         ])
         .unwrap();
         // Partition over a *different* schema lacking `b`.
-        let small = Schema::new(vec![AttrDef::known("a", dla_logstore::model::AttrType::Int)])
-            .unwrap();
+        let small = Schema::new(vec![AttrDef::known(
+            "a",
+            dla_logstore::model::AttrType::Int,
+        )])
+        .unwrap();
         let partition = Partition::round_robin(&small, 2).unwrap();
         let q = normalize(&parse("b > 1", &schema).unwrap());
         assert!(plan(&q, &partition).is_err());

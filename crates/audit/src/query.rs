@@ -183,11 +183,7 @@ impl Predicate {
                 if lhs_def.attr_type() != rhs_def.attr_type() {
                     return Err(EvalError::TypeMismatch {
                         lhs: self.lhs.clone(),
-                        detail: format!(
-                            "{} vs {}",
-                            lhs_def.attr_type(),
-                            rhs_def.attr_type()
-                        ),
+                        detail: format!("{} vs {}", lhs_def.attr_type(), rhs_def.attr_type()),
                     });
                 }
             }
@@ -354,9 +350,11 @@ mod tests {
         assert!(!Predicate::with_const("c1", CmpOp::Gt, AttrValue::Int(20))
             .eval(&r)
             .unwrap());
-        assert!(Predicate::with_const("id", CmpOp::Ne, AttrValue::text("U2"))
-            .eval(&r)
-            .unwrap());
+        assert!(
+            Predicate::with_const("id", CmpOp::Ne, AttrValue::text("U2"))
+                .eval(&r)
+                .unwrap()
+        );
         assert!(Predicate::with_const("c1", CmpOp::Ge, AttrValue::Int(20))
             .eval(&r)
             .unwrap());
@@ -371,8 +369,12 @@ mod tests {
         let r = LogRecord::new(Glsn(1))
             .with("c1", AttrValue::Int(20))
             .with("c4", AttrValue::Int(30));
-        assert!(Predicate::with_attr("c1", CmpOp::Lt, "c4").eval(&r).unwrap());
-        assert!(!Predicate::with_attr("c1", CmpOp::Eq, "c4").eval(&r).unwrap());
+        assert!(Predicate::with_attr("c1", CmpOp::Lt, "c4")
+            .eval(&r)
+            .unwrap());
+        assert!(!Predicate::with_attr("c1", CmpOp::Eq, "c4")
+            .eval(&r)
+            .unwrap());
     }
 
     #[test]
@@ -397,8 +399,7 @@ mod tests {
     fn connectives_follow_boolean_semantics() {
         let r = record();
         let p_true = Criteria::pred(Predicate::with_const("c1", CmpOp::Eq, AttrValue::Int(20)));
-        let p_false =
-            Criteria::pred(Predicate::with_const("c1", CmpOp::Eq, AttrValue::Int(99)));
+        let p_false = Criteria::pred(Predicate::with_const("c1", CmpOp::Eq, AttrValue::Int(99)));
         assert!(p_true.clone().and(p_true.clone()).eval(&r).unwrap());
         assert!(!p_true.clone().and(p_false.clone()).eval(&r).unwrap());
         assert!(p_true.clone().or(p_false.clone()).eval(&r).unwrap());
@@ -410,7 +411,14 @@ mod tests {
 
     #[test]
     fn op_negation_is_involutive_and_correct() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(op.negate().negate(), op);
             for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
                 assert_eq!(op.test(ord), !op.negate().test(ord), "{op} {ord:?}");
@@ -430,12 +438,18 @@ mod tests {
         assert!(Predicate::with_const("c1", CmpOp::Gt, AttrValue::text("x"))
             .check(&schema)
             .is_err());
-        assert!(Predicate::with_attr("c1", CmpOp::Lt, "c2")
-            .check(&schema)
-            .is_err(), "int vs fixed2");
-        assert!(Predicate::with_attr("id", CmpOp::Eq, "c3")
-            .check(&schema)
-            .is_ok(), "text vs text");
+        assert!(
+            Predicate::with_attr("c1", CmpOp::Lt, "c2")
+                .check(&schema)
+                .is_err(),
+            "int vs fixed2"
+        );
+        assert!(
+            Predicate::with_attr("id", CmpOp::Eq, "c3")
+                .check(&schema)
+                .is_ok(),
+            "text vs text"
+        );
     }
 
     #[test]

@@ -143,7 +143,11 @@ impl fmt::Display for TransactionReport {
             f,
             "transaction {}: {}",
             self.tid,
-            if self.conforms() { "CONFORMS" } else { "VIOLATION" }
+            if self.conforms() {
+                "CONFORMS"
+            } else {
+                "VIOLATION"
+            }
         )?;
         for v in &self.verdicts {
             writeln!(
@@ -227,10 +231,7 @@ pub fn verify_transaction(
                 }
                 let result = crate::exec::execute_with_reveal(
                     cluster,
-                    &crate::plan::plan(
-                        &crate::normal::normalize(&criteria),
-                        cluster.partition(),
-                    )?,
+                    &crate::plan::plan(&crate::normal::normalize(&criteria), cluster.partition())?,
                     false,
                 )?;
                 RuleVerdict {
@@ -499,7 +500,10 @@ mod tests {
             .with_rule(Rule::MaxDuration { seconds: 1 });
         let report =
             verify_transaction(&mut cluster, &TransactionId::new("T9999999"), &spec).unwrap();
-        assert!(report.conforms(), "zero events satisfy count=0 and any duration");
+        assert!(
+            report.conforms(),
+            "zero events satisfy count=0 and any duration"
+        );
     }
 
     #[test]

@@ -28,18 +28,23 @@ fn arb_op() -> impl Strategy<Value = CmpOp> {
 /// workload (values drawn from the generator's ranges).
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
     prop_oneof![
-        (arb_op(), 1i64..100)
-            .prop_map(|(op, c)| Predicate::with_const("c1", op, AttrValue::Int(c))),
-        (arb_op(), 100i64..100_000)
-            .prop_map(|(op, c)| Predicate::with_const("c2", op, AttrValue::Fixed2(c))),
+        (arb_op(), 1i64..100).prop_map(|(op, c)| Predicate::with_const(
+            "c1",
+            op,
+            AttrValue::Int(c)
+        )),
+        (arb_op(), 100i64..100_000).prop_map(|(op, c)| Predicate::with_const(
+            "c2",
+            op,
+            AttrValue::Fixed2(c)
+        )),
         (arb_op(), 1u64..6).prop_map(|(op, u)| Predicate::with_const(
             "id",
             op,
             AttrValue::text(&format!("U{u}"))
         )),
-        prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne]).prop_map(|op| {
-            Predicate::with_const("protocol", op, AttrValue::text("UDP"))
-        }),
+        prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne])
+            .prop_map(|op| { Predicate::with_const("protocol", op, AttrValue::text("UDP")) }),
         prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne])
             .prop_map(|op| Predicate::with_attr("id", op, "c3")),
     ]
@@ -111,4 +116,98 @@ proptest! {
             .collect();
         prop_assert_eq!(got, expect, "criteria {} diverged", criteria);
     }
+
+    /// The concurrent subquery scheduler is an optimisation, not a
+    /// semantics change: for any randomized plan it must return the
+    /// same glsn set as the legacy serial executor.
+    #[test]
+    fn concurrent_scheduler_matches_serial_on_random_plans(
+        criteria in arb_criteria(),
+        seed in 0u64..1_000,
+    ) {
+        let (mut serial_cluster, _, _) = loaded_cluster(seed);
+        let (mut conc_cluster, _, _) = loaded_cluster(seed);
+
+        let normalized = dla_audit::normal::normalize(&criteria);
+        let plan = dla_audit::plan::plan(&normalized, serial_cluster.partition())
+            .unwrap_or_else(|e| panic!("plan {criteria} failed: {e}"));
+
+        let serial = dla_audit::exec::execute_with_options(
+            &mut serial_cluster,
+            &plan,
+            true,
+            dla_audit::exec::ExecMode::Serial,
+        )
+        .unwrap_or_else(|e| panic!("serial {criteria} failed: {e}"));
+        let concurrent = dla_audit::exec::execute_with_options(
+            &mut conc_cluster,
+            &plan,
+            true,
+            dla_audit::exec::ExecMode::Concurrent,
+        )
+        .unwrap_or_else(|e| panic!("concurrent {criteria} failed: {e}"));
+
+        let serial_set: BTreeSet<Glsn> = serial.glsns.iter().copied().collect();
+        let concurrent_set: BTreeSet<Glsn> = concurrent.glsns.iter().copied().collect();
+        prop_assert_eq!(serial_set, concurrent_set, "criteria {} diverged", criteria);
+        prop_assert_eq!(serial.cardinality, concurrent.cardinality);
+        // The concurrent run multiplexed each subquery over a fresh
+        // session; the serial run stayed on the root session.
+        prop_assert_eq!(concurrent.sessions.len(), plan.subqueries.len());
+        prop_assert!(serial.sessions.is_empty());
+    }
+}
+
+#[test]
+fn concurrent_execution_never_leaks_plaintext_values() {
+    // The seed corpus's leak check, re-run under the concurrent
+    // scheduler: capture every payload the network carries while
+    // multi-session queries are in flight and scan for a distinctive
+    // plaintext. Session multiplexing must not widen the trust
+    // boundary — only fingerprints and ciphertexts travel.
+    let schema = Schema::paper_example();
+    let partition = Partition::paper_example(&schema);
+    let mut cluster = DlaCluster::new(
+        ClusterConfig::new(4, schema)
+            .with_partition(partition)
+            .with_seed(11)
+            .with_payload_capture(),
+    )
+    .expect("cluster builds");
+    let user = cluster.register_user("u").expect("capacity");
+    let secret_note = "ULTRA-SECRET-MERGER-MEMO";
+    let record = LogRecord::new(Glsn(0))
+        .with("time", AttrValue::Time(1_000_000))
+        .with("id", AttrValue::text("U1"))
+        .with("protocol", AttrValue::text("UDP"))
+        .with("tid", AttrValue::text("T1"))
+        .with("c1", AttrValue::Int(1))
+        .with("c2", AttrValue::Fixed2(100))
+        .with("c3", AttrValue::text(secret_note));
+    cluster.log_record(&user, &record).expect("log");
+
+    // log_record legitimately ships the fragment to its storing node;
+    // the query-phase traffic begins after this mark.
+    let logged_until = cluster.net().captured_payloads().len();
+
+    // Multi-subquery queries through the concurrent scheduler (the
+    // query_shared path), touching c3's owner node in several ways.
+    let _ = cluster.query_shared("id = c3").expect("join query");
+    let _ = cluster
+        .query_shared("(id = 'U1' OR c1 > 0) AND (protocol = 'UDP' OR c2 < 400.00) AND id != c3")
+        .expect("cross query");
+
+    let needle = secret_note.as_bytes();
+    let net = cluster.net();
+    let captured = net.captured_payloads();
+    for (i, (from, to, payload)) in captured.iter().enumerate().skip(logged_until) {
+        assert!(
+            !payload.windows(needle.len()).any(|w| w == needle),
+            "payload #{i} ({from} -> {to}) leaks the plaintext note"
+        );
+    }
+    assert!(
+        captured.len() > logged_until,
+        "the queries must actually have generated traffic"
+    );
 }

@@ -27,14 +27,26 @@ fn arb_op() -> impl Strategy<Value = CmpOp> {
 /// clock format which is only accepted quoted).
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
     prop_oneof![
-        (arb_op(), -500i64..500)
-            .prop_map(|(op, c)| Predicate::with_const("c1", op, AttrValue::Int(c))),
-        (arb_op(), 0i64..100_000)
-            .prop_map(|(op, c)| Predicate::with_const("c2", op, AttrValue::Fixed2(c))),
-        (arb_op(), "[a-z][a-z0-9]{0,6}")
-            .prop_map(|(op, s)| Predicate::with_const("id", op, AttrValue::text(&s))),
-        (arb_op(), "[a-z]{1,6}")
-            .prop_map(|(op, s)| Predicate::with_const("c3", op, AttrValue::text(&s))),
+        (arb_op(), -500i64..500).prop_map(|(op, c)| Predicate::with_const(
+            "c1",
+            op,
+            AttrValue::Int(c)
+        )),
+        (arb_op(), 0i64..100_000).prop_map(|(op, c)| Predicate::with_const(
+            "c2",
+            op,
+            AttrValue::Fixed2(c)
+        )),
+        (arb_op(), "[a-z][a-z0-9]{0,6}").prop_map(|(op, s)| Predicate::with_const(
+            "id",
+            op,
+            AttrValue::text(&s)
+        )),
+        (arb_op(), "[a-z]{1,6}").prop_map(|(op, s)| Predicate::with_const(
+            "c3",
+            op,
+            AttrValue::text(&s)
+        )),
         arb_op().prop_map(|op| Predicate::with_attr("id", op, "c3")),
         prop::sample::select(vec![CmpOp::Eq, CmpOp::Ne])
             .prop_map(|op| Predicate::with_attr("tid", op, "protocol")),

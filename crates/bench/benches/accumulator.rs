@@ -23,9 +23,7 @@ fn bench_accumulator(c: &mut Criterion) {
                 let data: Vec<Vec<u8>> = (0..items)
                     .map(|i| format!("fragment-{i}").into_bytes())
                     .collect();
-                b.iter(|| {
-                    black_box(params.accumulate(data.iter().map(Vec::as_slice)))
-                });
+                b.iter(|| black_box(params.accumulate(data.iter().map(Vec::as_slice))));
             },
         );
     }
@@ -34,9 +32,7 @@ fn bench_accumulator(c: &mut Criterion) {
     group.bench_function("integrity_circulation_4_nodes", |b| {
         let (mut cluster, _, glsns) = dla_bench::paper_cluster(9);
         b.iter(|| {
-            black_box(
-                integrity::check_record(&mut cluster, glsns[0], 0).expect("check runs"),
-            )
+            black_box(integrity::check_record(&mut cluster, glsns[0], 0).expect("check runs"))
         });
     });
 

@@ -53,9 +53,7 @@ fn bench_query(c: &mut Criterion) {
     group.bench_function("confidential_count", |b| {
         let (mut cluster, _, _) = dla_bench::workload_cluster(4, 100, 13);
         b.iter(|| {
-            black_box(
-                aggregate::count_matching(&mut cluster, "protocol = 'UDP'").expect("runs"),
-            )
+            black_box(aggregate::count_matching(&mut cluster, "protocol = 'UDP'").expect("runs"))
         });
     });
 

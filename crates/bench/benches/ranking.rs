@@ -23,8 +23,7 @@ fn bench_ranking(c: &mut Criterion) {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(1);
                 let mut net = SimNet::new(n + 1, NetConfig::ideal());
                 black_box(
-                    secure_ranking(&mut net, &parties, NodeId(n), &values, &mut rng)
-                        .expect("runs"),
+                    secure_ranking(&mut net, &parties, NodeId(n), &values, &mut rng).expect("runs"),
                 )
             });
         });
@@ -34,8 +33,7 @@ fn bench_ranking(c: &mut Criterion) {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(2);
                 let mut net = SimNet::new(n, NetConfig::ideal());
                 black_box(
-                    baseline_ranking(&mut net, &domain, &parties, &values, &mut rng)
-                        .expect("runs"),
+                    baseline_ranking(&mut net, &domain, &parties, &values, &mut rng).expect("runs"),
                 )
             });
         });

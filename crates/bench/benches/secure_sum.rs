@@ -2,7 +2,7 @@
 //! VSS classical baseline vs. plaintext, at n = 4 and n = 8.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dla_bigint::{F61, Ubig};
+use dla_bigint::{Ubig, F61};
 use dla_crypto::schnorr::SchnorrGroup;
 use dla_mpc::baseline::{plaintext_sum, vss_sum};
 use dla_mpc::sum::secure_sum;
@@ -33,8 +33,7 @@ fn bench_sums(c: &mut Criterion) {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(3);
                 let mut net = SimNet::new(n + 1, NetConfig::ideal());
                 black_box(
-                    secure_sum(&mut net, &parties, &inputs, k, NodeId(n), &mut rng)
-                        .expect("runs"),
+                    secure_sum(&mut net, &parties, &inputs, k, NodeId(n), &mut rng).expect("runs"),
                 )
             });
         });
@@ -45,8 +44,7 @@ fn bench_sums(c: &mut Criterion) {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(4);
                 let mut net = SimNet::new(n, NetConfig::ideal());
                 black_box(
-                    vss_sum(&mut net, &group_params, &parties, &inputs, k, &mut rng)
-                        .expect("runs"),
+                    vss_sum(&mut net, &group_params, &parties, &inputs, k, &mut rng).expect("runs"),
                 )
             });
         });

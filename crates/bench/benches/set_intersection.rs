@@ -39,7 +39,13 @@ fn bench_ssi(c: &mut Criterion) {
                 let ring = Ring::canonical(n);
                 black_box(
                     secure_set_intersection(
-                        &mut net, &ring, &domain, &sets, NodeId(0), false, &mut rng,
+                        &mut net,
+                        &ring,
+                        &domain,
+                        &sets,
+                        NodeId(0),
+                        false,
+                        &mut rng,
                     )
                     .expect("runs"),
                 )
@@ -59,7 +65,13 @@ fn bench_ssi(c: &mut Criterion) {
                     let ring = Ring::canonical(3);
                     black_box(
                         secure_set_intersection(
-                            &mut net, &ring, &domain, &sets, NodeId(0), false, &mut rng,
+                            &mut net,
+                            &ring,
+                            &domain,
+                            &sets,
+                            NodeId(0),
+                            false,
+                            &mut rng,
                         )
                         .expect("runs"),
                     )

@@ -70,9 +70,8 @@ fn main() {
             // attribute each); for larger n we keep 7 attribute owners.
             ;
         let _ = n;
-        let (verdict, ms) = timed(|| {
-            integrity::check_record(&mut cluster, glsns[0], 0).expect("check runs")
-        });
+        let (verdict, ms) =
+            timed(|| integrity::check_record(&mut cluster, glsns[0], 0).expect("check runs"));
         rows.push(vec![
             cluster.num_nodes().to_string(),
             verdict.messages.to_string(),

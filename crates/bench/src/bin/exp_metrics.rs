@@ -28,9 +28,15 @@ fn sweep_store_confidentiality() {
         let mut defs = Vec::new();
         for i in 0..8 {
             if i < v {
-                defs.push(AttrDef::undefined(&format!("c{i}"), dla_logstore::model::AttrType::Int));
+                defs.push(AttrDef::undefined(
+                    &format!("c{i}"),
+                    dla_logstore::model::AttrType::Int,
+                ));
             } else {
-                defs.push(AttrDef::known(&format!("k{i}"), dla_logstore::model::AttrType::Int));
+                defs.push(AttrDef::known(
+                    &format!("k{i}"),
+                    dla_logstore::model::AttrType::Int,
+                ));
             }
         }
         let schema = Schema::new(defs).expect("valid schema");
@@ -64,17 +70,26 @@ fn sweep_auditing_confidentiality() {
     let queries = [
         ("1 local pred", "c1 > 5"),
         ("2 local conjuncts", "c1 > 5 AND id = 'U1'"),
-        ("4 local conjuncts", "c1 > 5 AND id = 'U1' AND tid = 'T1' AND c2 > 1.00"),
+        (
+            "4 local conjuncts",
+            "c1 > 5 AND id = 'U1' AND tid = 'T1' AND c2 > 1.00",
+        ),
         ("1 cross clause (2 atoms)", "c1 > 5 OR id = 'U1'"),
-        ("1 cross clause (3 atoms)", "c1 > 5 OR id = 'U1' OR tid = 'T1'"),
+        (
+            "1 cross clause (3 atoms)",
+            "c1 > 5 OR id = 'U1' OR tid = 'T1'",
+        ),
         ("cross + local", "(c1 > 5 OR id = 'U1') AND c2 < 9.00"),
-        ("2 cross clauses", "(c1 > 5 OR id = 'U1') AND (tid = 'T1' OR time > '20:00:00/05/12/2002')"),
+        (
+            "2 cross clauses",
+            "(c1 > 5 OR id = 'U1') AND (tid = 'T1' OR time > '20:00:00/05/12/2002')",
+        ),
         ("cross join", "id = c3"),
     ];
     let mut rows = Vec::new();
     for (label, q) in queries {
-        let planned = plan(&normalize(&parse(q, &schema).expect("parses")), &partition)
-            .expect("plans");
+        let planned =
+            plan(&normalize(&parse(q, &schema).expect("parses")), &partition).expect("plans");
         rows.push(vec![
             label.to_owned(),
             planned.atom_count.to_string(),
@@ -123,7 +138,12 @@ fn sweep_dla_confidentiality() {
         let cdla = metrics::dla_confidentiality(&workload, &schema, &partition);
         let cq: Vec<String> = workload
             .iter()
-            .map(|(p, r)| format!("{:.2}", metrics::query_confidentiality(p, r, &schema, &partition)))
+            .map(|(p, r)| {
+                format!(
+                    "{:.2}",
+                    metrics::query_confidentiality(p, r, &schema, &partition)
+                )
+            })
             .collect();
         rows.push(vec![n.to_string(), cq.join(" / "), format!("{cdla:.3}")]);
     }

@@ -63,7 +63,12 @@ fn main() {
         "{}",
         render_table(
             "P3 - Rank_s: blind-TTP (relaxed, §3.3) vs pairwise 2PC tournament",
-            &["n", "relaxed msgs/bytes/time", "classical msgs/bytes/time", "gap"],
+            &[
+                "n",
+                "relaxed msgs/bytes/time",
+                "classical msgs/bytes/time",
+                "gap"
+            ],
             &rows
         )
     );

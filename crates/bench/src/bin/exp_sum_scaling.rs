@@ -10,7 +10,7 @@
 //! Run with: `cargo run -p dla-bench --bin exp_sum_scaling --release`
 
 use dla_bench::{fmt_bytes, render_table, timed};
-use dla_bigint::{F61, Ubig};
+use dla_bigint::{Ubig, F61};
 use dla_crypto::schnorr::SchnorrGroup;
 use dla_mpc::baseline::{plaintext_sum, vss_sum};
 use dla_mpc::sum::secure_sum;
@@ -30,9 +30,8 @@ fn main() {
 
         // Plaintext reference.
         let mut net = SimNet::new(n + 1, NetConfig::ideal());
-        let (plain, plain_ms) = timed(|| {
-            plaintext_sum(&mut net, &parties, &values, NodeId(n)).expect("runs")
-        });
+        let (plain, plain_ms) =
+            timed(|| plaintext_sum(&mut net, &parties, &values, NodeId(n)).expect("runs"));
         assert_eq!(plain.total, Ubig::from_u64(expect));
 
         // Relaxed §3.5 secure sum.
@@ -46,9 +45,8 @@ fn main() {
         // Classical VSS baseline.
         let mut net = SimNet::new(n, NetConfig::ideal());
         let inputs_big: Vec<Ubig> = values.iter().map(|&v| Ubig::from_u64(v)).collect();
-        let (vss, vss_ms) = timed(|| {
-            vss_sum(&mut net, &group, &parties, &inputs_big, k, &mut rng).expect("runs")
-        });
+        let (vss, vss_ms) =
+            timed(|| vss_sum(&mut net, &group, &parties, &inputs_big, k, &mut rng).expect("runs"));
         assert_eq!(vss.total, Ubig::from_u64(expect));
 
         rows.push(vec![
@@ -71,7 +69,10 @@ fn main() {
                 fmt_bytes(vss.report.bytes),
                 vss_ms
             ),
-            format!("{:.1}x", vss.report.bytes as f64 / relaxed.report.bytes as f64),
+            format!(
+                "{:.1}x",
+                vss.report.bytes as f64 / relaxed.report.bytes as f64
+            ),
         ]);
     }
 

@@ -25,10 +25,8 @@ fn main() {
     let mut rows = Vec::new();
 
     for n in [1usize, 2, 4, 7] {
-        let mut cluster = DlaCluster::new(
-            ClusterConfig::new(n, schema.clone()).with_seed(20),
-        )
-        .expect("cluster builds");
+        let mut cluster = DlaCluster::new(ClusterConfig::new(n, schema.clone()).with_seed(20))
+            .expect("cluster builds");
         let user = cluster.register_user("u").expect("capacity");
         let mut rng = rand::rngs::StdRng::seed_from_u64(20);
         let records = generate(
@@ -56,8 +54,7 @@ fn main() {
             workload.push((result.plan, sample_record.clone()));
         }
         let cdla = metrics::dla_confidentiality(&workload, &schema, cluster.partition());
-        let cstore =
-            metrics::store_confidentiality(&sample_record, &schema, cluster.partition());
+        let cstore = metrics::store_confidentiality(&sample_record, &schema, cluster.partition());
 
         rows.push(vec![
             n.to_string(),

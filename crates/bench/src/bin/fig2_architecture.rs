@@ -44,10 +44,13 @@ fn main() {
         )
     );
 
+    let (log_msgs, log_bytes) = {
+        let net = cluster.net();
+        (net.stats().messages_sent, net.stats().bytes_sent)
+    };
     println!(
-        "logging traffic: {} messages, {}",
-        cluster.net().stats().messages_sent,
-        fmt_bytes(cluster.net().stats().bytes_sent)
+        "logging traffic: {log_msgs} messages, {}",
+        fmt_bytes(log_bytes)
     );
 
     // The auditing path: query -> subqueries -> secure intersection ->

@@ -26,7 +26,10 @@ fn main() {
 
     let parsed = parse(q, &schema).expect("query parses");
     let normalized = normalize(&parsed);
-    println!("normalized conjunctive form Q_N ({} subqueries):", normalized.len());
+    println!(
+        "normalized conjunctive form Q_N ({} subqueries):",
+        normalized.len()
+    );
     for (i, clause) in normalized.clauses().iter().enumerate() {
         println!("  SQ{i} = {clause}");
     }

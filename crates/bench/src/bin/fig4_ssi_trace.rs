@@ -24,7 +24,13 @@ fn main() {
         .collect();
 
     let (outcome, trace) = secure_set_intersection_traced(
-        &mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng,
+        &mut net,
+        &ring,
+        &domain,
+        &inputs,
+        NodeId(0),
+        true,
+        &mut rng,
     )
     .expect("protocol succeeds");
 

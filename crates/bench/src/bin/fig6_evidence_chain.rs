@@ -58,7 +58,10 @@ fn main() {
         "authorized next inviter: join-token #{}",
         chain.authorized_inviter()
     );
-    println!("double-use scan (honest chain): {:?}", chain.detect_double_use());
+    println!(
+        "double-use scan (honest chain): {:?}",
+        chain.detect_double_use()
+    );
 
     // One member breaks the one-invite rule.
     let extra = authority.enroll("late-joiner.example", &mut rng);

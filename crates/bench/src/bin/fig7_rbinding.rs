@@ -42,7 +42,10 @@ fn main() {
         .clone();
 
     // Verification phase: f(e) =? 1.
-    println!("\nverification of the new evidence piece e{}:", piece.seq + 1);
+    println!(
+        "\nverification of the new evidence piece e{}:",
+        piece.seq + 1
+    );
     let inviter = piece.inviter.as_ref().expect("non-genesis piece");
     let context_ok = chain.verify().is_ok();
     println!("  full-chain f(e) =? 1 → {context_ok}");

@@ -35,7 +35,11 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table("TABLE 1 - AN EXAMPLE OF THE GLOBAL EVENT LOG", &headers, &rows)
+        render_table(
+            "TABLE 1 - AN EXAMPLE OF THE GLOBAL EVENT LOG",
+            &headers,
+            &rows
+        )
     );
 
     // Tables 2-5: fragments per DLA node, paper glsns preserved.

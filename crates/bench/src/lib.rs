@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! Shared harness for the experiment binaries and Criterion benches
 //! that regenerate every table and figure of the paper (see
 //! `DESIGN.md` §6 for the experiment index and `EXPERIMENTS.md` for
@@ -94,7 +96,9 @@ pub fn workload_cluster(n: usize, records: usize, seed: u64) -> (DlaCluster, App
         },
         &mut rng,
     );
-    let glsns = cluster.log_records(&user, &data).expect("workload logs cleanly");
+    let glsns = cluster
+        .log_records(&user, &data)
+        .expect("workload logs cleanly");
     (cluster, user, glsns)
 }
 

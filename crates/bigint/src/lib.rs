@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! Arbitrary-precision unsigned modular arithmetic for the DLA
 //! confidential-auditing stack.
 //!

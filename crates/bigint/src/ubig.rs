@@ -733,7 +733,11 @@ impl Ubig {
         assert!(bits > 0, "random_bits: zero width");
         let limbs = bits.div_ceil(64);
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
-        let top_bits = if bits.is_multiple_of(64) { 64 } else { bits % 64 };
+        let top_bits = if bits.is_multiple_of(64) {
+            64
+        } else {
+            bits % 64
+        };
         let top = v.last_mut().expect("at least one limb");
         if top_bits < 64 {
             *top &= (1u64 << top_bits) - 1;
@@ -854,10 +858,7 @@ mod tests {
     #[test]
     fn checked_sub_detects_underflow() {
         assert_eq!(Ubig::one().checked_sub(&Ubig::two()), None);
-        assert_eq!(
-            Ubig::two().checked_sub(&Ubig::one()),
-            Some(Ubig::one())
-        );
+        assert_eq!(Ubig::two().checked_sub(&Ubig::one()), Some(Ubig::one()));
     }
 
     #[test]

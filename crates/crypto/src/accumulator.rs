@@ -72,8 +72,7 @@ impl AccumulatorParams {
     pub fn from_modulus(n: Ubig) -> Self {
         assert!(n > Ubig::from_u64(3), "accumulator modulus too small");
         let x0 = Self::derive_x0(&n);
-        let ctx = MontgomeryContext::new(&n)
-            .expect("RSA moduli are odd products of odd primes");
+        let ctx = MontgomeryContext::new(&n).expect("RSA moduli are odd products of odd primes");
         AccumulatorParams {
             n: Arc::new(n),
             x0,

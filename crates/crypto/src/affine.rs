@@ -63,7 +63,9 @@ impl AffineMasker {
     /// would collapse all inputs onto `b`).
     pub fn new(a: F61, b: F61) -> Result<Self, CryptoError> {
         if a.is_zero() {
-            return Err(CryptoError::InvalidParameter("affine coefficient a is zero"));
+            return Err(CryptoError::InvalidParameter(
+                "affine coefficient a is zero",
+            ));
         }
         Ok(AffineMasker { a, b })
     }

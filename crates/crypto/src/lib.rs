@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! Cryptographic primitives for confidential distributed auditing.
 //!
 //! Everything the paper's DLA protocols need, built from scratch on

@@ -375,7 +375,10 @@ mod tests {
     #[test]
     fn fixed_domains_are_safe_primes() {
         let mut rng = rng();
-        for domain in [CommutativeDomain::fixed_256(), CommutativeDomain::fixed_512()] {
+        for domain in [
+            CommutativeDomain::fixed_256(),
+            CommutativeDomain::fixed_512(),
+        ] {
             assert!(prime::is_prime(domain.modulus(), &mut rng));
             assert!(prime::is_prime(domain.subgroup_order(), &mut rng));
             assert_eq!(

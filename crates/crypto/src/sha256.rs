@@ -247,10 +247,7 @@ mod tests {
     #[test]
     fn digest_parts_is_injective_on_boundaries() {
         // ("ab", "c") must differ from ("a", "bc") thanks to length prefixes.
-        assert_ne!(
-            digest_parts(&[b"ab", b"c"]),
-            digest_parts(&[b"a", b"bc"])
-        );
+        assert_ne!(digest_parts(&[b"ab", b"c"]), digest_parts(&[b"a", b"bc"]));
         assert_ne!(digest_parts(&[b"abc"]), digest_parts(&[b"abc", b""]));
     }
 

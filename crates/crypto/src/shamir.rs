@@ -143,10 +143,7 @@ impl SecretPolynomial {
     /// Produces the share for point `x`.
     #[must_use]
     pub fn share_at(&self, x: F61) -> Share {
-        Share {
-            x,
-            y: self.eval(x),
-        }
+        Share { x, y: self.eval(x) }
     }
 
     /// Produces all `n` shares for the given points.
@@ -209,7 +206,11 @@ pub fn reconstruct_at(shares: &[Share], at: F61) -> Result<F61, CryptoError> {
             num *= at - sj.x;
             den *= si.x - sj.x;
         }
-        acc += si.y * num * den.inverse().expect("distinct points => nonzero denominator");
+        acc += si.y
+            * num
+            * den
+                .inverse()
+                .expect("distinct points => nonzero denominator");
     }
     Ok(acc)
 }
@@ -273,7 +274,14 @@ mod tests {
                 partial[1],
             ];
             let y3 = reconstruct_at(&forged_poly, F61::new(3)).unwrap();
-            let forged = [partial[0], partial[1], Share { x: F61::new(3), y: y3 }];
+            let forged = [
+                partial[0],
+                partial[1],
+                Share {
+                    x: F61::new(3),
+                    y: y3,
+                },
+            ];
             assert_eq!(reconstruct(&forged).unwrap(), F61::new(target));
         }
     }
@@ -354,9 +362,7 @@ mod tests {
         let mut rng = rng();
         let poly = SecretPolynomial::random(F61::new(3), 4, &mut rng);
         let x = F61::new(17);
-        let naive = (0..4).fold(F61::ZERO, |acc, i| {
-            acc + poly.coeffs[i] * x.pow(i as u64)
-        });
+        let naive = (0..4).fold(F61::ZERO, |acc, i| acc + poly.coeffs[i] * x.pow(i as u64));
         assert_eq!(poly.eval(x), naive);
     }
 }

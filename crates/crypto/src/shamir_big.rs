@@ -164,10 +164,7 @@ mod tests {
                 }
             })
             .collect();
-        assert_eq!(
-            reconstruct(&summed[..2], &q).unwrap(),
-            Ubig::from_u64(1337)
-        );
+        assert_eq!(reconstruct(&summed[..2], &q).unwrap(), Ubig::from_u64(1337));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Eq. 9 (accumulator order independence), Shamir reconstruction and
 //! signature soundness on randomized inputs.
 
-use dla_bigint::{F61, Ubig};
+use dla_bigint::{Ubig, F61};
 use dla_crypto::accumulator::AccumulatorParams;
 use dla_crypto::pohlig_hellman::{CommutativeDomain, CommutativeKey, PhKey, XorKey};
 use dla_crypto::schnorr::{self, SchnorrGroup, SchnorrKeyPair};

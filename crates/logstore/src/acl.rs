@@ -276,7 +276,10 @@ impl AccessControlTable {
     /// Raw authorization record (journal recovery, where the original
     /// ticket object is not materialized).
     pub fn authorize_parts(&mut self, id: TicketId, ops: OperationSet, glsn: Glsn) {
-        let entry = self.entries.entry(id).or_insert_with(|| (ops, BTreeSet::new()));
+        let entry = self
+            .entries
+            .entry(id)
+            .or_insert_with(|| (ops, BTreeSet::new()));
         entry.1.insert(glsn);
     }
 
@@ -319,9 +322,7 @@ impl AccessControlTable {
     }
 
     /// Iterates entries in ticket order (Table 6 layout).
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&TicketId, &OperationSet, &BTreeSet<Glsn>)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (&TicketId, &OperationSet, &BTreeSet<Glsn>)> + '_ {
         self.entries.iter().map(|(id, (ops, g))| (id, ops, g))
     }
 
@@ -343,7 +344,12 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn setup() -> (SchnorrGroup, TicketAuthority, SchnorrKeyPair, rand::rngs::StdRng) {
+    fn setup() -> (
+        SchnorrGroup,
+        TicketAuthority,
+        SchnorrKeyPair,
+        rand::rngs::StdRng,
+    ) {
         let group = SchnorrGroup::fixed_256();
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
         let authority = TicketAuthority::new(&group, &mut rng);

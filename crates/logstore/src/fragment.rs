@@ -184,8 +184,7 @@ impl Fragment {
         }
         let (node_bytes, record_bytes) = bytes.split_at(8);
         let node = u64::from_be_bytes(node_bytes.try_into().expect("8 bytes")) as usize;
-        let values = LogRecord::from_canonical_bytes(record_bytes)
-            .map_err(LogError::Store)?;
+        let values = LogRecord::from_canonical_bytes(record_bytes).map_err(LogError::Store)?;
         Ok(Fragment {
             node,
             glsn: values.glsn,

@@ -12,7 +12,16 @@ use rand::Rng;
 /// The five Table 1 records, verbatim.
 #[must_use]
 pub fn paper_table1() -> Vec<LogRecord> {
-    type Row = (&'static str, (u64, u64, u64), &'static str, &'static str, &'static str, i64, i64, &'static str);
+    type Row = (
+        &'static str,
+        (u64, u64, u64),
+        &'static str,
+        &'static str,
+        &'static str,
+        i64,
+        i64,
+        &'static str,
+    );
     let rows: [Row; 5] = [
         (
             "139aef78",
@@ -68,7 +77,10 @@ pub fn paper_table1() -> Vec<LogRecord> {
     rows.iter()
         .map(|&(glsn, (h, m, s), id, protocol, tid, c1, c2, c3)| {
             LogRecord::new(Glsn::parse(glsn).expect("static glsn"))
-                .with("time", AttrValue::Time(epoch_from_civil(2002, 5, 12, h, m, s)))
+                .with(
+                    "time",
+                    AttrValue::Time(epoch_from_civil(2002, 5, 12, h, m, s)),
+                )
                 .with("id", AttrValue::text(id))
                 .with("protocol", AttrValue::text(protocol))
                 .with("tid", AttrValue::text(tid))
@@ -121,7 +133,14 @@ pub fn generate<R: Rng + ?Sized>(config: &WorkloadConfig, rng: &mut R) -> Vec<Lo
     assert!(config.records > 0, "records must be positive");
     assert!(config.users > 0, "users must be positive");
     assert!(config.transactions > 0, "transactions must be positive");
-    const NOTES: [&str; 6] = ["signature", "evidence", "bank", "salary", "account", "order"];
+    const NOTES: [&str; 6] = [
+        "signature",
+        "evidence",
+        "bank",
+        "salary",
+        "account",
+        "order",
+    ];
     let mut time = config.start_time;
     (0..config.records)
         .map(|i| {

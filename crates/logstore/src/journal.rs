@@ -240,7 +240,11 @@ fn decode_entry(raw: &[u8]) -> Result<(JournalEntry, usize), EntryError> {
                 bytes: bytes.to_vec(),
             }
         }
-        other => return Err(EntryError::Corrupt(format!("unknown entry kind {other:#x}"))),
+        other => {
+            return Err(EntryError::Corrupt(format!(
+                "unknown entry kind {other:#x}"
+            )))
+        }
     };
     Ok((entry, 8 + len))
 }
@@ -391,7 +395,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -400,12 +407,16 @@ mod tests {
         let mut frag = sample_fragments()[0].clone();
         {
             let (mut journal, _) = Journal::open(&path).unwrap();
-            journal.append(&JournalEntry::Fragment(frag.clone())).unwrap();
+            journal
+                .append(&JournalEntry::Fragment(frag.clone()))
+                .unwrap();
             frag.values.insert(
                 crate::model::AttrName::new("c2"),
                 crate::model::AttrValue::Fixed2(99_999),
             );
-            journal.append(&JournalEntry::Fragment(frag.clone())).unwrap();
+            journal
+                .append(&JournalEntry::Fragment(frag.clone()))
+                .unwrap();
         }
         let (_, replayed) = Journal::open(&path).unwrap();
         let live = Journal::materialize(replayed);

@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! Event-log storage for the DLA cluster: the data model, attribute
 //! fragmentation, tickets/ACLs and per-node fragment stores.
 //!
@@ -78,7 +80,9 @@ mod tests {
 
     #[test]
     fn error_display_prefixes() {
-        assert!(LogError::Schema("x".into()).to_string().starts_with("schema error"));
+        assert!(LogError::Schema("x".into())
+            .to_string()
+            .starts_with("schema error"));
         assert!(LogError::AccessDenied("x".into())
             .to_string()
             .starts_with("access denied"));

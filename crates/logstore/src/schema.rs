@@ -78,10 +78,7 @@ impl Schema {
         let mut seen = std::collections::HashSet::new();
         for a in &attrs {
             if !seen.insert(a.name.clone()) {
-                return Err(LogError::Schema(format!(
-                    "duplicate attribute {}",
-                    a.name
-                )));
+                return Err(LogError::Schema(format!("duplicate attribute {}", a.name)));
             }
         }
         Ok(Schema { attrs })
@@ -154,9 +151,9 @@ impl Schema {
     /// Returns [`LogError::Schema`] naming the offending attribute.
     pub fn validate(&self, record: &LogRecord) -> Result<(), LogError> {
         for (name, value) in record.iter() {
-            let def = self.get(name).ok_or_else(|| {
-                LogError::Schema(format!("attribute {name} not in schema"))
-            })?;
+            let def = self
+                .get(name)
+                .ok_or_else(|| LogError::Schema(format!("attribute {name} not in schema")))?;
             if def.attr_type != value.attr_type() {
                 return Err(LogError::Schema(format!(
                     "attribute {name}: expected {}, got {}",

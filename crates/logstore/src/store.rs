@@ -5,9 +5,9 @@ use crate::fragment::Fragment;
 use crate::journal::{Journal, JournalEntry};
 use crate::model::{AttrName, AttrValue, Glsn};
 use crate::LogError;
-use std::path::Path;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Allocates monotonically increasing, cluster-unique glsns ("uniquely

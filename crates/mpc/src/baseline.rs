@@ -290,8 +290,7 @@ pub fn secure_compare_gt<R: Rng + ?Sized>(
     assert!(x_b < 1 << COMPARE_BITS, "x_b exceeds the comparison domain");
     let ring = Ring::new(vec![party_a, party_b]);
     let inputs = vec![one_encoding(x_a), zero_encoding(x_b)];
-    let outcome =
-        secure_set_intersection(net, &ring, domain, &inputs, party_a, false, rng)?;
+    let outcome = secure_set_intersection(net, &ring, domain, &inputs, party_a, false, rng)?;
     Ok((outcome.cardinality() > 0, outcome.report))
 }
 
@@ -402,12 +401,9 @@ mod tests {
         let vss = vss_sum(&mut net, &group, &parties, &inputs_big, 3, &mut rng).unwrap();
 
         let mut net2 = SimNet::new(n + 1, NetConfig::ideal());
-        let inputs_f: Vec<dla_bigint::F61> =
-            (1..=n as u64).map(dla_bigint::F61::new).collect();
-        let relaxed = crate::sum::secure_sum(
-            &mut net2, &parties, &inputs_f, 3, NodeId(n), &mut rng,
-        )
-        .unwrap();
+        let inputs_f: Vec<dla_bigint::F61> = (1..=n as u64).map(dla_bigint::F61::new).collect();
+        let relaxed =
+            crate::sum::secure_sum(&mut net2, &parties, &inputs_f, 3, NodeId(n), &mut rng).unwrap();
 
         assert!(vss.report.bytes > relaxed.report.bytes * 5);
         assert!(vss.report.messages > relaxed.report.messages);
@@ -437,10 +433,8 @@ mod tests {
         // Pure Lin–Tzeng property, checked directly.
         let cases = [(5u64, 3u64), (3, 5), (7, 7), (0, 1), (1, 0), (100, 99)];
         for (x, y) in cases {
-            let t1: std::collections::HashSet<Vec<u8>> =
-                one_encoding(x).into_iter().collect();
-            let t0: std::collections::HashSet<Vec<u8>> =
-                zero_encoding(y).into_iter().collect();
+            let t1: std::collections::HashSet<Vec<u8>> = one_encoding(x).into_iter().collect();
+            let t0: std::collections::HashSet<Vec<u8>> = zero_encoding(y).into_iter().collect();
             let intersects = t1.intersection(&t0).count() > 0;
             assert_eq!(intersects, x > y, "({x}, {y})");
         }
@@ -450,12 +444,16 @@ mod tests {
     fn secure_compare_gt_agrees_with_plain_gt() {
         let domain = CommutativeDomain::fixed_256();
         let mut rng = rng();
-        for (a, b) in [(10u64, 3u64), (3, 10), (4, 4), (0, 0), (1 << 31, (1 << 31) - 1)] {
+        for (a, b) in [
+            (10u64, 3u64),
+            (3, 10),
+            (4, 4),
+            (0, 0),
+            (1 << 31, (1 << 31) - 1),
+        ] {
             let mut net = SimNet::new(2, NetConfig::ideal());
-            let (gt, _) = secure_compare_gt(
-                &mut net, &domain, NodeId(0), NodeId(1), a, b, &mut rng,
-            )
-            .unwrap();
+            let (gt, _) =
+                secure_compare_gt(&mut net, &domain, NodeId(0), NodeId(1), a, b, &mut rng).unwrap();
             assert_eq!(gt, a > b, "({a}, {b})");
         }
     }
@@ -467,8 +465,7 @@ mod tests {
         let parties: Vec<NodeId> = (0..4).map(NodeId).collect();
         let values = [300u64, 100, 400, 200];
         let mut rng = rng();
-        let outcome =
-            baseline_ranking(&mut net, &domain, &parties, &values, &mut rng).unwrap();
+        let outcome = baseline_ranking(&mut net, &domain, &parties, &values, &mut rng).unwrap();
         assert_eq!(outcome.ascending, vec![1, 3, 0, 2]);
         assert_eq!(outcome.max_party, 2);
         assert_eq!(outcome.min_party, 1);
@@ -480,8 +477,7 @@ mod tests {
         let mut net = SimNet::new(3, NetConfig::ideal());
         let parties: Vec<NodeId> = (0..3).map(NodeId).collect();
         let mut rng = rng();
-        let outcome =
-            baseline_ranking(&mut net, &domain, &parties, &[5, 5, 1], &mut rng).unwrap();
+        let outcome = baseline_ranking(&mut net, &domain, &parties, &[5, 5, 1], &mut rng).unwrap();
         assert_eq!(outcome.ascending, vec![2, 0, 1]);
     }
 
@@ -494,14 +490,12 @@ mod tests {
 
         let mut net = SimNet::new(n, NetConfig::ideal());
         let parties: Vec<NodeId> = (0..n).map(NodeId).collect();
-        let classical =
-            baseline_ranking(&mut net, &domain, &parties, &values, &mut rng).unwrap();
+        let classical = baseline_ranking(&mut net, &domain, &parties, &values, &mut rng).unwrap();
 
         let mut net2 = SimNet::new(n + 1, NetConfig::ideal());
-        let relaxed = crate::ranking::secure_ranking(
-            &mut net2, &parties, NodeId(n), &values, &mut rng,
-        )
-        .unwrap();
+        let relaxed =
+            crate::ranking::secure_ranking(&mut net2, &parties, NodeId(n), &values, &mut rng)
+                .unwrap();
 
         assert_eq!(classical.ascending, relaxed.ascending);
         assert!(classical.report.messages > relaxed.report.messages * 2);

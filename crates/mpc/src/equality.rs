@@ -16,7 +16,7 @@ use crate::MpcError;
 use dla_bigint::F61;
 use dla_crypto::affine::AffineMasker;
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NodeId, SimNet};
+use dla_net::{NodeId, Session, SimLink, SimNet};
 use rand::Rng;
 
 /// Result of a secure equality run.
@@ -47,11 +47,74 @@ pub fn secure_equality<R: Rng + ?Sized>(
     value_b: F61,
     rng: &mut R,
 ) -> Result<EqualityOutcome, MpcError> {
+    let link = SimLink::new(net);
+    let session = Session::root(&link);
+    run(&session, party_a, party_b, ttp, value_a, value_b, rng)
+}
+
+/// An `=_s` protocol instance bound to one transport session, so several
+/// equality checks can be in flight over the same network at once.
+#[derive(Clone, Copy, Debug)]
+pub struct EqualitySession<'a> {
+    session: Session<'a>,
+    party_a: NodeId,
+    party_b: NodeId,
+    ttp: NodeId,
+}
+
+impl<'a> EqualitySession<'a> {
+    /// Binds an equality instance to `session`.
+    #[must_use]
+    pub fn new(session: Session<'a>, party_a: NodeId, party_b: NodeId, ttp: NodeId) -> Self {
+        EqualitySession {
+            session,
+            party_a,
+            party_b,
+            ttp,
+        }
+    }
+
+    /// Runs the comparison over this instance's session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError`] on network failure or malformed messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three node ids are not pairwise distinct.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        value_a: F61,
+        value_b: F61,
+        rng: &mut R,
+    ) -> Result<EqualityOutcome, MpcError> {
+        run(
+            &self.session,
+            self.party_a,
+            self.party_b,
+            self.ttp,
+            value_a,
+            value_b,
+            rng,
+        )
+    }
+}
+
+fn run<R: Rng + ?Sized>(
+    net: &Session<'_>,
+    party_a: NodeId,
+    party_b: NodeId,
+    ttp: NodeId,
+    value_a: F61,
+    value_b: F61,
+    rng: &mut R,
+) -> Result<EqualityOutcome, MpcError> {
     assert!(
         party_a != party_b && party_a != ttp && party_b != ttp,
         "parties and TTP must be distinct"
     );
-    let meter = Meter::start(net);
+    let meter = Meter::start_session(net);
 
     // Mask agreement (A samples, seals to B).
     let mask = AffineMasker::random(rng);
@@ -72,7 +135,7 @@ pub fn secure_equality<R: Rng + ?Sized>(
     let mask_b = AffineMasker::new(a_plus_b - b_const, b_const)?;
 
     // Both send masked values to the TTP.
-    let send_masked = |net: &mut SimNet, from: NodeId, masked: F61| {
+    let send_masked = |net: &Session<'_>, from: NodeId, masked: F61| {
         let mut w = Writer::new();
         w.put_u8(0x05).put_u64(masked.value());
         net.send(from, ttp, w.finish());
@@ -110,7 +173,7 @@ pub fn secure_equality<R: Rng + ?Sized>(
         }
     }
 
-    let report = meter.finish(net, "secure-equality", 2, 3);
+    let report = meter.finish_session(net, "secure-equality", 2, 3);
     Ok(EqualityOutcome { equal, report })
 }
 
@@ -135,15 +198,28 @@ pub fn secure_equality_via_ssi<R: Rng + ?Sized>(
     value_b: &[u8],
     rng: &mut R,
 ) -> Result<EqualityOutcome, MpcError> {
+    let link = SimLink::new(net);
+    let session = Session::root(&link);
+    run_via_ssi(&session, domain, party_a, party_b, value_a, value_b, rng)
+}
+
+fn run_via_ssi<R: Rng + ?Sized>(
+    net: &Session<'_>,
+    domain: &dla_crypto::pohlig_hellman::CommutativeDomain,
+    party_a: NodeId,
+    party_b: NodeId,
+    value_a: &[u8],
+    value_b: &[u8],
+    rng: &mut R,
+) -> Result<EqualityOutcome, MpcError> {
     assert_ne!(party_a, party_b, "parties must be distinct");
-    let meter = crate::report::Meter::start(net);
+    let meter = crate::report::Meter::start_session(net);
     let ring = dla_net::topology::Ring::new(vec![party_a, party_b]);
     let inputs = vec![vec![value_a.to_vec()], vec![value_b.to_vec()]];
-    let outcome = crate::set_intersection::secure_set_intersection(
-        net, &ring, domain, &inputs, party_a, false, rng,
-    )?;
+    let outcome =
+        crate::set_intersection::run(net, &ring, domain, &inputs, party_a, false, rng, None)?;
     let equal = outcome.cardinality() == 1;
-    let report = meter.finish(net, "secure-equality-ssi", 2, outcome.report.rounds);
+    let report = meter.finish_session(net, "secure-equality-ssi", 2, outcome.report.rounds);
     Ok(EqualityOutcome { equal, report })
 }
 

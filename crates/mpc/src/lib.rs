@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! Relaxed secure multiparty computation (paper §3).
 //!
 //! The paper's Definition 1 *relaxes* classical zero-disclosure MPC:
@@ -35,7 +37,12 @@ pub mod set_intersection;
 pub mod set_union;
 pub mod sum;
 
+pub use equality::EqualitySession;
+pub use ranking::RankingSession;
 pub use report::ProtocolReport;
+pub use set_intersection::SsiSession;
+pub use set_union::UnionSession;
+pub use sum::SumSession;
 
 /// Errors surfaced by MPC protocol runs.
 #[derive(Debug, Clone, PartialEq, Eq)]

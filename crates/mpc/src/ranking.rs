@@ -19,7 +19,7 @@ use crate::report::{Meter, ProtocolReport};
 use crate::MpcError;
 use dla_crypto::affine::MonotoneMasker;
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NodeId, SimNet};
+use dla_net::{NodeId, Session, SimLink, SimNet};
 use rand::Rng;
 
 /// Result of a secure-ranking run.
@@ -57,11 +57,62 @@ pub fn secure_ranking<R: Rng + ?Sized>(
     values: &[u64],
     rng: &mut R,
 ) -> Result<RankOutcome, MpcError> {
+    let link = SimLink::new(net);
+    let session = Session::root(&link);
+    run(&session, parties, ttp, values, rng)
+}
+
+/// A `Rank_s` protocol instance bound to one transport session, so
+/// several rankings (or a ranking and any other protocol) can be in
+/// flight over the same network at once.
+#[derive(Clone, Copy, Debug)]
+pub struct RankingSession<'a> {
+    session: Session<'a>,
+    parties: &'a [NodeId],
+    ttp: NodeId,
+}
+
+impl<'a> RankingSession<'a> {
+    /// Binds a ranking instance to `session`.
+    #[must_use]
+    pub fn new(session: Session<'a>, parties: &'a [NodeId], ttp: NodeId) -> Self {
+        RankingSession {
+            session,
+            parties,
+            ttp,
+        }
+    }
+
+    /// Runs `Rank_s` over this instance's session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError`] on network failure or malformed messages.
+    ///
+    /// # Panics
+    ///
+    /// As [`secure_ranking`].
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Result<RankOutcome, MpcError> {
+        run(&self.session, self.parties, self.ttp, values, rng)
+    }
+}
+
+fn run<R: Rng + ?Sized>(
+    net: &Session<'_>,
+    parties: &[NodeId],
+    ttp: NodeId,
+    values: &[u64],
+    rng: &mut R,
+) -> Result<RankOutcome, MpcError> {
     let n = parties.len();
     assert!(n >= 1, "need at least one party");
     assert_eq!(values.len(), n, "one value per party");
     assert!(!parties.contains(&ttp), "TTP must not be a party");
-    let meter = Meter::start(net);
+    let meter = Meter::start_session(net);
 
     // Negotiation round: initiator seals the mask to each peer.
     let mask = MonotoneMasker::random(rng);
@@ -81,7 +132,9 @@ pub fn secure_ranking<R: Rng + ?Sized>(
     // Submission round: masked values to the TTP.
     for (i, &party) in parties.iter().enumerate() {
         let mut w = Writer::new();
-        w.put_u8(0x08).put_u64(i as u64).put_u128(mask.apply(values[i]));
+        w.put_u8(0x08)
+            .put_u64(i as u64)
+            .put_u128(mask.apply(values[i]));
         net.send(party, ttp, w.finish());
     }
     let mut masked: Vec<(u128, usize)> = Vec::with_capacity(n);
@@ -130,7 +183,7 @@ pub fn secure_ranking<R: Rng + ?Sized>(
         }
     }
 
-    let report = meter.finish(net, "secure-ranking", n, 3);
+    let report = meter.finish_session(net, "secure-ranking", n, 3);
     Ok(RankOutcome {
         max_party: *ascending.last().expect("nonempty"),
         min_party: ascending[0],
@@ -241,7 +294,10 @@ mod tests {
         let values = [7u64, 7, 3];
         let outcome = secure_ranking(&mut net, &parties, ttp, &values, &mut rng).unwrap();
         assert_eq!(outcome.min_party, 2);
-        assert_eq!(outcome.ranks[0], outcome.ranks[1], "equal values, equal rank");
+        assert_eq!(
+            outcome.ranks[0], outcome.ranks[1],
+            "equal values, equal rank"
+        );
         assert_eq!(outcome.ranks[2], 0);
     }
 
@@ -296,8 +352,7 @@ mod tests {
             let parties: Vec<NodeId> = (0..n).map(NodeId).collect();
             let values = [42u64, 7, 99, 7, 13];
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let outcome =
-                secure_ranking(&mut net, &parties, NodeId(n), &values, &mut rng).unwrap();
+            let outcome = secure_ranking(&mut net, &parties, NodeId(n), &values, &mut rng).unwrap();
             assert_eq!(outcome.max_party, 2, "seed {seed}");
             assert_eq!(outcome.min_party, 1, "seed {seed}");
         }

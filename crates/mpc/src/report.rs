@@ -2,7 +2,7 @@
 //! latency and round count — the quantities behind the paper's
 //! relaxed-vs-classical efficiency argument.
 
-use dla_net::{SimNet, SimTime};
+use dla_net::{Session, SimNet, SimTime};
 use std::fmt;
 
 /// Cost summary of one protocol execution.
@@ -67,6 +67,41 @@ impl Meter {
             messages: net.stats().messages_sent - self.messages0,
             bytes: net.stats().bytes_sent - self.bytes0,
             elapsed: net.elapsed() - self.elapsed0,
+            rounds,
+        }
+    }
+
+    /// Snapshots one protocol session's counters. Unlike
+    /// [`Meter::start`], this attributes traffic *per session*, so a
+    /// protocol's report stays exact even while other sessions are in
+    /// flight on the same transport.
+    #[must_use]
+    pub fn start_session(session: &Session<'_>) -> Self {
+        let (messages0, bytes0) = session.counters();
+        Meter {
+            messages0,
+            bytes0,
+            elapsed0: session.elapsed(),
+        }
+    }
+
+    /// Produces the report for everything this session sent since
+    /// [`Meter::start_session`].
+    #[must_use]
+    pub fn finish_session(
+        self,
+        session: &Session<'_>,
+        protocol: &'static str,
+        parties: usize,
+        rounds: usize,
+    ) -> ProtocolReport {
+        let (messages, bytes) = session.counters();
+        ProtocolReport {
+            protocol,
+            parties,
+            messages: messages - self.messages0,
+            bytes: bytes - self.bytes0,
+            elapsed: session.elapsed() - self.elapsed0,
             rounds,
         }
     }

@@ -21,7 +21,7 @@ use dla_bigint::Ubig;
 use dla_crypto::pohlig_hellman::{CommutativeDomain, CommutativeKey, PhKey};
 use dla_net::topology::Ring;
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NodeId, SimNet};
+use dla_net::{NodeId, Session, SimLink, SimNet};
 use rand::Rng;
 use std::collections::BTreeSet;
 
@@ -84,7 +84,94 @@ pub fn secure_set_intersection<R: Rng + ?Sized>(
     reveal: bool,
     rng: &mut R,
 ) -> Result<SsiOutcome, MpcError> {
-    run(net, ring, domain, inputs, collector, reveal, rng, None)
+    let link = SimLink::new(net);
+    let session = Session::root(&link);
+    run(&session, ring, domain, inputs, collector, reveal, rng, None)
+}
+
+/// The session-parameterized form of `∩_s`: bind the protocol to any
+/// [`Session`] so several rings can be in flight over one transport at
+/// once.
+///
+/// ```
+/// use dla_mpc::set_intersection::SsiSession;
+/// use dla_net::topology::Ring;
+/// use dla_net::{NetConfig, NodeId, Session, SimLink, SimNet};
+/// use dla_crypto::pohlig_hellman::CommutativeDomain;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut net = SimNet::new(3, NetConfig::ideal());
+/// let session_id = net.open_session();
+/// let link = SimLink::new(&mut net);
+/// let ring = Ring::canonical(3);
+/// let domain = CommutativeDomain::fixed_256();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let inputs = vec![vec![b"e".to_vec()], vec![b"e".to_vec()], vec![b"e".to_vec()]];
+/// let outcome = SsiSession::new(Session::new(&link, session_id), &ring, &domain, NodeId(0))
+///     .run(&inputs, &mut rng)
+///     .unwrap();
+/// assert_eq!(outcome.cardinality(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SsiSession<'a> {
+    session: Session<'a>,
+    ring: &'a Ring,
+    domain: &'a CommutativeDomain,
+    collector: NodeId,
+    reveal: bool,
+}
+
+impl<'a> SsiSession<'a> {
+    /// Binds `∩_s` to `session`; the intersection is collected (without
+    /// reveal) at `collector`.
+    #[must_use]
+    pub fn new(
+        session: Session<'a>,
+        ring: &'a Ring,
+        domain: &'a CommutativeDomain,
+        collector: NodeId,
+    ) -> Self {
+        SsiSession {
+            session,
+            ring,
+            domain,
+            collector,
+            reveal: false,
+        }
+    }
+
+    /// Requests the plaintext reveal pass.
+    #[must_use]
+    pub fn reveal(mut self, reveal: bool) -> Self {
+        self.reveal = reveal;
+        self
+    }
+
+    /// Runs the protocol over this session.
+    ///
+    /// # Errors
+    ///
+    /// As [`secure_set_intersection`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != ring.len()`.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        inputs: &[Vec<Vec<u8>>],
+        rng: &mut R,
+    ) -> Result<SsiOutcome, MpcError> {
+        run(
+            &self.session,
+            self.ring,
+            self.domain,
+            inputs,
+            self.collector,
+            self.reveal,
+            rng,
+            None,
+        )
+    }
 }
 
 /// Like [`secure_set_intersection`], additionally recording every hop
@@ -103,8 +190,10 @@ pub fn secure_set_intersection_traced<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(SsiOutcome, Vec<TraceHop>), MpcError> {
     let mut trace = Vec::new();
+    let link = SimLink::new(net);
+    let session = Session::root(&link);
     let outcome = run(
-        net,
+        &session,
         ring,
         domain,
         inputs,
@@ -117,8 +206,8 @@ pub fn secure_set_intersection_traced<R: Rng + ?Sized>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run<R: Rng + ?Sized>(
-    net: &mut SimNet,
+pub(crate) fn run<R: Rng + ?Sized>(
+    net: &Session<'_>,
     ring: &Ring,
     domain: &CommutativeDomain,
     inputs: &[Vec<Vec<u8>>],
@@ -133,7 +222,7 @@ fn run<R: Rng + ?Sized>(
         n,
         "one input set per ring position is required"
     );
-    let meter = Meter::start(net);
+    let meter = Meter::start_session(net);
 
     // Per-party key generation (local, no traffic).
     let keys: Vec<PhKey> = (0..n).map(|_| PhKey::generate(domain, rng)).collect();
@@ -197,7 +286,11 @@ fn run<R: Rng + ?Sized>(
     #[allow(clippy::needless_range_loop)] // origin indexes sets and ring positions together
     for origin in 0..n {
         let final_holder = ring.at((origin + n - 1) % n);
-        net.send(final_holder, collector, encode_set(origin as u64, &sets[origin]));
+        net.send(
+            final_holder,
+            collector,
+            encode_set(origin as u64, &sets[origin]),
+        );
         let envelope = net.recv_from(collector, final_holder)?;
         let (_, elements) = decode_set(&envelope.payload)?;
         received.push(elements.iter().map(Ubig::to_bytes_be).collect());
@@ -206,10 +299,7 @@ fn run<R: Rng + ?Sized>(
     for set in &received[1..] {
         common = common.intersection(set).cloned().collect();
     }
-    let common_encrypted: Vec<Ubig> = common
-        .iter()
-        .map(|b| Ubig::from_bytes_be(b))
-        .collect();
+    let common_encrypted: Vec<Ubig> = common.iter().map(|b| Ubig::from_bytes_be(b)).collect();
 
     // Optional reveal: one decryption pass around the ring.
     let common_items = if reveal {
@@ -235,7 +325,7 @@ fn run<R: Rng + ?Sized>(
     };
 
     let rounds = (n - 1) + 1 + usize::from(reveal) * (n + 1);
-    let report = meter.finish(net, "secure-set-intersection", n, rounds);
+    let report = meter.finish_session(net, "secure-set-intersection", n, rounds);
     Ok(SsiOutcome {
         common_encrypted,
         common_items,
@@ -286,11 +376,14 @@ mod tests {
     fn figure4_example_intersects_to_e() {
         // S1={c,d,e}, S2={d,e,f}, S3={e,f,g} → {e}.
         let (mut net, ring, domain, mut rng) = setup(3);
-        let inputs = vec![items(&["c", "d", "e"]), items(&["d", "e", "f"]), items(&["e", "f", "g"])];
-        let outcome = secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng,
-        )
-        .unwrap();
+        let inputs = vec![
+            items(&["c", "d", "e"]),
+            items(&["d", "e", "f"]),
+            items(&["e", "f", "g"]),
+        ];
+        let outcome =
+            secure_set_intersection(&mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng)
+                .unwrap();
         assert_eq!(outcome.cardinality(), 1);
         assert_eq!(outcome.common_items.unwrap(), items(&["e"]));
     }
@@ -299,10 +392,9 @@ mod tests {
     fn empty_intersection() {
         let (mut net, ring, domain, mut rng) = setup(3);
         let inputs = vec![items(&["a"]), items(&["b"]), items(&["c"])];
-        let outcome = secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(1), true, &mut rng,
-        )
-        .unwrap();
+        let outcome =
+            secure_set_intersection(&mut net, &ring, &domain, &inputs, NodeId(1), true, &mut rng)
+                .unwrap();
         assert_eq!(outcome.cardinality(), 0);
         assert_eq!(outcome.common_items.unwrap(), Vec::<Vec<u8>>::new());
     }
@@ -312,10 +404,9 @@ mod tests {
         let (mut net, ring, domain, mut rng) = setup(4);
         let set = items(&["x", "y", "z"]);
         let inputs = vec![set.clone(), set.clone(), set.clone(), set.clone()];
-        let outcome = secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng,
-        )
-        .unwrap();
+        let outcome =
+            secure_set_intersection(&mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng)
+                .unwrap();
         let mut expect = set;
         expect.sort();
         assert_eq!(outcome.common_items.unwrap(), expect);
@@ -325,10 +416,9 @@ mod tests {
     fn duplicates_in_input_are_collapsed() {
         let (mut net, ring, domain, mut rng) = setup(2);
         let inputs = vec![items(&["a", "a", "b"]), items(&["a", "b", "b"])];
-        let outcome = secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng,
-        )
-        .unwrap();
+        let outcome =
+            secure_set_intersection(&mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng)
+                .unwrap();
         assert_eq!(outcome.common_items.unwrap(), items(&["a", "b"]));
     }
 
@@ -337,7 +427,13 @@ mod tests {
         let (mut net, ring, domain, mut rng) = setup(3);
         let inputs = vec![items(&["k1", "k2"]), items(&["k2", "k3"]), items(&["k2"])];
         let outcome = secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(2), false, &mut rng,
+            &mut net,
+            &ring,
+            &domain,
+            &inputs,
+            NodeId(2),
+            false,
+            &mut rng,
         )
         .unwrap();
         assert_eq!(outcome.cardinality(), 1);
@@ -350,23 +446,35 @@ mod tests {
             let (mut net, ring, domain, mut rng) = setup(n);
             let inputs = vec![items(&["a", "b"]); n];
             let outcome = secure_set_intersection(
-                &mut net, &ring, &domain, &inputs, NodeId(0), false, &mut rng,
+                &mut net,
+                &ring,
+                &domain,
+                &inputs,
+                NodeId(0),
+                false,
+                &mut rng,
             )
             .unwrap();
-            assert_eq!(
-                outcome.report.messages as usize,
-                n * (n - 1) + n,
-                "n={n}"
-            );
+            assert_eq!(outcome.report.messages as usize, n * (n - 1) + n, "n={n}");
         }
     }
 
     #[test]
     fn trace_matches_figure4_structure() {
         let (mut net, ring, domain, mut rng) = setup(3);
-        let inputs = vec![items(&["c", "d", "e"]), items(&["d", "e", "f"]), items(&["e", "f", "g"])];
+        let inputs = vec![
+            items(&["c", "d", "e"]),
+            items(&["d", "e", "f"]),
+            items(&["e", "f", "g"]),
+        ];
         let (_, trace) = secure_set_intersection_traced(
-            &mut net, &ring, &domain, &inputs, NodeId(0), false, &mut rng,
+            &mut net,
+            &ring,
+            &domain,
+            &inputs,
+            NodeId(0),
+            false,
+            &mut rng,
         )
         .unwrap();
         // 3 initial encryptions + 3 sets × 2 hops.
@@ -382,9 +490,19 @@ mod tests {
         // The commutativity property at protocol level: the encrypted
         // representation of "e" is identical in all three received sets.
         let (mut net, ring, domain, mut rng) = setup(3);
-        let inputs = vec![items(&["c", "d", "e"]), items(&["d", "e", "f"]), items(&["e", "f", "g"])];
+        let inputs = vec![
+            items(&["c", "d", "e"]),
+            items(&["d", "e", "f"]),
+            items(&["e", "f", "g"]),
+        ];
         let (outcome, trace) = secure_set_intersection_traced(
-            &mut net, &ring, &domain, &inputs, NodeId(0), false, &mut rng,
+            &mut net,
+            &ring,
+            &domain,
+            &inputs,
+            NodeId(0),
+            false,
+            &mut rng,
         )
         .unwrap();
         let finals: Vec<&TraceHop> = trace.iter().filter(|h| h.layers.len() == 3).collect();
@@ -406,7 +524,13 @@ mod tests {
             .inject_once(0, 1, dla_net::fault::FaultOutcome::Drop);
         let inputs = vec![items(&["a"]), items(&["a"]), items(&["a"])];
         let err = secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(0), false, &mut rng,
+            &mut net,
+            &ring,
+            &domain,
+            &inputs,
+            NodeId(0),
+            false,
+            &mut rng,
         )
         .unwrap_err();
         assert!(matches!(err, MpcError::Net(_)));
@@ -416,10 +540,9 @@ mod tests {
     fn single_party_ring_returns_own_set() {
         let (mut net, ring, domain, mut rng) = setup(1);
         let inputs = vec![items(&["only"])];
-        let outcome = secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng,
-        )
-        .unwrap();
+        let outcome =
+            secure_set_intersection(&mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng)
+                .unwrap();
         assert_eq!(outcome.common_items.unwrap(), items(&["only"]));
     }
 
@@ -428,7 +551,13 @@ mod tests {
         let (mut net, ring, domain, mut rng) = setup(2);
         let inputs = vec![vec![vec![7u8; 40]], vec![vec![7u8; 40]]];
         assert!(secure_set_intersection(
-            &mut net, &ring, &domain, &inputs, NodeId(0), false, &mut rng,
+            &mut net,
+            &ring,
+            &domain,
+            &inputs,
+            NodeId(0),
+            false,
+            &mut rng,
         )
         .is_err());
     }

@@ -15,7 +15,7 @@ use dla_bigint::Ubig;
 use dla_crypto::pohlig_hellman::{CommutativeDomain, CommutativeKey, PhKey};
 use dla_net::topology::Ring;
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NodeId, SimNet};
+use dla_net::{NodeId, Session, SimLink, SimNet};
 use rand::Rng;
 use std::collections::BTreeSet;
 
@@ -55,9 +55,76 @@ pub fn secure_set_union<R: Rng + ?Sized>(
     collector: NodeId,
     rng: &mut R,
 ) -> Result<UnionOutcome, MpcError> {
+    let link = SimLink::new(net);
+    let session = Session::root(&link);
+    run(&session, ring, domain, inputs, collector, rng)
+}
+
+/// A `∪_s` protocol instance bound to one transport session, so several
+/// unions (or a union and any other protocol) can be in flight over the
+/// same network at once.
+#[derive(Clone, Copy, Debug)]
+pub struct UnionSession<'a> {
+    session: Session<'a>,
+    ring: &'a Ring,
+    domain: &'a CommutativeDomain,
+    collector: NodeId,
+}
+
+impl<'a> UnionSession<'a> {
+    /// Binds a union instance to `session`.
+    #[must_use]
+    pub fn new(
+        session: Session<'a>,
+        ring: &'a Ring,
+        domain: &'a CommutativeDomain,
+        collector: NodeId,
+    ) -> Self {
+        UnionSession {
+            session,
+            ring,
+            domain,
+            collector,
+        }
+    }
+
+    /// Runs the union over this instance's session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError`] on network failure, malformed payloads or
+    /// unencodable items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != ring.len()`.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        inputs: &[Vec<Vec<u8>>],
+        rng: &mut R,
+    ) -> Result<UnionOutcome, MpcError> {
+        run(
+            &self.session,
+            self.ring,
+            self.domain,
+            inputs,
+            self.collector,
+            rng,
+        )
+    }
+}
+
+fn run<R: Rng + ?Sized>(
+    net: &Session<'_>,
+    ring: &Ring,
+    domain: &CommutativeDomain,
+    inputs: &[Vec<Vec<u8>>],
+    collector: NodeId,
+    rng: &mut R,
+) -> Result<UnionOutcome, MpcError> {
     let n = ring.len();
     assert_eq!(inputs.len(), n, "one input set per ring position");
-    let meter = Meter::start(net);
+    let meter = Meter::start_session(net);
 
     let keys: Vec<PhKey> = (0..n).map(|_| PhKey::generate(domain, rng)).collect();
 
@@ -125,7 +192,7 @@ pub fn secure_set_union<R: Rng + ?Sized>(
     items.dedup();
 
     let rounds = (n - 1) + 1 + (n + 1);
-    let report = meter.finish(net, "secure-set-union", n, rounds);
+    let report = meter.finish_session(net, "secure-set-union", n, rounds);
     Ok(UnionOutcome { items, report })
 }
 
@@ -170,7 +237,11 @@ mod tests {
     #[test]
     fn union_of_overlapping_sets() {
         let (mut net, ring, domain, mut rng) = setup(3);
-        let inputs = vec![items(&["c", "d", "e"]), items(&["d", "e", "f"]), items(&["e", "f", "g"])];
+        let inputs = vec![
+            items(&["c", "d", "e"]),
+            items(&["d", "e", "f"]),
+            items(&["e", "f", "g"]),
+        ];
         let outcome =
             secure_set_union(&mut net, &ring, &domain, &inputs, NodeId(0), &mut rng).unwrap();
         assert_eq!(outcome.items, items(&["c", "d", "e", "f", "g"]));
@@ -235,8 +306,6 @@ mod tests {
         net.faults_mut()
             .inject_once(1, 2, dla_net::fault::FaultOutcome::Drop);
         let inputs = vec![items(&["a"]), items(&["b"]), items(&["c"])];
-        assert!(
-            secure_set_union(&mut net, &ring, &domain, &inputs, NodeId(0), &mut rng).is_err()
-        );
+        assert!(secure_set_union(&mut net, &ring, &domain, &inputs, NodeId(0), &mut rng).is_err());
     }
 }

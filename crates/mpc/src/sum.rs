@@ -18,7 +18,7 @@ use crate::MpcError;
 use dla_bigint::F61;
 use dla_crypto::shamir::{self, SecretPolynomial, Share, SharePoints};
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NodeId, SimNet};
+use dla_net::{NodeId, Session, SimLink, SimNet};
 use rand::Rng;
 
 /// Result of a secure-sum run.
@@ -72,12 +72,93 @@ pub fn secure_weighted_sum<R: Rng + ?Sized>(
     collector: NodeId,
     rng: &mut R,
 ) -> Result<SumOutcome, MpcError> {
+    let link = SimLink::new(net);
+    let session = Session::root(&link);
+    run(&session, parties, inputs, weights, k, collector, rng)
+}
+
+/// The session-parameterized form of `Σ_s`: bind the protocol to any
+/// [`Session`] so a sum can run concurrently with other protocol
+/// instances over one transport.
+#[derive(Debug)]
+pub struct SumSession<'a> {
+    session: Session<'a>,
+    parties: &'a [NodeId],
+    weights: Option<&'a [F61]>,
+    k: usize,
+    collector: NodeId,
+}
+
+impl<'a> SumSession<'a> {
+    /// Binds `Σ_s` to `session` with reconstruction threshold `k`; the
+    /// `collector` receives the published shares.
+    #[must_use]
+    pub fn new(session: Session<'a>, parties: &'a [NodeId], k: usize, collector: NodeId) -> Self {
+        SumSession {
+            session,
+            parties,
+            weights: None,
+            k,
+            collector,
+        }
+    }
+
+    /// Uses public `weights` (the `Σ α_i·a_i` variant).
+    #[must_use]
+    pub fn weighted(mut self, weights: &'a [F61]) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Runs the protocol over this session.
+    ///
+    /// # Errors
+    ///
+    /// As [`secure_sum`].
+    ///
+    /// # Panics
+    ///
+    /// As [`secure_weighted_sum`].
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        inputs: &[F61],
+        rng: &mut R,
+    ) -> Result<SumOutcome, MpcError> {
+        let ones;
+        let weights = match self.weights {
+            Some(w) => w,
+            None => {
+                ones = vec![F61::ONE; self.parties.len()];
+                &ones
+            }
+        };
+        run(
+            &self.session,
+            self.parties,
+            inputs,
+            weights,
+            self.k,
+            self.collector,
+            rng,
+        )
+    }
+}
+
+fn run<R: Rng + ?Sized>(
+    net: &Session<'_>,
+    parties: &[NodeId],
+    inputs: &[F61],
+    weights: &[F61],
+    k: usize,
+    collector: NodeId,
+    rng: &mut R,
+) -> Result<SumOutcome, MpcError> {
     let n = parties.len();
     assert!(n >= 1, "need at least one party");
     assert_eq!(inputs.len(), n, "one input per party");
     assert_eq!(weights.len(), n, "one weight per party");
     assert!(k >= 1 && k <= n, "threshold must satisfy 1 <= k <= n");
-    let meter = Meter::start(net);
+    let meter = Meter::start_session(net);
 
     let points = SharePoints::canonical(n);
 
@@ -139,7 +220,7 @@ pub fn secure_weighted_sum<R: Rng + ?Sized>(
         }
     }
 
-    let report = meter.finish(net, "secure-sum", n, 2);
+    let report = meter.finish_session(net, "secure-sum", n, 2);
     Ok(SumOutcome { total, report })
 }
 
@@ -180,8 +261,7 @@ mod tests {
     fn sums_correctly() {
         let (mut net, parties, mut rng) = setup(4);
         let inputs = [10u64, 20, 30, 40].map(F61::new);
-        let outcome =
-            secure_sum(&mut net, &parties, &inputs, 3, NodeId(4), &mut rng).unwrap();
+        let outcome = secure_sum(&mut net, &parties, &inputs, 3, NodeId(4), &mut rng).unwrap();
         assert_eq!(outcome.total, F61::new(100));
     }
 
@@ -191,7 +271,13 @@ mod tests {
         let inputs = [5u64, 7, 9].map(F61::new);
         let weights = [2u64, 3, 10].map(F61::new);
         let outcome = secure_weighted_sum(
-            &mut net, &parties, &inputs, &weights, 2, NodeId(3), &mut rng,
+            &mut net,
+            &parties,
+            &inputs,
+            &weights,
+            2,
+            NodeId(3),
+            &mut rng,
         )
         .unwrap();
         assert_eq!(outcome.total, F61::new(2 * 5 + 3 * 7 + 10 * 9));
@@ -201,8 +287,7 @@ mod tests {
     fn collector_can_be_a_party() {
         let (mut net, parties, mut rng) = setup(3);
         let inputs = [1u64, 2, 3].map(F61::new);
-        let outcome =
-            secure_sum(&mut net, &parties, &inputs, 2, parties[0], &mut rng).unwrap();
+        let outcome = secure_sum(&mut net, &parties, &inputs, 2, parties[0], &mut rng).unwrap();
         assert_eq!(outcome.total, F61::new(6));
     }
 
@@ -211,8 +296,7 @@ mod tests {
         use dla_bigint::field::P61;
         let (mut net, parties, mut rng) = setup(2);
         let inputs = [F61::new(P61 - 1), F61::new(5)];
-        let outcome =
-            secure_sum(&mut net, &parties, &inputs, 2, NodeId(2), &mut rng).unwrap();
+        let outcome = secure_sum(&mut net, &parties, &inputs, 2, NodeId(2), &mut rng).unwrap();
         assert_eq!(outcome.total, F61::new(4));
     }
 
@@ -223,11 +307,7 @@ mod tests {
             let inputs: Vec<F61> = (0..n as u64).map(F61::new).collect();
             let outcome =
                 secure_sum(&mut net, &parties, &inputs, 2.min(n), NodeId(n), &mut rng).unwrap();
-            assert_eq!(
-                outcome.report.messages as usize,
-                n * (n - 1) + n,
-                "n={n}"
-            );
+            assert_eq!(outcome.report.messages as usize, n * (n - 1) + n, "n={n}");
             assert_eq!(outcome.report.rounds, 2);
         }
     }
@@ -252,8 +332,7 @@ mod tests {
     fn single_party_degenerate_sum() {
         let (mut net, parties, mut rng) = setup(1);
         let inputs = [F61::new(42)];
-        let outcome =
-            secure_sum(&mut net, &parties, &inputs, 1, NodeId(1), &mut rng).unwrap();
+        let outcome = secure_sum(&mut net, &parties, &inputs, 1, NodeId(1), &mut rng).unwrap();
         assert_eq!(outcome.total, F61::new(42));
     }
 

@@ -76,7 +76,8 @@ impl FaultPlan {
             FaultOutcome::Drop
         } else if roll < self.drop_probability + self.duplicate_probability {
             FaultOutcome::Duplicate
-        } else if roll < self.drop_probability + self.duplicate_probability + self.corrupt_probability
+        } else if roll
+            < self.drop_probability + self.duplicate_probability + self.corrupt_probability
         {
             FaultOutcome::Corrupt
         } else {

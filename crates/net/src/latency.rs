@@ -7,8 +7,7 @@ use rand::Rng;
 ///
 /// The model is `propagation + len / bandwidth`, with propagation drawn
 /// per message.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum LatencyModel {
     /// Instant delivery (pure message/byte counting).
     #[default]
@@ -78,7 +77,6 @@ impl LatencyModel {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,7 +89,10 @@ mod tests {
     #[test]
     fn zero_model_is_instant() {
         let mut rng = rng();
-        assert_eq!(LatencyModel::Zero.sample(1_000_000, &mut rng), SimTime::ZERO);
+        assert_eq!(
+            LatencyModel::Zero.sample(1_000_000, &mut rng),
+            SimTime::ZERO
+        );
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! Simulated cluster networking for the DLA system.
 //!
 //! The paper assumes "message routing is handled by the lower network
@@ -40,6 +42,7 @@ use std::fmt;
 
 pub mod fault;
 pub mod latency;
+pub mod session;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -47,8 +50,31 @@ pub mod topology;
 pub mod transport;
 pub mod wire;
 
+pub use session::{ChannelNet, Session, SharedNet, SimLink, Transport};
 pub use sim::{Envelope, NetConfig, SimNet};
 pub use time::SimTime;
+
+/// Identifies one protocol session multiplexed over a network.
+///
+/// Every message carries a session id (it is part of the wire format —
+/// see [`Envelope::encode`]) so several protocol instances can be in
+/// flight over one transport at the same time: inboxes, virtual clocks
+/// and traffic accounting are all partitioned by session. Session
+/// [`SessionId::ROOT`] is the default used by the legacy
+/// single-protocol API.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// The default session of the single-protocol compatibility API.
+    pub const ROOT: SessionId = SessionId(0);
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
 
 /// Identifies a node in a network (index into the node table).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -90,6 +116,8 @@ pub enum NetError {
         /// Who actually sent the earliest pending message.
         actual: NodeId,
     },
+    /// A blocking `recv` on a threaded transport gave up waiting.
+    Timeout(NodeId),
 }
 
 impl fmt::Display for NetError {
@@ -104,6 +132,7 @@ impl fmt::Display for NetError {
                 f,
                 "{node} expected a message from {expected} but found one from {actual}"
             ),
+            NetError::Timeout(node) => write!(f, "recv timed out at {node}"),
         }
     }
 }

@@ -1,0 +1,567 @@
+//! Session-scoped transport abstraction.
+//!
+//! Protocol engines (`dla-mpc`) are written against a [`Session`]: a
+//! [`SessionId`] bound to a [`Transport`]. The transport decides *how*
+//! messages move; the session decides *which protocol instance* they
+//! belong to. Three transports are provided:
+//!
+//! * [`SimLink`] — borrows a `&mut SimNet` for the classic
+//!   single-threaded case (the legacy free-function protocol API wraps
+//!   protocols in a `SimLink` on the root session).
+//! * [`SharedNet`] — a mutex-guarded [`SimNet`] that many threads can
+//!   drive at once, one session per thread. This is what the concurrent
+//!   subquery scheduler in `dla-audit` uses: virtual time stays
+//!   deterministic per session while real threads interleave freely.
+//! * [`ChannelNet`] — a crossbeam-channel transport where every message
+//!   crosses the wire as an [`Envelope::encode`] frame, session id
+//!   first. Receivers demultiplex by session, so independent protocol
+//!   instances can share one physical network of OS threads.
+
+use crate::sim::{Envelope, SimNet};
+use crate::stats::TrafficStats;
+use crate::time::SimTime;
+use crate::{NetError, NodeId, SessionId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, MutexGuard};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// A network that can carry several protocol sessions at once.
+///
+/// All methods take `&self`: implementations use interior mutability so
+/// one transport can be shared by concurrent protocol sessions.
+pub trait Transport {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Sends `payload` from `from` to `to` within `session`.
+    fn send(&self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes);
+
+    /// Receives the earliest pending message for `node` in `session`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific: [`NetError::EmptyInbox`] on the simulator,
+    /// [`NetError::Timeout`] on threaded transports.
+    fn recv(&self, session: SessionId, node: NodeId) -> Result<Envelope, NetError>;
+
+    /// Selective receive: the earliest pending message for `node` in
+    /// `session` sent by `from`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::recv`], plus [`NetError::UnexpectedSender`] on
+    /// the simulator when another sender's message is at the head.
+    fn recv_from(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: NodeId,
+    ) -> Result<Envelope, NetError>;
+
+    /// Charges local computation time to `node`'s clock in `session`
+    /// (no-op on transports without virtual time).
+    fn charge(&self, session: SessionId, node: NodeId, cost: SimTime);
+
+    /// `(messages, bytes)` sent so far within `session`.
+    fn counters(&self, session: SessionId) -> (u64, u64);
+
+    /// Virtual makespan of `session` (zero on transports without
+    /// virtual time).
+    fn elapsed(&self, session: SessionId) -> SimTime;
+}
+
+/// One protocol instance's handle onto a [`Transport`].
+///
+/// Copyable and cheap: protocol code passes `&Session` down its call
+/// tree exactly like it used to pass `&mut SimNet`.
+#[derive(Clone, Copy)]
+pub struct Session<'a> {
+    transport: &'a dyn Transport,
+    id: SessionId,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Session({})", self.id)
+    }
+}
+
+impl<'a> Session<'a> {
+    /// Binds `id` on `transport`.
+    #[must_use]
+    pub fn new(transport: &'a dyn Transport, id: SessionId) -> Self {
+        Session { transport, id }
+    }
+
+    /// The root session — what the legacy single-protocol API runs on.
+    #[must_use]
+    pub fn root(transport: &'a dyn Transport) -> Self {
+        Session::new(transport, SessionId::ROOT)
+    }
+
+    /// This session's id.
+    #[must_use]
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Number of nodes on the underlying transport.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.transport.num_nodes()
+    }
+
+    /// Sends within this session.
+    pub fn send(&self, from: NodeId, to: NodeId, payload: Bytes) {
+        self.transport.send(self.id, from, to, payload);
+    }
+
+    /// Receives within this session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transport::recv`].
+    pub fn recv(&self, node: NodeId) -> Result<Envelope, NetError> {
+        self.transport.recv(self.id, node)
+    }
+
+    /// Selective receive within this session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transport::recv_from`].
+    pub fn recv_from(&self, node: NodeId, from: NodeId) -> Result<Envelope, NetError> {
+        self.transport.recv_from(self.id, node, from)
+    }
+
+    /// Charges compute time within this session.
+    pub fn charge(&self, node: NodeId, cost: SimTime) {
+        self.transport.charge(self.id, node, cost);
+    }
+
+    /// `(messages, bytes)` sent so far within this session.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        self.transport.counters(self.id)
+    }
+
+    /// Virtual makespan of this session.
+    #[must_use]
+    pub fn elapsed(&self) -> SimTime {
+        self.transport.elapsed(self.id)
+    }
+}
+
+/// Adapts an exclusively borrowed [`SimNet`] to the [`Transport`]
+/// trait for single-threaded protocol runs.
+pub struct SimLink<'n> {
+    net: RefCell<&'n mut SimNet>,
+}
+
+impl<'n> SimLink<'n> {
+    /// Wraps `net`.
+    #[must_use]
+    pub fn new(net: &'n mut SimNet) -> Self {
+        SimLink {
+            net: RefCell::new(net),
+        }
+    }
+}
+
+impl Transport for SimLink<'_> {
+    fn num_nodes(&self) -> usize {
+        self.net.borrow().num_nodes()
+    }
+
+    fn send(&self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
+        self.net.borrow_mut().send_on(session, from, to, payload);
+    }
+
+    fn recv(&self, session: SessionId, node: NodeId) -> Result<Envelope, NetError> {
+        self.net.borrow_mut().recv_on(session, node)
+    }
+
+    fn recv_from(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: NodeId,
+    ) -> Result<Envelope, NetError> {
+        self.net.borrow_mut().recv_from_on(session, node, from)
+    }
+
+    fn charge(&self, session: SessionId, node: NodeId, cost: SimTime) {
+        self.net.borrow_mut().charge_on(session, node, cost);
+    }
+
+    fn counters(&self, session: SessionId) -> (u64, u64) {
+        let net = self.net.borrow();
+        let s = net.stats().session(session);
+        (s.messages, s.bytes)
+    }
+
+    fn elapsed(&self, session: SessionId) -> SimTime {
+        self.net.borrow().session_elapsed(session)
+    }
+}
+
+/// A [`SimNet`] shared by concurrent protocol sessions.
+///
+/// Each operation takes the lock briefly, so real OS threads can each
+/// drive their own session over one simulated network. Virtual time and
+/// delivery order stay deterministic *per session* (see
+/// [`SimNet`]'s session partitioning) no matter how the threads
+/// interleave.
+#[derive(Debug)]
+pub struct SharedNet {
+    net: Mutex<SimNet>,
+}
+
+impl SharedNet {
+    /// Wraps `net` for shared use.
+    #[must_use]
+    pub fn new(net: SimNet) -> Self {
+        SharedNet {
+            net: Mutex::new(net),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the underlying simulator.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimNet) -> R) -> R {
+        f(&mut self.net.lock())
+    }
+
+    /// Locks the underlying simulator for direct use (the guard derefs
+    /// to [`SimNet`], so legacy `&mut SimNet` call sites keep working).
+    pub fn lock(&self) -> MutexGuard<'_, SimNet> {
+        self.net.lock()
+    }
+
+    /// Allocates a fresh session id.
+    pub fn open_session(&self) -> SessionId {
+        self.net.lock().open_session()
+    }
+
+    /// Unwraps the simulator.
+    #[must_use]
+    pub fn into_inner(self) -> SimNet {
+        self.net.into_inner()
+    }
+}
+
+impl Transport for SharedNet {
+    fn num_nodes(&self) -> usize {
+        self.net.lock().num_nodes()
+    }
+
+    fn send(&self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
+        self.net.lock().send_on(session, from, to, payload);
+    }
+
+    fn recv(&self, session: SessionId, node: NodeId) -> Result<Envelope, NetError> {
+        self.net.lock().recv_on(session, node)
+    }
+
+    fn recv_from(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: NodeId,
+    ) -> Result<Envelope, NetError> {
+        self.net.lock().recv_from_on(session, node, from)
+    }
+
+    fn charge(&self, session: SessionId, node: NodeId, cost: SimTime) {
+        self.net.lock().charge_on(session, node, cost);
+    }
+
+    fn counters(&self, session: SessionId) -> (u64, u64) {
+        let net = self.net.lock();
+        let s = net.stats().session(session);
+        (s.messages, s.bytes)
+    }
+
+    fn elapsed(&self, session: SessionId) -> SimTime {
+        self.net.lock().session_elapsed(session)
+    }
+}
+
+/// Per-node receive side of a [`ChannelNet`]: the channel receiver plus
+/// a stash of frames that arrived for other sessions (or other senders
+/// during a selective receive).
+#[derive(Debug)]
+struct ChannelInbox {
+    rx: Receiver<Bytes>,
+    stash: VecDeque<Envelope>,
+}
+
+/// A threaded transport: messages travel between nodes as
+/// [`Envelope::encode`] wire frames over crossbeam channels, and the
+/// receive side demultiplexes them by the session id that leads every
+/// frame.
+///
+/// Unlike the simulator there is no virtual time — `recv` genuinely
+/// blocks (up to the configured timeout) waiting for another OS thread
+/// to produce the message.
+#[derive(Debug)]
+pub struct ChannelNet {
+    senders: Vec<Sender<Bytes>>,
+    inboxes: Vec<Mutex<ChannelInbox>>,
+    stats: Mutex<TrafficStats>,
+    timeout: Duration,
+}
+
+impl ChannelNet {
+    /// Builds a fully connected `n`-node channel network with a 5 s
+    /// receive timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_timeout(n, Duration::from_secs(5))
+    }
+
+    /// As [`ChannelNet::new`] with an explicit receive timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_timeout(n: usize, timeout: Duration) -> Self {
+        assert!(n > 0, "network needs at least one node");
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                (
+                    tx,
+                    Mutex::new(ChannelInbox {
+                        rx,
+                        stash: VecDeque::new(),
+                    }),
+                )
+            })
+            .unzip();
+        ChannelNet {
+            senders,
+            inboxes,
+            stats: Mutex::new(TrafficStats::new()),
+            timeout,
+        }
+    }
+
+    /// A snapshot of the traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> TrafficStats {
+        self.stats.lock().clone()
+    }
+
+    /// Blocking receive with session (and optional sender) filtering.
+    fn recv_filtered(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: Option<NodeId>,
+    ) -> Result<Envelope, NetError> {
+        assert!(node.0 < self.senders.len(), "node {node} out of range");
+        let mut inbox = self.inboxes[node.0].lock();
+        let matches = |e: &Envelope| e.session == session && from.is_none_or(|f| e.from == f);
+        // Earlier arrivals first: check the stash before the channel.
+        if let Some(pos) = inbox.stash.iter().position(&matches) {
+            let envelope = inbox.stash.remove(pos).expect("position just found");
+            self.stats.lock().messages_delivered += 1;
+            return Ok(envelope);
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO);
+            let frame = inbox
+                .rx
+                .recv_timeout(left)
+                .map_err(|_| NetError::Timeout(node))?;
+            let envelope = Envelope::decode(&frame).map_err(|_| NetError::Timeout(node))?;
+            if matches(&envelope) {
+                self.stats.lock().messages_delivered += 1;
+                return Ok(envelope);
+            }
+            // A frame for another session (or sender): keep it for the
+            // receive that wants it.
+            inbox.stash.push_back(envelope);
+        }
+    }
+}
+
+impl Transport for ChannelNet {
+    fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
+        assert!(to.0 < self.senders.len(), "node {to} out of range");
+        self.stats
+            .lock()
+            .record_send(session, from.0, to.0, payload.len(), SimTime::ZERO);
+        let envelope = Envelope {
+            session,
+            from,
+            to,
+            payload,
+            sent_at: SimTime::ZERO,
+            deliver_at: SimTime::ZERO,
+        };
+        if self.senders[to.0].send(envelope.encode()).is_err() {
+            self.stats.lock().messages_dropped += 1;
+        }
+    }
+
+    fn recv(&self, session: SessionId, node: NodeId) -> Result<Envelope, NetError> {
+        self.recv_filtered(session, node, None)
+    }
+
+    fn recv_from(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: NodeId,
+    ) -> Result<Envelope, NetError> {
+        self.recv_filtered(session, node, Some(from))
+    }
+
+    fn charge(&self, _session: SessionId, _node: NodeId, _cost: SimTime) {
+        // Real threads: compute time is real time, nothing to model.
+    }
+
+    fn counters(&self, session: SessionId) -> (u64, u64) {
+        let stats = self.stats.lock();
+        let s = stats.session(session);
+        (s.messages, s.bytes)
+    }
+
+    fn elapsed(&self, _session: SessionId) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NetConfig;
+    use std::thread;
+
+    #[test]
+    fn session_over_simlink_round_trips() {
+        let mut net = SimNet::new(2, NetConfig::ideal());
+        {
+            let link = SimLink::new(&mut net);
+            let session = Session::root(&link);
+            session.send(NodeId(0), NodeId(1), Bytes::from_static(b"hi"));
+            let m = session.recv(NodeId(1)).unwrap();
+            assert_eq!(&m.payload[..], b"hi");
+            assert_eq!(session.counters(), (1, 2));
+        }
+        // Traffic went through the underlying SimNet's ledger.
+        assert_eq!(net.stats().messages_sent, 1);
+    }
+
+    #[test]
+    fn two_sessions_multiplex_over_one_simlink() {
+        let mut net = SimNet::new(2, NetConfig::ideal());
+        let link = SimLink::new(&mut net);
+        let a = Session::new(&link, SessionId(1));
+        let b = Session::new(&link, SessionId(2));
+        a.send(NodeId(0), NodeId(1), Bytes::from_static(b"aa"));
+        b.send(NodeId(0), NodeId(1), Bytes::from_static(b"bb"));
+        // Each session only sees its own traffic.
+        assert_eq!(&b.recv(NodeId(1)).unwrap().payload[..], b"bb");
+        assert_eq!(&a.recv(NodeId(1)).unwrap().payload[..], b"aa");
+        assert!(a.recv(NodeId(1)).is_err());
+        assert_eq!(a.counters(), (1, 2));
+        assert_eq!(b.counters(), (1, 2));
+    }
+
+    #[test]
+    fn shared_net_supports_threaded_sessions() {
+        let shared = SharedNet::new(SimNet::new(2, NetConfig::ideal()));
+        let s1 = shared.open_session();
+        let s2 = shared.open_session();
+        thread::scope(|scope| {
+            for sid in [s1, s2] {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let session = Session::new(shared, sid);
+                    for i in 0..20u8 {
+                        session.send(NodeId(0), NodeId(1), Bytes::copy_from_slice(&[i]));
+                        let m = session.recv(NodeId(1)).unwrap();
+                        assert_eq!(m.payload[0], i);
+                        assert_eq!(m.session, sid);
+                    }
+                });
+            }
+        });
+        let net = shared.into_inner();
+        assert_eq!(net.stats().messages_sent, 40);
+        assert_eq!(net.stats().session(s1).messages, 20);
+        assert_eq!(net.stats().session(s2).messages, 20);
+    }
+
+    #[test]
+    fn channel_net_ships_envelopes_across_threads() {
+        let net = ChannelNet::new(2);
+        thread::scope(|scope| {
+            let net = &net;
+            scope.spawn(move || {
+                let session = Session::new(net, SessionId(9));
+                let m = session.recv(NodeId(1)).unwrap();
+                assert_eq!(&m.payload[..], b"ping");
+                assert_eq!(m.session, SessionId(9));
+                session.send(NodeId(1), NodeId(0), Bytes::from_static(b"pong"));
+            });
+            let session = Session::new(net, SessionId(9));
+            session.send(NodeId(0), NodeId(1), Bytes::from_static(b"ping"));
+            let reply = session.recv_from(NodeId(0), NodeId(1)).unwrap();
+            assert_eq!(&reply.payload[..], b"pong");
+        });
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 2);
+        assert_eq!(stats.session(SessionId(9)).messages, 2);
+    }
+
+    #[test]
+    fn channel_net_demultiplexes_sessions() {
+        // A frame for session 2 arrives first; a recv on session 1 must
+        // skip past it (stashing it) and session 2's recv still gets it.
+        let net = ChannelNet::new(2);
+        let s1 = Session::new(&net, SessionId(1));
+        let s2 = Session::new(&net, SessionId(2));
+        s2.send(NodeId(0), NodeId(1), Bytes::from_static(b"for-2"));
+        s1.send(NodeId(0), NodeId(1), Bytes::from_static(b"for-1"));
+        assert_eq!(&s1.recv(NodeId(1)).unwrap().payload[..], b"for-1");
+        assert_eq!(&s2.recv(NodeId(1)).unwrap().payload[..], b"for-2");
+    }
+
+    #[test]
+    fn channel_net_recv_times_out() {
+        let net = ChannelNet::with_timeout(2, Duration::from_millis(10));
+        let session = Session::root(&net);
+        assert_eq!(
+            session.recv(NodeId(0)).unwrap_err(),
+            NetError::Timeout(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn transports_are_object_safe() {
+        fn take(_: &dyn Transport) {}
+        let mut net = SimNet::new(1, NetConfig::ideal());
+        take(&SimLink::new(&mut net));
+        take(&ChannelNet::new(1));
+        let shared = SharedNet::new(SimNet::new(1, NetConfig::ideal()));
+        take(&shared);
+    }
+}

@@ -5,20 +5,32 @@
 //! and accounts every message and byte. Determinism (given a seed)
 //! makes protocol tests reproducible and lets benches report *simulated*
 //! network latency alongside measured CPU time.
+//!
+//! The network is **session-multiplexed**: every message belongs to a
+//! [`SessionId`], and inboxes, virtual clocks, latency/fault RNG
+//! streams and delivery ordering are all partitioned per session. That
+//! means several protocol instances can interleave over one `SimNet`
+//! without perturbing each other's delivery schedule — the property the
+//! concurrent subquery scheduler in `dla-audit` relies on. The legacy
+//! `send`/`recv` API operates on [`SessionId::ROOT`] and behaves
+//! exactly like the original single-session simulator.
 
 use crate::fault::{FaultOutcome, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::stats::TrafficStats;
 use crate::time::SimTime;
-use crate::{NetError, NodeId};
+use crate::wire::{Reader, WireError, Writer};
+use crate::{NetError, NodeId, SessionId};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A delivered message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope {
+    /// Protocol session this message belongs to.
+    pub session: SessionId,
     /// Sender.
     pub from: NodeId,
     /// Receiver.
@@ -29,6 +41,48 @@ pub struct Envelope {
     pub sent_at: SimTime,
     /// Virtual time it became available at the receiver.
     pub deliver_at: SimTime,
+}
+
+impl Envelope {
+    /// Serializes the envelope — session id first, so a receiving
+    /// endpoint can demultiplex before it even looks at the payload.
+    /// This is the wire format of the threaded [`crate::ChannelNet`]
+    /// transport.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u64(self.session.0)
+            .put_u64(self.from.0 as u64)
+            .put_u64(self.to.0 as u64)
+            .put_u64(self.sent_at.as_nanos())
+            .put_u64(self.deliver_at.as_nanos())
+            .put_bytes(&self.payload);
+        w.finish()
+    }
+
+    /// Inverse of [`Envelope::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or trailing bytes.
+    pub fn decode(data: &[u8]) -> Result<Envelope, WireError> {
+        let mut r = Reader::new(data);
+        let session = SessionId(r.get_u64()?);
+        let from = NodeId(r.get_u64()? as usize);
+        let to = NodeId(r.get_u64()? as usize);
+        let sent_at = SimTime::from_nanos(r.get_u64()?);
+        let deliver_at = SimTime::from_nanos(r.get_u64()?);
+        let payload = Bytes::copy_from_slice(r.get_bytes()?);
+        r.finish()?;
+        Ok(Envelope {
+            session,
+            from,
+            to,
+            payload,
+            sent_at,
+            deliver_at,
+        })
+    }
 }
 
 /// Heap entry ordered by delivery time (earliest first), tie-broken by
@@ -111,6 +165,35 @@ impl NetConfig {
     }
 }
 
+/// Per-session simulator state: inboxes, clocks, an independent RNG
+/// stream, and the per-link delivery floor that makes each session's
+/// link order FIFO.
+#[derive(Debug)]
+struct SessionState {
+    clocks: Vec<SimTime>,
+    inboxes: Vec<BinaryHeap<Pending>>,
+    rng: StdRng,
+    /// Latest delivery time scheduled per (from, to): later sends on
+    /// the same link never overtake earlier ones.
+    last_delivery: BTreeMap<(usize, usize), SimTime>,
+}
+
+impl SessionState {
+    fn new(n: usize, clocks: Vec<SimTime>, seed: u64, session: SessionId) -> Self {
+        // Give every session its own deterministic RNG stream so the
+        // latency/fault rolls of one session are independent of how
+        // many messages other sessions have sent.
+        let mut x = session.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let stream = rand::splitmix64(&mut x);
+        SessionState {
+            clocks,
+            inboxes: (0..n).map(|_| BinaryHeap::new()).collect(),
+            rng: StdRng::seed_from_u64(seed ^ stream),
+            last_delivery: BTreeMap::new(),
+        }
+    }
+}
+
 /// A simulated message network over `n` nodes.
 ///
 /// # Examples
@@ -132,9 +215,10 @@ pub struct SimNet {
     latency: LatencyModel,
     faults: FaultPlan,
     stats: TrafficStats,
-    clocks: Vec<SimTime>,
-    inboxes: Vec<BinaryHeap<Pending>>,
-    rng: StdRng,
+    num_nodes: usize,
+    seed: u64,
+    sessions: BTreeMap<SessionId, SessionState>,
+    next_session: u64,
     seq: u64,
     capture: Option<Vec<(NodeId, NodeId, Bytes)>>,
 }
@@ -148,13 +232,19 @@ impl SimNet {
     #[must_use]
     pub fn new(n: usize, config: NetConfig) -> Self {
         assert!(n > 0, "network needs at least one node");
+        let mut sessions = BTreeMap::new();
+        sessions.insert(
+            SessionId::ROOT,
+            SessionState::new(n, vec![SimTime::ZERO; n], config.seed, SessionId::ROOT),
+        );
         SimNet {
             latency: config.latency,
             faults: config.faults,
             stats: TrafficStats::new(),
-            clocks: vec![SimTime::ZERO; n],
-            inboxes: (0..n).map(|_| BinaryHeap::new()).collect(),
-            rng: StdRng::seed_from_u64(config.seed),
+            num_nodes: n,
+            seed: config.seed,
+            sessions,
+            next_session: 1,
             seq: 0,
             capture: config.capture_payloads.then(Vec::new),
         }
@@ -163,55 +253,107 @@ impl SimNet {
     /// Number of nodes.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.clocks.len()
+        self.num_nodes
     }
 
-    /// Sends `payload` from `from` to `to`. Delivery is subject to the
-    /// fault plan; the send is always accounted.
+    /// Allocates a fresh session id. The new session's node clocks
+    /// start at the root session's current values ("the new protocol
+    /// instance starts now").
+    pub fn open_session(&mut self) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.ensure_session(id);
+        id
+    }
+
+    /// Lazily materializes state for `session`, inheriting the root
+    /// session's current clocks.
+    fn ensure_session(&mut self, session: SessionId) {
+        if !self.sessions.contains_key(&session) {
+            let clocks = self.sessions[&SessionId::ROOT].clocks.clone();
+            self.next_session = self.next_session.max(session.0 + 1);
+            self.sessions.insert(
+                session,
+                SessionState::new(self.num_nodes, clocks, self.seed, session),
+            );
+        }
+    }
+
+    /// Sends `payload` from `from` to `to` on the root session.
+    /// Delivery is subject to the fault plan; the send is always
+    /// accounted.
     ///
     /// # Panics
     ///
     /// Panics if either node id is out of range.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
+        self.send_on(SessionId::ROOT, from, to, payload);
+    }
+
+    /// Session-scoped [`SimNet::send`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn send_on(&mut self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
         self.check(from);
         self.check(to);
         if let Some(capture) = &mut self.capture {
             capture.push((from, to, payload.clone()));
         }
-        self.stats.record_send(from.0, to.0, payload.len());
-        let outcome = self.faults.decide(from.0, to.0, &mut self.rng);
+        self.ensure_session(session);
+        let state = self.sessions.get_mut(&session).expect("session exists");
+        let sent_at = state.clocks[from.0];
+        self.stats
+            .record_send(session, from.0, to.0, payload.len(), sent_at);
+        let outcome = self.faults.decide(from.0, to.0, &mut state.rng);
         match outcome {
             FaultOutcome::Drop => {
                 self.stats.messages_dropped += 1;
             }
             FaultOutcome::Deliver => {
-                self.enqueue(from, to, payload);
+                self.enqueue(session, from, to, payload);
             }
             FaultOutcome::Duplicate => {
                 self.stats.messages_duplicated += 1;
-                self.enqueue(from, to, payload.clone());
-                self.enqueue(from, to, payload);
+                self.enqueue(session, from, to, payload.clone());
+                self.enqueue(session, from, to, payload);
             }
             FaultOutcome::Corrupt => {
                 self.stats.messages_corrupted += 1;
                 let mut bytes = payload.to_vec();
                 if !bytes.is_empty() {
-                    let idx = self.rng.gen_range(0..bytes.len());
+                    let state = self.sessions.get_mut(&session).expect("session exists");
+                    let idx = state.rng.gen_range(0..bytes.len());
                     bytes[idx] ^= 0xA5;
                 }
-                self.enqueue(from, to, Bytes::from(bytes));
+                self.enqueue(session, from, to, Bytes::from(bytes));
             }
         }
     }
 
-    fn enqueue(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
-        let sent_at = self.clocks[from.0];
-        let deliver_at = sent_at + self.latency.sample(payload.len(), &mut self.rng);
+    fn enqueue(&mut self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
         self.seq += 1;
-        self.inboxes[to.0].push(Pending {
+        let seq = self.seq;
+        let latency = &self.latency;
+        let state = self.sessions.get_mut(&session).expect("session exists");
+        let sent_at = state.clocks[from.0];
+        let sampled = sent_at + latency.sample(payload.len(), &mut state.rng);
+        // Per-session, per-link FIFO: a later send on the same link is
+        // never delivered before an earlier one, even when the latency
+        // model samples a shorter delay for it.
+        let floor = state
+            .last_delivery
+            .get(&(from.0, to.0))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let deliver_at = sampled.max(floor);
+        state.last_delivery.insert((from.0, to.0), deliver_at);
+        state.inboxes[to.0].push(Pending {
             deliver_at,
-            seq: self.seq,
+            seq,
             envelope: Envelope {
+                session,
                 from,
                 to,
                 payload,
@@ -221,8 +363,8 @@ impl SimNet {
         });
     }
 
-    /// Receives the earliest pending message at `node`, advancing the
-    /// node's virtual clock to the delivery time.
+    /// Receives the earliest pending root-session message at `node`,
+    /// advancing the node's virtual clock to the delivery time.
     ///
     /// # Errors
     ///
@@ -233,19 +375,35 @@ impl SimNet {
     ///
     /// Panics if `node` is out of range.
     pub fn recv(&mut self, node: NodeId) -> Result<Envelope, NetError> {
+        self.recv_on(SessionId::ROOT, node)
+    }
+
+    /// Session-scoped [`SimNet::recv`]: only messages belonging to
+    /// `session` are visible, so interleaved sessions never steal each
+    /// other's messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyInbox`] if nothing is pending in this
+    /// session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn recv_on(&mut self, session: SessionId, node: NodeId) -> Result<Envelope, NetError> {
         self.check(node);
-        let pending = self.inboxes[node.0]
+        self.ensure_session(session);
+        let state = self.sessions.get_mut(&session).expect("session exists");
+        let pending = state.inboxes[node.0]
             .pop()
             .ok_or(NetError::EmptyInbox(node))?;
-        self.clocks[node.0] = self.clocks[node.0].max(pending.deliver_at);
+        state.clocks[node.0] = state.clocks[node.0].max(pending.deliver_at);
         self.stats.messages_delivered += 1;
         Ok(pending.envelope)
     }
 
-    /// Selective receive: delivers the earliest pending message **from
-    /// `from`**, leaving messages from other senders queued (they may
-    /// have arrived earlier — concurrent protocol steps interleave
-    /// freely under non-zero link latency).
+    /// Selective receive on the root session; see
+    /// [`SimNet::recv_from_on`].
     ///
     /// # Errors
     ///
@@ -253,15 +411,36 @@ impl SimNet {
     /// and [`NetError::UnexpectedSender`] when messages are pending but
     /// none from `from` (nothing is consumed in either case).
     pub fn recv_from(&mut self, node: NodeId, from: NodeId) -> Result<Envelope, NetError> {
+        self.recv_from_on(SessionId::ROOT, node, from)
+    }
+
+    /// Selective receive: delivers the earliest pending message **from
+    /// `from`** within `session`, leaving messages from other senders
+    /// queued (they may have arrived earlier — concurrent protocol
+    /// steps interleave freely under non-zero link latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyInbox`] when nothing at all is pending
+    /// and [`NetError::UnexpectedSender`] when messages are pending but
+    /// none from `from` (nothing is consumed in either case).
+    pub fn recv_from_on(
+        &mut self,
+        session: SessionId,
+        node: NodeId,
+        from: NodeId,
+    ) -> Result<Envelope, NetError> {
         self.check(node);
-        if self.inboxes[node.0].is_empty() {
+        self.ensure_session(session);
+        let state = self.sessions.get_mut(&session).expect("session exists");
+        if state.inboxes[node.0].is_empty() {
             return Err(NetError::EmptyInbox(node));
         }
         // Pop (in delivery order) until a matching sender is found,
         // stashing earlier messages from other senders for re-insertion.
         let mut stash = Vec::new();
         let mut found = None;
-        while let Some(pending) = self.inboxes[node.0].pop() {
+        while let Some(pending) = state.inboxes[node.0].pop() {
             if pending.envelope.from == from {
                 found = Some(pending);
                 break;
@@ -271,11 +450,11 @@ impl SimNet {
         // The first stashed entry (if any) was the earliest overall.
         let actual_head = stash.first().map(|p| p.envelope.from);
         for pending in stash {
-            self.inboxes[node.0].push(pending);
+            state.inboxes[node.0].push(pending);
         }
         match found {
             Some(pending) => {
-                self.clocks[node.0] = self.clocks[node.0].max(pending.deliver_at);
+                state.clocks[node.0] = state.clocks[node.0].max(pending.deliver_at);
                 self.stats.messages_delivered += 1;
                 Ok(pending.envelope)
             }
@@ -287,32 +466,86 @@ impl SimNet {
         }
     }
 
-    /// Number of messages waiting at `node`.
+    /// Number of root-session messages waiting at `node`.
     #[must_use]
     pub fn pending(&self, node: NodeId) -> usize {
-        self.inboxes[node.0].len()
+        self.pending_on(SessionId::ROOT, node)
     }
 
-    /// Charges local computation time to a node's virtual clock (e.g.
-    /// to model an encryption pass).
+    /// Number of messages waiting at `node` within `session`.
+    #[must_use]
+    pub fn pending_on(&self, session: SessionId, node: NodeId) -> usize {
+        self.sessions
+            .get(&session)
+            .map_or(0, |s| s.inboxes[node.0].len())
+    }
+
+    /// Charges local computation time to a node's root-session clock
+    /// (e.g. to model an encryption pass).
     pub fn charge(&mut self, node: NodeId, cost: SimTime) {
-        self.check(node);
-        self.clocks[node.0] += cost;
+        self.charge_on(SessionId::ROOT, node, cost);
     }
 
-    /// A node's current virtual clock.
+    /// Session-scoped [`SimNet::charge`].
+    pub fn charge_on(&mut self, session: SessionId, node: NodeId, cost: SimTime) {
+        self.check(node);
+        self.ensure_session(session);
+        let state = self.sessions.get_mut(&session).expect("session exists");
+        state.clocks[node.0] += cost;
+    }
+
+    /// A node's current root-session virtual clock.
     #[must_use]
     pub fn clock(&self, node: NodeId) -> SimTime {
-        self.clocks[node.0]
+        self.clock_on(SessionId::ROOT, node)
     }
 
-    /// The protocol makespan so far: the latest clock over all nodes.
+    /// A node's current virtual clock within `session` (zero if the
+    /// session has no state yet).
+    #[must_use]
+    pub fn clock_on(&self, session: SessionId, node: NodeId) -> SimTime {
+        self.sessions
+            .get(&session)
+            .map_or(SimTime::ZERO, |s| s.clocks[node.0])
+    }
+
+    /// The root-session makespan so far: the latest root clock over all
+    /// nodes.
     #[must_use]
     pub fn elapsed(&self) -> SimTime {
-        self.clocks
-            .iter()
-            .copied()
+        self.session_elapsed(SessionId::ROOT)
+    }
+
+    /// The makespan of one session: the latest clock over all nodes in
+    /// that session.
+    #[must_use]
+    pub fn session_elapsed(&self, session: SessionId) -> SimTime {
+        self.sessions.get(&session).map_or(SimTime::ZERO, |s| {
+            s.clocks.iter().copied().fold(SimTime::ZERO, SimTime::max)
+        })
+    }
+
+    /// The overall makespan: the latest clock over all nodes in all
+    /// sessions.
+    #[must_use]
+    pub fn makespan(&self) -> SimTime {
+        self.sessions
+            .keys()
+            .map(|&s| self.session_elapsed(s))
             .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Advances every clock of `session` to at least `at`. This is the
+    /// scheduler's synchronization primitive: a session that logically
+    /// starts after a join point is synced to the joined makespan, and
+    /// at a join the successor session is synced to the max elapsed
+    /// time of its predecessors.
+    pub fn sync_session(&mut self, session: SessionId, at: SimTime) {
+        self.ensure_session(session);
+        let state = self.sessions.get_mut(&session).expect("session exists");
+        for clock in &mut state.clocks {
+            *clock = (*clock).max(at);
+        }
     }
 
     /// Traffic counters.
@@ -321,12 +554,15 @@ impl SimNet {
         &self.stats
     }
 
-    /// Resets counters and clocks, keeping topology/config (for
-    /// benchmark phases).
+    /// Resets counters, clocks and per-link delivery floors in every
+    /// session, keeping topology/config (for benchmark phases).
     pub fn reset_accounting(&mut self) {
         self.stats.reset();
-        for c in &mut self.clocks {
-            *c = SimTime::ZERO;
+        for state in self.sessions.values_mut() {
+            for c in &mut state.clocks {
+                *c = SimTime::ZERO;
+            }
+            state.last_delivery.clear();
         }
     }
 
@@ -347,9 +583,9 @@ impl SimNet {
 
     fn check(&self, node: NodeId) {
         assert!(
-            node.0 < self.clocks.len(),
+            node.0 < self.num_nodes,
             "node {node} out of range (n = {})",
-            self.clocks.len()
+            self.num_nodes
         );
     }
 }
@@ -370,6 +606,7 @@ mod tests {
         assert_eq!(&msg.payload[..], b"hello");
         assert_eq!(msg.from, NodeId(0));
         assert_eq!(msg.to, NodeId(1));
+        assert_eq!(msg.session, SessionId::ROOT);
     }
 
     #[test]
@@ -542,5 +779,148 @@ mod tests {
     fn invalid_node_panics() {
         let mut net = net(2);
         net.send(NodeId(0), NodeId(5), Bytes::new());
+    }
+
+    #[test]
+    fn envelope_wire_round_trip() {
+        let env = Envelope {
+            session: SessionId(42),
+            from: NodeId(1),
+            to: NodeId(3),
+            payload: Bytes::from_static(b"fragment"),
+            sent_at: SimTime::from_micros(7),
+            deliver_at: SimTime::from_micros(19),
+        };
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded, env);
+        // Truncated frames are rejected.
+        assert!(Envelope::decode(&env.encode()[..10]).is_err());
+    }
+
+    #[test]
+    fn sessions_have_isolated_inboxes() {
+        let mut net = net(2);
+        let s1 = net.open_session();
+        let s2 = net.open_session();
+        net.send_on(s1, NodeId(0), NodeId(1), Bytes::from_static(b"one"));
+        net.send_on(s2, NodeId(0), NodeId(1), Bytes::from_static(b"two"));
+        // Session 2 only sees its own message; session 1's stays queued.
+        let m = net.recv_on(s2, NodeId(1)).unwrap();
+        assert_eq!(&m.payload[..], b"two");
+        assert_eq!(m.session, s2);
+        assert!(net.recv_on(s2, NodeId(1)).is_err());
+        assert_eq!(net.pending_on(s1, NodeId(1)), 1);
+        assert_eq!(&net.recv_on(s1, NodeId(1)).unwrap().payload[..], b"one");
+        // The root session saw nothing.
+        assert!(net.recv(NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn per_session_clocks_are_independent() {
+        let cfg = NetConfig::ideal().with_latency(LatencyModel::Fixed(SimTime::from_millis(5)));
+        let mut net = SimNet::new(2, cfg);
+        let s1 = net.open_session();
+        let s2 = net.open_session();
+        // Two sessions each do one 5ms hop: both end at 5ms — they ran
+        // in parallel, so the overall makespan is 5ms, not 10ms.
+        net.send_on(s1, NodeId(0), NodeId(1), Bytes::from_static(b"a"));
+        net.send_on(s2, NodeId(0), NodeId(1), Bytes::from_static(b"b"));
+        net.recv_on(s1, NodeId(1)).unwrap();
+        net.recv_on(s2, NodeId(1)).unwrap();
+        assert_eq!(net.session_elapsed(s1), SimTime::from_millis(5));
+        assert_eq!(net.session_elapsed(s2), SimTime::from_millis(5));
+        assert_eq!(net.makespan(), SimTime::from_millis(5));
+        // Root clocks were never touched.
+        assert_eq!(net.elapsed(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn new_sessions_inherit_root_clocks() {
+        let cfg = NetConfig::ideal().with_latency(LatencyModel::Fixed(SimTime::from_millis(2)));
+        let mut net = SimNet::new(2, cfg);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"warmup"));
+        net.recv(NodeId(1)).unwrap();
+        let s = net.open_session();
+        assert_eq!(net.clock_on(s, NodeId(1)), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn sync_session_only_advances() {
+        let mut net = net(2);
+        let s = net.open_session();
+        net.sync_session(s, SimTime::from_millis(3));
+        assert_eq!(net.session_elapsed(s), SimTime::from_millis(3));
+        // Syncing backwards is a no-op.
+        net.sync_session(s, SimTime::from_millis(1));
+        assert_eq!(net.session_elapsed(s), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn per_link_delivery_is_fifo_within_a_session() {
+        // A wide-variance latency model *would* reorder messages on the
+        // same link; the per-link floor forbids it.
+        let cfg = NetConfig::ideal()
+            .with_latency(LatencyModel::Uniform {
+                min: SimTime::from_micros(1),
+                max: SimTime::from_micros(10_000),
+                bytes_per_us: 0,
+            })
+            .with_seed(7);
+        let mut net = SimNet::new(2, cfg);
+        let s = net.open_session();
+        for i in 0..50u8 {
+            net.send_on(s, NodeId(0), NodeId(1), Bytes::copy_from_slice(&[i]));
+        }
+        let mut expected = 0u8;
+        while let Ok(m) = net.recv_on(s, NodeId(1)) {
+            assert_eq!(m.payload[0], expected, "FIFO order violated");
+            expected += 1;
+        }
+        assert_eq!(expected, 50);
+    }
+
+    #[test]
+    fn interleaved_sessions_do_not_perturb_each_others_schedule() {
+        // Satellite regression: the delivery schedule a session observes
+        // must be identical whether or not other sessions are running.
+        let cfg = || {
+            NetConfig::ideal()
+                .with_latency(LatencyModel::lan())
+                .with_seed(99)
+        };
+        let drive = |net: &mut SimNet, session: SessionId| -> Vec<SimTime> {
+            for i in 0..10u8 {
+                net.send_on(session, NodeId(0), NodeId(1), Bytes::copy_from_slice(&[i]));
+            }
+            let mut times = Vec::new();
+            while let Ok(m) = net.recv_on(session, NodeId(1)) {
+                times.push(m.deliver_at);
+            }
+            times
+        };
+
+        // Alone.
+        let mut solo = SimNet::new(2, cfg());
+        let s = SessionId(5);
+        let alone = drive(&mut solo, s);
+
+        // Interleaved with two other chatty sessions.
+        let mut busy = SimNet::new(2, cfg());
+        for i in 0..25u8 {
+            busy.send_on(
+                SessionId(1),
+                NodeId(1),
+                NodeId(0),
+                Bytes::copy_from_slice(&[i]),
+            );
+            busy.send_on(
+                SessionId(2),
+                NodeId(0),
+                NodeId(1),
+                Bytes::copy_from_slice(&[i]),
+            );
+        }
+        let interleaved = drive(&mut busy, s);
+        assert_eq!(alone, interleaved);
     }
 }

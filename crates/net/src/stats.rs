@@ -3,9 +3,13 @@
 //! The paper's central efficiency claim is that *relaxed* secure
 //! multiparty computation needs far less communication than classical
 //! zero-disclosure protocols. [`TrafficStats`] counts messages and
-//! bytes (total and per directed link) so the benchmark harness can
-//! print exactly that comparison.
+//! bytes (total, per directed link, and per protocol session) so the
+//! benchmark harness can print exactly that comparison — and so a
+//! concurrency experiment can *prove* that two sessions were in flight
+//! at the same time (see [`TrafficStats::max_concurrent_sessions`]).
 
+use crate::time::SimTime;
+use crate::SessionId;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -25,6 +29,9 @@ pub struct TrafficStats {
     /// Payload bytes handed to the network.
     pub bytes_sent: u64,
     per_link: BTreeMap<(usize, usize), LinkStats>,
+    per_session: BTreeMap<SessionId, SessionStats>,
+    /// Global send-event counter (orders sends across sessions).
+    events: u64,
 }
 
 /// Counters for one directed link.
@@ -36,6 +43,24 @@ pub struct LinkStats {
     pub bytes: u64,
 }
 
+/// Counters for one protocol session, including its activity interval
+/// both in global send-event order and in virtual send time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Messages sent in this session.
+    pub messages: u64,
+    /// Payload bytes sent in this session.
+    pub bytes: u64,
+    /// Global event index of the session's first send.
+    pub first_event: u64,
+    /// Global event index of the session's last send.
+    pub last_event: u64,
+    /// Virtual time of the session's first send.
+    pub first_send_at: SimTime,
+    /// Virtual time of the session's last send.
+    pub last_send_at: SimTime,
+}
+
 impl TrafficStats {
     /// Fresh, zeroed counters.
     #[must_use]
@@ -43,13 +68,33 @@ impl TrafficStats {
         TrafficStats::default()
     }
 
-    /// Records a send of `bytes` payload bytes on `from → to`.
-    pub fn record_send(&mut self, from: usize, to: usize, bytes: usize) {
+    /// Records a send of `bytes` payload bytes on `from → to` within
+    /// `session`, stamped with the sender's virtual clock `sent_at`
+    /// (pass [`SimTime::ZERO`] on transports without virtual time).
+    pub fn record_send(
+        &mut self,
+        session: SessionId,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        sent_at: SimTime,
+    ) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
         let link = self.per_link.entry((from, to)).or_default();
         link.messages += 1;
         link.bytes += bytes as u64;
+        let event = self.events;
+        self.events += 1;
+        let s = self.per_session.entry(session).or_insert(SessionStats {
+            first_event: event,
+            first_send_at: sent_at,
+            ..SessionStats::default()
+        });
+        s.messages += 1;
+        s.bytes += bytes as u64;
+        s.last_event = event;
+        s.last_send_at = s.last_send_at.max(sent_at);
     }
 
     /// Per-link counters for `from → to`.
@@ -63,23 +108,86 @@ impl TrafficStats {
         self.per_link.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Per-session counters (zeroed if the session never sent).
+    #[must_use]
+    pub fn session(&self, session: SessionId) -> SessionStats {
+        self.per_session.get(&session).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all sessions that sent at least one message.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, SessionStats)> + '_ {
+        self.per_session.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Maximum number of sessions whose *virtual-time* activity
+    /// intervals `[first_send_at, last_send_at]` overlap: ≥ 2 proves
+    /// that protocol sessions were in flight simultaneously on the
+    /// simulated network; a serial schedule reports 1.
+    #[must_use]
+    pub fn max_concurrent_sessions(&self) -> usize {
+        max_overlap(
+            self.per_session
+                .values()
+                .map(|s| (s.first_send_at, s.last_send_at)),
+        )
+    }
+
+    /// Maximum number of sessions whose *send-event* intervals
+    /// `[first_event, last_event]` overlap — the analogue of
+    /// [`TrafficStats::max_concurrent_sessions`] for transports without
+    /// virtual time (real threads over channels).
+    #[must_use]
+    pub fn max_interleaved_sessions(&self) -> usize {
+        max_overlap(
+            self.per_session
+                .values()
+                .map(|s| (s.first_event, s.last_event)),
+        )
+    }
+
     /// Resets every counter (e.g. between benchmark phases).
     pub fn reset(&mut self) {
         *self = TrafficStats::default();
     }
 }
 
+/// Maximum number of closed intervals covering a single point.
+fn max_overlap<T: Ord + Copy>(intervals: impl Iterator<Item = (T, T)>) -> usize {
+    let mut starts = Vec::new();
+    let mut ends = Vec::new();
+    for (a, b) in intervals {
+        starts.push(a);
+        ends.push(b);
+    }
+    starts.sort_unstable();
+    ends.sort_unstable();
+    let (mut i, mut j, mut open, mut best) = (0, 0, 0usize, 0usize);
+    while i < starts.len() {
+        // Closed intervals: a start tied with an end still overlaps it.
+        if starts[i] <= ends[j] {
+            open += 1;
+            best = best.max(open);
+            i += 1;
+        } else {
+            open -= 1;
+            j += 1;
+        }
+    }
+    best
+}
+
 impl fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} msgs ({} delivered, {} dropped, {} dup, {} corrupt), {} bytes",
+            "{} msgs ({} delivered, {} dropped, {} dup, {} corrupt), {} bytes, {} sessions",
             self.messages_sent,
             self.messages_delivered,
             self.messages_dropped,
             self.messages_duplicated,
             self.messages_corrupted,
-            self.bytes_sent
+            self.bytes_sent,
+            self.per_session.len()
         )
     }
 }
@@ -88,12 +196,18 @@ impl fmt::Display for TrafficStats {
 mod tests {
     use super::*;
 
+    const ROOT: SessionId = SessionId::ROOT;
+
+    fn at(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
     #[test]
     fn record_send_accumulates() {
         let mut s = TrafficStats::new();
-        s.record_send(0, 1, 100);
-        s.record_send(0, 1, 50);
-        s.record_send(1, 2, 10);
+        s.record_send(ROOT, 0, 1, 100, SimTime::ZERO);
+        s.record_send(ROOT, 0, 1, 50, SimTime::ZERO);
+        s.record_send(ROOT, 1, 2, 10, SimTime::ZERO);
         assert_eq!(s.messages_sent, 3);
         assert_eq!(s.bytes_sent, 160);
         assert_eq!(s.link(0, 1).messages, 2);
@@ -103,22 +217,77 @@ mod tests {
     }
 
     #[test]
+    fn per_session_counters_are_partitioned() {
+        let mut s = TrafficStats::new();
+        s.record_send(SessionId(1), 0, 1, 100, at(5));
+        s.record_send(SessionId(2), 1, 0, 7, at(6));
+        s.record_send(SessionId(1), 0, 1, 3, at(9));
+        assert_eq!(s.session(SessionId(1)).messages, 2);
+        assert_eq!(s.session(SessionId(1)).bytes, 103);
+        assert_eq!(s.session(SessionId(2)).messages, 1);
+        assert_eq!(s.session(SessionId(3)), SessionStats::default());
+        assert_eq!(s.sessions().count(), 2);
+        // Global totals still aggregate across sessions.
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.bytes_sent, 110);
+    }
+
+    #[test]
+    fn session_intervals_track_first_and_last_send() {
+        let mut s = TrafficStats::new();
+        s.record_send(SessionId(1), 0, 1, 1, at(10));
+        s.record_send(SessionId(2), 0, 1, 1, at(11));
+        s.record_send(SessionId(1), 1, 0, 1, at(30));
+        let one = s.session(SessionId(1));
+        assert_eq!(one.first_event, 0);
+        assert_eq!(one.last_event, 2);
+        assert_eq!(one.first_send_at, at(10));
+        assert_eq!(one.last_send_at, at(30));
+    }
+
+    #[test]
+    fn overlapping_sessions_are_detected() {
+        let mut s = TrafficStats::new();
+        // Session 1 active [10, 30], session 2 active [20, 40]: overlap.
+        s.record_send(SessionId(1), 0, 1, 1, at(10));
+        s.record_send(SessionId(2), 0, 1, 1, at(20));
+        s.record_send(SessionId(1), 1, 0, 1, at(30));
+        s.record_send(SessionId(2), 1, 0, 1, at(40));
+        assert_eq!(s.max_concurrent_sessions(), 2);
+        assert_eq!(s.max_interleaved_sessions(), 2);
+    }
+
+    #[test]
+    fn serial_sessions_do_not_overlap() {
+        let mut s = TrafficStats::new();
+        // Session 1 finishes (at 20) strictly before session 2 starts (at 25).
+        s.record_send(SessionId(1), 0, 1, 1, at(10));
+        s.record_send(SessionId(1), 1, 0, 1, at(20));
+        s.record_send(SessionId(2), 0, 1, 1, at(25));
+        s.record_send(SessionId(2), 1, 0, 1, at(35));
+        assert_eq!(s.max_concurrent_sessions(), 1);
+        assert_eq!(s.max_interleaved_sessions(), 1);
+    }
+
+    #[test]
     fn reset_zeroes_everything() {
         let mut s = TrafficStats::new();
-        s.record_send(0, 1, 5);
+        s.record_send(ROOT, 0, 1, 5, SimTime::ZERO);
         s.messages_delivered = 1;
         s.reset();
         assert_eq!(s, TrafficStats::new());
         assert_eq!(s.links().count(), 0);
+        assert_eq!(s.sessions().count(), 0);
     }
 
     #[test]
     fn display_is_informative() {
         let mut s = TrafficStats::new();
-        s.record_send(0, 1, 42);
+        s.record_send(ROOT, 0, 1, 42, SimTime::ZERO);
         s.messages_delivered = 1;
         let text = s.to_string();
         assert!(text.contains("1 msgs"));
         assert!(text.contains("42 bytes"));
+        assert!(text.contains("1 sessions"));
     }
 }

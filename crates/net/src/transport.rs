@@ -7,7 +7,8 @@
 //! depends on the single-threaded scheduler.
 
 use crate::stats::TrafficStats;
-use crate::NodeId;
+use crate::time::SimTime;
+use crate::{NodeId, SessionId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -17,6 +18,8 @@ use std::time::Duration;
 /// A message received over the channel transport.
 #[derive(Clone, Debug)]
 pub struct ChannelMessage {
+    /// Protocol session the message belongs to.
+    pub session: SessionId,
     /// Sender.
     pub from: NodeId,
     /// Payload.
@@ -79,16 +82,29 @@ impl ChannelEndpoint {
         self.peers.len()
     }
 
-    /// Sends `payload` to `to`. Sends to a disconnected peer are
-    /// silently dropped (the peer hung up), mirroring a dead host.
+    /// Sends `payload` to `to` on the root session. Sends to a
+    /// disconnected peer are silently dropped (the peer hung up),
+    /// mirroring a dead host.
     ///
     /// # Panics
     ///
     /// Panics if `to` is out of range.
     pub fn send(&self, to: NodeId, payload: Bytes) {
+        self.send_on(SessionId::ROOT, to, payload);
+    }
+
+    /// Session-tagged [`ChannelEndpoint::send`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn send_on(&self, session: SessionId, to: NodeId, payload: Bytes) {
         assert!(to.0 < self.peers.len(), "node {to} out of range");
-        self.stats.lock().record_send(self.id.0, to.0, payload.len());
+        self.stats
+            .lock()
+            .record_send(session, self.id.0, to.0, payload.len(), SimTime::ZERO);
         let msg = ChannelMessage {
+            session,
             from: self.id,
             payload,
         };

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for n in 1..=7 {
         let partition = Partition::round_robin(&schema, n)?;
         let c = metrics::store_confidentiality(&record, &schema, &partition);
-        println!("  n = {n}: u = {} covering nodes, C_store = {c:.3}", partition.covering_nodes(&record));
+        println!(
+            "  n = {n}: u = {} covering nodes, C_store = {c:.3}",
+            partition.covering_nodes(&record)
+        );
     }
 
     // C_auditing across query shapes on the paper partition.

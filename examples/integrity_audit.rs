@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A compromised node silently rewrites a stored amount (the §4.1
     // threat: "its access control tables and log records could be
     // modified").
-    println!("\nP1 silently changes record {}'s c2 from 235.00 to 1.00 …", glsns[2]);
+    println!(
+        "\nP1 silently changes record {}'s c2 from 235.00 to 1.00 …",
+        glsns[2]
+    );
     cluster
         .node_mut(1)
         .store_mut()
@@ -54,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  record {}: {}",
             v.glsn,
-            if v.ok { "OK" } else { "TAMPERED (accumulator mismatch)" }
+            if v.ok {
+                "OK"
+            } else {
+                "TAMPERED (accumulator mismatch)"
+            }
         );
     }
     let bad: Vec<_> = verdicts.iter().filter(|v| !v.ok).collect();
@@ -65,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the user's ticket; the ∩_s-based check exposes the divergence.
     println!("\nACL consistency for ticket {} (clean):", user.ticket.id);
     let clean = integrity::check_acl_consistency(&mut cluster, &user.ticket.id)?;
-    println!("  sizes = {:?}, agreed = {}, consistent = {}", clean.sizes, clean.agreed, clean.consistent);
+    println!(
+        "  sizes = {:?}, agreed = {}, consistent = {}",
+        clean.sizes, clean.agreed, clean.consistent
+    );
     assert!(clean.consistent);
 
     let ticket = user.ticket.clone();
@@ -76,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .authorize(&ticket, confidential_audit::logstore::model::Glsn(0xBEEF));
     let dirty = integrity::check_acl_consistency(&mut cluster, &ticket.id)?;
     println!("after P3 grants itself glsn beef:");
-    println!("  sizes = {:?}, agreed = {}, consistent = {}", dirty.sizes, dirty.agreed, dirty.consistent);
+    println!(
+        "  sizes = {:?}, agreed = {}, consistent = {}",
+        dirty.sizes, dirty.agreed, dirty.consistent
+    );
     assert!(!dirty.consistent);
     Ok(())
 }

@@ -26,13 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // to the application, which is what makes fragments uninformative).
     let schema = Schema::new(vec![
         AttrDef::known("time", AttrType::Time),
-        AttrDef::known("id", AttrType::Text),   // reporting organization
-        AttrDef::known("tid", AttrType::Text),  // targeted account
+        AttrDef::known("id", AttrType::Text), // reporting organization
+        AttrDef::known("tid", AttrType::Text), // targeted account
         AttrDef::undefined("c1", AttrType::Int), // failed logins in window
         AttrDef::undefined("c2", AttrType::Int), // suspicious bytes out
     ])?;
     let mut cluster = DlaCluster::new(
-        ClusterConfig::new(5, schema).with_seed(1337).with_max_users(4),
+        ClusterConfig::new(5, schema)
+            .with_seed(1337)
+            .with_max_users(4),
     )?;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
@@ -51,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let record = LogRecord::new(Glsn(0))
                 .with("time", AttrValue::Time(t0 + w * 300))
                 .with("id", AttrValue::text(org))
-                .with("tid", AttrValue::text(&format!("acct-{}", rng.gen_range(0..50))))
+                .with(
+                    "tid",
+                    AttrValue::text(&format!("acct-{}", rng.gen_range(0..50))),
+                )
                 .with("c1", AttrValue::Int(rng.gen_range(0..3)))
                 .with("c2", AttrValue::Int(rng.gen_range(0..100)));
             cluster.log_record(&users[i], &record)?;
@@ -68,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cluster.log_record(&users[i], &record)?;
         total_events += 1;
     }
-    println!("{total_events} auth summaries logged by {} organizations", orgs.len());
+    println!(
+        "{total_events} auth summaries logged by {} organizations",
+        orgs.len()
+    );
 
     // Step 1: the confidential global indicator. No organization's raw
     // counts are exposed; the auditor learns one number.
@@ -82,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let per_org_alarm = 5;
     println!("per-organization alarm threshold: {per_org_alarm} (never crossed locally)");
-    assert!(global.total >= 12, "the correlated probe must be visible globally");
+    assert!(
+        global.total >= 12,
+        "the correlated probe must be visible globally"
+    );
 
     // Step 2: drill down confidentially — which records correlate? The
     // auditor receives glsns only; fragment contents stay distributed.
@@ -118,16 +129,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         min_sources: 3,
     };
     let alerts = detect(&mut cluster, &rule)?;
-    println!("\nstanding correlation rule '{}' fired {} alert(s):", rule.name, alerts.len());
+    println!(
+        "\nstanding correlation rule '{}' fired {} alert(s):",
+        rule.name,
+        alerts.len()
+    );
     for alert in &alerts {
         println!("  {alert}");
     }
     assert_eq!(alerts.len(), 1);
 
-    println!(
-        "\ntotal audit traffic: {} messages, {} bytes",
-        cluster.net().stats().messages_sent,
-        cluster.net().stats().bytes_sent
-    );
+    let (total_msgs, total_bytes) = {
+        let net = cluster.net();
+        (net.stats().messages_sent, net.stats().bytes_sent)
+    };
+    println!("\ntotal audit traffic: {total_msgs} messages, {total_bytes} bytes");
     Ok(())
 }

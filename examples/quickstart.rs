@@ -38,12 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Users log the Table 1 events.
     let user = cluster.register_user("u0")?;
     let glsns = cluster.log_records(&user, &paper_table1())?;
-    println!("\nlogged {} records; every node holds exactly one fragment of each", glsns.len());
     println!(
-        "logging traffic: {} messages, {} bytes",
-        cluster.net().stats().messages_sent,
-        cluster.net().stats().bytes_sent
+        "\nlogged {} records; every node holds exactly one fragment of each",
+        glsns.len()
     );
+    let (log_msgs, log_bytes) = {
+        let net = cluster.net();
+        (net.stats().messages_sent, net.stats().bytes_sent)
+    };
+    println!("logging traffic: {log_msgs} messages, {log_bytes} bytes");
 
     // 3. Confidential queries: the auditor engine receives only the
     //    satisfying glsns, computed by secure set intersection.
@@ -67,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Confidential aggregates — counts and volume totals without
     //    revealing which records matched.
     let count = aggregate::count_matching(&mut cluster, "protocol = 'UDP'")?;
-    println!("\nnumber of UDP transactions (count-only, no reveal): {}", count.count);
+    println!(
+        "\nnumber of UDP transactions (count-only, no reveal): {}",
+        count.count
+    );
     let volume = aggregate::sum_matching(&mut cluster, "protocol = 'UDP'", &"c2".into())?;
     println!(
         "total UDP volume (secure sum over the cluster): {}.{:02}",
@@ -91,6 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. The owner can still reassemble its own record via its ticket.
     let full = cluster.retrieve_record(&user, glsns[0])?;
-    println!("\nowner-retrieved record {}: {} attributes", glsns[0], full.len());
+    println!(
+        "\nowner-retrieved record {}: {} attributes",
+        glsns[0],
+        full.len()
+    );
     Ok(())
 }

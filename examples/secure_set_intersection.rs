@@ -29,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let (outcome, trace) = secure_set_intersection_traced(
-        &mut net, &ring, &domain, &inputs, NodeId(0), true, &mut rng,
+        &mut net,
+        &ring,
+        &domain,
+        &inputs,
+        NodeId(0),
+        true,
+        &mut rng,
     )?;
 
     // Print the hop trace in the paper's E-layer notation.

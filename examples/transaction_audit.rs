@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Now a rogue transaction: same type, but a fourth event by an
     // unauthorized executor pushes it over the volume ceiling, too.
     let rogue_event = LogRecord::new(Glsn(0))
-        .with("time", AttrValue::Time(epoch_from_civil(2002, 5, 12, 21, 30, 0)))
+        .with(
+            "time",
+            AttrValue::Time(epoch_from_civil(2002, 5, 12, 21, 30, 0)),
+        )
         .with("id", AttrValue::text("U9"))
         .with("protocol", AttrValue::text("TCP"))
         .with("tid", AttrValue::text("T1100265"))
@@ -83,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|v| v.rule.to_string())
         .collect();
     println!("violated rules: {failed:?}");
-    assert_eq!(failed.len(), 4, "count, volume, duration and whitelist all trip");
+    assert_eq!(
+        failed.len(),
+        4,
+        "count, volume, duration and whitelist all trip"
+    );
 
     println!(
         "\naudit traffic total: {} messages — and the auditor never saw a single record",

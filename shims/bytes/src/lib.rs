@@ -1,0 +1,275 @@
+//! Workspace-local stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `bytes` to this shim. It implements exactly the
+//! surface the DLA stack uses: a cheaply clonable immutable byte
+//! buffer ([`Bytes`]) and an append-only builder ([`BytesMut`]).
+//! Reference counting makes `clone()` O(1), matching the upstream
+//! crate's behaviour where it matters for the simulator (duplicated
+//! envelopes share one allocation).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Creates `Bytes` from a static slice.
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+        }
+    }
+
+    /// Creates `Bytes` by copying the given slice.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.data[..].cmp(&other.data[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data[..] == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from_static(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes::from_static(v.as_bytes())
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.to_vec()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A growable byte buffer that freezes into an immutable [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_equality() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b, [1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn builder_freezes() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"ab");
+        m.put_u8(b'c');
+        assert_eq!(m.freeze(), Bytes::from_static(b"abc"));
+    }
+
+    #[test]
+    fn debug_escapes_non_printable() {
+        let b = Bytes::from_static(b"a\x00");
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\"");
+    }
+}

@@ -1,0 +1,228 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Keeps the macro/builder API the `dla-bench` benches are written
+//! against, but runs a simple fixed-iteration timer instead of
+//! criterion's statistical sampler: each benchmark is warmed up once
+//! and then timed over a batch sized to fill ~`sample_size` quick
+//! probes, reporting mean wall-clock per iteration to stdout. That is
+//! enough to compare orders of magnitude across PRs without any
+//! external dependencies.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.param.is_empty() {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Per-iteration timer handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Total time accumulated by `iter` batches.
+    elapsed: Duration,
+    /// Iterations accumulated by `iter` batches.
+    iters: u64,
+    /// Target number of timed batches.
+    samples: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and accumulates its wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes lazy state so the timed runs are honest).
+        black_box(routine());
+        // One calibration run decides the batch size: aim for batches
+        // of at least ~1ms so Instant overhead stays negligible, but
+        // cap the total so slow protocol benches finish promptly.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (Duration::from_millis(1).as_nanos() / probe.as_nanos()).clamp(1, 1000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += per_batch as u64;
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.iters).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides how many timed batches each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            samples: self.sample_size.min(self.criterion.max_samples),
+        };
+        f(&mut bencher);
+        println!(
+            "bench {:<50} {:>12.3?} /iter ({} iters)",
+            format!("{}/{label}", self.name),
+            bencher.mean(),
+            bencher.iters,
+        );
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run(&label, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the shim's
+    /// output is already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            max_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.run("", f);
+        self
+    }
+}
+
+/// Declares a benchmark entry point composed of `fn(&mut Criterion)`
+/// functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut hits = 0u64;
+        group.bench_function("counter", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::new("with-input", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("ssi", 8).to_string(), "ssi/8");
+    }
+}

@@ -1,0 +1,368 @@
+//! Workspace-local stand-in for `crossbeam`.
+//!
+//! Provides the two pieces the DLA stack uses:
+//!
+//! * [`channel`] — MPMC channels on a `Mutex<VecDeque>` + `Condvar`
+//!   (the upstream lock-free queues matter for raw throughput, not for
+//!   correctness; simulator traffic is far below where that shows).
+//! * [`scope`] — scoped threads, layered over [`std::thread::scope`]
+//!   with crossbeam's `thread::Result` return convention (a child
+//!   panic surfaces as `Err`, not a propagated panic).
+
+pub mod channel {
+    //! MPMC channels with disconnect detection and timeouts.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => write!(f, "channel is empty and disconnected"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is momentarily empty.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing if every receiver hung up.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back inside [`SendError`] on disconnect.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.shared.lock().push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so they can
+                // observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message, blocking until one arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is drained and every
+        /// sender hung up.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.lock();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Dequeues a message, blocking at most `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] past the deadline,
+        /// [`RecvTimeoutError::Disconnected`] when drained with no
+        /// senders left.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.lock();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        }
+
+        /// Dequeues a message if one is immediately available.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when the queue is empty,
+        /// [`TryRecvError::Disconnected`] when additionally no sender
+        /// remains.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.lock();
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's error-returning convention.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Mirror of `std::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle onto a scope; spawn threads through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to borrow from the environment.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before this returns. A panic in any unjoined child (or in `f`)
+    /// surfaces as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload of whichever thread panicked first.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeout_and_disconnect_are_distinguished() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_to_no_receiver_fails() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scope_reports_child_panics_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|| panic!("child dies"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,3 +1,5 @@
+#![deny(rust_2018_idioms)]
+
 //! # confidential-audit
 //!
 //! A full Rust reproduction of *On the Confidential Auditing of

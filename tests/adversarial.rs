@@ -39,9 +39,7 @@ fn every_single_node_compromise_is_detected() {
                 confidential_audit::logstore::model::AttrType::Int => AttrValue::Int(-1),
                 confidential_audit::logstore::model::AttrType::Fixed2 => AttrValue::Fixed2(-1),
                 confidential_audit::logstore::model::AttrType::Time => AttrValue::Time(0),
-                confidential_audit::logstore::model::AttrType::Text => {
-                    AttrValue::text("forged")
-                }
+                confidential_audit::logstore::model::AttrType::Text => AttrValue::text("forged"),
             };
             assert!(cluster
                 .node_mut(victim_node)
@@ -185,10 +183,11 @@ fn corrupted_share_cannot_skew_an_aggregate() {
 
     // Corrupt one round-2 publish of the secure sum (party 3 ->
     // auditor at net id 4).
-    cluster
-        .net_mut()
-        .faults_mut()
-        .inject_once(3, 4, confidential_audit::net::fault::FaultOutcome::Corrupt);
+    cluster.net_mut().faults_mut().inject_once(
+        3,
+        4,
+        confidential_audit::net::fault::FaultOutcome::Corrupt,
+    );
     if let Ok(outcome) = aggregate::sum_matching(&mut cluster, "c1 >= 0", &"c1".into()) {
         // Undetected corruption must not skew the sum; an Err means the
         // protocol detected and refused, which is equally acceptable.

@@ -9,7 +9,7 @@ use confidential_audit::logstore::fragment::Partition;
 use confidential_audit::logstore::gen::paper_table1;
 use confidential_audit::logstore::model::AttrValue;
 use confidential_audit::logstore::schema::Schema;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let mut dir = std::env::temp_dir();
@@ -22,13 +22,13 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn config(dir: &PathBuf) -> ClusterConfig {
+fn config(dir: &Path) -> ClusterConfig {
     let schema = Schema::paper_example();
     let partition = Partition::paper_example(&schema);
     ClusterConfig::new(4, schema)
         .with_partition(partition)
         .with_seed(99)
-        .with_journal_dir(dir.clone())
+        .with_journal_dir(dir.to_path_buf())
 }
 
 #[test]
@@ -85,8 +85,7 @@ fn tampering_before_restart_is_still_detected_after() {
         // rewrite the file); emulate the on-disk variant through the
         // journal API directly.
         let path = dir.join("node-1.journal");
-        let (mut journal, _) =
-            confidential_audit::logstore::journal::Journal::open(&path).unwrap();
+        let (mut journal, _) = confidential_audit::logstore::journal::Journal::open(&path).unwrap();
         let forged = cluster.node(1).store().get_local(target).unwrap().clone();
         journal
             .append(&confidential_audit::logstore::journal::JournalEntry::Fragment(forged))
@@ -95,7 +94,10 @@ fn tampering_before_restart_is_still_detected_after() {
 
     let mut recovered = DlaCluster::new(config(&dir)).unwrap();
     let verdict = integrity::check_record(&mut recovered, target, 0).unwrap();
-    assert!(!verdict.ok, "on-disk tampering must be detected after restart");
+    assert!(
+        !verdict.ok,
+        "on-disk tampering must be detected after restart"
+    );
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -136,8 +136,8 @@ fn query_cost_scales_with_matches_not_store_size() {
     let mut costs = Vec::new();
     for records in [50usize, 400] {
         let schema = Schema::paper_example();
-        let mut cluster = DlaCluster::new(ClusterConfig::new(4, schema).with_seed(6))
-            .expect("cluster builds");
+        let mut cluster =
+            DlaCluster::new(ClusterConfig::new(4, schema).with_seed(6)).expect("cluster builds");
         let user = cluster.register_user("u").unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let data = gen::generate(
@@ -243,8 +243,8 @@ fn record_values_never_appear_in_protocol_traffic() {
     // Queries that *touch* c3's owner node in several ways.
     let _ = cluster.query("id = c3").unwrap();
     let _ = cluster.query("c1 > 0 AND tid = 'T1'").unwrap();
-    let _ = confidential_audit::audit::aggregate::count_matching(&mut cluster, "c3 != 'x'")
-        .unwrap();
+    let _ =
+        confidential_audit::audit::aggregate::count_matching(&mut cluster, "c3 != 'x'").unwrap();
 
     let needle = secret_note.as_bytes();
     for (i, (from, to, payload)) in cluster
