@@ -15,4 +15,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> example smoke runs"
+for example in quickstart integrity_audit fault_recovery; do
+    cargo run --release --example "$example" >/dev/null
+done
+
+echo "==> exp_fault_recovery --quick"
+cargo run --release -p dla-bench --bin exp_fault_recovery -- --quick >/dev/null
+
 echo "CI OK"

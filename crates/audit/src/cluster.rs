@@ -18,7 +18,7 @@ use dla_net::{NetConfig, NodeId, SharedNet, SimNet};
 use parking_lot::{MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,6 +43,10 @@ pub struct ClusterConfig {
     /// Directory for per-node + cluster journals; enables crash-safe
     /// durability and [`DlaCluster`] restart recovery.
     pub journal_dir: Option<std::path::PathBuf>,
+    /// Ship every fragment to its owner's ring successor as a standby
+    /// copy at log time, enabling [`DlaCluster::rereplicate`] after a
+    /// node loss. Off by default (costs one extra message per fragment).
+    pub standby_replication: bool,
 }
 
 impl ClusterConfig {
@@ -58,6 +62,7 @@ impl ClusterConfig {
             max_users: 8,
             capture_payloads: false,
             journal_dir: None,
+            standby_replication: false,
         }
     }
 
@@ -104,6 +109,49 @@ impl ClusterConfig {
     pub fn with_journal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.journal_dir = Some(dir.into());
         self
+    }
+
+    /// Enables standby fragment replication: at log time each fragment
+    /// is also shipped to the owning node's ring successor
+    /// (`(node + 1) % n`), where it waits journaled-but-inactive until
+    /// [`DlaCluster::rereplicate`] promotes it after a node loss.
+    #[must_use]
+    pub fn with_standby_replication(mut self) -> Self {
+        self.standby_replication = true;
+        self
+    }
+}
+
+/// One dead node's fragments finding a new home during
+/// [`DlaCluster::rereplicate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAdoption {
+    /// The node declared dead.
+    pub dead: usize,
+    /// The surviving ring successor that promoted its standbys.
+    pub adopter: usize,
+    /// How many standby fragments were promoted to served copies.
+    pub promoted: usize,
+}
+
+/// Outcome of [`DlaCluster::rereplicate`]: which nodes were adopted by
+/// whom, and the per-record accumulator verdicts over the survivor set.
+#[derive(Debug, Clone)]
+pub struct RereplicationReport {
+    /// Adoptions performed, in retirement order.
+    pub adoptions: Vec<NodeAdoption>,
+    /// Records whose survivor-set circulation reproduced the deposit.
+    pub verified: Vec<Glsn>,
+    /// Records the survivors could **not** prove intact (standby copy
+    /// missing, lost with its holder, or tampered).
+    pub failed: Vec<Glsn>,
+}
+
+impl RereplicationReport {
+    /// Whether every logged record survived the repair provably intact.
+    #[must_use]
+    pub fn is_fully_verified(&self) -> bool {
+        self.failed.is_empty()
     }
 }
 
@@ -248,6 +296,12 @@ pub struct DlaCluster {
     users: usize,
     max_users: usize,
     rng: StdRng,
+    standby_replication: bool,
+    /// Retirement log: `(dead node, adopter)` in declaration order.
+    /// The adopter serves the dead node's attributes from promoted
+    /// standby fragments; [`DlaCluster::effective_partition`] replays
+    /// this log over the configured partition.
+    retired: Vec<(usize, usize)>,
 }
 
 impl fmt::Debug for DlaCluster {
@@ -378,6 +432,8 @@ impl DlaCluster {
             users: 0,
             max_users: config.max_users,
             rng,
+            standby_replication: config.standby_replication,
+            retired: Vec::new(),
         })
     }
 
@@ -592,8 +648,11 @@ impl DlaCluster {
         );
 
         // Ship each fragment to its node.
+        let standby_to = |node: usize| (node + 1) % self.nodes.len();
+        let ship_standby = self.standby_replication && self.nodes.len() >= 2;
         for frag in fragments {
             let node = frag.node;
+            let standby = ship_standby.then(|| frag.clone());
             let mut w = Writer::new();
             w.put_u8(0x20)
                 .put_u64(glsn.0)
@@ -614,6 +673,25 @@ impl DlaCluster {
                 .store_mut()
                 .write(&user.ticket, frag)
                 .map_err(|e| AuditError::Log(e.to_string()))?;
+            // The owner forwards a standby copy to its ring successor,
+            // which journals it inactive until promotion.
+            if let Some(standby) = standby {
+                let successor = standby_to(node);
+                let mut w = Writer::new();
+                w.put_u8(0x23)
+                    .put_u64(glsn.0)
+                    .put_bytes(&standby.to_canonical_bytes());
+                let mut net = self.net.lock();
+                net.send(NodeId(node), NodeId(successor), w.finish());
+                let _ = net
+                    .recv_from(NodeId(successor), NodeId(node))
+                    .map_err(AuditError::Net)?;
+                drop(net);
+                self.nodes[successor]
+                    .store_mut()
+                    .store_standby(standby)
+                    .map_err(|e| AuditError::Log(e.to_string()))?;
+            }
         }
 
         // The user signs (glsn ‖ deposit): non-repudiation of the whole
@@ -744,6 +822,147 @@ impl DlaCluster {
             crate::exec::ExecMode::Concurrent,
             query_seed,
         )
+    }
+
+    /// Like [`DlaCluster::query`], but executed through the
+    /// fault-tolerant ladder: ARQ-protected transport, whole-query
+    /// retry with virtual-time backoff, failure detection, and
+    /// degraded-mode re-planning over the survivor set (see
+    /// [`crate::exec::execute_resilient`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DlaCluster::query`], plus a terminal network error once
+    /// `policy.max_attempts` whole-query attempts are exhausted.
+    pub fn query_resilient(
+        &mut self,
+        criteria: &str,
+        policy: &crate::exec::ResilientPolicy,
+    ) -> Result<crate::exec::ResilientOutcome, AuditError> {
+        let parsed = crate::parser::parse(criteria, &self.ctx.schema)
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        parsed
+            .check(&self.ctx.schema)
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        let normalized = crate::normal::normalize(&parsed);
+        crate::exec::execute_resilient(self, &normalized, policy)
+    }
+
+    /// Whether standby fragment replication is enabled.
+    #[must_use]
+    pub fn standby_replication(&self) -> bool {
+        self.standby_replication
+    }
+
+    /// Indices of nodes retired from service (declared dead and
+    /// re-replicated away from).
+    #[must_use]
+    pub fn retired_nodes(&self) -> BTreeSet<usize> {
+        self.retired.iter().map(|&(dead, _)| dead).collect()
+    }
+
+    /// The partition queries should currently be planned against: the
+    /// configured partition with every retired node's attributes
+    /// reassigned to its adopter, in retirement order.
+    #[must_use]
+    pub fn effective_partition(&self) -> Partition {
+        let mut partition = self.ctx.partition.clone();
+        for &(dead, adopter) in &self.retired {
+            partition = partition
+                .reassign(dead, adopter)
+                .expect("retirement log records valid distinct node indices");
+        }
+        partition
+    }
+
+    /// The first surviving node clockwise from `dead`, skipping nodes
+    /// in `also_dead` and already-retired nodes.
+    fn adopter_of(&self, dead: usize, also_dead: &BTreeSet<usize>) -> Option<usize> {
+        let n = self.nodes.len();
+        let retired = self.retired_nodes();
+        (1..n)
+            .map(|k| (dead + k) % n)
+            .find(|i| !also_dead.contains(i) && !retired.contains(i))
+    }
+
+    /// Re-replicates lost fragments after the nodes in `dead` are
+    /// declared dead: each dead node's ring successor (first surviving
+    /// one) promotes its standby copies to served **adopted** fragments,
+    /// and every logged record is then re-verified by circulating the
+    /// one-way accumulator over the survivor set
+    /// ([`crate::integrity::check_record_among`]). A passing check
+    /// proves the repaired copies are exactly the fragments the logging
+    /// user deposited — re-replication cannot silently substitute data.
+    ///
+    /// Verification circulations retry a few times per record so that
+    /// injected message loss does not masquerade as a failed repair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Config`] if no survivor remains to adopt,
+    /// or a store/network error from promotion and verification.
+    pub fn rereplicate(
+        &mut self,
+        dead: &BTreeSet<usize>,
+    ) -> Result<RereplicationReport, AuditError> {
+        let n = self.nodes.len();
+        if let Some(&bad) = dead.iter().find(|&&d| d >= n) {
+            return Err(AuditError::Config(format!(
+                "cannot retire node {bad}: cluster has {n} nodes"
+            )));
+        }
+        let mut adoptions = Vec::new();
+        for &d in dead {
+            if self.retired_nodes().contains(&d) {
+                continue;
+            }
+            let adopter = self
+                .adopter_of(d, dead)
+                .ok_or_else(|| AuditError::Config("no surviving node left to adopt".into()))?;
+            let promoted = self.nodes[adopter]
+                .store_mut()
+                .promote_standby(d)
+                .map_err(|e| AuditError::Log(e.to_string()))?;
+            adoptions.push(NodeAdoption {
+                dead: d,
+                adopter,
+                promoted: promoted.len(),
+            });
+            self.retired.push((d, adopter));
+        }
+
+        let retired = self.retired_nodes();
+        let survivors: BTreeSet<usize> = (0..n).filter(|i| !retired.contains(i)).collect();
+        let initiator = *survivors
+            .iter()
+            .next()
+            .ok_or_else(|| AuditError::Config("no surviving node left to verify".into()))?;
+        let mut verified = Vec::new();
+        let mut failed = Vec::new();
+        for glsn in self.logged_glsns() {
+            let mut verdict = None;
+            for _ in 0..5 {
+                match crate::integrity::check_record_among(self, glsn, initiator, &survivors) {
+                    Ok(v) => {
+                        verdict = Some(v.ok);
+                        break;
+                    }
+                    // Injected loss can eat a circulation hop; a fresh
+                    // circulation is stateless, so just run it again.
+                    Err(AuditError::Net(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            match verdict {
+                Some(true) => verified.push(glsn),
+                _ => failed.push(glsn),
+            }
+        }
+        Ok(RereplicationReport {
+            adoptions,
+            verified,
+            failed,
+        })
     }
 
     /// Retrieves and reassembles a full record for its owner: each
@@ -985,5 +1204,112 @@ mod tests {
         assert_eq!(c.auditor_node(), NodeId(4));
         assert_eq!(c.ttp_node(), NodeId(5));
         assert_ne!(c.auditor_node(), c.dla_node_id(3));
+    }
+
+    fn standby_cluster() -> (DlaCluster, Vec<Glsn>) {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let mut c = DlaCluster::new(
+            ClusterConfig::new(4, schema)
+                .with_partition(partition)
+                .with_seed(42)
+                .with_standby_replication(),
+        )
+        .unwrap();
+        let user = c.register_user("u0").unwrap();
+        let glsns = c.log_records(&user, &paper_table1()).unwrap();
+        (c, glsns)
+    }
+
+    #[test]
+    fn standby_replication_populates_ring_successors() {
+        let (c, glsns) = standby_cluster();
+        assert_eq!(glsns.len(), 5);
+        for node in 0..4 {
+            // Each node holds a standby copy of its predecessor's
+            // fragment for every record.
+            assert_eq!(c.node(node).store().standby_count(), 5, "node {node}");
+        }
+    }
+
+    #[test]
+    fn rereplicate_promotes_standbys_and_verifies_them() {
+        let (mut c, glsns) = standby_cluster();
+        let report = c.rereplicate(&[2].into_iter().collect()).unwrap();
+        assert_eq!(
+            report.adoptions,
+            vec![NodeAdoption {
+                dead: 2,
+                adopter: 3,
+                promoted: 5
+            }]
+        );
+        assert!(report.is_fully_verified());
+        assert_eq!(report.verified.len(), glsns.len());
+        assert_eq!(c.retired_nodes(), [2].into_iter().collect());
+        // The effective partition routes node 2's attributes to node 3.
+        let effective = c.effective_partition();
+        assert!(effective.attrs_of(2).is_empty());
+        assert!(effective
+            .attrs_of(3)
+            .contains(&dla_logstore::model::AttrName::new("tid")));
+    }
+
+    #[test]
+    fn rereplicate_without_standbys_fails_the_accumulator_check() {
+        let mut c = cluster();
+        let user = c.register_user("u0").unwrap();
+        let glsns = c.log_records(&user, &paper_table1()).unwrap();
+        let report = c.rereplicate(&[2].into_iter().collect()).unwrap();
+        assert!(!report.is_fully_verified());
+        assert_eq!(report.failed.len(), glsns.len());
+    }
+
+    #[test]
+    fn rereplicate_skips_dead_successor_when_picking_the_adopter() {
+        let (mut c, _) = standby_cluster();
+        let report = c.rereplicate(&[2, 3].into_iter().collect()).unwrap();
+        let adopters: Vec<usize> = report.adoptions.iter().map(|a| a.adopter).collect();
+        // Node 2's successor (3) is dead too, so node 0 adopts; node
+        // 3's successor is node 0 as well.
+        assert_eq!(adopters, vec![0, 0]);
+        // Node 2's standbys lived on dead node 3, so its fragments are
+        // unrecoverable and the accumulator check says so.
+        assert!(!report.is_fully_verified());
+    }
+
+    #[test]
+    fn queries_keep_their_answers_after_a_node_loss() {
+        let (mut c, _) = standby_cluster();
+        let reference = c.query("tid = 'T1100267' and c2 > 100.00").unwrap().glsns;
+        assert!(!reference.is_empty());
+        c.rereplicate(&[2].into_iter().collect()).unwrap();
+        // Planned against the effective partition, the same query is
+        // served by the survivors from the promoted copies.
+        let policy = crate::exec::ResilientPolicy::default();
+        let outcome = c
+            .query_resilient("tid = 'T1100267' and c2 > 100.00", &policy)
+            .unwrap();
+        assert_eq!(outcome.result.glsns, reference);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.excluded, [2].into_iter().collect());
+    }
+
+    #[test]
+    fn query_resilient_detects_kills_and_replans() {
+        let (mut c, _) = standby_cluster();
+        let reference = c.query("tid = 'T1100267' and c2 > 100.00").unwrap().glsns;
+        // Kill node 2 at the network level without telling the cluster:
+        // the ladder has to notice via timeout + health probes.
+        c.net_mut().faults_mut().kill_node(2);
+        let policy = crate::exec::ResilientPolicy::default();
+        let outcome = c
+            .query_resilient("tid = 'T1100267' and c2 > 100.00", &policy)
+            .unwrap();
+        assert_eq!(outcome.result.glsns, reference);
+        assert!(outcome.attempts > 1, "first attempt must have timed out");
+        assert_eq!(outcome.replans, 1);
+        assert_eq!(outcome.excluded, [2].into_iter().collect());
+        assert!(outcome.repairs[0].is_fully_verified());
     }
 }

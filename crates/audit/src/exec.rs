@@ -38,7 +38,7 @@ use dla_mpc::report::ProtocolReport;
 use dla_mpc::{SsiSession, UnionSession};
 use dla_net::topology::Ring;
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NodeId, Session, SessionId, SimTime};
+use dla_net::{NodeId, Reliable, ReliableConfig, Session, SessionId, SimTime, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -92,12 +92,22 @@ fn subquery_seed(query_seed: u64, index: u64) -> u64 {
 
 /// Recovers a glsn from a revealed set element. Group decoding strips
 /// leading zero bytes, so the element is right-aligned into its
-/// original `total_len` before the 8-byte glsn prefix is read.
-fn glsn_from_item(bytes: &[u8], total_len: usize) -> Glsn {
-    debug_assert!(bytes.len() <= total_len);
+/// original `total_len` before the 8-byte glsn prefix is read. An
+/// over-long element means the protocol ran over garbled traffic (e.g.
+/// a mis-sequenced duplicate on an unprotected lossy link) and is
+/// surfaced as a protocol error instead of a panic.
+fn glsn_from_item(bytes: &[u8], total_len: usize) -> Result<Glsn, AuditError> {
+    if bytes.len() > total_len {
+        return Err(AuditError::Mpc(dla_mpc::MpcError::Protocol(format!(
+            "revealed set element is {} bytes, expected at most {total_len}",
+            bytes.len()
+        ))));
+    }
     let mut buf = vec![0u8; total_len];
     buf[total_len - bytes.len()..].copy_from_slice(bytes);
-    Glsn(u64::from_be_bytes(buf[..8].try_into().expect("8 bytes")))
+    Ok(Glsn(u64::from_be_bytes(
+        buf[..8].try_into().expect("8 bytes"),
+    )))
 }
 
 /// Executes a plan on the cluster (concurrent scheduler, with reveal).
@@ -160,6 +170,38 @@ pub fn execute_shared(
     mode: ExecMode,
     query_seed: u64,
 ) -> Result<QueryResult, AuditError> {
+    execute_on(
+        cluster,
+        cluster.shared_net(),
+        plan,
+        reveal,
+        mode,
+        query_seed,
+    )
+}
+
+/// [`execute_shared`] over an explicit transport. Session management
+/// (allocation, clock sync, accounting) always runs on the cluster's
+/// own network; `transport` only carries the protocol traffic — pass a
+/// [`dla_net::Reliable`] wrapper around [`DlaCluster::shared_net`] to
+/// run the same query with ARQ protection on a lossy network.
+///
+/// # Errors
+///
+/// As [`execute`], plus [`dla_net::NetError::Timeout`] (wrapped in
+/// [`AuditError`]) when the reliable layer exhausts its retries.
+///
+/// # Panics
+///
+/// Panics if a subquery worker thread panics.
+pub fn execute_on(
+    cluster: &DlaCluster,
+    transport: &(dyn Transport + Sync),
+    plan: &QueryPlan,
+    reveal: bool,
+    mode: ExecMode,
+    query_seed: u64,
+) -> Result<QueryResult, AuditError> {
     let net = cluster.shared_net();
     let (start_messages, start_bytes, start_elapsed) = {
         let n = net.lock();
@@ -175,7 +217,7 @@ pub fn execute_shared(
         ExecMode::Serial => {
             for (i, subquery) in plan.subqueries.iter().enumerate() {
                 let mut rng = StdRng::seed_from_u64(subquery_seed(query_seed, i as u64));
-                let session = Session::root(net);
+                let session = Session::root(transport);
                 per_subquery.push(run_subquery(cluster, &session, subquery, &mut rng)?);
             }
             combine_session = SessionId::ROOT;
@@ -198,7 +240,7 @@ pub fn execute_shared(
                         s.spawn(move || {
                             let mut rng =
                                 StdRng::seed_from_u64(subquery_seed(query_seed, i as u64));
-                            let session = Session::new(net, sid);
+                            let session = Session::new(transport, sid);
                             run_subquery(cluster, &session, subquery, &mut rng)
                         })
                     })
@@ -252,7 +294,7 @@ pub fn execute_shared(
 
     let ring = Ring::new(holders.iter().map(|&h| NodeId(h)).collect());
     let mut rng = StdRng::seed_from_u64(subquery_seed(query_seed, u64::MAX));
-    let session = Session::new(net, combine_session);
+    let session = Session::new(transport, combine_session);
     let outcome = SsiSession::new(session, &ring, cluster.domain(), cluster.auditor_node())
         .reveal(reveal)
         .run(&inputs, &mut rng)
@@ -265,7 +307,7 @@ pub fn execute_shared(
         .unwrap_or_default()
         .iter()
         .map(|bytes| glsn_from_item(bytes, 8))
-        .collect();
+        .collect::<Result<_, _>>()?;
     glsns.sort_unstable();
 
     let (messages, bytes, elapsed) = {
@@ -294,6 +336,153 @@ pub fn execute_shared(
     })
 }
 
+/// Tuning for [`execute_resilient`]'s retry / degrade ladder.
+#[derive(Debug, Clone)]
+pub struct ResilientPolicy {
+    /// ARQ configuration for the reliable transport wrapper, or `None`
+    /// to run unprotected (the ladder then only retries whole queries).
+    pub reliable: Option<ReliableConfig>,
+    /// Whole-query attempts before the last network error is terminal.
+    pub max_attempts: u32,
+    /// Failure-detector tuning for the health probes run after a
+    /// timed-out attempt.
+    pub health: crate::health::HealthConfig,
+    /// Subquery scheduling mode.
+    pub mode: ExecMode,
+    /// Whether the final glsn set is revealed to the auditor.
+    pub reveal: bool,
+}
+
+impl Default for ResilientPolicy {
+    fn default() -> Self {
+        ResilientPolicy {
+            reliable: Some(ReliableConfig::default()),
+            max_attempts: 4,
+            health: crate::health::HealthConfig::default(),
+            mode: ExecMode::default(),
+            reveal: true,
+        }
+    }
+}
+
+/// What [`execute_resilient`] did to get an answer.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// The successful query result.
+    pub result: QueryResult,
+    /// Whole-query attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// How many attempts triggered a re-plan over the survivor set.
+    pub replans: u32,
+    /// Nodes retired from service by the time the query succeeded.
+    pub excluded: BTreeSet<usize>,
+    /// Re-replication reports produced along the way.
+    pub repairs: Vec<crate::cluster::RereplicationReport>,
+}
+
+/// A network error worth retrying: a reliable-layer timeout or a
+/// dropped message surfacing as an empty inbox.
+fn retryable(e: &AuditError) -> bool {
+    use dla_net::NetError;
+    let net = match e {
+        AuditError::Net(n) => n,
+        AuditError::Mpc(dla_mpc::MpcError::Net(n)) => n,
+        _ => return false,
+    };
+    matches!(net, NetError::Timeout(_) | NetError::EmptyInbox(_))
+}
+
+/// The fault-tolerant executor ladder. Each attempt plans the query
+/// against the cluster's **effective partition** (retired nodes'
+/// attributes reassigned to their adopters) and runs it — through a
+/// [`Reliable`] ARQ wrapper when the policy asks for one. On a
+/// retryable network failure the ladder probes cluster health; nodes
+/// the detector declares dead are re-replicated
+/// ([`DlaCluster::rereplicate`]) and the query re-planned over the
+/// survivor set, otherwise the failure is treated as transient and the
+/// attempt simply repeated (the reliable layer has already charged its
+/// backoff in virtual time).
+///
+/// # Errors
+///
+/// Returns the terminal error once `policy.max_attempts` attempts are
+/// exhausted, or immediately for non-network failures. A repair that
+/// fails its survivor-set accumulator check aborts the ladder with
+/// [`AuditError::Integrity`]: the lost fragments are unrecoverable, and
+/// answering without them would be silently wrong.
+pub fn execute_resilient(
+    cluster: &mut DlaCluster,
+    normalized: &crate::normal::NormalizedQuery,
+    policy: &ResilientPolicy,
+) -> Result<ResilientOutcome, AuditError> {
+    use rand::Rng;
+    let mut monitor = crate::health::HealthMonitor::new(cluster, policy.health.clone());
+    for node in cluster.retired_nodes() {
+        monitor.mark_dead(node);
+    }
+    let mut repairs = Vec::new();
+    let mut replans = 0;
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let partition = cluster.effective_partition();
+        let plan = crate::plan::plan(normalized, &partition)?;
+        let query_seed: u64 = cluster.rng_mut().gen();
+        let run = {
+            let net = cluster.shared_net();
+            match &policy.reliable {
+                Some(config) => {
+                    let reliable = Reliable::with_config(net, *config);
+                    execute_on(
+                        cluster,
+                        &reliable,
+                        &plan,
+                        policy.reveal,
+                        policy.mode,
+                        query_seed,
+                    )
+                }
+                None => execute_on(cluster, net, &plan, policy.reveal, policy.mode, query_seed),
+            }
+        };
+        match run {
+            Ok(result) => {
+                return Ok(ResilientOutcome {
+                    result,
+                    attempts: attempt,
+                    replans,
+                    excluded: cluster.retired_nodes(),
+                    repairs,
+                });
+            }
+            Err(e) if retryable(&e) && attempt < policy.max_attempts => {
+                monitor.settle(cluster)?;
+                let newly_dead: BTreeSet<usize> = monitor
+                    .dead()
+                    .difference(&cluster.retired_nodes())
+                    .copied()
+                    .collect();
+                if !newly_dead.is_empty() {
+                    let report = cluster.rereplicate(&newly_dead)?;
+                    // A repair the accumulator cannot verify means the
+                    // survivors do NOT hold the deposited fragments —
+                    // answering from them would be silently wrong.
+                    if !report.is_fully_verified() {
+                        return Err(AuditError::Integrity(format!(
+                            "re-replication after losing {newly_dead:?} left {} record(s) \
+                             unverified against their accumulator deposits",
+                            report.failed.len()
+                        )));
+                    }
+                    repairs.push(report);
+                    replans += 1;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Runs one subquery on `session`; returns (holder node, glsn set,
 /// protocol reports).
 fn run_subquery(
@@ -319,7 +508,7 @@ fn scan_clause_local(
 ) -> Result<GlsnSet, AuditError> {
     let store = cluster.node(node).store();
     let mut out = GlsnSet::new();
-    for frag in store.scan() {
+    for frag in store.scan_all() {
         let mut matched = false;
         for literal in subquery.clause.literals() {
             if eval_literal_lenient(literal, &frag.values)? {
@@ -356,7 +545,7 @@ fn scan_literal(
 ) -> Result<GlsnSet, AuditError> {
     let store = cluster.node(node).store();
     let mut out = GlsnSet::new();
-    for frag in store.scan() {
+    for frag in store.scan_all() {
         if eval_literal_lenient(literal, &frag.values)? {
             out.insert(frag.glsn);
         }
@@ -373,7 +562,7 @@ fn presence_set(
     cluster
         .node(node)
         .store()
-        .scan()
+        .scan_all()
         .filter(|f| f.values.get(attr).is_some())
         .map(|f| f.glsn)
         .collect()
@@ -388,7 +577,7 @@ fn value_pairs(
     cluster
         .node(node)
         .store()
-        .scan()
+        .scan_all()
         .filter_map(|f| f.values.get(attr).map(|v| (f.glsn, v.clone())))
         .collect()
 }
@@ -475,7 +664,7 @@ fn execute_cross(
         .items
         .iter()
         .map(|bytes| glsn_from_item(bytes, 8))
-        .collect();
+        .collect::<Result<_, _>>()?;
     Ok((holder, set, reports))
 }
 
@@ -525,7 +714,7 @@ fn equality_join(
         .unwrap_or_default()
         .iter()
         .map(|b| glsn_from_item(b, 24))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     if !negated {
         return Ok((equal, reports));
@@ -551,7 +740,7 @@ fn equality_join(
         .unwrap_or_default()
         .iter()
         .map(|b| glsn_from_item(b, 8))
-        .collect();
+        .collect::<Result<_, _>>()?;
     Ok((&joint - &equal, reports))
 }
 

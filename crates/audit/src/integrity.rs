@@ -144,6 +144,155 @@ fn fold_local(
     }
 }
 
+/// Folds one survivor's contribution: its own fragment plus any adopted
+/// fragments it can represent for the still-unrepresented dead nodes.
+/// Each dead node is folded at most once across the whole circulation.
+fn fold_survivor(
+    cluster: &DlaCluster,
+    node: usize,
+    glsn: Glsn,
+    params: &dla_crypto::accumulator::AccumulatorParams,
+    acc: &Ubig,
+    unrepresented: &mut std::collections::BTreeSet<usize>,
+) -> Ubig {
+    let mut acc = fold_local(cluster, node, glsn, params, acc);
+    let store = cluster.node(node).store();
+    let covered: Vec<usize> = unrepresented
+        .iter()
+        .copied()
+        .filter(|&dead| store.get_adopted(dead, glsn).is_some())
+        .collect();
+    for dead in covered {
+        let frag = store.get_adopted(dead, glsn).expect("just checked");
+        acc = params.fold(&acc, &frag.to_canonical_bytes());
+        unrepresented.remove(&dead);
+    }
+    acc
+}
+
+/// Circulates the accumulator for `glsn` over the `alive` survivor set
+/// only. Each survivor folds its own fragment plus the adopted
+/// fragments it re-hosts for dead nodes; quasi-commutativity makes the
+/// final value equal the original deposit **iff every dead node's
+/// fragment is represented by a faithful adopted copy** — this is the
+/// proof that a re-replicated fragment matches what was originally
+/// logged. A dead node nobody re-hosts folds a `missing:` marker, so
+/// the check fails loudly instead of silently shrinking the record.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] if no deposit exists for `glsn` or the
+/// network fails.
+///
+/// # Panics
+///
+/// Panics if `initiator` is not in `alive` or `alive` contains a
+/// non-DLA node index.
+pub fn check_record_among(
+    cluster: &mut DlaCluster,
+    glsn: Glsn,
+    initiator: usize,
+    alive: &std::collections::BTreeSet<usize>,
+) -> Result<IntegrityVerdict, AuditError> {
+    let n = cluster.num_nodes();
+    assert!(
+        alive.contains(&initiator),
+        "initiator must be a surviving DLA node"
+    );
+    assert!(
+        alive.iter().all(|&i| i < n),
+        "alive set must contain DLA node indices"
+    );
+    let deposit = cluster
+        .deposit(glsn)
+        .ok_or_else(|| AuditError::Integrity(format!("no deposit for glsn {glsn}")))?
+        .clone();
+    let params = cluster.accumulator_params().clone();
+    let start_messages = cluster.net().stats().messages_sent;
+    let mut unrepresented: std::collections::BTreeSet<usize> =
+        (0..n).filter(|i| !alive.contains(i)).collect();
+
+    // Visit survivors in ring order starting at the initiator.
+    let route: Vec<usize> = alive
+        .iter()
+        .copied()
+        .filter(|&i| i > initiator)
+        .chain(alive.iter().copied().filter(|&i| i < initiator))
+        .collect();
+
+    let mut acc = params.start().clone();
+    acc = fold_survivor(cluster, initiator, glsn, &params, &acc, &mut unrepresented);
+
+    let mut holder = initiator;
+    for &next in &route {
+        let mut w = Writer::new();
+        w.put_u8(0x40).put_u64(glsn.0).put_bytes(&acc.to_bytes_be());
+        cluster
+            .net_mut()
+            .send(NodeId(holder), NodeId(next), w.finish());
+        let envelope = cluster
+            .net_mut()
+            .recv_from(NodeId(next), NodeId(holder))
+            .map_err(AuditError::Net)?;
+        let mut r = Reader::new(&envelope.payload);
+        let _ = r
+            .get_u8()
+            .map_err(|e| AuditError::Integrity(e.to_string()))?;
+        let tagged_glsn = r
+            .get_u64()
+            .map_err(|e| AuditError::Integrity(e.to_string()))?;
+        if tagged_glsn != glsn.0 {
+            return Err(AuditError::Integrity(format!(
+                "circulation for {glsn} arrived labelled {tagged_glsn:x}"
+            )));
+        }
+        let received = Ubig::from_bytes_be(
+            r.get_bytes()
+                .map_err(|e| AuditError::Integrity(e.to_string()))?,
+        );
+        acc = fold_survivor(cluster, next, glsn, &params, &received, &mut unrepresented);
+        holder = next;
+    }
+
+    // Dead nodes nobody re-hosts fold their missing markers (order does
+    // not matter — quasi-commutativity), guaranteeing a mismatch.
+    for dead in unrepresented {
+        acc = params.fold(&acc, format!("missing:{dead}:{glsn}").as_bytes());
+    }
+
+    // Return to the initiator for the final comparison (skipped when
+    // the initiator is the only survivor).
+    if holder != initiator {
+        let mut w = Writer::new();
+        w.put_u8(0x41).put_u64(glsn.0).put_bytes(&acc.to_bytes_be());
+        cluster
+            .net_mut()
+            .send(NodeId(holder), NodeId(initiator), w.finish());
+        let envelope = cluster
+            .net_mut()
+            .recv_from(NodeId(initiator), NodeId(holder))
+            .map_err(AuditError::Net)?;
+        let mut r = Reader::new(&envelope.payload);
+        let _ = r
+            .get_u8()
+            .map_err(|e| AuditError::Integrity(e.to_string()))?;
+        let _ = r
+            .get_u64()
+            .map_err(|e| AuditError::Integrity(e.to_string()))?;
+        acc = Ubig::from_bytes_be(
+            r.get_bytes()
+                .map_err(|e| AuditError::Integrity(e.to_string()))?,
+        );
+    }
+
+    Ok(IntegrityVerdict {
+        glsn,
+        ok: acc == deposit,
+        initiator,
+        messages: cluster.net().stats().messages_sent - start_messages,
+    })
+}
+
 /// Checks every logged record from `initiator`.
 ///
 /// # Errors
@@ -348,5 +497,63 @@ mod tests {
         let result = check_acl_consistency(&mut cluster, &TicketId::new("T999")).unwrap();
         assert!(result.consistent);
         assert_eq!(result.agreed, 0);
+    }
+
+    fn survivors(alive: &[usize]) -> std::collections::BTreeSet<usize> {
+        alive.iter().copied().collect()
+    }
+
+    #[test]
+    fn survivor_check_fails_when_a_dead_node_is_not_rehosted() {
+        let (mut cluster, _, glsns) = loaded();
+        // Node 2 is gone and nobody adopted its fragments: the missing
+        // marker folds in and the deposit cannot be reproduced.
+        let verdict =
+            check_record_among(&mut cluster, glsns[0], 0, &survivors(&[0, 1, 3])).unwrap();
+        assert!(!verdict.ok);
+    }
+
+    #[test]
+    fn survivor_check_passes_once_fragments_are_rehosted() {
+        let (mut cluster, _, glsns) = loaded();
+        for &glsn in &glsns {
+            let frag = cluster.node(2).store().get_local(glsn).cloned().unwrap();
+            cluster.node_mut(3).store_mut().adopt(frag).unwrap();
+        }
+        for &glsn in &glsns {
+            let verdict =
+                check_record_among(&mut cluster, glsn, 0, &survivors(&[0, 1, 3])).unwrap();
+            assert!(verdict.ok, "repaired copy must reproduce the deposit");
+            // Two forward hops plus the return to the initiator.
+            assert_eq!(verdict.messages, 3);
+        }
+        // The full-ring check over all four nodes still passes: adopted
+        // fragments never double-fold when the owner is alive.
+        assert!(check_record(&mut cluster, glsns[0], 0).unwrap().ok);
+    }
+
+    #[test]
+    fn survivor_check_detects_a_tampered_adopted_copy() {
+        let (mut cluster, _, glsns) = loaded();
+        let mut frag = cluster
+            .node(2)
+            .store()
+            .get_local(glsns[1])
+            .cloned()
+            .unwrap();
+        frag.values.insert("tid".into(), AttrValue::text("forged"));
+        cluster.node_mut(3).store_mut().adopt(frag).unwrap();
+        let verdict =
+            check_record_among(&mut cluster, glsns[1], 0, &survivors(&[0, 1, 3])).unwrap();
+        assert!(!verdict.ok, "a forged adopted fragment must not verify");
+    }
+
+    #[test]
+    fn survivor_check_with_full_membership_matches_check_record() {
+        let (mut cluster, _, glsns) = loaded();
+        let verdict =
+            check_record_among(&mut cluster, glsns[0], 1, &survivors(&[0, 1, 2, 3])).unwrap();
+        assert!(verdict.ok);
+        assert_eq!(verdict.messages, 4);
     }
 }

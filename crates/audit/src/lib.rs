@@ -52,6 +52,7 @@ pub mod centralized;
 pub mod cluster;
 pub mod correlate;
 pub mod exec;
+pub mod health;
 pub mod integrity;
 pub mod membership;
 pub mod metrics;

@@ -115,6 +115,34 @@ impl Partition {
             .position(|attrs| attrs.contains(attr))
     }
 
+    /// Reassigns every attribute of `from_node` to `to_node` — the
+    /// degraded-mode partition used after a DLA node dies and a
+    /// survivor adopts its fragments. The node count is unchanged (the
+    /// dead node keeps an empty slot), so node indices stay aligned
+    /// with the cluster's network layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Partition`] if either index is out of range
+    /// or the two are equal.
+    pub fn reassign(&self, from_node: usize, to_node: usize) -> Result<Partition, LogError> {
+        if from_node >= self.assignments.len() || to_node >= self.assignments.len() {
+            return Err(LogError::Partition(format!(
+                "reassign {from_node}->{to_node} out of range (n = {})",
+                self.assignments.len()
+            )));
+        }
+        if from_node == to_node {
+            return Err(LogError::Partition(format!(
+                "reassign {from_node}->{to_node}: nodes must differ"
+            )));
+        }
+        let mut assignments = self.assignments.clone();
+        let moved = std::mem::take(&mut assignments[from_node]);
+        assignments[to_node].extend(moved);
+        Ok(Partition { assignments })
+    }
+
     /// The minimum number of nodes whose attribute sets cover all
     /// attributes present in `record` — the `u` of the §5 store
     /// confidentiality metric. With disjoint assignments this is simply
@@ -393,6 +421,33 @@ mod tests {
         assert!(frags[1].values.is_empty());
         assert!(frags[2].values.is_empty());
         assert!(frags[3].values.is_empty());
+    }
+
+    #[test]
+    fn reassign_moves_attributes_and_keeps_node_count() {
+        let schema = Schema::paper_example();
+        let p = Partition::paper_example(&schema);
+        let degraded = p.reassign(1, 2).unwrap();
+        assert_eq!(degraded.num_nodes(), 4, "dead node keeps its slot");
+        assert!(degraded.attrs_of(1).is_empty());
+        assert_eq!(degraded.node_of(&"id".into()), Some(2));
+        assert_eq!(degraded.node_of(&"c2".into()), Some(2));
+        assert_eq!(degraded.node_of(&"tid".into()), Some(2));
+        // Untouched assignments survive.
+        assert_eq!(degraded.node_of(&"time".into()), Some(0));
+        // A degraded partition can still fragment/reassemble records.
+        let frags = fragment(&paper_record(), &degraded);
+        assert!(frags[1].values.is_empty());
+        assert_eq!(reassemble(&frags).unwrap(), paper_record());
+    }
+
+    #[test]
+    fn reassign_rejects_bad_indices() {
+        let schema = Schema::paper_example();
+        let p = Partition::paper_example(&schema);
+        assert!(p.reassign(1, 9).is_err());
+        assert!(p.reassign(9, 1).is_err());
+        assert!(p.reassign(2, 2).is_err());
     }
 
     #[test]

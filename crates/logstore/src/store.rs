@@ -40,14 +40,35 @@ impl Default for GlsnAllocator {
     }
 }
 
+/// Journal blob tag for a standby copy of another node's fragment
+/// (payload: [`Fragment::to_canonical_bytes`]).
+pub const BLOB_STANDBY: u8 = 0x10;
+/// Journal blob tag for an adopted fragment — a standby promoted after
+/// its owner died (payload: [`Fragment::to_canonical_bytes`]).
+pub const BLOB_ADOPTED: u8 = 0x11;
+
 /// One DLA node's fragment store plus its replica of the access-control
 /// table. Optionally backed by a durable [`Journal`]: writes and
 /// deletes are then logged (fsynced) before they apply, and
 /// [`FragmentStore::restore`] rebuilds the store after a restart.
+///
+/// Beyond its own fragments the store can hold two recovery-oriented
+/// collections, both keyed by `(origin node, glsn)`:
+///
+/// * **standby** — warm copies of another node's fragments shipped at
+///   log time (ring-successor replication). Never served to queries.
+/// * **adopted** — standbys promoted after their owner was declared
+///   dead. Served alongside own fragments by
+///   [`FragmentStore::scan_all`], and folded into §4.1 integrity
+///   circulations on the dead node's behalf. Adopted fragments keep
+///   their original `node` field, so their canonical bytes — and hence
+///   the accumulator — are unchanged by the move.
 #[derive(Default)]
 pub struct FragmentStore {
     node: usize,
     fragments: BTreeMap<Glsn, Fragment>,
+    standby: BTreeMap<(usize, Glsn), Fragment>,
+    adopted: BTreeMap<(usize, Glsn), Fragment>,
     acl: AccessControlTable,
     journal: Option<Journal>,
 }
@@ -70,6 +91,8 @@ impl FragmentStore {
         FragmentStore {
             node,
             fragments: BTreeMap::new(),
+            standby: BTreeMap::new(),
+            adopted: BTreeMap::new(),
             acl: AccessControlTable::new(),
             journal: None,
         }
@@ -84,13 +107,28 @@ impl FragmentStore {
     pub fn restore(node: usize, path: &Path) -> Result<Self, LogError> {
         let (journal, entries) = Journal::open(path)?;
         let mut acl = AccessControlTable::new();
+        let mut standby = BTreeMap::new();
+        let mut adopted = BTreeMap::new();
         for entry in &entries {
-            if let JournalEntry::AclGrant { ticket, ops, glsn } = entry {
-                acl.authorize_parts(
-                    crate::acl::TicketId::new(ticket),
-                    OperationSet::from_byte(*ops),
-                    *glsn,
-                );
+            match entry {
+                JournalEntry::AclGrant { ticket, ops, glsn } => {
+                    acl.authorize_parts(
+                        crate::acl::TicketId::new(ticket),
+                        OperationSet::from_byte(*ops),
+                        *glsn,
+                    );
+                }
+                JournalEntry::Blob { tag, bytes } if *tag == BLOB_STANDBY => {
+                    let frag = Fragment::from_canonical_bytes(bytes)?;
+                    standby.insert((frag.node, frag.glsn), frag);
+                }
+                JournalEntry::Blob { tag, bytes } if *tag == BLOB_ADOPTED => {
+                    let frag = Fragment::from_canonical_bytes(bytes)?;
+                    // A promoted standby is no longer a standby.
+                    standby.remove(&(frag.node, frag.glsn));
+                    adopted.insert((frag.node, frag.glsn), frag);
+                }
+                _ => {}
             }
         }
         let fragments = Journal::materialize(entries)
@@ -100,6 +138,8 @@ impl FragmentStore {
         Ok(FragmentStore {
             node,
             fragments,
+            standby,
+            adopted,
             acl,
             journal: Some(journal),
         })
@@ -201,6 +241,104 @@ impl FragmentStore {
     /// Iterates all fragments in glsn order.
     pub fn scan(&self) -> impl Iterator<Item = &Fragment> {
         self.fragments.values()
+    }
+
+    /// Iterates own fragments **plus adopted ones** — the degraded-mode
+    /// scan surface. With nothing adopted this is exactly
+    /// [`FragmentStore::scan`].
+    pub fn scan_all(&self) -> impl Iterator<Item = &Fragment> {
+        self.fragments.values().chain(self.adopted.values())
+    }
+
+    /// Stores a warm standby copy of another node's fragment (ring
+    /// replication at log time). Idempotent per (origin, glsn).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] if the fragment belongs to this node
+    /// (a node is not its own standby) or journaling fails.
+    pub fn store_standby(&mut self, fragment: Fragment) -> Result<(), LogError> {
+        if fragment.node == self.node {
+            return Err(LogError::Store(format!(
+                "node {} cannot hold a standby of its own fragment",
+                self.node
+            )));
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append(&JournalEntry::Blob {
+                tag: BLOB_STANDBY,
+                bytes: fragment.to_canonical_bytes(),
+            })?;
+        }
+        self.standby
+            .insert((fragment.node, fragment.glsn), fragment);
+        Ok(())
+    }
+
+    /// Adopts a fragment on behalf of a dead node: it keeps its
+    /// original `node` field (preserving the accumulator's canonical
+    /// bytes) and is served by [`FragmentStore::scan_all`] from now on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] if the fragment belongs to this node
+    /// or journaling fails.
+    pub fn adopt(&mut self, fragment: Fragment) -> Result<(), LogError> {
+        if fragment.node == self.node {
+            return Err(LogError::Store(format!(
+                "node {} cannot adopt its own fragment",
+                self.node
+            )));
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append(&JournalEntry::Blob {
+                tag: BLOB_ADOPTED,
+                bytes: fragment.to_canonical_bytes(),
+            })?;
+        }
+        self.standby.remove(&(fragment.node, fragment.glsn));
+        self.adopted
+            .insert((fragment.node, fragment.glsn), fragment);
+        Ok(())
+    }
+
+    /// Promotes every standby copy held for `dead_node` to adopted
+    /// status, returning the promoted fragments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] if journaling fails.
+    pub fn promote_standby(&mut self, dead_node: usize) -> Result<Vec<Fragment>, LogError> {
+        let keys: Vec<(usize, Glsn)> = self
+            .standby
+            .range((dead_node, Glsn(0))..=(dead_node, Glsn(u64::MAX)))
+            .map(|(&k, _)| k)
+            .collect();
+        let mut promoted = Vec::with_capacity(keys.len());
+        for key in keys {
+            let frag = self.standby.remove(&key).expect("key just listed");
+            promoted.push(frag.clone());
+            self.adopt(frag)?;
+        }
+        Ok(promoted)
+    }
+
+    /// An adopted fragment originally owned by `node`, if held here.
+    #[must_use]
+    pub fn get_adopted(&self, node: usize, glsn: Glsn) -> Option<&Fragment> {
+        self.adopted.get(&(node, glsn))
+    }
+
+    /// Number of standby copies held.
+    #[must_use]
+    pub fn standby_count(&self) -> usize {
+        self.standby.len()
+    }
+
+    /// Number of adopted fragments held.
+    #[must_use]
+    pub fn adopted_count(&self) -> usize {
+        self.adopted.len()
     }
 
     /// Number of stored fragments.
@@ -441,6 +579,64 @@ mod tests {
         }
         let store = FragmentStore::restore(1, &path).unwrap();
         assert!(store.is_empty(), "tombstone must survive restart");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn standby_promotes_to_adopted_and_is_scanned() {
+        let t = ticket(OperationSet::read_write());
+        let mut store = FragmentStore::new(1);
+        store.write(&t, sample_fragments(7).remove(1)).unwrap();
+        // Hold standby copies for node 0's fragments.
+        store.store_standby(sample_fragments(7).remove(0)).unwrap();
+        store.store_standby(sample_fragments(8).remove(0)).unwrap();
+        assert_eq!(store.standby_count(), 2);
+        assert_eq!(store.adopted_count(), 0);
+        // Standbys are invisible to scans.
+        assert_eq!(store.scan_all().count(), 1);
+
+        let promoted = store.promote_standby(0).unwrap();
+        assert_eq!(promoted.len(), 2);
+        assert_eq!(store.standby_count(), 0);
+        assert_eq!(store.adopted_count(), 2);
+        // Adopted fragments keep their origin node id (accumulator
+        // canonical bytes unchanged) and appear in scan_all.
+        let adopted = store.get_adopted(0, Glsn(7)).unwrap();
+        assert_eq!(adopted.node, 0);
+        assert_eq!(store.scan_all().count(), 3);
+        assert_eq!(store.scan().count(), 1, "own fragments unchanged");
+    }
+
+    #[test]
+    fn standby_rejects_own_fragment() {
+        let mut store = FragmentStore::new(1);
+        let own = sample_fragments(7).remove(1);
+        assert!(store.store_standby(own.clone()).is_err());
+        assert!(store.adopt(own).is_err());
+    }
+
+    #[test]
+    fn standby_and_adopted_survive_restart() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-standby-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let mut store = FragmentStore::restore(1, &path).unwrap();
+            store.store_standby(sample_fragments(7).remove(0)).unwrap();
+            store.store_standby(sample_fragments(8).remove(0)).unwrap();
+            let _ = store.promote_standby(0).unwrap();
+            store.store_standby(sample_fragments(9).remove(2)).unwrap();
+        }
+        let store = FragmentStore::restore(1, &path).unwrap();
+        assert_eq!(store.adopted_count(), 2, "promotions survive restart");
+        assert_eq!(store.standby_count(), 1, "pending standby survives");
+        assert!(store.get_adopted(0, Glsn(7)).is_some());
+        assert!(store.get_adopted(0, Glsn(8)).is_some());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -324,6 +324,8 @@ mod tests {
         match result {
             Err(MpcError::Protocol(_)) => {} // inconsistent share or bad index
             Err(MpcError::Wire(_)) => {}     // corruption hit the wire framing
+            // The transport's envelope checksum catches it first.
+            Err(MpcError::Net(dla_net::NetError::Corrupt(_))) => {}
             other => panic!("corruption must be detected, got {other:?}"),
         }
     }

@@ -1,6 +1,22 @@
 //! Fault injection for protocol robustness tests.
 
-use rand::Rng;
+use crate::SessionId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Derives the fault-roll RNG for one session from the cluster seed.
+///
+/// The stream constant differs from the latency stream's, so fault
+/// decisions and latency samples are statistically independent *and*
+/// individually reproducible: chaos tests are deterministic per
+/// (seed, session) without coupling the two processes.
+#[must_use]
+pub fn fault_rng(cluster_seed: u64, session: SessionId) -> StdRng {
+    let mut x = session.0.wrapping_add(0xD1B5_4A32_D192_ED03);
+    let stream = rand::splitmix64(&mut x);
+    StdRng::seed_from_u64(cluster_seed ^ stream)
+}
 
 /// What the network decided to do with one message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +42,8 @@ pub struct FaultPlan {
     /// Probability a message payload is corrupted.
     pub corrupt_probability: f64,
     targeted: Vec<TargetedFault>,
+    /// Nodes declared dead: every message to or from them is dropped.
+    dead: BTreeSet<usize>,
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -62,8 +80,29 @@ impl FaultPlan {
         self.targeted.push(TargetedFault { from, to, outcome });
     }
 
+    /// Declares `node` dead: from now on every message to or from it is
+    /// dropped, modelling a crashed DLA node.
+    pub fn kill_node(&mut self, node: usize) {
+        self.dead.insert(node);
+    }
+
+    /// Brings a dead node back (messages flow again; no state is
+    /// restored — that's the recovery subsystem's job).
+    pub fn revive_node(&mut self, node: usize) {
+        self.dead.remove(&node);
+    }
+
+    /// Nodes currently declared dead.
+    #[must_use]
+    pub fn dead_nodes(&self) -> &BTreeSet<usize> {
+        &self.dead
+    }
+
     /// Decides the fate of one message.
     pub fn decide<R: Rng + ?Sized>(&mut self, from: usize, to: usize, rng: &mut R) -> FaultOutcome {
+        if self.dead.contains(&from) || self.dead.contains(&to) {
+            return FaultOutcome::Drop;
+        }
         if let Some(pos) = self
             .targeted
             .iter()
@@ -95,10 +134,19 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(9)
+    fn rng() -> StdRng {
+        // Derived the same way SimNet derives per-session fault
+        // streams: cluster seed + session id, not a magic constant.
+        fault_rng(9, SessionId::ROOT)
+    }
+
+    #[test]
+    fn fault_rng_is_deterministic_and_session_independent() {
+        let draw = |seed, session| fault_rng(seed, session).gen::<u64>();
+        assert_eq!(draw(7, SessionId(3)), draw(7, SessionId(3)));
+        assert_ne!(draw(7, SessionId(3)), draw(7, SessionId(4)));
+        assert_ne!(draw(7, SessionId(3)), draw(8, SessionId(3)));
     }
 
     #[test]
@@ -158,5 +206,18 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn lossy_rejects_bad_probability() {
         let _ = FaultPlan::lossy(1.5);
+    }
+
+    #[test]
+    fn dead_node_drops_all_traffic_until_revived() {
+        let mut plan = FaultPlan::none();
+        let mut rng = rng();
+        plan.kill_node(2);
+        assert_eq!(plan.decide(2, 0, &mut rng), FaultOutcome::Drop);
+        assert_eq!(plan.decide(0, 2, &mut rng), FaultOutcome::Drop);
+        assert_eq!(plan.decide(0, 1, &mut rng), FaultOutcome::Deliver);
+        assert_eq!(plan.dead_nodes().iter().copied().collect::<Vec<_>>(), [2]);
+        plan.revive_node(2);
+        assert_eq!(plan.decide(0, 2, &mut rng), FaultOutcome::Deliver);
     }
 }

@@ -42,6 +42,7 @@ use std::fmt;
 
 pub mod fault;
 pub mod latency;
+pub mod reliable;
 pub mod session;
 pub mod sim;
 pub mod stats;
@@ -50,6 +51,7 @@ pub mod topology;
 pub mod transport;
 pub mod wire;
 
+pub use reliable::{Reliable, ReliableConfig};
 pub use session::{ChannelNet, Session, SharedNet, SimLink, Transport};
 pub use sim::{Envelope, NetConfig, SimNet};
 pub use time::SimTime;
@@ -118,6 +120,9 @@ pub enum NetError {
     },
     /// A blocking `recv` on a threaded transport gave up waiting.
     Timeout(NodeId),
+    /// A received message failed its payload checksum — corrupted in
+    /// flight. The garbage is consumed (dropped), never delivered.
+    Corrupt(NodeId),
 }
 
 impl fmt::Display for NetError {
@@ -133,6 +138,9 @@ impl fmt::Display for NetError {
                 "{node} expected a message from {expected} but found one from {actual}"
             ),
             NetError::Timeout(node) => write!(f, "recv timed out at {node}"),
+            NetError::Corrupt(node) => {
+                write!(f, "{node} received a message that failed its checksum")
+            }
         }
     }
 }

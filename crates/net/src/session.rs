@@ -119,22 +119,35 @@ impl<'a> Session<'a> {
         self.transport.send(self.id, from, to, payload);
     }
 
-    /// Receives within this session.
+    /// Receives within this session. Messages corrupted in flight are
+    /// consumed but surfaced as [`NetError::Corrupt`] — protocol code
+    /// never sees garbage bytes.
     ///
     /// # Errors
     ///
-    /// See [`Transport::recv`].
+    /// See [`Transport::recv`], plus [`NetError::Corrupt`] on a
+    /// checksum failure.
     pub fn recv(&self, node: NodeId) -> Result<Envelope, NetError> {
-        self.transport.recv(self.id, node)
+        Self::intact(self.transport.recv(self.id, node)?, node)
     }
 
-    /// Selective receive within this session.
+    /// Selective receive within this session; rejects corrupted
+    /// messages like [`Session::recv`].
     ///
     /// # Errors
     ///
-    /// See [`Transport::recv_from`].
+    /// See [`Transport::recv_from`], plus [`NetError::Corrupt`] on a
+    /// checksum failure.
     pub fn recv_from(&self, node: NodeId, from: NodeId) -> Result<Envelope, NetError> {
-        self.transport.recv_from(self.id, node, from)
+        Self::intact(self.transport.recv_from(self.id, node, from)?, node)
+    }
+
+    fn intact(envelope: Envelope, node: NodeId) -> Result<Envelope, NetError> {
+        if envelope.is_intact() {
+            Ok(envelope)
+        } else {
+            Err(NetError::Corrupt(node))
+        }
     }
 
     /// Charges compute time within this session.
@@ -385,7 +398,13 @@ impl ChannelNet {
                 .rx
                 .recv_timeout(left)
                 .map_err(|_| NetError::Timeout(node))?;
-            let envelope = Envelope::decode(&frame).map_err(|_| NetError::Timeout(node))?;
+            // A frame that fails to decode (truncation or checksum
+            // mismatch) is discarded: a reliable layer above recovers
+            // it by retransmission, and an unreliable caller would
+            // rather time out than consume garbage.
+            let Ok(envelope) = Envelope::decode(&frame) else {
+                continue;
+            };
             if matches(&envelope) {
                 self.stats.lock().messages_delivered += 1;
                 return Ok(envelope);
@@ -407,14 +426,7 @@ impl Transport for ChannelNet {
         self.stats
             .lock()
             .record_send(session, from.0, to.0, payload.len(), SimTime::ZERO);
-        let envelope = Envelope {
-            session,
-            from,
-            to,
-            payload,
-            sent_at: SimTime::ZERO,
-            deliver_at: SimTime::ZERO,
-        };
+        let envelope = Envelope::new(session, from, to, payload, SimTime::ZERO, SimTime::ZERO);
         if self.senders[to.0].send(envelope.encode()).is_err() {
             self.stats.lock().messages_dropped += 1;
         }

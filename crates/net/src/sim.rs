@@ -19,7 +19,7 @@ use crate::fault::{FaultOutcome, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::stats::TrafficStats;
 use crate::time::SimTime;
-use crate::wire::{Reader, WireError, Writer};
+use crate::wire::{crc32, Reader, WireError, Writer};
 use crate::{NetError, NodeId, SessionId};
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -37,6 +37,9 @@ pub struct Envelope {
     pub to: NodeId,
     /// Payload (possibly corrupted by fault injection).
     pub payload: Bytes,
+    /// CRC-32 of the payload **as the sender handed it over** — in-flight
+    /// corruption leaves the checksum stale, so receivers can tell.
+    pub checksum: u32,
     /// Virtual time the sender handed it to the network.
     pub sent_at: SimTime,
     /// Virtual time it became available at the receiver.
@@ -44,6 +47,34 @@ pub struct Envelope {
 }
 
 impl Envelope {
+    /// Builds an envelope, stamping the payload checksum.
+    #[must_use]
+    pub fn new(
+        session: SessionId,
+        from: NodeId,
+        to: NodeId,
+        payload: Bytes,
+        sent_at: SimTime,
+        deliver_at: SimTime,
+    ) -> Self {
+        let checksum = crc32(&payload);
+        Envelope {
+            session,
+            from,
+            to,
+            payload,
+            checksum,
+            sent_at,
+            deliver_at,
+        }
+    }
+
+    /// Whether the payload still matches the checksum stamped at send
+    /// time. `false` means the message was corrupted in flight.
+    #[must_use]
+    pub fn is_intact(&self) -> bool {
+        crc32(&self.payload) == self.checksum
+    }
     /// Serializes the envelope — session id first, so a receiving
     /// endpoint can demultiplex before it even looks at the payload.
     /// This is the wire format of the threaded [`crate::ChannelNet`]
@@ -56,6 +87,7 @@ impl Envelope {
             .put_u64(self.to.0 as u64)
             .put_u64(self.sent_at.as_nanos())
             .put_u64(self.deliver_at.as_nanos())
+            .put_u64(u64::from(self.checksum))
             .put_bytes(&self.payload);
         w.finish()
     }
@@ -64,7 +96,9 @@ impl Envelope {
     ///
     /// # Errors
     ///
-    /// Returns [`WireError`] on truncated or trailing bytes.
+    /// Returns [`WireError`] on truncated or trailing bytes, or when the
+    /// payload does not match the embedded checksum (a corrupted frame
+    /// is rejected here rather than delivered as silent garbage).
     pub fn decode(data: &[u8]) -> Result<Envelope, WireError> {
         let mut r = Reader::new(data);
         let session = SessionId(r.get_u64()?);
@@ -72,13 +106,18 @@ impl Envelope {
         let to = NodeId(r.get_u64()? as usize);
         let sent_at = SimTime::from_nanos(r.get_u64()?);
         let deliver_at = SimTime::from_nanos(r.get_u64()?);
+        let checksum = r.get_u64()? as u32;
         let payload = Bytes::copy_from_slice(r.get_bytes()?);
         r.finish()?;
+        if crc32(&payload) != checksum {
+            return Err(WireError::checksum_mismatch());
+        }
         Ok(Envelope {
             session,
             from,
             to,
             payload,
+            checksum,
             sent_at,
             deliver_at,
         })
@@ -173,6 +212,12 @@ struct SessionState {
     clocks: Vec<SimTime>,
     inboxes: Vec<BinaryHeap<Pending>>,
     rng: StdRng,
+    /// Independent stream for fault rolls, derived from the cluster
+    /// seed + session id (see [`crate::fault::fault_rng`]). Keeping it
+    /// separate from the latency stream means changing fault
+    /// probabilities never perturbs the delivery schedule of the
+    /// messages that do get through.
+    fault_rng: StdRng,
     /// Latest delivery time scheduled per (from, to): later sends on
     /// the same link never overtake earlier ones.
     last_delivery: BTreeMap<(usize, usize), SimTime>,
@@ -189,6 +234,7 @@ impl SessionState {
             clocks,
             inboxes: (0..n).map(|_| BinaryHeap::new()).collect(),
             rng: StdRng::seed_from_u64(seed ^ stream),
+            fault_rng: crate::fault::fault_rng(seed, session),
             last_delivery: BTreeMap::new(),
         }
     }
@@ -306,33 +352,43 @@ impl SimNet {
         let sent_at = state.clocks[from.0];
         self.stats
             .record_send(session, from.0, to.0, payload.len(), sent_at);
-        let outcome = self.faults.decide(from.0, to.0, &mut state.rng);
+        // Checksum is stamped over the payload *as sent*: corruption
+        // below leaves it stale, which is how receivers detect it.
+        let checksum = crc32(&payload);
+        let outcome = self.faults.decide(from.0, to.0, &mut state.fault_rng);
         match outcome {
             FaultOutcome::Drop => {
                 self.stats.messages_dropped += 1;
             }
             FaultOutcome::Deliver => {
-                self.enqueue(session, from, to, payload);
+                self.enqueue(session, from, to, payload, checksum);
             }
             FaultOutcome::Duplicate => {
                 self.stats.messages_duplicated += 1;
-                self.enqueue(session, from, to, payload.clone());
-                self.enqueue(session, from, to, payload);
+                self.enqueue(session, from, to, payload.clone(), checksum);
+                self.enqueue(session, from, to, payload, checksum);
             }
             FaultOutcome::Corrupt => {
                 self.stats.messages_corrupted += 1;
                 let mut bytes = payload.to_vec();
                 if !bytes.is_empty() {
                     let state = self.sessions.get_mut(&session).expect("session exists");
-                    let idx = state.rng.gen_range(0..bytes.len());
+                    let idx = state.fault_rng.gen_range(0..bytes.len());
                     bytes[idx] ^= 0xA5;
                 }
-                self.enqueue(session, from, to, Bytes::from(bytes));
+                self.enqueue(session, from, to, Bytes::from(bytes), checksum);
             }
         }
     }
 
-    fn enqueue(&mut self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
+    fn enqueue(
+        &mut self,
+        session: SessionId,
+        from: NodeId,
+        to: NodeId,
+        payload: Bytes,
+        checksum: u32,
+    ) {
         self.seq += 1;
         let seq = self.seq;
         let latency = &self.latency;
@@ -357,6 +413,7 @@ impl SimNet {
                 from,
                 to,
                 payload,
+                checksum,
                 sent_at,
                 deliver_at,
             },
@@ -700,6 +757,46 @@ mod tests {
         assert_ne!(&m.payload[..], b"payload");
         assert_eq!(m.payload.len(), 7);
         assert_eq!(net.stats().messages_corrupted, 1);
+        // The checksum was stamped before corruption: receivers can tell.
+        assert!(!m.is_intact());
+    }
+
+    #[test]
+    fn intact_deliveries_pass_the_checksum() {
+        let mut net = net(2);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"clean"));
+        assert!(net.recv(NodeId(1)).unwrap().is_intact());
+    }
+
+    #[test]
+    fn fault_rolls_do_not_perturb_the_latency_schedule() {
+        // Satellite regression: delivered messages keep the exact same
+        // delivery times whether or not fault rolls happen, because the
+        // fault RNG is a separate per-session stream.
+        let cfg = |faults: FaultPlan| {
+            NetConfig::ideal()
+                .with_latency(LatencyModel::lan())
+                .with_seed(42)
+                .with_faults(faults)
+        };
+        let run = |mut net: SimNet| {
+            for i in 0..20u8 {
+                net.send(NodeId(0), NodeId(1), Bytes::copy_from_slice(&[i]));
+            }
+            let mut times = Vec::new();
+            while let Ok(m) = net.recv(NodeId(1)) {
+                times.push((m.payload[0], m.deliver_at));
+            }
+            times
+        };
+        let clean = run(SimNet::new(2, cfg(FaultPlan::none())));
+        let mut corrupting = FaultPlan::none();
+        corrupting.corrupt_probability = 1.0;
+        let corrupted = run(SimNet::new(2, cfg(corrupting)));
+        // Same count, same schedule — only the payload bytes differ.
+        let clean_times: Vec<_> = clean.iter().map(|&(_, t)| t).collect();
+        let corrupted_times: Vec<_> = corrupted.iter().map(|&(_, t)| t).collect();
+        assert_eq!(clean_times, corrupted_times);
     }
 
     #[test]
@@ -783,18 +880,37 @@ mod tests {
 
     #[test]
     fn envelope_wire_round_trip() {
-        let env = Envelope {
-            session: SessionId(42),
-            from: NodeId(1),
-            to: NodeId(3),
-            payload: Bytes::from_static(b"fragment"),
-            sent_at: SimTime::from_micros(7),
-            deliver_at: SimTime::from_micros(19),
-        };
+        let env = Envelope::new(
+            SessionId(42),
+            NodeId(1),
+            NodeId(3),
+            Bytes::from_static(b"fragment"),
+            SimTime::from_micros(7),
+            SimTime::from_micros(19),
+        );
         let decoded = Envelope::decode(&env.encode()).unwrap();
         assert_eq!(decoded, env);
         // Truncated frames are rejected.
         assert!(Envelope::decode(&env.encode()[..10]).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_frame_rejected_at_decode() {
+        // Satellite regression: a corrupted payload must be caught at
+        // decode by the envelope checksum, not delivered as garbage.
+        let env = Envelope::new(
+            SessionId(1),
+            NodeId(0),
+            NodeId(1),
+            Bytes::from_static(b"sensitive fragment bytes"),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        );
+        let mut frame = env.encode().to_vec();
+        let last = frame.len() - 1; // inside the payload
+        frame[last] ^= 0x01;
+        let err = Envelope::decode(&frame).unwrap_err();
+        assert_eq!(err, crate::wire::WireError::checksum_mismatch());
     }
 
     #[test]

@@ -19,6 +19,29 @@ impl WireError {
     fn new(what: &'static str) -> Self {
         WireError { what }
     }
+
+    /// The error raised when a payload checksum does not match — the
+    /// receiver-side face of in-flight corruption.
+    #[must_use]
+    pub fn checksum_mismatch() -> Self {
+        WireError::new("payload checksum mismatch")
+    }
+}
+
+/// CRC-32 (IEEE 802.3) over `data`. Used as the per-envelope payload
+/// checksum so corruption injected in flight is rejected at decode
+/// instead of feeding garbage into protocol state machines.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 impl fmt::Display for WireError {
@@ -291,5 +314,17 @@ mod tests {
     fn error_display() {
         let e = WireError::new("truncated u64");
         assert_eq!(e.to_string(), "malformed wire message: truncated u64");
+        assert_eq!(
+            WireError::checksum_mismatch().to_string(),
+            "malformed wire message: payload checksum mismatch"
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Single-bit flips change the checksum.
+        assert_ne!(crc32(b"payload"), crc32(b"pa\x78load"));
     }
 }

@@ -126,6 +126,65 @@ fn ticket_ids_never_collide_across_restarts() {
 }
 
 #[test]
+fn crash_tail_and_duplicated_writes_recover_cleanly() {
+    use confidential_audit::logstore::journal::{Journal, JournalEntry};
+
+    let dir = temp_dir("dup-tail");
+    {
+        let mut cluster = DlaCluster::new(config(&dir)).unwrap();
+        let user = cluster.register_user("u0").unwrap();
+        cluster.log_records(&user, &paper_table1()).unwrap();
+    }
+
+    // A retransmitting writer on a lossy network appends the same
+    // fragment twice; then the process dies mid-frame, leaving a torn
+    // tail whose length prefix promises more bytes than exist.
+    let path = dir.join("node-0.journal");
+    {
+        let (mut journal, entries) = Journal::open(&path).unwrap();
+        let dup = entries
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                JournalEntry::Fragment(f) => Some(f.clone()),
+                _ => None,
+            })
+            .expect("node 0 journal holds fragments");
+        journal
+            .append(&JournalEntry::Fragment(dup.clone()))
+            .unwrap();
+        journal.append(&JournalEntry::Fragment(dup)).unwrap();
+    }
+    let mut bytes = std::fs::read(&path).unwrap();
+    let intact_len = bytes.len();
+    bytes.extend_from_slice(&[0x00, 0x00, 0x01, 0x00, 0xAB, 0xCD]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Replay drops the torn tail and last-write-wins collapses the
+    // duplicate appends back to one fragment per glsn.
+    let (_, entries) = Journal::open(&path).unwrap();
+    let fragments = Journal::materialize(entries);
+    assert_eq!(
+        fragments.len(),
+        5,
+        "duplicated appends must collapse to one live fragment per glsn"
+    );
+    assert!(
+        std::fs::metadata(&path).unwrap().len() <= intact_len as u64,
+        "the torn tail must not survive recovery"
+    );
+
+    // The full cluster restarts on the repaired journal and still
+    // passes the accumulator circulation against its deposits.
+    let mut recovered = DlaCluster::new(config(&dir)).unwrap();
+    assert_eq!(recovered.node(0).store().len(), 5);
+    let verdicts = integrity::check_all(&mut recovered, 0).unwrap();
+    assert!(verdicts.iter().all(|v| v.ok));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn glsn_allocation_resumes_past_recovered_records() {
     let dir = temp_dir("glsn");
     let old = {
