@@ -9,6 +9,11 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> telemetry tests"
+cargo test -q -p dla-telemetry
+cargo test -q -p dla-audit --test telemetry_equivalence
+cargo test -q -p dla-net --test reliable_telemetry
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -22,5 +27,16 @@ done
 
 echo "==> exp_fault_recovery --quick"
 cargo run --release -p dla-bench --bin exp_fault_recovery -- --quick >/dev/null
+
+echo "==> exp_cost_profile --quick"
+cargo run --release -p dla-bench --bin exp_cost_profile -- --quick >/dev/null
+
+echo "==> chrome-trace export validates as JSON"
+cargo run --release --example telemetry_trace >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e . telemetry_trace.json >/dev/null
+else
+    python3 -m json.tool telemetry_trace.json >/dev/null
+fi
 
 echo "CI OK"

@@ -302,6 +302,10 @@ pub struct DlaCluster {
     /// standby fragments; [`DlaCluster::effective_partition`] replays
     /// this log over the configured partition.
     retired: Vec<(usize, usize)>,
+    /// Tamper-evident journal of the cluster's own privileged actions
+    /// (deposits, user registrations, re-replications, degraded-mode
+    /// decisions).
+    meta: crate::meta::MetaAuditTrail,
 }
 
 impl fmt::Debug for DlaCluster {
@@ -412,13 +416,15 @@ impl DlaCluster {
             None => GlsnAllocator::default(),
         };
 
+        let acc_params = AccumulatorParams::fixed_512();
         Ok(DlaCluster {
+            meta: crate::meta::MetaAuditTrail::new(acc_params.clone()),
             ctx: Arc::new(ClusterCtx {
                 schema: config.schema,
                 partition,
                 group,
                 domain: CommutativeDomain::fixed_256(),
-                acc_params: AccumulatorParams::fixed_512(),
+                acc_params,
             }),
             nodes,
             net: SharedNet::new(net),
@@ -567,6 +573,29 @@ impl DlaCluster {
         self.seed
     }
 
+    /// The tamper-evident journal of the cluster's own actions
+    /// (deposits, registrations, re-replications, degraded-mode
+    /// decisions). Verify it with [`crate::meta::MetaAuditTrail::verify`].
+    #[must_use]
+    pub fn meta_audit(&self) -> &crate::meta::MetaAuditTrail {
+        &self.meta
+    }
+
+    /// Journals one privileged cluster action at the current virtual
+    /// time, mirroring it as a telemetry event when a recorder is
+    /// active.
+    pub(crate) fn meta_log(&mut self, actor: &str, action: &str, detail: String) {
+        let at_ns = self.net.lock().elapsed().as_nanos();
+        if dla_telemetry::is_active() {
+            dla_telemetry::event(
+                "meta-audit",
+                at_ns,
+                &[("actor", actor), ("action", action), ("detail", &detail)],
+            );
+        }
+        self.meta.record(at_ns, actor, action, detail);
+    }
+
     /// The deposited accumulator value for a glsn.
     #[must_use]
     pub fn deposit(&self, glsn: Glsn) -> Option<&Ubig> {
@@ -606,6 +635,11 @@ impl DlaCluster {
                 })
                 .map_err(|e| AuditError::Config(e.to_string()))?;
         }
+        self.meta_log(
+            "cluster",
+            "register-user",
+            format!("name={name} node={node}"),
+        );
         Ok(AppUser {
             name: name.to_owned(),
             node,
@@ -724,6 +758,11 @@ impl DlaCluster {
         self.deposits.insert(glsn, deposit);
         self.origins
             .insert(glsn, (user.key().public().clone(), origin_sig));
+        self.meta_log(
+            "cluster",
+            "deposit",
+            format!("glsn={glsn} user={}", user.name),
+        );
         Ok(glsn)
     }
 
@@ -958,6 +997,16 @@ impl DlaCluster {
                 _ => failed.push(glsn),
             }
         }
+        self.meta_log(
+            "cluster",
+            "rereplicate",
+            format!(
+                "dead={dead:?} adoptions={} verified={} failed={}",
+                adoptions.len(),
+                verified.len(),
+                failed.len()
+            ),
+        );
         Ok(RereplicationReport {
             adoptions,
             verified,

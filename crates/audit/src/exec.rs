@@ -207,6 +207,8 @@ pub fn execute_on(
         let n = net.lock();
         (n.stats().messages_sent, n.stats().bytes_sent, n.elapsed())
     };
+    let query_span = dla_telemetry::span("query", "execute", start_elapsed.as_nanos());
+    let subq_span = dla_telemetry::span("phase", "subqueries", start_elapsed.as_nanos());
 
     // Phase 1: independent subqueries — the scheduler.
     let mut sessions: Vec<SessionId> = Vec::new();
@@ -230,6 +232,10 @@ pub fn execute_on(
                 let mut n = net.lock();
                 plan.subqueries.iter().map(|_| n.open_session()).collect()
             };
+            // Workers do not inherit the spawner's telemetry
+            // destination: hand the current recorder (if any) into each
+            // thread and install it there.
+            let recorder = dla_telemetry::current();
             let outcomes = crossbeam::scope(|s| {
                 let handles: Vec<_> = plan
                     .subqueries
@@ -237,7 +243,9 @@ pub fn execute_on(
                     .enumerate()
                     .map(|(i, subquery)| {
                         let sid = sessions[i];
+                        let recorder = recorder.clone();
                         s.spawn(move || {
+                            let _telemetry = recorder.map(|r| r.install());
                             let mut rng =
                                 StdRng::seed_from_u64(subquery_seed(query_seed, i as u64));
                             let session = Session::new(transport, sid);
@@ -268,6 +276,15 @@ pub fn execute_on(
             n.sync_session(combine_session, join_at);
         }
     }
+
+    let join_ns = if subq_span.is_recording() {
+        let n = net.lock();
+        n.session_elapsed(combine_session).as_nanos()
+    } else {
+        0
+    };
+    subq_span.end(join_ns);
+    let combine_span = dla_telemetry::span("phase", "combine", join_ns);
 
     let mut reports = Vec::new();
     let mut holder_sets: BTreeMap<usize, Vec<GlsnSet>> = BTreeMap::new();
@@ -310,7 +327,7 @@ pub fn execute_on(
         .collect::<Result<_, _>>()?;
     glsns.sort_unstable();
 
-    let (messages, bytes, elapsed) = {
+    let (messages, bytes, elapsed, end_ns) = {
         let mut n = net.lock();
         // Fold the query's finish time back into the root timeline so
         // cluster-level elapsed time reflects completed queries.
@@ -320,8 +337,11 @@ pub fn execute_on(
             n.stats().messages_sent - start_messages,
             n.stats().bytes_sent - start_bytes,
             end - start_elapsed,
+            end.as_nanos(),
         )
     };
+    combine_span.end(end_ns);
+    query_span.end(end_ns);
 
     Ok(QueryResult {
         glsns,
@@ -463,6 +483,15 @@ pub fn execute_resilient(
                     .copied()
                     .collect();
                 if !newly_dead.is_empty() {
+                    // Degraded-mode decision: the executor chooses to
+                    // retire nodes and re-plan over the survivor set —
+                    // exactly the kind of privileged call the
+                    // meta-audit trail exists to make undeniable.
+                    cluster.meta_log(
+                        "executor",
+                        "degraded-replan",
+                        format!("attempt={attempt} dead={newly_dead:?}"),
+                    );
                     let report = cluster.rereplicate(&newly_dead)?;
                     // A repair the accumulator cannot verify means the
                     // survivors do NOT hold the deposited fragments —
@@ -491,13 +520,21 @@ fn run_subquery(
     subquery: &Subquery,
     rng: &mut StdRng,
 ) -> Result<(usize, GlsnSet, Vec<ProtocolReport>), AuditError> {
-    match &subquery.kind {
+    let _scope = dla_telemetry::scope("subquery", session.id().0);
+    let kind = match &subquery.kind {
+        SubqueryKind::Local { .. } => "local",
+        SubqueryKind::Cross { .. } => "cross",
+    };
+    let span = dla_telemetry::span("subquery", kind, session.elapsed().as_nanos());
+    let result = match &subquery.kind {
         SubqueryKind::Local { node } => {
             let set = scan_clause_local(cluster, *node, subquery)?;
             Ok((*node, set, Vec::new()))
         }
         SubqueryKind::Cross { nodes } => execute_cross(cluster, session, subquery, nodes, rng),
-    }
+    };
+    span.end(session.elapsed().as_nanos());
+    result
 }
 
 /// A node evaluates a whole clause against its own fragments.

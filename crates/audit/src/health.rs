@@ -146,11 +146,11 @@ impl HealthMonitor {
             w.put_u8(TAG_PING).put_u64(self.rounds);
             session.send(auditor, NodeId(node), w.finish());
             if self.pong(&session, auditor, NodeId(node)) {
-                self.statuses[node] = NodeStatus::Alive;
+                self.transition(node, NodeStatus::Alive, &session);
             } else {
                 // Model the auditor waiting out the probe deadline.
                 session.charge(auditor, self.config.probe_timeout);
-                self.statuses[node] = match self.statuses[node] {
+                let next = match self.statuses[node] {
                     NodeStatus::Alive => NodeStatus::Suspected { misses: 1 },
                     NodeStatus::Suspected { misses } => {
                         if misses + 1 >= self.config.suspicion_threshold {
@@ -161,9 +161,32 @@ impl HealthMonitor {
                     }
                     NodeStatus::Dead => NodeStatus::Dead,
                 };
+                self.transition(node, next, &session);
             }
         }
         Ok(())
+    }
+
+    /// Applies a detector verdict, emitting a telemetry event on every
+    /// status *change* so traces show suspicion building up and deaths
+    /// being declared on the virtual timeline.
+    fn transition(&mut self, node: usize, next: NodeStatus, session: &Session<'_>) {
+        if dla_telemetry::is_active() && next != self.statuses[node] {
+            let name = match next {
+                NodeStatus::Alive => "health-alive",
+                NodeStatus::Suspected { .. } => "health-suspect",
+                NodeStatus::Dead => "health-dead",
+            };
+            dla_telemetry::event(
+                name,
+                session.elapsed().as_nanos(),
+                &[
+                    ("node", &node.to_string()),
+                    ("round", &self.rounds.to_string()),
+                ],
+            );
+        }
+        self.statuses[node] = next;
     }
 
     /// Runs `rounds` consecutive heartbeat rounds.

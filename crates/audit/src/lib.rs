@@ -18,6 +18,8 @@
 //!   with double-use identity exposure (§4.2, Figs. 6–7).
 //! * [`metrics`] — the confidentiality metrics `C_store`,
 //!   `C_auditing`, `C_query`, `C_DLA` (§5, Eqs. 10–13).
+//! * [`meta`] — the tamper-evident meta-audit trail of the cluster's
+//!   own actions (hash chain + one-way-accumulator commitment).
 //! * [`centralized`] — the Figure 1 single-auditor baseline.
 //!
 //! # Examples
@@ -55,6 +57,7 @@ pub mod exec;
 pub mod health;
 pub mod integrity;
 pub mod membership;
+pub mod meta;
 pub mod metrics;
 pub mod normal;
 pub mod parser;

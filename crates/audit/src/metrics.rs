@@ -186,6 +186,46 @@ mod tests {
         );
     }
 
+    /// §5 worked end-to-end on the paper's running example: every one
+    /// of Eqs. 10–13 pinned to its exact closed-form value.
+    #[test]
+    fn paper_section5_worked_example_pins_all_four_metrics() {
+        let (schema, partition) = env();
+        let record = paper_table1().remove(0);
+
+        // Eq. 10 on a Table 1 record: w = 7 attributes, v = 3
+        // undefined ones (c1, c2, c3), u = 4 covering nodes under the
+        // Tables 2–5 partition → C_store = 3·4/7 = 12/7.
+        let c_store = store_confidentiality(&record, &schema, &partition);
+        assert!((c_store - 12.0 / 7.0).abs() < 1e-12, "C_store = {c_store}");
+
+        // Eq. 11 on the Fig. 3 conjunctive query: three local atoms on
+        // three different nodes → s = 3, t = 0, q = 2 → C_auditing =
+        // (0 + 2)/(3 + 2) = 2/5.
+        let fig3 = planned(
+            "c1 > 30 AND id = 'U1' AND protocol = 'TCP'",
+            &schema,
+            &partition,
+        );
+        let c_auditing = auditing_confidentiality(&fig3);
+        assert!(
+            (c_auditing - 0.4).abs() < 1e-12,
+            "C_auditing = {c_auditing}"
+        );
+
+        // Eq. 12: the product — (2/5)·(12/7) = 24/35.
+        let c_query = query_confidentiality(&fig3, &record, &schema, &partition);
+        assert!((c_query - 24.0 / 35.0).abs() < 1e-12, "C_query = {c_query}");
+
+        // Eq. 13 over the two-query workload {Fig. 3 query, one cross
+        // disjunction (s = 2, t = 2, q = 0 → C_auditing = 1)}:
+        // (2/5 + 1)/2 · 12/7 = 6/5 exactly.
+        let cross = planned("c1 > 40 OR id = 'U2'", &schema, &partition);
+        let workload = vec![(fig3, record.clone()), (cross, record)];
+        let c_dla = dla_confidentiality(&workload, &schema, &partition);
+        assert!((c_dla - 1.2).abs() < 1e-12, "C_DLA = {c_dla}");
+    }
+
     #[test]
     fn dla_confidentiality_averages() {
         let (schema, partition) = env();

@@ -70,6 +70,7 @@ pub fn modexp(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
 /// Panics if `m` is zero. `m == 1` yields zero.
 #[must_use]
 pub fn modexp_schoolbook(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+    dla_telemetry::record(dla_telemetry::CostKind::ModExp, 1);
     assert!(!m.is_zero(), "modexp: zero modulus");
     if m.is_one() {
         return Ubig::zero();
@@ -218,6 +219,7 @@ pub fn egcd_mod(a: &Ubig, m: &Ubig) -> (Ubig, Ubig) {
 /// ```
 #[must_use]
 pub fn modinv(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    dla_telemetry::record(dla_telemetry::CostKind::ModInverse, 1);
     let (g, x) = egcd_mod(a, m);
     if g.is_one() {
         Some(x)

@@ -127,6 +127,7 @@ impl MontgomeryContext {
     /// Montgomery form.
     #[must_use]
     pub fn modexp(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        dla_telemetry::record(dla_telemetry::CostKind::ModExp, 1);
         if exp.is_zero() {
             return Ubig::one() % &self.modulus_ubig();
         }

@@ -131,6 +131,7 @@ impl AccumulatorParams {
     /// One accumulation step: `A(acc, item) = acc^{y(item)} mod n`.
     #[must_use]
     pub fn fold(&self, acc: &Ubig, item: &[u8]) -> Ubig {
+        dla_telemetry::record(dla_telemetry::CostKind::AccumulatorFold, 1);
         self.ctx.modexp(acc, &self.item_exponent(item))
     }
 

@@ -134,6 +134,7 @@ impl SecretPolynomial {
     /// Evaluates `f(x)` by Horner's rule.
     #[must_use]
     pub fn eval(&self, x: F61) -> F61 {
+        dla_telemetry::record(dla_telemetry::CostKind::ShamirEval, 1);
         self.coeffs
             .iter()
             .rev()

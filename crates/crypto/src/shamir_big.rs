@@ -64,6 +64,7 @@ impl BigPolynomial {
     /// Evaluates `f(x) mod q` by Horner's rule.
     #[must_use]
     pub fn eval(&self, x: &Ubig) -> Ubig {
+        dla_telemetry::record(dla_telemetry::CostKind::ShamirEval, 1);
         let q = &self.modulus;
         self.coeffs
             .iter()

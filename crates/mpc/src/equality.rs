@@ -115,6 +115,7 @@ fn run<R: Rng + ?Sized>(
         "parties and TTP must be distinct"
     );
     let meter = Meter::start_session(net);
+    let _telemetry = crate::report::SessionTelemetry::begin(net, "secure-equality");
 
     // Mask agreement (A samples, seals to B).
     let mask = AffineMasker::random(rng);
@@ -214,6 +215,7 @@ fn run_via_ssi<R: Rng + ?Sized>(
 ) -> Result<EqualityOutcome, MpcError> {
     assert_ne!(party_a, party_b, "parties must be distinct");
     let meter = crate::report::Meter::start_session(net);
+    let _telemetry = crate::report::SessionTelemetry::begin(net, "secure-equality-ssi");
     let ring = dla_net::topology::Ring::new(vec![party_a, party_b]);
     let inputs = vec![vec![value_a.to_vec()], vec![value_b.to_vec()]];
     let outcome =

@@ -113,6 +113,7 @@ fn run<R: Rng + ?Sized>(
     assert_eq!(values.len(), n, "one value per party");
     assert!(!parties.contains(&ttp), "TTP must not be a party");
     let meter = Meter::start_session(net);
+    let _telemetry = crate::report::SessionTelemetry::begin(net, "secure-ranking");
 
     // Negotiation round: initiator seals the mask to each peer.
     let mask = MonotoneMasker::random(rng);

@@ -1,6 +1,12 @@
 //! Per-protocol cost reporting: message count, bytes, simulated network
 //! latency and round count — the quantities behind the paper's
 //! relaxed-vs-classical efficiency argument.
+//!
+//! [`SessionTelemetry`] additionally bridges protocol runs into the
+//! `dla-telemetry` subsystem: one cost scope (so crypto/net operation
+//! counts are attributed to the protocol session) plus one span over
+//! the session's virtual-time interval. Both are single-branch no-ops
+//! when no recorder is installed.
 
 use dla_net::{Session, SimNet, SimTime};
 use std::fmt;
@@ -96,6 +102,7 @@ impl Meter {
         rounds: usize,
     ) -> ProtocolReport {
         let (messages, bytes) = session.counters();
+        dla_telemetry::record(dla_telemetry::CostKind::Round, rounds as u64);
         ProtocolReport {
             protocol,
             parties,
@@ -103,6 +110,40 @@ impl Meter {
             bytes: bytes - self.bytes0,
             elapsed: session.elapsed() - self.elapsed0,
             rounds,
+        }
+    }
+}
+
+/// Telemetry bracket for one protocol run on `session`: opens a cost
+/// scope labelled with the protocol name (attributing every modexp,
+/// Shamir evaluation, send, ... to this session) and a `"protocol"`
+/// span covering the run's virtual-time interval. Hold it for the
+/// duration of the run; dropping it closes the span at the session's
+/// then-current virtual makespan.
+#[must_use = "telemetry is attributed only while the bracket is alive"]
+pub struct SessionTelemetry<'a> {
+    session: Session<'a>,
+    span: Option<dla_telemetry::SpanGuard>,
+    _scope: dla_telemetry::ScopeGuard,
+}
+
+impl<'a> SessionTelemetry<'a> {
+    /// Opens the scope + span bracket for `protocol` on `session`.
+    pub fn begin(session: &Session<'a>, protocol: &'static str) -> Self {
+        let scope = dla_telemetry::scope(protocol, session.id().0);
+        let span = dla_telemetry::span("protocol", protocol, session.elapsed().as_nanos());
+        SessionTelemetry {
+            session: *session,
+            span: span.is_recording().then_some(span),
+            _scope: scope,
+        }
+    }
+}
+
+impl Drop for SessionTelemetry<'_> {
+    fn drop(&mut self) {
+        if let Some(span) = self.span.take() {
+            span.end(self.session.elapsed().as_nanos());
         }
     }
 }

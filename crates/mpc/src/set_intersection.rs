@@ -223,6 +223,7 @@ pub(crate) fn run<R: Rng + ?Sized>(
         "one input set per ring position is required"
     );
     let meter = Meter::start_session(net);
+    let _telemetry = crate::report::SessionTelemetry::begin(net, "secure-set-intersection");
 
     // Per-party key generation (local, no traffic).
     let keys: Vec<PhKey> = (0..n).map(|_| PhKey::generate(domain, rng)).collect();
@@ -256,6 +257,17 @@ pub(crate) fn run<R: Rng + ?Sized>(
             let to = ring.at((origin + hop) % n);
             net.send(from, to, encode_set(origin as u64, &sets[origin]));
             let envelope = net.recv_from(to, from)?;
+            if dla_telemetry::is_active() {
+                dla_telemetry::event(
+                    "relay-hop",
+                    net.elapsed().as_nanos(),
+                    &[
+                        ("origin", &origin.to_string()),
+                        ("from", &from.to_string()),
+                        ("to", &to.to_string()),
+                    ],
+                );
+            }
             let (origin_check, elements) = decode_set(&envelope.payload)?;
             if origin_check as usize != origin {
                 return Err(MpcError::Protocol(format!(

@@ -125,6 +125,7 @@ fn run<R: Rng + ?Sized>(
     let n = ring.len();
     assert_eq!(inputs.len(), n, "one input set per ring position");
     let meter = Meter::start_session(net);
+    let _telemetry = crate::report::SessionTelemetry::begin(net, "secure-set-union");
 
     let keys: Vec<PhKey> = (0..n).map(|_| PhKey::generate(domain, rng)).collect();
 

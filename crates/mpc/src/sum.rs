@@ -159,6 +159,7 @@ fn run<R: Rng + ?Sized>(
     assert_eq!(weights.len(), n, "one weight per party");
     assert!(k >= 1 && k <= n, "threshold must satisfy 1 <= k <= n");
     let meter = Meter::start_session(net);
+    let _telemetry = crate::report::SessionTelemetry::begin(net, "secure-sum");
 
     let points = SharePoints::canonical(n);
 

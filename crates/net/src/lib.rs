@@ -51,7 +51,7 @@ pub mod topology;
 pub mod transport;
 pub mod wire;
 
-pub use reliable::{Reliable, ReliableConfig};
+pub use reliable::{Reliable, ReliableConfig, ReliableStats};
 pub use session::{ChannelNet, Session, SharedNet, SimLink, Transport};
 pub use sim::{Envelope, NetConfig, SimNet};
 pub use time::SimTime;

@@ -124,6 +124,26 @@ struct ReliableState {
     recv_links: BTreeMap<(SessionId, usize, usize), RecvLink>,
     /// In-order payloads ready for delivery, per (session, receiver).
     ready: BTreeMap<(SessionId, usize), VecDeque<Envelope>>,
+    stats: ReliableStats,
+}
+
+/// Recovery-activity counters for one [`Reliable`] wrapper — the ARQ
+/// analogue of [`crate::TrafficStats`]. Always maintained (the
+/// increments are branch-free field bumps under the state lock already
+/// held); also mirrored into the telemetry cost sink when one is
+/// installed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Data frames retransmitted after a receiver starved.
+    pub retransmits: u64,
+    /// Backoff rounds in which at least one frame was retransmitted.
+    pub retransmit_rounds: u64,
+    /// Receives that gave up with [`NetError::Timeout`] after
+    /// exhausting the retry budget.
+    pub timeouts: u64,
+    /// Duplicate data frames suppressed (already-delivered sequence
+    /// numbers re-acked instead of re-surfaced).
+    pub duplicates_suppressed: u64,
 }
 
 /// A reliability layer over any [`Transport`]; itself a [`Transport`].
@@ -164,6 +184,12 @@ impl<'a, T: Transport + ?Sized> Reliable<'a, T> {
     #[must_use]
     pub fn config(&self) -> ReliableConfig {
         self.config
+    }
+
+    /// Snapshot of the recovery-activity counters.
+    #[must_use]
+    pub fn stats(&self) -> ReliableStats {
+        self.state.lock().stats
     }
 
     fn data_frame(seq: u64, payload: &[u8]) -> Bytes {
@@ -217,6 +243,7 @@ impl<'a, T: Transport + ?Sized> Reliable<'a, T> {
                     // Duplicate (or a retransmission of something we
                     // already have): refresh the ack in case ours died.
                     let ack = link.expected - 1;
+                    state.stats.duplicates_suppressed += 1;
                     drop(state);
                     self.inner
                         .send(env.session, node, env.from, Self::ack_frame(ack));
@@ -267,6 +294,14 @@ impl<'a, T: Transport + ?Sized> Reliable<'a, T> {
                 .map(|(&(_, from, _), link)| (from, link.unacked.values().cloned().collect()))
                 .collect()
         };
+        if !resend.is_empty() {
+            let frames: u64 = resend.iter().map(|(_, f)| f.len() as u64).sum();
+            let mut state = self.state.lock();
+            state.stats.retransmit_rounds += 1;
+            state.stats.retransmits += frames;
+            drop(state);
+            dla_telemetry::record(dla_telemetry::CostKind::Retransmit, frames);
+        }
         for (from, frames) in resend {
             self.inner.charge(
                 session,
@@ -316,6 +351,8 @@ impl<'a, T: Transport + ?Sized> Reliable<'a, T> {
                 Err(NetError::EmptyInbox(_) | NetError::Timeout(_)) => {
                     attempts += 1;
                     if attempts > self.config.max_retries {
+                        self.state.lock().stats.timeouts += 1;
+                        dla_telemetry::record(dla_telemetry::CostKind::Timeout, 1);
                         return Err(NetError::Timeout(node));
                     }
                     self.retransmit_to(session, node, attempts);

@@ -182,6 +182,18 @@ impl<'n> SimLink<'n> {
             net: RefCell::new(net),
         }
     }
+
+    /// Runs `f` with mutable access to the wrapped net — e.g. to
+    /// inject targeted faults between protocol operations in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside a transport
+    /// operation on this link.
+    pub fn with_net<R>(&self, f: impl FnOnce(&mut SimNet) -> R) -> R {
+        let mut guard = self.net.borrow_mut();
+        f(&mut guard)
+    }
 }
 
 impl Transport for SimLink<'_> {
@@ -386,7 +398,10 @@ impl ChannelNet {
         // Earlier arrivals first: check the stash before the channel.
         if let Some(pos) = inbox.stash.iter().position(&matches) {
             let envelope = inbox.stash.remove(pos).expect("position just found");
-            self.stats.lock().messages_delivered += 1;
+            self.stats
+                .lock()
+                .record_delivery(envelope.session, envelope.payload.len());
+            dla_telemetry::record(dla_telemetry::CostKind::MsgDelivered, 1);
             return Ok(envelope);
         }
         let deadline = Instant::now() + self.timeout;
@@ -406,7 +421,10 @@ impl ChannelNet {
                 continue;
             };
             if matches(&envelope) {
-                self.stats.lock().messages_delivered += 1;
+                self.stats
+                    .lock()
+                    .record_delivery(envelope.session, envelope.payload.len());
+                dla_telemetry::record(dla_telemetry::CostKind::MsgDelivered, 1);
                 return Ok(envelope);
             }
             // A frame for another session (or sender): keep it for the
@@ -426,6 +444,8 @@ impl Transport for ChannelNet {
         self.stats
             .lock()
             .record_send(session, from.0, to.0, payload.len(), SimTime::ZERO);
+        dla_telemetry::record(dla_telemetry::CostKind::MsgSent, 1);
+        dla_telemetry::record(dla_telemetry::CostKind::BytesSent, payload.len() as u64);
         let envelope = Envelope::new(session, from, to, payload, SimTime::ZERO, SimTime::ZERO);
         if self.senders[to.0].send(envelope.encode()).is_err() {
             self.stats.lock().messages_dropped += 1;

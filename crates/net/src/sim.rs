@@ -352,6 +352,8 @@ impl SimNet {
         let sent_at = state.clocks[from.0];
         self.stats
             .record_send(session, from.0, to.0, payload.len(), sent_at);
+        dla_telemetry::record(dla_telemetry::CostKind::MsgSent, 1);
+        dla_telemetry::record(dla_telemetry::CostKind::BytesSent, payload.len() as u64);
         // Checksum is stamped over the payload *as sent*: corruption
         // below leaves it stale, which is how receivers detect it.
         let checksum = crc32(&payload);
@@ -455,7 +457,9 @@ impl SimNet {
             .pop()
             .ok_or(NetError::EmptyInbox(node))?;
         state.clocks[node.0] = state.clocks[node.0].max(pending.deliver_at);
-        self.stats.messages_delivered += 1;
+        self.stats
+            .record_delivery(session, pending.envelope.payload.len());
+        dla_telemetry::record(dla_telemetry::CostKind::MsgDelivered, 1);
         Ok(pending.envelope)
     }
 
@@ -512,7 +516,9 @@ impl SimNet {
         match found {
             Some(pending) => {
                 state.clocks[node.0] = state.clocks[node.0].max(pending.deliver_at);
-                self.stats.messages_delivered += 1;
+                self.stats
+                    .record_delivery(session, pending.envelope.payload.len());
+                dla_telemetry::record(dla_telemetry::CostKind::MsgDelivered, 1);
                 Ok(pending.envelope)
             }
             None => Err(NetError::UnexpectedSender {

@@ -28,6 +28,8 @@ pub struct TrafficStats {
     pub messages_corrupted: u64,
     /// Payload bytes handed to the network.
     pub bytes_sent: u64,
+    /// Payload bytes actually delivered (duplicates count individually).
+    pub bytes_delivered: u64,
     per_link: BTreeMap<(usize, usize), LinkStats>,
     per_session: BTreeMap<SessionId, SessionStats>,
     /// Global send-event counter (orders sends across sessions).
@@ -51,6 +53,11 @@ pub struct SessionStats {
     pub messages: u64,
     /// Payload bytes sent in this session.
     pub bytes: u64,
+    /// Messages delivered in this session (duplicates count
+    /// individually, mirroring the global `messages_delivered`).
+    pub messages_delivered: u64,
+    /// Payload bytes delivered in this session (duplicates included).
+    pub bytes_delivered: u64,
     /// Global event index of the session's first send.
     pub first_event: u64,
     /// Global event index of the session's last send.
@@ -95,6 +102,21 @@ impl TrafficStats {
         s.bytes += bytes as u64;
         s.last_event = event;
         s.last_send_at = s.last_send_at.max(sent_at);
+    }
+
+    /// Records a delivery of `bytes` payload bytes within `session`.
+    ///
+    /// Every transport delivery path (including the second leg of a
+    /// fault-injected duplicate) must come through here, so the global
+    /// `messages_delivered`/`bytes_delivered` counters and the
+    /// per-session ones move in lockstep: for any trace,
+    /// `Σ_session messages_delivered == messages_delivered`.
+    pub fn record_delivery(&mut self, session: SessionId, bytes: usize) {
+        self.messages_delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        let s = self.per_session.entry(session).or_default();
+        s.messages_delivered += 1;
+        s.bytes_delivered += bytes as u64;
     }
 
     /// Per-link counters for `from → to`.
@@ -267,6 +289,27 @@ mod tests {
         s.record_send(SessionId(2), 1, 0, 1, at(35));
         assert_eq!(s.max_concurrent_sessions(), 1);
         assert_eq!(s.max_interleaved_sessions(), 1);
+    }
+
+    #[test]
+    fn delivery_accounting_agrees_per_session_and_globally() {
+        let mut s = TrafficStats::new();
+        s.record_send(SessionId(1), 0, 1, 100, at(1));
+        s.record_send(SessionId(2), 0, 1, 40, at(2));
+        s.record_delivery(SessionId(1), 100);
+        // Fault-injected duplicate: the same payload delivered twice.
+        s.record_delivery(SessionId(1), 100);
+        s.record_delivery(SessionId(2), 40);
+        assert_eq!(s.messages_delivered, 3);
+        assert_eq!(s.bytes_delivered, 240);
+        assert_eq!(s.session(SessionId(1)).messages_delivered, 2);
+        assert_eq!(s.session(SessionId(1)).bytes_delivered, 200);
+        assert_eq!(s.session(SessionId(2)).messages_delivered, 1);
+        let (msgs, bytes) = s.sessions().fold((0, 0), |(m, b), (_, st)| {
+            (m + st.messages_delivered, b + st.bytes_delivered)
+        });
+        assert_eq!(msgs, s.messages_delivered);
+        assert_eq!(bytes, s.bytes_delivered);
     }
 
     #[test]

@@ -100,16 +100,17 @@ impl ChannelEndpoint {
     /// Panics if `to` is out of range.
     pub fn send_on(&self, session: SessionId, to: NodeId, payload: Bytes) {
         assert!(to.0 < self.peers.len(), "node {to} out of range");
+        let len = payload.len();
         self.stats
             .lock()
-            .record_send(session, self.id.0, to.0, payload.len(), SimTime::ZERO);
+            .record_send(session, self.id.0, to.0, len, SimTime::ZERO);
         let msg = ChannelMessage {
             session,
             from: self.id,
             payload,
         };
         if self.peers[to.0].send(msg).is_ok() {
-            self.stats.lock().messages_delivered += 1;
+            self.stats.lock().record_delivery(session, len);
         } else {
             self.stats.lock().messages_dropped += 1;
         }

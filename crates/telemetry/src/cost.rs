@@ -1,0 +1,243 @@
+//! Cost accounting primitives: the operation taxonomy behind the
+//! paper's relaxed-vs-classical efficiency argument (§3, §6).
+//!
+//! Instrumented call sites report individual operations through a
+//! [`CostSink`]; the default sink aggregates them into a [`CostVector`]
+//! attributed to the innermost active cost scope (normally one protocol
+//! session), so every session ends up with an exact op/byte/round
+//! budget.
+
+use std::fmt;
+
+/// One countable operation class.
+///
+/// Crypto kinds are charged by `dla-bigint`/`dla-crypto`, network kinds
+/// by `dla-net`, and `Round` by the protocol meters in `dla-mpc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Modular exponentiation (Montgomery or schoolbook).
+    ModExp,
+    /// Modular inverse (extended Euclid).
+    ModInverse,
+    /// One-way accumulator fold (§4.1).
+    AccumulatorFold,
+    /// Shamir polynomial evaluation (share issue).
+    ShamirEval,
+    /// Message handed to the transport.
+    MsgSent,
+    /// Payload bytes handed to the transport.
+    BytesSent,
+    /// Message delivered to a receiver (duplicates included).
+    MsgDelivered,
+    /// Frame resent by the reliable (ARQ) layer.
+    Retransmit,
+    /// Receive deadline expired in the reliable layer.
+    Timeout,
+    /// Protocol-defined communication round.
+    Round,
+}
+
+impl CostKind {
+    /// Stable lowercase identifier used by the JSON exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CostKind::ModExp => "modexp",
+            CostKind::ModInverse => "modinv",
+            CostKind::AccumulatorFold => "acc_fold",
+            CostKind::ShamirEval => "shamir_eval",
+            CostKind::MsgSent => "messages_sent",
+            CostKind::BytesSent => "bytes_sent",
+            CostKind::MsgDelivered => "messages_delivered",
+            CostKind::Retransmit => "retransmits",
+            CostKind::Timeout => "timeouts",
+            CostKind::Round => "rounds",
+        }
+    }
+}
+
+/// Aggregated operation counts for one attribution bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostVector {
+    /// Modular exponentiations.
+    pub modexp: u64,
+    /// Modular inverses.
+    pub modinv: u64,
+    /// Accumulator folds.
+    pub acc_fold: u64,
+    /// Shamir polynomial evaluations.
+    pub shamir_eval: u64,
+    /// Messages handed to the transport.
+    pub msgs_sent: u64,
+    /// Payload bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Messages delivered (duplicates included).
+    pub msgs_delivered: u64,
+    /// Frames resent by the reliable layer.
+    pub retransmits: u64,
+    /// Receive timeouts in the reliable layer.
+    pub timeouts: u64,
+    /// Protocol rounds.
+    pub rounds: u64,
+}
+
+impl CostVector {
+    /// Adds `amount` to the counter selected by `kind`.
+    pub fn add(&mut self, kind: CostKind, amount: u64) {
+        let slot = match kind {
+            CostKind::ModExp => &mut self.modexp,
+            CostKind::ModInverse => &mut self.modinv,
+            CostKind::AccumulatorFold => &mut self.acc_fold,
+            CostKind::ShamirEval => &mut self.shamir_eval,
+            CostKind::MsgSent => &mut self.msgs_sent,
+            CostKind::BytesSent => &mut self.bytes_sent,
+            CostKind::MsgDelivered => &mut self.msgs_delivered,
+            CostKind::Retransmit => &mut self.retransmits,
+            CostKind::Timeout => &mut self.timeouts,
+            CostKind::Round => &mut self.rounds,
+        };
+        *slot += amount;
+    }
+
+    /// Accumulates every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &CostVector) {
+        self.modexp += other.modexp;
+        self.modinv += other.modinv;
+        self.acc_fold += other.acc_fold;
+        self.shamir_eval += other.shamir_eval;
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_delivered += other.msgs_delivered;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.rounds += other.rounds;
+    }
+
+    /// True when every counter is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == CostVector::default()
+    }
+
+    /// `(label, value)` pairs in a stable order, for exporters.
+    #[must_use]
+    pub fn entries(&self) -> [(&'static str, u64); 10] {
+        [
+            ("modexp", self.modexp),
+            ("modinv", self.modinv),
+            ("acc_fold", self.acc_fold),
+            ("shamir_eval", self.shamir_eval),
+            ("messages_sent", self.msgs_sent),
+            ("bytes_sent", self.bytes_sent),
+            ("messages_delivered", self.msgs_delivered),
+            ("retransmits", self.retransmits),
+            ("timeouts", self.timeouts),
+            ("rounds", self.rounds),
+        ]
+    }
+}
+
+impl fmt::Display for CostVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (label, value) in self.entries() {
+            if value != 0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{label}={value}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(zero)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Destination for individual cost records.
+///
+/// Instrumented crates are written against this trait so the
+/// accounting backend can be swapped; [`ThreadSink`] routes into the
+/// per-thread collector of the active [`Recorder`](crate::Recorder),
+/// [`NoopSink`] discards everything (the disabled default).
+pub trait CostSink {
+    /// Records `amount` operations of class `kind`.
+    fn record_cost(&self, kind: CostKind, amount: u64);
+}
+
+/// Sink that discards every record — the off-by-default path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl CostSink for NoopSink {
+    fn record_cost(&self, _kind: CostKind, _amount: u64) {}
+}
+
+/// Sink that forwards to the recorder installed on the calling thread
+/// (a no-op when none is installed). This is what
+/// [`record`](crate::record) uses under the hood.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadSink;
+
+impl CostSink for ThreadSink {
+    fn record_cost(&self, kind: CostKind, amount: u64) {
+        crate::record(kind, amount);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_routes_every_kind_to_its_counter() {
+        let kinds = [
+            CostKind::ModExp,
+            CostKind::ModInverse,
+            CostKind::AccumulatorFold,
+            CostKind::ShamirEval,
+            CostKind::MsgSent,
+            CostKind::BytesSent,
+            CostKind::MsgDelivered,
+            CostKind::Retransmit,
+            CostKind::Timeout,
+            CostKind::Round,
+        ];
+        let mut v = CostVector::default();
+        for (i, kind) in kinds.iter().enumerate() {
+            v.add(*kind, (i + 1) as u64);
+        }
+        let values: Vec<u64> = v.entries().iter().map(|(_, n)| *n).collect();
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert!(!v.is_zero());
+    }
+
+    #[test]
+    fn merge_is_componentwise_addition() {
+        let mut a = CostVector::default();
+        a.add(CostKind::ModExp, 3);
+        a.add(CostKind::BytesSent, 100);
+        let mut b = CostVector::default();
+        b.add(CostKind::ModExp, 2);
+        b.add(CostKind::Round, 1);
+        a.merge(&b);
+        assert_eq!(a.modexp, 5);
+        assert_eq!(a.bytes_sent, 100);
+        assert_eq!(a.rounds, 1);
+    }
+
+    #[test]
+    fn display_skips_zero_counters() {
+        let mut v = CostVector::default();
+        v.add(CostKind::ModExp, 7);
+        assert_eq!(v.to_string(), "modexp=7");
+        assert_eq!(CostVector::default().to_string(), "(zero)");
+    }
+
+    #[test]
+    fn noop_sink_accepts_records() {
+        NoopSink.record_cost(CostKind::ModExp, 1_000_000);
+    }
+}

@@ -22,6 +22,8 @@
 //!   baselines.
 //! * [`audit`] — the DLA cluster core: query processing, integrity
 //!   checking, membership and confidentiality metrics.
+//! * [`telemetry`] — virtual-time span tracing, crypto/network cost
+//!   accounting and the tamper-evident meta-audit journal.
 //!
 //! # Quickstart
 //!
@@ -48,3 +50,4 @@ pub use dla_crypto as crypto;
 pub use dla_logstore as logstore;
 pub use dla_mpc as mpc;
 pub use dla_net as net;
+pub use dla_telemetry as telemetry;
