@@ -31,6 +31,39 @@ cargo run --release -p dla-bench --bin exp_fault_recovery -- --quick >/dev/null
 echo "==> exp_cost_profile --quick"
 cargo run --release -p dla-bench --bin exp_cost_profile -- --quick >/dev/null
 
+echo "==> exp_crypto_hotpath --quick (asserts windowed beats binary)"
+cargo run --release -p dla-bench --bin exp_crypto_hotpath -- --quick >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .experiment == "crypto_hotpath"
+        and (.cells | length == 12)
+        and (.cells | all(has("elapsed_ms") and has("modexp")
+                          and has("mont_mul_steps") and has("modexp_per_sec")))
+        and ([.cells[] | select(.exp == "windowed" and .qr == "jacobi"
+                                and .batch == "serial")][0].modexp_per_sec
+             > [.cells[] | select(.exp == "binary" and .qr == "jacobi"
+                                  and .batch == "serial")][0].modexp_per_sec)
+    ' BENCH_crypto_hotpath.json >/dev/null
+else
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_crypto_hotpath.json"))
+assert d["experiment"] == "crypto_hotpath"
+cells = d["cells"]
+assert len(cells) == 12
+for c in cells:
+    for key in ("elapsed_ms", "modexp", "mont_mul_steps", "modexp_per_sec"):
+        assert key in c, key
+pick = lambda e, q, b: next(
+    c for c in cells if (c["exp"], c["qr"], c["batch"]) == (e, q, b)
+)
+assert (
+    pick("windowed", "jacobi", "serial")["modexp_per_sec"]
+    > pick("binary", "jacobi", "serial")["modexp_per_sec"]
+), "windowed modexp throughput must strictly beat binary"
+PY
+fi
+
 echo "==> chrome-trace export validates as JSON"
 cargo run --release --example telemetry_trace >/dev/null
 if command -v jq >/dev/null 2>&1; then

@@ -5,7 +5,7 @@
 use crate::AuditError;
 use dla_bigint::Ubig;
 use dla_crypto::accumulator::AccumulatorParams;
-use dla_crypto::pohlig_hellman::CommutativeDomain;
+use dla_crypto::pohlig_hellman::{BatchMode, CommutativeDomain};
 use dla_crypto::schnorr::{SchnorrGroup, SchnorrKeyPair};
 use dla_logstore::acl::{OperationSet, Ticket, TicketAuthority};
 use dla_logstore::fragment::{fragment, Fragment, Partition};
@@ -47,6 +47,11 @@ pub struct ClusterConfig {
     /// copy at log time, enabling [`DlaCluster::rereplicate`] after a
     /// node loss. Off by default (costs one extra message per fragment).
     pub standby_replication: bool,
+    /// How ring protocols push each hop's element set through the
+    /// commutative cipher. Serial by default; `Pooled` spreads the
+    /// exponentiations over worker threads without changing a byte of
+    /// any transcript.
+    pub batch_mode: BatchMode,
 }
 
 impl ClusterConfig {
@@ -63,6 +68,7 @@ impl ClusterConfig {
             capture_payloads: false,
             journal_dir: None,
             standby_replication: false,
+            batch_mode: BatchMode::Serial,
         }
     }
 
@@ -108,6 +114,15 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_journal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Selects the crypto batch mode for ring protocols (default
+    /// [`BatchMode::Serial`]). Answers, transcripts and telemetry op
+    /// totals are identical in every mode.
+    #[must_use]
+    pub fn with_batch_mode(mut self, batch_mode: BatchMode) -> Self {
+        self.batch_mode = batch_mode;
         self
     }
 
@@ -166,6 +181,7 @@ pub struct ClusterCtx {
     group: SchnorrGroup,
     domain: CommutativeDomain,
     acc_params: AccumulatorParams,
+    batch_mode: BatchMode,
 }
 
 impl ClusterCtx {
@@ -197,6 +213,12 @@ impl ClusterCtx {
     #[must_use]
     pub fn accumulator_params(&self) -> &AccumulatorParams {
         &self.acc_params
+    }
+
+    /// The configured crypto batch mode for ring protocols.
+    #[must_use]
+    pub fn batch_mode(&self) -> BatchMode {
+        self.batch_mode
     }
 }
 
@@ -425,6 +447,7 @@ impl DlaCluster {
                 group,
                 domain: CommutativeDomain::fixed_256(),
                 acc_params,
+                batch_mode: config.batch_mode,
             }),
             nodes,
             net: SharedNet::new(net),

@@ -314,6 +314,7 @@ pub fn execute_on(
     let session = Session::new(transport, combine_session);
     let outcome = SsiSession::new(session, &ring, cluster.domain(), cluster.auditor_node())
         .reveal(reveal)
+        .batch(cluster.ctx().batch_mode())
         .run(&inputs, &mut rng)
         .map_err(AuditError::Mpc)?;
     reports.push(outcome.report.clone());
@@ -694,6 +695,7 @@ fn execute_cross(
         .collect();
     let ring = Ring::new(contributing.iter().map(|&n| NodeId(n)).collect());
     let outcome = UnionSession::new(*session, &ring, cluster.domain(), NodeId(holder))
+        .batch(cluster.ctx().batch_mode())
         .run(&inputs, rng)
         .map_err(AuditError::Mpc)?;
     reports.push(outcome.report.clone());
@@ -743,6 +745,7 @@ fn equality_join(
     let ring = Ring::new(vec![NodeId(left_node), NodeId(right_node)]);
     let outcome = SsiSession::new(*session, &ring, cluster.domain(), NodeId(left_node))
         .reveal(true)
+        .batch(cluster.ctx().batch_mode())
         .run(&[left_items, right_items], rng)
         .map_err(AuditError::Mpc)?;
     reports.push(outcome.report.clone());
@@ -769,6 +772,7 @@ fn equality_join(
     let ring = Ring::new(vec![NodeId(left_node), NodeId(right_node)]);
     let presence = SsiSession::new(*session, &ring, cluster.domain(), NodeId(left_node))
         .reveal(true)
+        .batch(cluster.ctx().batch_mode())
         .run(&[left_presence, right_presence], rng)
         .map_err(AuditError::Mpc)?;
     reports.push(presence.report.clone());

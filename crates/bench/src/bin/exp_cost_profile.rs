@@ -72,8 +72,8 @@ fn json_entry(p: &Profile) -> String {
     format!(
         concat!(
             "    {{\"protocol\": \"{}\", \"parties\": {}, \"rounds\": {}, ",
-            "\"messages\": {}, \"bytes\": {}, \"modexp\": {}, \"modinv\": {}, ",
-            "\"accumulator_folds\": {}, \"shamir_evals\": {}, ",
+            "\"messages\": {}, \"bytes\": {}, \"modexp\": {}, \"mont_mul_steps\": {}, ",
+            "\"modinv\": {}, \"accumulator_folds\": {}, \"shamir_evals\": {}, ",
             "\"telemetry_rounds\": {}, \"telemetry_msgs\": {}}}"
         ),
         p.label,
@@ -82,6 +82,7 @@ fn json_entry(p: &Profile) -> String {
         p.report.messages,
         p.report.bytes,
         p.costs.modexp,
+        p.costs.mont_mul_steps,
         p.costs.modinv,
         p.costs.acc_fold,
         p.costs.shamir_eval,
@@ -193,6 +194,7 @@ fn main() {
                 p.report.messages.to_string(),
                 p.report.bytes.to_string(),
                 p.costs.modexp.to_string(),
+                p.costs.mont_mul_steps.to_string(),
                 p.costs.modinv.to_string(),
                 p.costs.shamir_eval.to_string(),
             ]
@@ -205,7 +207,17 @@ fn main() {
                 "P9 - PER-PROTOCOL COST PROFILE ({n} parties, {set_size}-element sets{})",
                 if quick { ", quick" } else { "" }
             ),
-            &["protocol", "parties", "rounds", "messages", "bytes", "modexp", "modinv", "shamir",],
+            &[
+                "protocol",
+                "parties",
+                "rounds",
+                "messages",
+                "bytes",
+                "modexp",
+                "mont_steps",
+                "modinv",
+                "shamir",
+            ],
             &rows
         )
     );

@@ -1,0 +1,174 @@
+//! The Jacobi symbol `(a/n)` by the binary algorithm.
+//!
+//! The commutative-cipher message encoding probes candidate values for
+//! quadratic residuosity mod a safe prime `p` (see
+//! `dla_crypto::pohlig_hellman::CommutativeDomain::encode`). The Euler
+//! criterion answers that with a full exponent-`(p−1)/2` modexp —
+//! hundreds of Montgomery multiplications *per pad-byte probe*. For a
+//! prime modulus the Jacobi symbol gives the identical answer in
+//! O(bits²) word operations: `(a/p) = 1 ⇔ a` is a quadratic residue
+//! mod `p` (for `a` coprime to `p`), at roughly the cost of a single
+//! gcd.
+//!
+//! The implementation is the classic reduction by quadratic
+//! reciprocity: strip factors of two (flipping the sign when
+//! `n ≡ ±3 mod 8`), swap (flipping when both are `≡ 3 mod 4`), reduce,
+//! repeat.
+
+use crate::Ubig;
+
+/// Computes the Jacobi symbol `(a/n)` for odd `n ≥ 1`: `1`, `-1`, or
+/// `0` when `gcd(a, n) ≠ 1`.
+///
+/// For an odd *prime* `n` this equals the Legendre symbol, so
+/// `jacobi(a, p) == 1` iff `a` is a quadratic residue mod `p` (and `0`
+/// iff `p | a`) — the drop-in replacement for an Euler-criterion
+/// modexp.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+///
+/// # Examples
+///
+/// ```
+/// use dla_bigint::{jacobi::jacobi, modular, Ubig};
+///
+/// let p = Ubig::from_u64(1_000_000_007);
+/// let a = Ubig::from_u64(34);
+/// let sq = modular::modmul(&a, &a, &p);
+/// assert_eq!(jacobi(&sq, &p), 1); // squares are residues
+/// assert_eq!(jacobi(&Ubig::zero(), &p), 0);
+/// ```
+#[must_use]
+pub fn jacobi(a: &Ubig, n: &Ubig) -> i8 {
+    assert!(
+        !n.is_zero() && !n.is_even(),
+        "jacobi: modulus must be odd and positive"
+    );
+    let mut a = a % n;
+    let mut n = n.clone();
+    let mut t = 1i8;
+    while !a.is_zero() {
+        // Strip factors of two; each one contributes (2/n), which is
+        // -1 exactly when n ≡ 3 or 5 (mod 8).
+        let tz = trailing_zeros(&a);
+        if tz > 0 {
+            a = a >> tz;
+            if tz % 2 == 1 {
+                let n_mod_8 = n.limbs()[0] & 7;
+                if n_mod_8 == 3 || n_mod_8 == 5 {
+                    t = -t;
+                }
+            }
+        }
+        // Quadratic reciprocity: swapping odd a and n flips the sign
+        // iff both are ≡ 3 (mod 4).
+        if (a.limbs()[0] & 3 == 3) && (n.limbs()[0] & 3 == 3) {
+            t = -t;
+        }
+        std::mem::swap(&mut a, &mut n);
+        a = &a % &n;
+    }
+    if n.is_one() {
+        t
+    } else {
+        0
+    }
+}
+
+/// Number of trailing zero bits of a non-zero value.
+fn trailing_zeros(v: &Ubig) -> usize {
+    debug_assert!(!v.is_zero());
+    let limbs = v.limbs();
+    let mut zeros = 0usize;
+    for &limb in limbs {
+        if limb == 0 {
+            zeros += 64;
+        } else {
+            zeros += limb.trailing_zeros() as usize;
+            break;
+        }
+    }
+    zeros
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular;
+    use rand::SeedableRng;
+
+    /// Euler-criterion reference: for odd prime p,
+    /// a^((p-1)/2) mod p ∈ {0, 1, p-1} ↦ {0, 1, -1}.
+    fn euler(a: &Ubig, p: &Ubig) -> i8 {
+        let e = (p - &Ubig::one()) >> 1;
+        let r = modular::modexp(a, &e, p);
+        if r.is_zero() {
+            0
+        } else if r.is_one() {
+            1
+        } else {
+            -1
+        }
+    }
+
+    #[test]
+    fn matches_euler_criterion_on_small_primes() {
+        for p in [3u64, 5, 7, 11, 13, 1_000_000_007] {
+            let p = Ubig::from_u64(p);
+            for a in 0..40u64 {
+                let a = Ubig::from_u64(a);
+                assert_eq!(jacobi(&a, &p), euler(&a, &p), "a={a} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_euler_criterion_on_multi_limb_primes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        // Mersenne primes 2^89-1, 2^107-1, 2^127-1.
+        for bits in [89u32, 107, 127] {
+            let p = (Ubig::one() << bits as usize) - Ubig::one();
+            for _ in 0..25 {
+                let a = Ubig::random_below(&mut rng, &p);
+                assert_eq!(jacobi(&a, &p), euler(&a, &p), "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_modulus_detects_shared_factors() {
+        // (a/n) = 0 iff gcd(a, n) > 1.
+        let n = Ubig::from_u64(15);
+        assert_eq!(jacobi(&Ubig::from_u64(3), &n), 0);
+        assert_eq!(jacobi(&Ubig::from_u64(5), &n), 0);
+        assert_eq!(jacobi(&Ubig::from_u64(2), &n), 1);
+        assert_eq!(jacobi(&Ubig::from_u64(7), &n), -1);
+    }
+
+    #[test]
+    fn multiplicativity_in_the_numerator() {
+        let p = Ubig::from_u64(101);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let a = Ubig::random_range(&mut rng, &Ubig::one(), &p);
+            let b = Ubig::random_range(&mut rng, &Ubig::one(), &p);
+            let ab = modular::modmul(&a, &b, &p);
+            assert_eq!(jacobi(&ab, &p), jacobi(&a, &p) * jacobi(&b, &p));
+        }
+    }
+
+    #[test]
+    fn unreduced_numerator_is_reduced_first() {
+        let p = Ubig::from_u64(97);
+        let a = Ubig::from_u64(5 + 97 * 12);
+        assert_eq!(jacobi(&a, &p), jacobi(&Ubig::from_u64(5), &p));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_panics() {
+        let _ = jacobi(&Ubig::from_u64(3), &Ubig::from_u64(8));
+    }
+}

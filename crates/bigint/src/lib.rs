@@ -30,6 +30,7 @@
 //! ```
 
 pub mod field;
+pub mod jacobi;
 pub mod modular;
 pub mod montgomery;
 pub mod prime;

@@ -4,13 +4,33 @@
 //! fixed odd modulus (the safe prime `p` or the RSA modulus `n`), so
 //! exponentiation cost is the system's CPU budget. Montgomery REDC
 //! replaces the per-step division of schoolbook reduction with two
-//! multiplications and a shift, roughly tripling `modexp` throughput at
-//! the 256–512-bit sizes used here (see the `bigint` bench in
-//! `dla-bench` for the measured ablation).
+//! multiplications and a shift, and this module layers three further
+//! optimisations on top (see `DESIGN.md` §11 and the
+//! `exp_crypto_hotpath` bench for the measured ablation):
+//!
+//! * **Scratch-buffer CIOS** — every multiplication step of an
+//!   exponentiation runs through one reusable [`Scratch`] workspace,
+//!   so a 256-bit [`MontgomeryContext::modexp`] performs no per-step
+//!   heap allocations (the old path allocated one vector per
+//!   `mont_mul`, ~380 for a 256-bit exponent).
+//! * **Dedicated squaring** — `mont_sqr_assign` exploits the symmetry
+//!   of `a·a` (half the limb products of a general multiply followed
+//!   by one REDC pass); ~80 % of exponentiation steps are squarings.
+//! * **Sliding-window exponentiation** — a 4–5-bit window with an
+//!   odd-powers table cuts the number of general multiplies from
+//!   ~`bits/2` to ~`bits/(w+1)`; the bit-at-a-time path remains as
+//!   [`MontgomeryContext::modexp_binary`] for the ablation baseline,
+//!   and [`crate::modular::modexp_schoolbook`] stays the
+//!   differential-test oracle.
 //!
 //! [`crate::modular::modexp`] uses a [`MontgomeryContext`]
 //! automatically whenever the modulus is odd and large enough to
 //! benefit; the schoolbook path remains for even moduli.
+//!
+//! Real work is also *accounted*: besides the per-call
+//! `CostKind::ModExp` record, every exponentiation reports its
+//! multiplication/squaring step count as `CostKind::MontMulStep`, so
+//! telemetry can distinguish a 3-bit from a 512-bit exponentiation.
 
 use crate::Ubig;
 
@@ -25,6 +45,70 @@ pub struct MontgomeryContext {
     r2: Vec<u64>,
     /// `1` in Montgomery form (`R mod n`).
     one_mont: Vec<u64>,
+}
+
+/// Reusable workspace for a run of Montgomery operations: one CIOS
+/// accumulator and one double-width squaring buffer. Thread one
+/// `Scratch` through a whole exponentiation (or a whole batch) and no
+/// step allocates.
+struct Scratch {
+    /// CIOS accumulator, `k + 2` limbs.
+    t: Vec<u64>,
+    /// Double-width product buffer for squaring, `2k + 1` limbs.
+    wide: Vec<u64>,
+}
+
+/// One step of a precomputed window plan: the sequence of squarings
+/// and odd-power multiplications that evaluates a fixed exponent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExpOp {
+    /// `acc ← acc²`.
+    Square,
+    /// `acc ← acc · base^(2i+1)` (index into the odd-powers table).
+    Multiply(usize),
+}
+
+/// Window width for a given exponent size: wide enough that the
+/// odd-powers table pays for itself, never wider than 5 bits.
+fn window_width(exp_bits: usize) -> usize {
+    match exp_bits {
+        0..=24 => 1,
+        25..=80 => 3,
+        81..=240 => 4,
+        _ => 5,
+    }
+}
+
+/// Decomposes `exp` into a left-to-right sliding-window plan with
+/// `w`-bit windows anchored on odd values. Depends only on the
+/// exponent, so one plan is shared across a whole batch.
+fn window_plan(exp: &Ubig, w: usize) -> Vec<ExpOp> {
+    let bits = exp.bit_len();
+    let mut ops = Vec::with_capacity(bits + bits / w.max(1) + 1);
+    let mut i = bits as isize - 1;
+    while i >= 0 {
+        if !exp.bit(i as usize) {
+            ops.push(ExpOp::Square);
+            i -= 1;
+            continue;
+        }
+        // Longest window ending at an odd (set) low bit.
+        let mut l = (i - (w as isize - 1)).max(0);
+        while !exp.bit(l as usize) {
+            l += 1;
+        }
+        for _ in l..=i {
+            ops.push(ExpOp::Square);
+        }
+        let mut val = 0u64;
+        for b in (l..=i).rev() {
+            val = (val << 1) | u64::from(exp.bit(b as usize));
+        }
+        debug_assert_eq!(val & 1, 1, "window anchored on a set bit");
+        ops.push(ExpOp::Multiply(((val - 1) / 2) as usize));
+        i = l - 1;
+    }
+    ops
 }
 
 impl MontgomeryContext {
@@ -64,12 +148,21 @@ impl MontgomeryContext {
         self.n.len()
     }
 
-    /// Montgomery product: `REDC(a · b) = a·b·R⁻¹ mod n`.
-    /// Operands are `k`-limb Montgomery-form values.
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    fn scratch(&self) -> Scratch {
         let k = self.k();
-        // CIOS (coarsely integrated operand scanning).
-        let mut t = vec![0u64; k + 2];
+        Scratch {
+            t: vec![0u64; k + 2],
+            wide: vec![0u64; 2 * k + 1],
+        }
+    }
+
+    /// Montgomery product `a ← REDC(a · b) = a·b·R⁻¹ mod n` via CIOS
+    /// (coarsely integrated operand scanning) through the scratch
+    /// accumulator — no allocation.
+    fn mont_mul_assign(&self, a: &mut [u64], b: &[u64], s: &mut Scratch) {
+        let k = self.k();
+        let t = &mut s.t;
+        t.iter_mut().for_each(|x| *x = 0);
         for &ai in a.iter() {
             // t += ai * b
             let mut carry: u128 = 0;
@@ -95,14 +188,111 @@ impl MontgomeryContext {
             t[k] = t[k + 1] + ((cur >> 64) as u64);
             t[k + 1] = 0;
         }
-        t.truncate(k + 1);
 
         // Conditional subtraction: t may be in [0, 2n).
         if t[k] != 0 || ge(&t[..k], &self.n) {
-            sub_in_place(&mut t, &self.n);
+            sub_in_place(&mut t[..=k], &self.n);
         }
-        t.truncate(k);
-        t
+        a.copy_from_slice(&t[..k]);
+    }
+
+    /// Dedicated Montgomery squaring `a ← REDC(a²)`: the symmetric
+    /// half of the limb products is computed once and doubled, then a
+    /// single separated REDC pass reduces the double-width product.
+    fn mont_sqr_assign(&self, a: &mut [u64], s: &mut Scratch) {
+        let k = self.k();
+        let w = &mut s.wide;
+        w.iter_mut().for_each(|x| *x = 0);
+
+        // Off-diagonal products a[i]·a[j] for i < j.
+        for i in 0..k {
+            let mut carry: u128 = 0;
+            for j in (i + 1)..k {
+                let cur = u128::from(w[i + j]) + u128::from(a[i]) * u128::from(a[j]) + carry;
+                w[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            // Slot i + k is untouched by earlier iterations.
+            w[i + k] = carry as u64;
+        }
+
+        // Double the off-diagonal sum and add the diagonal squares.
+        let mut carry: u128 = 0;
+        for slot in 0..2 * k {
+            let mut cur = (u128::from(w[slot]) << 1) + carry;
+            let d = u128::from(a[slot / 2]) * u128::from(a[slot / 2]);
+            cur += if slot % 2 == 0 {
+                d & u128::from(u64::MAX)
+            } else {
+                d >> 64
+            };
+            w[slot] = cur as u64;
+            carry = cur >> 64;
+        }
+        debug_assert_eq!(carry, 0, "a² fits in 2k limbs for a < n");
+
+        // Separated REDC of the 2k-limb product.
+        w[2 * k] = 0;
+        for i in 0..k {
+            let m = w[i].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = u128::from(w[i + j]) + u128::from(m) * u128::from(self.n[j]) + carry;
+                w[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 && idx <= 2 * k {
+                let cur = u128::from(w[idx]) + carry;
+                w[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+            debug_assert_eq!(carry, 0, "REDC carry escapes the buffer");
+        }
+        if w[2 * k] != 0 || ge(&w[k..2 * k], &self.n) {
+            sub_in_place(&mut w[k..=2 * k], &self.n);
+        }
+        a.copy_from_slice(&s.wide[k..2 * k]);
+    }
+
+    /// Montgomery reduction of a `k`-limb value: `a ← a·R⁻¹ mod n`
+    /// (conversion out of Montgomery form; a half-cost `mont_mul` by
+    /// one).
+    fn redc_assign(&self, a: &mut [u64], s: &mut Scratch) {
+        let k = self.k();
+        let w = &mut s.wide;
+        w.iter_mut().for_each(|x| *x = 0);
+        w[..k].copy_from_slice(a);
+        for i in 0..k {
+            let m = w[i].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = u128::from(w[i + j]) + u128::from(m) * u128::from(self.n[j]) + carry;
+                w[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 && idx <= 2 * k {
+                let cur = u128::from(w[idx]) + carry;
+                w[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        if w[2 * k] != 0 || ge(&w[k..2 * k], &self.n) {
+            sub_in_place(&mut w[k..=2 * k], &self.n);
+        }
+        a.copy_from_slice(&s.wide[k..2 * k]);
+    }
+
+    /// Montgomery product: `REDC(a · b) = a·b·R⁻¹ mod n` (allocating
+    /// convenience used by setup paths and the binary baseline).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut s = self.scratch();
+        let mut out = a.to_vec();
+        self.mont_mul_assign(&mut out, b, &mut s);
+        out
     }
 
     /// Converts into Montgomery form: `a·R mod n`.
@@ -111,44 +301,172 @@ impl MontgomeryContext {
         self.mont_mul(&pad(&reduced, self.k()), &self.r2)
     }
 
-    /// Converts out of Montgomery form.
-    #[allow(clippy::wrong_self_convention)]
-    fn from_mont(&self, a: &[u64]) -> Ubig {
-        let mut one = vec![0u64; self.k()];
-        one[0] = 1;
-        Ubig::from_limbs(self.mont_mul(a, &one))
-    }
-
     fn modulus_ubig(&self) -> Ubig {
         Ubig::from_limbs(self.n.clone())
     }
 
-    /// `base^exp mod n` by left-to-right square-and-multiply in
-    /// Montgomery form.
+    /// `base^exp mod n` by sliding-window exponentiation in Montgomery
+    /// form — the default, fastest path. Window width adapts to the
+    /// exponent size (up to 5 bits; see [`window_width`]).
     #[must_use]
     pub fn modexp(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        self.modexp_windowed(base, exp, window_width(exp.bit_len()))
+    }
+
+    /// `base^exp mod n` with an explicit window width in `1..=6` —
+    /// exposed for differential tests and the ablation bench; prefer
+    /// [`Self::modexp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is outside `1..=6`.
+    #[must_use]
+    pub fn modexp_windowed(&self, base: &Ubig, exp: &Ubig, window: usize) -> Ubig {
+        assert!((1..=6).contains(&window), "window width must be in 1..=6");
         dla_telemetry::record(dla_telemetry::CostKind::ModExp, 1);
         if exp.is_zero() {
             return Ubig::one() % &self.modulus_ubig();
         }
+        let plan = window_plan(exp, window);
+        let mut s = self.scratch();
+        let (out, steps) = self.run_plan(base, &plan, window, &mut s);
+        dla_telemetry::record(dla_telemetry::CostKind::MontMulStep, steps);
+        out
+    }
+
+    /// Evaluates one precomputed window plan for one base, reusing the
+    /// caller's scratch. Returns the result and the number of
+    /// multiplication/squaring steps performed.
+    fn run_plan(&self, base: &Ubig, plan: &[ExpOp], window: usize, s: &mut Scratch) -> (Ubig, u64) {
+        let k = self.k();
+        let mut steps = 0u64;
+        // Convert into Montgomery form through the shared scratch.
+        let mut base_m = pad(&(base % &self.modulus_ubig()), k);
+        self.mont_mul_assign(&mut base_m, &self.r2, s);
+        steps += 1;
+
+        // Odd-powers table: table[i] = base^(2i+1) in Montgomery form.
+        let table_len = 1usize << (window - 1);
+        let mut table = Vec::with_capacity(table_len);
+        table.push(base_m);
+        if table_len > 1 {
+            let mut sq = table[0].clone();
+            self.mont_sqr_assign(&mut sq, s);
+            steps += 1;
+            for i in 1..table_len {
+                let mut next = table[i - 1].clone();
+                self.mont_mul_assign(&mut next, &sq, s);
+                steps += 1;
+                table.push(next);
+            }
+        }
+
+        let mut acc = vec![0u64; k];
+        // Until the first multiply the accumulator is 1; skip its
+        // squarings instead of squaring the identity.
+        let mut started = false;
+        for op in plan {
+            match *op {
+                ExpOp::Square => {
+                    if started {
+                        self.mont_sqr_assign(&mut acc, s);
+                        steps += 1;
+                    }
+                }
+                ExpOp::Multiply(idx) => {
+                    if started {
+                        self.mont_mul_assign(&mut acc, &table[idx], s);
+                        steps += 1;
+                    } else {
+                        acc.copy_from_slice(&table[idx]);
+                        started = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(started, "non-zero exponent always multiplies");
+        self.redc_assign(&mut acc, s);
+        steps += 1; // conversion out of Montgomery form
+        (Ubig::from_limbs(acc), steps)
+    }
+
+    /// `base^exp mod n` by the classic bit-at-a-time square-and-multiply,
+    /// allocating per step — retained as the pre-windowed baseline the
+    /// `exp_crypto_hotpath` ablation measures against.
+    #[must_use]
+    pub fn modexp_binary(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        dla_telemetry::record(dla_telemetry::CostKind::ModExp, 1);
+        if exp.is_zero() {
+            return Ubig::one() % &self.modulus_ubig();
+        }
+        let mut steps = 1u64; // to_mont
         let base_m = self.to_mont(base);
         let mut acc = self.one_mont.clone();
         for i in (0..exp.bit_len()).rev() {
             acc = self.mont_mul(&acc, &acc);
+            steps += 1;
             if exp.bit(i) {
                 acc = self.mont_mul(&acc, &base_m);
+                steps += 1;
             }
         }
-        self.from_mont(&acc)
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        let out = Ubig::from_limbs(self.mont_mul(&acc, &one));
+        steps += 1;
+        dla_telemetry::record(dla_telemetry::CostKind::MontMulStep, steps);
+        out
     }
 
-    /// `a · b mod n` through Montgomery form (three REDC passes; only
-    /// worthwhile when amortized — [`Self::modexp`] is the hot path).
+    /// `base^exp mod n` for every base in `bases`, sharing one window
+    /// plan and one scratch workspace across the whole batch — the
+    /// per-element cost of a travelling-set encryption drops to table
+    /// build + plan replay, with zero per-step allocation.
+    ///
+    /// Telemetry parity: records exactly the same `ModExp` and
+    /// `MontMulStep` counts as element-at-a-time [`Self::modexp`]
+    /// calls would, so batched and serial protocol runs stay
+    /// cost-indistinguishable.
+    #[must_use]
+    pub fn modexp_batch(&self, bases: &[Ubig], exp: &Ubig) -> Vec<Ubig> {
+        if bases.is_empty() {
+            return Vec::new();
+        }
+        dla_telemetry::record(dla_telemetry::CostKind::ModExp, bases.len() as u64);
+        if exp.is_zero() {
+            let one = Ubig::one() % &self.modulus_ubig();
+            return bases.iter().map(|_| one.clone()).collect();
+        }
+        let window = window_width(exp.bit_len());
+        let plan = window_plan(exp, window);
+        let mut s = self.scratch();
+        let mut total_steps = 0u64;
+        let out = bases
+            .iter()
+            .map(|base| {
+                let (r, steps) = self.run_plan(base, &plan, window, &mut s);
+                total_steps += steps;
+                r
+            })
+            .collect();
+        dla_telemetry::record(dla_telemetry::CostKind::MontMulStep, total_steps);
+        out
+    }
+
+    /// `a · b mod n` through Montgomery form. Two REDC passes on a
+    /// borrowed scratch (multiply once to reach `a·b·R⁻¹`, multiply by
+    /// `R²` to land on `a·b`) — down from the three passes plus two
+    /// `to_mont` allocations of the old path.
     #[must_use]
     pub fn modmul(&self, a: &Ubig, b: &Ubig) -> Ubig {
-        let am = self.to_mont(a);
-        let bm = self.to_mont(b);
-        self.from_mont(&self.mont_mul(&am, &bm))
+        let modulus = self.modulus_ubig();
+        let k = self.k();
+        let mut s = self.scratch();
+        let mut acc = pad(&(a % &modulus), k);
+        let br = pad(&(b % &modulus), k);
+        self.mont_mul_assign(&mut acc, &br, &mut s);
+        self.mont_mul_assign(&mut acc, &self.r2, &mut s);
+        Ubig::from_limbs(acc)
     }
 }
 
@@ -250,6 +568,104 @@ mod tests {
     }
 
     #[test]
+    fn windowed_binary_and_schoolbook_agree_across_window_widths() {
+        let mut rng = rng();
+        for bits in [65usize, 200, 384] {
+            let mut n = Ubig::random_bits(&mut rng, bits);
+            if n.is_even() {
+                n = n + Ubig::one();
+            }
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            for _ in 0..5 {
+                let base = Ubig::random_below(&mut rng, &n);
+                let exp = Ubig::random_bits(&mut rng, bits - 1);
+                let oracle = modular::modexp_schoolbook(&base, &exp, &n);
+                assert_eq!(ctx.modexp_binary(&base, &exp), oracle, "binary bits={bits}");
+                for w in 1..=6 {
+                    assert_eq!(
+                        ctx.modexp_windowed(&base, &exp, w),
+                        oracle,
+                        "window={w} bits={bits}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_element_at_a_time() {
+        let mut rng = rng();
+        let n = (Ubig::one() << 255) - Ubig::from_u64(19);
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let exp = Ubig::random_bits(&mut rng, 254);
+        let bases: Vec<Ubig> = (0..9).map(|_| Ubig::random_below(&mut rng, &n)).collect();
+        let batched = ctx.modexp_batch(&bases, &exp);
+        let serial: Vec<Ubig> = bases.iter().map(|b| ctx.modexp(b, &exp)).collect();
+        assert_eq!(batched, serial);
+        assert!(ctx.modexp_batch(&[], &exp).is_empty());
+        // Zero exponent batch: all ones.
+        let zeros = ctx.modexp_batch(&bases, &Ubig::zero());
+        assert!(zeros.iter().all(Ubig::is_one));
+    }
+
+    #[test]
+    fn windowed_reports_fewer_steps_than_binary() {
+        // The telemetry fidelity contract: same answers, strictly less
+        // accounted work on the windowed path.
+        let mut rng = rng();
+        let n = Ubig::from_hex("a9eeab19c760f86c872f1c471c52157db42be1aefe645387366720155ee9a6d3")
+            .unwrap();
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let base = Ubig::random_below(&mut rng, &n);
+        let exp = Ubig::random_bits(&mut rng, 255);
+
+        let steps_of = |f: &dyn Fn() -> Ubig| -> (Ubig, u64) {
+            let recorder = dla_telemetry::Recorder::new();
+            let out = {
+                let _install = recorder.install();
+                f()
+            };
+            (out, recorder.take().total_cost().mont_mul_steps)
+        };
+        let (a, binary_steps) = steps_of(&|| ctx.modexp_binary(&base, &exp));
+        let (b, windowed_steps) = steps_of(&|| ctx.modexp(&base, &exp));
+        assert_eq!(a, b);
+        assert!(binary_steps > 0 && windowed_steps > 0);
+        assert!(
+            windowed_steps < binary_steps,
+            "windowed {windowed_steps} must beat binary {binary_steps}"
+        );
+    }
+
+    #[test]
+    fn batch_telemetry_counts_match_serial_counts() {
+        let mut rng = rng();
+        let n = (Ubig::one() << 127) - Ubig::one();
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let exp = Ubig::random_bits(&mut rng, 126);
+        let bases: Vec<Ubig> = (0..5).map(|_| Ubig::random_below(&mut rng, &n)).collect();
+
+        let capture = |f: &dyn Fn()| -> dla_telemetry::CostVector {
+            let recorder = dla_telemetry::Recorder::new();
+            {
+                let _install = recorder.install();
+                f();
+            }
+            recorder.take().total_cost()
+        };
+        let batched = capture(&|| {
+            let _ = ctx.modexp_batch(&bases, &exp);
+        });
+        let serial = capture(&|| {
+            for b in &bases {
+                let _ = ctx.modexp(b, &exp);
+            }
+        });
+        assert_eq!(batched.modexp, serial.modexp);
+        assert_eq!(batched.mont_mul_steps, serial.mont_mul_steps);
+    }
+
+    #[test]
     fn modmul_matches_reference() {
         let mut rng = rng();
         let n = (Ubig::one() << 127) - Ubig::one();
@@ -259,6 +675,10 @@ mod tests {
             let b = Ubig::random_below(&mut rng, &n);
             assert_eq!(ctx.modmul(&a, &b), modular::modmul(&a, &b, &n));
         }
+        // Unreduced operands are reduced first.
+        let big = Ubig::random_bits(&mut rng, 400);
+        let other = Ubig::random_bits(&mut rng, 300);
+        assert_eq!(ctx.modmul(&big, &other), modular::modmul(&big, &other, &n));
     }
 
     #[test]
@@ -272,6 +692,7 @@ mod tests {
         // Fermat: base^(n-1) = 1 for prime n.
         let exp = &n - &Ubig::one();
         assert_eq!(ctx.modexp(&base, &exp), Ubig::one());
+        assert_eq!(ctx.modexp_binary(&base, &exp), Ubig::one());
     }
 
     #[test]
@@ -292,5 +713,22 @@ mod tests {
             let ctx = MontgomeryContext::new(&Ubig::from_u64(n)).unwrap();
             assert_eq!(n.wrapping_mul(ctx.n0_inv), u64::MAX, "n = {n}");
         }
+    }
+
+    #[test]
+    fn window_plan_covers_edge_shapes() {
+        // Exponent 1: a single multiply, no squarings required.
+        let plan = window_plan(&Ubig::one(), 5);
+        assert_eq!(plan, vec![ExpOp::Square, ExpOp::Multiply(0)]);
+        // All-ones exponent packs maximal windows.
+        let e = Ubig::from_u64(0b1_1111);
+        let plan = window_plan(&e, 5);
+        assert_eq!(
+            plan.iter()
+                .filter(|o| matches!(o, ExpOp::Multiply(_)))
+                .count(),
+            1
+        );
+        assert_eq!(plan.last(), Some(&ExpOp::Multiply(15)));
     }
 }

@@ -1,8 +1,13 @@
 //! Property-based tests for `dla-bigint`: ring axioms, division
-//! identities, base conversions and modular-arithmetic laws.
+//! identities, base conversions, modular-arithmetic laws, and the
+//! differential oracles for the exponentiation/residue hot paths
+//! (windowed vs binary vs schoolbook modexp; Jacobi vs Euler).
 
-use dla_bigint::{modular, Ubig};
+use dla_bigint::jacobi::jacobi;
+use dla_bigint::montgomery::MontgomeryContext;
+use dla_bigint::{modular, prime, Ubig};
 use proptest::prelude::*;
+use rand::SeedableRng;
 
 /// Strategy: an arbitrary Ubig of up to `limbs` limbs.
 fn ubig(limbs: usize) -> impl Strategy<Value = Ubig> {
@@ -114,6 +119,111 @@ proptest! {
         let g = modular::gcd(&a, &b);
         prop_assert!((&a % &g).is_zero());
         prop_assert!((&b % &g).is_zero());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential oracle for the tentpole: the sliding-window
+    /// Montgomery exponentiation agrees with the bit-at-a-time
+    /// Montgomery baseline and the division-based schoolbook ladder on
+    /// every window width 1..=6, across 65–512-bit odd moduli.
+    #[test]
+    fn windowed_binary_schoolbook_agree(
+        base in ubig(8),
+        exp in ubig(4),
+        bits in 65usize..=512,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = {
+            let mut m = Ubig::random_bits(&mut rng, bits);
+            m = &m + &(Ubig::one() << (bits - 1));
+            if m.is_even() { m = &m + &Ubig::one(); }
+            m
+        };
+        let ctx = MontgomeryContext::new(&m).expect("modulus is odd");
+        let reference = modular::modexp_schoolbook(&base, &exp, &m);
+        prop_assert_eq!(&ctx.modexp_binary(&base, &exp), &reference);
+        for window in 1..=6 {
+            prop_assert_eq!(&ctx.modexp_windowed(&base, &exp, window), &reference, "window={}", window);
+        }
+    }
+
+    /// Edge exponents 0, 1, 2 and p−1 (Fermat) against a random odd
+    /// prime modulus, for every window width.
+    #[test]
+    fn windowed_edge_exponents_match(
+        base in ubig(6),
+        bits in 65usize..=160,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = prime::gen_prime(bits, &mut rng);
+        let ctx = MontgomeryContext::new(&p).expect("primes > 2 are odd");
+        let edges = [
+            Ubig::zero(),
+            Ubig::one(),
+            Ubig::two(),
+            &p - &Ubig::one(),
+        ];
+        for exp in &edges {
+            let reference = modular::modexp_schoolbook(&base, exp, &p);
+            for window in 1..=6 {
+                prop_assert_eq!(
+                    &ctx.modexp_windowed(&base, exp, window),
+                    &reference,
+                    "window={} exp={}", window, exp
+                );
+            }
+        }
+    }
+
+    /// The Jacobi symbol equals the Euler criterion on random odd
+    /// primes — the identity the `encode` hot path rests on.
+    #[test]
+    fn jacobi_matches_euler_criterion(
+        bits in 64usize..=192,
+        seed in any::<u64>(),
+        numerators in prop::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = prime::gen_prime(bits, &mut rng);
+        let q = (&p - &Ubig::one()) >> 1;
+        for _ in 0..3 {
+            let a = Ubig::random_below(&mut rng, &p);
+            let euler = modular::modexp(&a, &q, &p);
+            let expect: i8 = if euler.is_zero() || a.is_zero() {
+                0
+            } else if euler.is_one() {
+                1
+            } else {
+                -1
+            };
+            prop_assert_eq!(jacobi(&a, &p), expect);
+        }
+        // Unreduced numerators reduce first.
+        for n in numerators {
+            let a = Ubig::from_u64(n);
+            let shifted = &a + &(&p << 2);
+            prop_assert_eq!(jacobi(&a, &p), jacobi(&shifted, &p));
+        }
+    }
+
+    /// Batch exponentiation is element-wise identical to one-at-a-time.
+    #[test]
+    fn batch_modexp_matches_pointwise(
+        bases in prop::collection::vec(ubig(5), 0..8),
+        exp in ubig(3),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = prime::gen_prime(96, &mut rng);
+        let ctx = MontgomeryContext::new(&p).expect("primes > 2 are odd");
+        let batched = ctx.modexp_batch(&bases, &exp);
+        let pointwise: Vec<Ubig> = bases.iter().map(|b| ctx.modexp(b, &exp)).collect();
+        prop_assert_eq!(batched, pointwise);
     }
 }
 

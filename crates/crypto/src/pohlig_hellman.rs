@@ -23,12 +23,65 @@
 
 use crate::sha256;
 use crate::CryptoError;
-use dla_bigint::modular::{modinv, modmul};
+use dla_bigint::jacobi::jacobi;
+use dla_bigint::modular::modinv;
 use dla_bigint::montgomery::MontgomeryContext;
 use dla_bigint::{prime, Ubig};
 use rand::Rng;
 use std::fmt;
 use std::sync::Arc;
+
+/// Which exponentiation algorithm [`CommutativeDomain::pow`] routes
+/// through. The default is the fastest path; the others exist so the
+/// `exp_crypto_hotpath` ablation can measure each rung of the ladder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExpAlgo {
+    /// Division-based schoolbook square-and-multiply (slowest rung).
+    Schoolbook,
+    /// Montgomery bit-at-a-time square-and-multiply (the pre-windowed
+    /// baseline).
+    Binary,
+    /// Montgomery sliding-window with an odd-powers table (default).
+    #[default]
+    Windowed,
+}
+
+/// Which quadratic-residue test [`CommutativeDomain::encode`] probes
+/// pad bytes with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QrTest {
+    /// Euler criterion `x^q ≟ 1 (mod p)` — one full exponent-`q`
+    /// modexp per probe (ablation baseline).
+    Euler,
+    /// Binary Jacobi symbol `(x/p) ≟ 1` — O(bits²) word operations,
+    /// the same answer at a fraction of the cost (default).
+    #[default]
+    Jacobi,
+}
+
+/// How [`PhKey::encrypt_batch`]/[`PhKey::decrypt_batch`] distribute
+/// work over a travelling set.
+///
+/// Both modes produce **bit-identical** ciphertext vectors (same
+/// order, same values) and identical telemetry op totals; `Pooled`
+/// only divides the wall-clock across scoped worker threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One thread, one shared Montgomery scratch (default;
+    /// allocation-free per element).
+    #[default]
+    Serial,
+    /// Scoped worker threads, each with its own scratch; the caller's
+    /// telemetry recorder is propagated into every worker
+    /// ([`dla_telemetry::Recorder::install`] pattern). Worker-side
+    /// costs merge into the same recorder but are not attributed to
+    /// the calling thread's innermost scope.
+    Pooled {
+        /// Upper bound on worker threads (clamped to the element
+        /// count; `0` and `1` degenerate to serial).
+        threads: usize,
+    },
+}
 
 /// A precomputed 256-bit safe prime (p = 2q + 1, q prime), verified by
 /// the test suite. Used for fast deterministic tests and benches.
@@ -52,6 +105,8 @@ pub struct CommutativeDomain {
     /// Cached Montgomery state for `p` (odd by construction), shared by
     /// every key over this domain.
     ctx: Arc<MontgomeryContext>,
+    exp_algo: ExpAlgo,
+    qr_test: QrTest,
 }
 
 impl PartialEq for CommutativeDomain {
@@ -85,7 +140,39 @@ impl CommutativeDomain {
             p: Arc::new(p),
             q: Arc::new(q),
             ctx: Arc::new(ctx),
+            exp_algo: ExpAlgo::default(),
+            qr_test: QrTest::default(),
         }
+    }
+
+    /// Selects the exponentiation algorithm (ablation knob; defaults to
+    /// [`ExpAlgo::Windowed`]). All choices compute identical values.
+    #[must_use]
+    pub fn with_exp_algo(mut self, algo: ExpAlgo) -> Self {
+        self.exp_algo = algo;
+        self
+    }
+
+    /// Selects the quadratic-residue test used by
+    /// [`encode`](Self::encode) (ablation knob; defaults to
+    /// [`QrTest::Jacobi`]). Both choices accept exactly the same pad
+    /// bytes, so encodings are bit-identical either way.
+    #[must_use]
+    pub fn with_qr_test(mut self, qr: QrTest) -> Self {
+        self.qr_test = qr;
+        self
+    }
+
+    /// The active exponentiation algorithm.
+    #[must_use]
+    pub fn exp_algo(&self) -> ExpAlgo {
+        self.exp_algo
+    }
+
+    /// The active quadratic-residue test.
+    #[must_use]
+    pub fn qr_test(&self) -> QrTest {
+        self.qr_test
     }
 
     /// Builds a domain from a known safe prime.
@@ -133,11 +220,75 @@ impl CommutativeDomain {
         &self.q
     }
 
-    /// `base^exp mod p` via the cached Montgomery context — the hot
-    /// operation of every commutative-cipher protocol.
+    /// `base^exp mod p` — the hot operation of every commutative-cipher
+    /// protocol. Routed per [`with_exp_algo`](Self::with_exp_algo);
+    /// the default goes through the cached Montgomery context's
+    /// sliding-window exponentiation.
     #[must_use]
     pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
-        self.ctx.modexp(base, exp)
+        match self.exp_algo {
+            ExpAlgo::Schoolbook => dla_bigint::modular::modexp_schoolbook(base, exp, &self.p),
+            ExpAlgo::Binary => self.ctx.modexp_binary(base, exp),
+            ExpAlgo::Windowed => self.ctx.modexp(base, exp),
+        }
+    }
+
+    /// `base^exp mod p` for every base in `bases`, in order.
+    ///
+    /// The serial windowed path shares one exponent plan and one
+    /// Montgomery scratch across the whole slice
+    /// ([`MontgomeryContext::modexp_batch`]); `Pooled` splits the slice
+    /// into contiguous chunks across scoped worker threads, each
+    /// carrying the caller's telemetry recorder. Results and telemetry
+    /// op totals are identical across all modes.
+    #[must_use]
+    pub fn pow_batch(&self, bases: &[Ubig], exp: &Ubig, mode: BatchMode) -> Vec<Ubig> {
+        match mode {
+            BatchMode::Serial => self.pow_batch_serial(bases, exp),
+            BatchMode::Pooled { threads } => {
+                let threads = threads.min(bases.len());
+                if threads <= 1 {
+                    return self.pow_batch_serial(bases, exp);
+                }
+                let recorder = dla_telemetry::current();
+                let chunk = bases.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = bases
+                        .chunks(chunk)
+                        .map(|part| {
+                            let recorder = recorder.clone();
+                            s.spawn(move || {
+                                let _guard = recorder.as_ref().map(|r| r.install());
+                                self.pow_batch_serial(part, exp)
+                            })
+                        })
+                        .collect();
+                    let mut out = Vec::with_capacity(bases.len());
+                    for h in handles {
+                        out.extend(h.join().expect("pow_batch worker panicked"));
+                    }
+                    out
+                })
+            }
+        }
+    }
+
+    fn pow_batch_serial(&self, bases: &[Ubig], exp: &Ubig) -> Vec<Ubig> {
+        match self.exp_algo {
+            ExpAlgo::Windowed => self.ctx.modexp_batch(bases, exp),
+            _ => bases.iter().map(|b| self.pow(b, exp)).collect(),
+        }
+    }
+
+    /// Whether `x` is a quadratic residue mod `p`, by the configured
+    /// [`QrTest`]. For the safe-prime moduli used here the two tests
+    /// agree on every input in `1..p`.
+    #[must_use]
+    pub fn is_quadratic_residue(&self, x: &Ubig) -> bool {
+        match self.qr_test {
+            QrTest::Euler => self.pow(x, &self.q).is_one(),
+            QrTest::Jacobi => jacobi(x, &self.p) == 1,
+        }
     }
 
     /// Maximum byte length [`CommutativeDomain::encode`] accepts for
@@ -172,9 +323,10 @@ impl CommutativeDomain {
             if candidate.is_zero() || candidate.is_one() {
                 continue;
             }
-            // QR test: x is a quadratic residue mod a safe prime iff
-            // x^q = 1 (mod p).
-            if self.pow(&candidate, &self.q).is_one() {
+            // QR test: Jacobi symbol by default; the Euler criterion
+            // x^q ≟ 1 (mod p) under the ablation knob. Same accepted
+            // pad bytes either way, so the encoding is stable.
+            if self.is_quadratic_residue(&candidate) {
                 return Ok(candidate);
             }
         }
@@ -204,7 +356,7 @@ impl CommutativeDomain {
         loop {
             let h = sha256::digest_parts(&[message, &counter.to_be_bytes()]);
             let x = &Ubig::from_bytes_be(&h) % self.p.as_ref();
-            let fp = modmul(&x, &x, &self.p);
+            let fp = self.ctx.modmul(&x, &x);
             // The subgroup's identity (1) and 0 would break bijectivity
             // guarantees; astronomically unlikely, but cheap to exclude.
             if !fp.is_zero() && !fp.is_one() {
@@ -294,6 +446,22 @@ impl PhKey {
     #[must_use]
     pub fn domain(&self) -> &CommutativeDomain {
         &self.domain
+    }
+
+    /// Encrypts a whole travelling set in order, sharing one exponent
+    /// plan and Montgomery scratch across the slice (and optionally a
+    /// worker pool). Element `i` of the result equals
+    /// `self.encrypt(&ms[i])` bit for bit in every [`BatchMode`].
+    #[must_use]
+    pub fn encrypt_batch(&self, ms: &[Ubig], mode: BatchMode) -> Vec<Ubig> {
+        self.domain.pow_batch(ms, &self.e, mode)
+    }
+
+    /// Removes this key's layer from a whole travelling set in order;
+    /// the batched counterpart of [`CommutativeKey::decrypt`].
+    #[must_use]
+    pub fn decrypt_batch(&self, cs: &[Ubig], mode: BatchMode) -> Vec<Ubig> {
+        self.domain.pow_batch(cs, &self.d, mode)
     }
 }
 
@@ -573,6 +741,98 @@ mod tests {
         let b = domain.encode(b"glsn-2").unwrap();
         assert_ne!(a, b);
         assert_ne!(domain.decode(&a), domain.decode(&b));
+    }
+
+    #[test]
+    fn qr_tests_agree_and_encode_identically() {
+        let jacobi_domain = CommutativeDomain::fixed_256();
+        let euler_domain = CommutativeDomain::fixed_256().with_qr_test(QrTest::Euler);
+        let mut rng = rng();
+        for _ in 0..30 {
+            let x = Ubig::random_below(&mut rng, jacobi_domain.modulus());
+            if x.is_zero() {
+                continue;
+            }
+            assert_eq!(
+                jacobi_domain.is_quadratic_residue(&x),
+                euler_domain.is_quadratic_residue(&x),
+                "x={}",
+                x.to_hex()
+            );
+        }
+        for msg in [b"e".as_slice(), b"glsn=139aef78", b"", b"set element 19"] {
+            assert_eq!(
+                jacobi_domain.encode(msg).unwrap(),
+                euler_domain.encode(msg).unwrap(),
+                "pad search must accept the same byte under both tests"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_algos_agree_on_ciphertexts() {
+        let mut rng = rng();
+        let base = CommutativeDomain::fixed_256();
+        let key = PhKey::generate(&base, &mut rng);
+        let m = base.fingerprint(b"ablation element");
+        let reference = key.encrypt(&m);
+        for algo in [ExpAlgo::Schoolbook, ExpAlgo::Binary, ExpAlgo::Windowed] {
+            let domain = CommutativeDomain::fixed_256().with_exp_algo(algo);
+            let alt = PhKey::from_exponent(&domain, key.e.clone()).unwrap();
+            assert_eq!(alt.encrypt(&m), reference, "{algo:?}");
+            assert_eq!(alt.decrypt(&reference), m, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_element_at_a_time() {
+        let domain = CommutativeDomain::fixed_256();
+        let mut rng = rng();
+        let key = PhKey::generate(&domain, &mut rng);
+        let ms: Vec<Ubig> = (0..9u32)
+            .map(|i| domain.fingerprint(&i.to_be_bytes()))
+            .collect();
+        let expected: Vec<Ubig> = ms.iter().map(|m| key.encrypt(m)).collect();
+        for mode in [
+            BatchMode::Serial,
+            BatchMode::Pooled { threads: 3 },
+            BatchMode::Pooled { threads: 16 },
+            BatchMode::Pooled { threads: 0 },
+        ] {
+            assert_eq!(key.encrypt_batch(&ms, mode), expected, "{mode:?}");
+        }
+        let back = key.decrypt_batch(&expected, BatchMode::Pooled { threads: 4 });
+        assert_eq!(back, ms);
+        assert!(key
+            .encrypt_batch(&[], BatchMode::Pooled { threads: 4 })
+            .is_empty());
+    }
+
+    #[test]
+    fn pooled_batch_telemetry_totals_match_serial() {
+        let domain = CommutativeDomain::fixed_256();
+        let mut rng = rng();
+        let key = PhKey::generate(&domain, &mut rng);
+        let ms: Vec<Ubig> = (0..7u32)
+            .map(|i| domain.fingerprint(&i.to_be_bytes()))
+            .collect();
+
+        let count = |mode: BatchMode| {
+            let recorder = dla_telemetry::Recorder::new();
+            let out = {
+                let _guard = recorder.install();
+                key.encrypt_batch(&ms, mode)
+            };
+            let cost = recorder.take().total_cost();
+            (out, cost.modexp, cost.mont_mul_steps)
+        };
+        let (serial_out, serial_exp, serial_steps) = count(BatchMode::Serial);
+        let (pooled_out, pooled_exp, pooled_steps) = count(BatchMode::Pooled { threads: 3 });
+        assert_eq!(serial_out, pooled_out);
+        assert_eq!(serial_exp, pooled_exp);
+        assert_eq!(serial_steps, pooled_steps);
+        assert_eq!(serial_exp, ms.len() as u64);
+        assert!(serial_steps > 0);
     }
 
     #[test]

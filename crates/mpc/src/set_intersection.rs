@@ -18,7 +18,7 @@
 use crate::report::{Meter, ProtocolReport};
 use crate::MpcError;
 use dla_bigint::Ubig;
-use dla_crypto::pohlig_hellman::{CommutativeDomain, CommutativeKey, PhKey};
+use dla_crypto::pohlig_hellman::{BatchMode, CommutativeDomain, PhKey};
 use dla_net::topology::Ring;
 use dla_net::wire::{Reader, Writer};
 use dla_net::{NodeId, Session, SimLink, SimNet};
@@ -86,7 +86,17 @@ pub fn secure_set_intersection<R: Rng + ?Sized>(
 ) -> Result<SsiOutcome, MpcError> {
     let link = SimLink::new(net);
     let session = Session::root(&link);
-    run(&session, ring, domain, inputs, collector, reveal, rng, None)
+    run(
+        &session,
+        ring,
+        domain,
+        inputs,
+        collector,
+        reveal,
+        BatchMode::Serial,
+        rng,
+        None,
+    )
 }
 
 /// The session-parameterized form of `∩_s`: bind the protocol to any
@@ -119,6 +129,7 @@ pub struct SsiSession<'a> {
     domain: &'a CommutativeDomain,
     collector: NodeId,
     reveal: bool,
+    batch: BatchMode,
 }
 
 impl<'a> SsiSession<'a> {
@@ -137,6 +148,7 @@ impl<'a> SsiSession<'a> {
             domain,
             collector,
             reveal: false,
+            batch: BatchMode::Serial,
         }
     }
 
@@ -144,6 +156,16 @@ impl<'a> SsiSession<'a> {
     #[must_use]
     pub fn reveal(mut self, reveal: bool) -> Self {
         self.reveal = reveal;
+        self
+    }
+
+    /// Selects how each hop's element set is pushed through the cipher
+    /// (default [`BatchMode::Serial`]). Transcripts and outcomes are
+    /// bit-identical in every mode — `Pooled` only spreads the hop's
+    /// exponentiations over worker threads.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchMode) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -168,6 +190,7 @@ impl<'a> SsiSession<'a> {
             inputs,
             self.collector,
             self.reveal,
+            self.batch,
             rng,
             None,
         )
@@ -199,6 +222,7 @@ pub fn secure_set_intersection_traced<R: Rng + ?Sized>(
         inputs,
         collector,
         reveal,
+        BatchMode::Serial,
         rng,
         Some(&mut trace),
     )?;
@@ -213,6 +237,7 @@ pub(crate) fn run<R: Rng + ?Sized>(
     inputs: &[Vec<Vec<u8>>],
     collector: NodeId,
     reveal: bool,
+    batch: BatchMode,
     rng: &mut R,
     mut trace: Option<&mut Vec<TraceHop>>,
 ) -> Result<SsiOutcome, MpcError> {
@@ -233,10 +258,11 @@ pub(crate) fn run<R: Rng + ?Sized>(
     let mut sets: Vec<Vec<Ubig>> = Vec::with_capacity(n);
     for (i, raw) in inputs.iter().enumerate() {
         let canonical: BTreeSet<Vec<u8>> = raw.iter().cloned().collect();
-        let encrypted: Vec<Ubig> = canonical
+        let encoded: Vec<Ubig> = canonical
             .iter()
-            .map(|item| Ok(keys[i].encrypt(&domain.encode(item)?)))
+            .map(|item| domain.encode(item).map_err(MpcError::from))
             .collect::<Result<_, MpcError>>()?;
+        let encrypted = keys[i].encrypt_batch(&encoded, batch);
         if let Some(t) = trace.as_deref_mut() {
             t.push(TraceHop {
                 origin: i,
@@ -275,10 +301,7 @@ pub(crate) fn run<R: Rng + ?Sized>(
                 )));
             }
             let holder_pos = (origin + hop) % n;
-            let re_encrypted: Vec<Ubig> = elements
-                .iter()
-                .map(|e| keys[holder_pos].encrypt(e))
-                .collect();
+            let re_encrypted = keys[holder_pos].encrypt_batch(&elements, batch);
             layer_history[origin].push(holder_pos);
             if let Some(t) = trace.as_deref_mut() {
                 t.push(TraceHop {
@@ -323,7 +346,7 @@ pub(crate) fn run<R: Rng + ?Sized>(
             net.send(holder, node, encode_set(u64::MAX, &current));
             let envelope = net.recv_from(node, holder)?;
             let (_, elements) = decode_set(&envelope.payload)?;
-            current = elements.iter().map(|e| keys[pos].decrypt(e)).collect();
+            current = keys[pos].decrypt_batch(&elements, batch);
             holder = node;
         }
         net.send(holder, collector, encode_set(u64::MAX, &current));

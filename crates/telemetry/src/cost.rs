@@ -17,6 +17,11 @@ use std::fmt;
 pub enum CostKind {
     /// Modular exponentiation (Montgomery or schoolbook).
     ModExp,
+    /// One Montgomery multiplication/squaring step inside an
+    /// exponentiation — the real unit of work a [`CostKind::ModExp`]
+    /// hides (a 3-bit and a 512-bit exponent differ by two orders of
+    /// magnitude in steps).
+    MontMulStep,
     /// Modular inverse (extended Euclid).
     ModInverse,
     /// One-way accumulator fold (§4.1).
@@ -43,6 +48,7 @@ impl CostKind {
     pub fn label(self) -> &'static str {
         match self {
             CostKind::ModExp => "modexp",
+            CostKind::MontMulStep => "mont_mul_steps",
             CostKind::ModInverse => "modinv",
             CostKind::AccumulatorFold => "acc_fold",
             CostKind::ShamirEval => "shamir_eval",
@@ -61,6 +67,9 @@ impl CostKind {
 pub struct CostVector {
     /// Modular exponentiations.
     pub modexp: u64,
+    /// Montgomery multiplication/squaring steps performed inside
+    /// exponentiations.
+    pub mont_mul_steps: u64,
     /// Modular inverses.
     pub modinv: u64,
     /// Accumulator folds.
@@ -86,6 +95,7 @@ impl CostVector {
     pub fn add(&mut self, kind: CostKind, amount: u64) {
         let slot = match kind {
             CostKind::ModExp => &mut self.modexp,
+            CostKind::MontMulStep => &mut self.mont_mul_steps,
             CostKind::ModInverse => &mut self.modinv,
             CostKind::AccumulatorFold => &mut self.acc_fold,
             CostKind::ShamirEval => &mut self.shamir_eval,
@@ -102,6 +112,7 @@ impl CostVector {
     /// Accumulates every counter of `other` into `self`.
     pub fn merge(&mut self, other: &CostVector) {
         self.modexp += other.modexp;
+        self.mont_mul_steps += other.mont_mul_steps;
         self.modinv += other.modinv;
         self.acc_fold += other.acc_fold;
         self.shamir_eval += other.shamir_eval;
@@ -121,9 +132,10 @@ impl CostVector {
 
     /// `(label, value)` pairs in a stable order, for exporters.
     #[must_use]
-    pub fn entries(&self) -> [(&'static str, u64); 10] {
+    pub fn entries(&self) -> [(&'static str, u64); 11] {
         [
             ("modexp", self.modexp),
+            ("mont_mul_steps", self.mont_mul_steps),
             ("modinv", self.modinv),
             ("acc_fold", self.acc_fold),
             ("shamir_eval", self.shamir_eval),
@@ -195,6 +207,7 @@ mod tests {
     fn add_routes_every_kind_to_its_counter() {
         let kinds = [
             CostKind::ModExp,
+            CostKind::MontMulStep,
             CostKind::ModInverse,
             CostKind::AccumulatorFold,
             CostKind::ShamirEval,
@@ -210,7 +223,7 @@ mod tests {
             v.add(*kind, (i + 1) as u64);
         }
         let values: Vec<u64> = v.entries().iter().map(|(_, n)| *n).collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
         assert!(!v.is_zero());
     }
 
