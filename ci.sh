@@ -64,6 +64,37 @@ assert (
 PY
 fi
 
+echo "==> exp_epoch_scaling --quick (asserts windowed folds beat full-trail)"
+cargo run --release -p dla-bench --bin exp_epoch_scaling -- --quick >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .experiment == "epoch_scaling"
+        and (.rows | length >= 2)
+        and (.rows | all(has("records") and has("windowed_folds")
+                         and has("full_folds") and has("answers_identical")))
+        and (.rows | all(.answers_identical))
+        and ([.rows[] | select(.records >= 4 * .windowed_folds)] | length > 0)
+        and ([.rows[] | select(.records >= 4 * .windowed_folds)]
+             | all(.windowed_folds < .full_folds))
+    ' BENCH_epoch_scaling.json >/dev/null
+else
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_epoch_scaling.json"))
+assert d["experiment"] == "epoch_scaling"
+rows = d["rows"]
+assert len(rows) >= 2
+for r in rows:
+    for key in ("records", "windowed_folds", "full_folds", "answers_identical"):
+        assert key in r, key
+    assert r["answers_identical"], "pruned answers must match unsharded"
+gated = [r for r in rows if r["records"] >= 4 * r["windowed_folds"]]
+assert gated, "at least one row must hit the 4x trail/window ratio"
+for r in gated:
+    assert r["windowed_folds"] < r["full_folds"], "windowed must fold fewer"
+PY
+fi
+
 echo "==> chrome-trace export validates as JSON"
 cargo run --release --example telemetry_trace >/dev/null
 if command -v jq >/dev/null 2>&1; then

@@ -4,12 +4,13 @@
 
 use crate::AuditError;
 use dla_bigint::Ubig;
-use dla_crypto::accumulator::AccumulatorParams;
+use dla_crypto::accumulator::{AccumulatorParams, CheckpointChain};
 use dla_crypto::pohlig_hellman::{BatchMode, CommutativeDomain};
 use dla_crypto::schnorr::{SchnorrGroup, SchnorrKeyPair};
 use dla_logstore::acl::{OperationSet, Ticket, TicketAuthority};
+use dla_logstore::epoch::{EpochId, EpochPolicy};
 use dla_logstore::fragment::{fragment, Fragment, Partition};
-use dla_logstore::model::{AttrName, Glsn, LogRecord};
+use dla_logstore::model::{AttrName, AttrValue, Glsn, LogRecord};
 use dla_logstore::schema::Schema;
 use dla_logstore::store::{FragmentStore, GlsnAllocator};
 use dla_net::latency::LatencyModel;
@@ -52,6 +53,11 @@ pub struct ClusterConfig {
     /// exponentiations over worker threads without changing a byte of
     /// any transcript.
     pub batch_mode: BatchMode,
+    /// Glsns per trail epoch (the sharding grain). Deposits are
+    /// assigned to epochs at allocation time; when the open epoch rolls
+    /// forward, earlier epochs are sealed and their accumulator digests
+    /// checkpointed. Defaults to 1024.
+    pub epoch_length: u64,
 }
 
 impl ClusterConfig {
@@ -69,6 +75,7 @@ impl ClusterConfig {
             journal_dir: None,
             standby_replication: false,
             batch_mode: BatchMode::Serial,
+            epoch_length: 1024,
         }
     }
 
@@ -135,6 +142,76 @@ impl ClusterConfig {
         self.standby_replication = true;
         self
     }
+
+    /// Sets the epoch length (glsns per trail epoch). Small values make
+    /// epochs roll (and seal) quickly — useful for tests; production
+    /// defaults to 1024.
+    #[must_use]
+    pub fn with_epoch_length(mut self, epoch_length: u64) -> Self {
+        self.epoch_length = epoch_length;
+        self
+    }
+}
+
+/// Running per-epoch statistics kept by the cluster: deposit count,
+/// glsn/time extents (the epoch-pruning index), and the epoch's own
+/// accumulator over its deposit items.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// The epoch.
+    pub epoch: EpochId,
+    /// Deposits assigned to this epoch.
+    pub deposits: u64,
+    /// Smallest glsn deposited (`Glsn(u64::MAX)` while empty).
+    pub glsn_lo: Glsn,
+    /// Largest glsn deposited (`Glsn(0)` while empty).
+    pub glsn_hi: Glsn,
+    /// Smallest `time` attribute among the epoch's records, if any
+    /// carried one.
+    pub time_lo: Option<u64>,
+    /// Largest `time` attribute among the epoch's records.
+    pub time_hi: Option<u64>,
+    /// The epoch accumulator: fold of `trail_item(glsn, deposit)` for
+    /// every deposit in the epoch, from `x₀`. Checkpointed on seal.
+    pub acc: Ubig,
+    /// Whether the epoch has been sealed (digest checkpointed; no
+    /// further deposits accepted).
+    pub sealed: bool,
+}
+
+impl EpochStats {
+    fn open(epoch: EpochId, acc0: Ubig) -> Self {
+        EpochStats {
+            epoch,
+            deposits: 0,
+            glsn_lo: Glsn(u64::MAX),
+            glsn_hi: Glsn(0),
+            time_lo: None,
+            time_hi: None,
+            acc: acc0,
+            sealed: false,
+        }
+    }
+
+    fn observe(&mut self, glsn: Glsn, time: Option<u64>) {
+        self.deposits += 1;
+        self.glsn_lo = self.glsn_lo.min(glsn);
+        self.glsn_hi = self.glsn_hi.max(glsn);
+        if let Some(t) = time {
+            self.time_lo = Some(self.time_lo.map_or(t, |lo| lo.min(t)));
+            self.time_hi = Some(self.time_hi.map_or(t, |hi| hi.max(t)));
+        }
+    }
+}
+
+/// The trail item folded into epoch and whole-trail accumulators for
+/// one deposit: domain-tagged `glsn ‖ deposit` bytes.
+pub(crate) fn trail_item(glsn: Glsn, deposit: &Ubig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(80);
+    out.extend_from_slice(b"dla-trail-item");
+    out.extend_from_slice(&glsn.0.to_be_bytes());
+    out.extend_from_slice(&deposit.to_bytes_be());
+    out
 }
 
 /// One dead node's fragments finding a new home during
@@ -328,6 +405,17 @@ pub struct DlaCluster {
     /// (deposits, user registrations, re-replications, degraded-mode
     /// decisions).
     meta: crate::meta::MetaAuditTrail,
+    /// The epoch sharding policy shared with every node store.
+    epoch_policy: EpochPolicy,
+    /// Per-epoch stats: pruning index + running epoch accumulators.
+    epoch_stats: BTreeMap<EpochId, EpochStats>,
+    /// Hash-linked checkpoints of sealed epochs' accumulator digests.
+    chain: CheckpointChain,
+    /// The whole-trail accumulator (every deposit item, from `x₀`) —
+    /// the unsharded baseline a full audit verifies against.
+    trail_acc: Ubig,
+    /// Items folded into `trail_acc`.
+    trail_items: u64,
 }
 
 impl fmt::Debug for DlaCluster {
@@ -373,16 +461,22 @@ impl DlaCluster {
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         let group = SchnorrGroup::fixed_256();
+        let epoch_policy =
+            EpochPolicy::new(EpochPolicy::paper_default().base(), config.epoch_length);
         let nodes: Vec<DlaNode> = (0..config.nodes)
             .map(|i| {
                 let store = match &config.journal_dir {
                     Some(dir) => {
                         std::fs::create_dir_all(dir)
                             .map_err(|e| AuditError::Config(format!("journal dir: {e}")))?;
-                        FragmentStore::restore(i, &dir.join(format!("node-{i}.journal")))
-                            .map_err(|e| AuditError::Config(e.to_string()))?
+                        FragmentStore::restore_with_policy(
+                            i,
+                            &dir.join(format!("node-{i}.journal")),
+                            epoch_policy,
+                        )
+                        .map_err(|e| AuditError::Config(e.to_string()))?
                     }
-                    None => FragmentStore::new(i),
+                    None => FragmentStore::with_policy(i, epoch_policy),
                 };
                 Ok(DlaNode {
                     id: i,
@@ -402,6 +496,8 @@ impl DlaCluster {
         let mut authority = TicketAuthority::new(&group, &mut rng);
         let mut deposits = BTreeMap::new();
         let mut origins = BTreeMap::new();
+        let mut times: BTreeMap<Glsn, u64> = BTreeMap::new();
+        let mut sealed_epochs: Vec<EpochId> = Vec::new();
         let mut next_glsn: Option<Glsn> = None;
         let cluster_journal = match &config.journal_dir {
             Some(dir) => {
@@ -414,16 +510,25 @@ impl DlaCluster {
                     };
                     match tag {
                         BLOB_DEPOSIT => {
-                            let (glsn, deposit, public, signature) = decode_deposit_blob(&bytes)?;
+                            let (glsn, deposit, public, signature, time) =
+                                decode_deposit_blob(&bytes)?;
                             next_glsn = Some(
                                 next_glsn.map_or(Glsn(glsn.0 + 1), |g| Glsn(g.0.max(glsn.0 + 1))),
                             );
                             deposits.insert(glsn, deposit);
                             origins.insert(glsn, (public, signature));
+                            if let Some(t) = time {
+                                times.insert(glsn, t);
+                            }
                         }
                         BLOB_TICKET_COUNTER => {
                             if let Ok(raw) = bytes.as_slice().try_into() {
                                 authority.resume_from(u64::from_be_bytes(raw));
+                            }
+                        }
+                        BLOB_EPOCH_SEAL => {
+                            if let Ok(raw) = bytes.as_slice().try_into() {
+                                sealed_epochs.push(EpochId(u64::from_be_bytes(raw)));
                             }
                         }
                         _ => {}
@@ -439,6 +544,37 @@ impl DlaCluster {
         };
 
         let acc_params = AccumulatorParams::fixed_512();
+
+        // Rebuild the epoch index from the replayed deposits: refold
+        // each epoch's accumulator (and the whole-trail one) in glsn
+        // order, then re-seal in the journaled order so the checkpoint
+        // chain's links are reproduced bit for bit.
+        let mut epoch_stats: BTreeMap<EpochId, EpochStats> = BTreeMap::new();
+        let mut trail_acc = acc_params.start().clone();
+        let mut trail_items = 0u64;
+        for (glsn, deposit) in &deposits {
+            let epoch = epoch_policy.epoch_of(*glsn);
+            let stats = epoch_stats
+                .entry(epoch)
+                .or_insert_with(|| EpochStats::open(epoch, acc_params.start().clone()));
+            stats.observe(*glsn, times.get(glsn).copied());
+            let item = trail_item(*glsn, deposit);
+            let folded = acc_params.fold_batch(&[stats.acc.clone(), trail_acc], &[&item]);
+            let [epoch_acc, new_trail]: [Ubig; 2] =
+                folded.try_into().expect("fold_batch preserves arity");
+            stats.acc = epoch_acc;
+            trail_acc = new_trail;
+            trail_items += 1;
+        }
+        let mut chain = CheckpointChain::new();
+        for epoch in sealed_epochs {
+            let stats = epoch_stats
+                .entry(epoch)
+                .or_insert_with(|| EpochStats::open(epoch, acc_params.start().clone()));
+            stats.sealed = true;
+            chain.seal(epoch.0, stats.deposits, stats.acc.clone());
+        }
+
         Ok(DlaCluster {
             meta: crate::meta::MetaAuditTrail::new(acc_params.clone()),
             ctx: Arc::new(ClusterCtx {
@@ -463,6 +599,11 @@ impl DlaCluster {
             rng,
             standby_replication: config.standby_replication,
             retired: Vec::new(),
+            epoch_policy,
+            epoch_stats,
+            chain,
+            trail_acc,
+            trail_items,
         })
     }
 
@@ -631,6 +772,80 @@ impl DlaCluster {
         self.deposits.keys().copied().collect()
     }
 
+    /// The epoch sharding policy in force.
+    #[must_use]
+    pub fn epoch_policy(&self) -> EpochPolicy {
+        self.epoch_policy
+    }
+
+    /// The hash-linked chain of sealed-epoch checkpoints.
+    #[must_use]
+    pub fn checkpoint_chain(&self) -> &CheckpointChain {
+        &self.chain
+    }
+
+    /// Iterates the per-epoch stats in epoch order.
+    pub fn epoch_stats(&self) -> impl Iterator<Item = &EpochStats> {
+        self.epoch_stats.values()
+    }
+
+    /// The stats for one epoch, if any deposit landed in it.
+    #[must_use]
+    pub fn epoch_stat(&self, epoch: EpochId) -> Option<&EpochStats> {
+        self.epoch_stats.get(&epoch)
+    }
+
+    /// The whole-trail accumulator (fold of every deposit item).
+    #[must_use]
+    pub fn trail_accumulator(&self) -> &Ubig {
+        &self.trail_acc
+    }
+
+    /// Items folded into the whole-trail accumulator.
+    #[must_use]
+    pub fn trail_items(&self) -> u64 {
+        self.trail_items
+    }
+
+    /// Test hook: rewrites the stored deposit for `glsn` without
+    /// touching accumulators or checkpoints — a compromised deposit
+    /// map for the windowed-verification tests.
+    #[cfg(test)]
+    pub(crate) fn tamper_deposit_for_tests(&mut self, glsn: Glsn, deposit: Ubig) {
+        self.deposits.insert(glsn, deposit);
+    }
+
+    /// The glsn range scans need to cover for a query confined to
+    /// `window`: the union of glsn extents over epochs whose observed
+    /// time range intersects it.
+    ///
+    /// `None` means "no pruning" (window unbounded). Epochs that never
+    /// saw a `time` attribute are excluded — records without a time
+    /// cannot satisfy a time predicate under the lenient §5 evaluation,
+    /// so skipping them never drops an answer. When no epoch intersects,
+    /// the inverted sentinel `(Glsn(1), Glsn(0))` is returned: scans see
+    /// an empty range.
+    #[must_use]
+    pub fn glsn_window_for(&self, window: &crate::plan::TimeWindow) -> Option<(Glsn, Glsn)> {
+        if window.is_unbounded() {
+            return None;
+        }
+        let mut out: Option<(Glsn, Glsn)> = None;
+        for stats in self.epoch_stats.values() {
+            let (Some(t_lo), Some(t_hi)) = (stats.time_lo, stats.time_hi) else {
+                continue;
+            };
+            if !window.intersects(t_lo, t_hi) {
+                continue;
+            }
+            out = Some(match out {
+                None => (stats.glsn_lo, stats.glsn_hi),
+                Some((lo, hi)) => (lo.min(stats.glsn_lo), hi.max(stats.glsn_hi)),
+            });
+        }
+        Some(out.unwrap_or((Glsn(1), Glsn(0))))
+    }
+
     /// Registers an application user: generates a key pair and issues a
     /// read/write ticket.
     ///
@@ -682,6 +897,22 @@ impl DlaCluster {
     ///
     /// Returns [`AuditError`] on schema violations or storage failures.
     pub fn log_record(&mut self, user: &AppUser, record: &LogRecord) -> Result<Glsn, AuditError> {
+        let glsns = self.log_records(user, std::slice::from_ref(record))?;
+        Ok(glsns[0])
+    }
+
+    /// The shipping leg of one deposit: everything with per-record
+    /// network behavior (fragment shipping, standby copies, deposit
+    /// broadcast, origin signature). Durability and accumulator folds
+    /// are deferred to [`DlaCluster::flush_deposit_batch`]: journal
+    /// frames collect in `blobs`, trail items in per-epoch `groups`.
+    fn ship_one(
+        &mut self,
+        user: &AppUser,
+        record: &LogRecord,
+        blobs: &mut Vec<dla_logstore::journal::JournalEntry>,
+        groups: &mut BTreeMap<EpochId, Vec<Vec<u8>>>,
+    ) -> Result<Glsn, AuditError> {
         self.ctx
             .schema
             .validate(record)
@@ -770,14 +1001,26 @@ impl DlaCluster {
                 .recv_from(NodeId(node), user.node)
                 .map_err(AuditError::Net)?;
         }
-        if let Some(journal) = &mut self.cluster_journal {
-            journal
-                .append(&dla_logstore::journal::JournalEntry::Blob {
-                    tag: BLOB_DEPOSIT,
-                    bytes: encode_deposit_blob(glsn, &deposit, user.key().public(), &origin_sig),
-                })
-                .map_err(|e| AuditError::Log(e.to_string()))?;
+        let time = stamped.get(&AttrName::new("time")).and_then(|v| match v {
+            AttrValue::Time(t) => Some(*t),
+            _ => None,
+        });
+        if self.cluster_journal.is_some() {
+            blobs.push(dla_logstore::journal::JournalEntry::Blob {
+                tag: BLOB_DEPOSIT,
+                bytes: encode_deposit_blob(glsn, &deposit, user.key().public(), &origin_sig, time),
+            });
         }
+        let epoch = self.epoch_policy.epoch_of(glsn);
+        groups
+            .entry(epoch)
+            .or_default()
+            .push(trail_item(glsn, &deposit));
+        let acc0 = self.ctx.acc_params.start().clone();
+        self.epoch_stats
+            .entry(epoch)
+            .or_insert_with(|| EpochStats::open(epoch, acc0))
+            .observe(glsn, time);
         self.deposits.insert(glsn, deposit);
         self.origins
             .insert(glsn, (user.key().public().clone(), origin_sig));
@@ -787,6 +1030,99 @@ impl DlaCluster {
             format!("glsn={glsn} user={}", user.name),
         );
         Ok(glsn)
+    }
+
+    /// The amortized tail of a deposit batch: one accumulator fold per
+    /// touched epoch (plus the whole-trail accumulator riding in the
+    /// same [`AccumulatorParams::fold_batch`] call), epoch rollover
+    /// sealing, and a single journal `append_batch` (one fsync for the
+    /// whole batch instead of one per record).
+    fn flush_deposit_batch(
+        &mut self,
+        mut blobs: Vec<dla_logstore::journal::JournalEntry>,
+        groups: BTreeMap<EpochId, Vec<Vec<u8>>>,
+    ) -> Result<(), AuditError> {
+        if !groups.is_empty() {
+            dla_telemetry::record(dla_telemetry::CostKind::DepositBatch, 1);
+        }
+        for (epoch, items) in &groups {
+            let refs: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+            let epoch_acc = self
+                .epoch_stats
+                .get(epoch)
+                .expect("ship_one opened the epoch")
+                .acc
+                .clone();
+            let folded = self
+                .ctx
+                .acc_params
+                .fold_batch(&[epoch_acc, self.trail_acc.clone()], &refs);
+            let [epoch_acc, trail_acc]: [Ubig; 2] =
+                folded.try_into().expect("fold_batch preserves arity");
+            self.epoch_stats
+                .get_mut(epoch)
+                .expect("ship_one opened the epoch")
+                .acc = epoch_acc;
+            self.trail_acc = trail_acc;
+            self.trail_items += items.len() as u64;
+        }
+        // Rollover: the open epoch is the largest observed; every
+        // unsealed epoch strictly below it can no longer grow (glsns
+        // are monotonic), so checkpoint each one now.
+        if let Some(&open) = self.epoch_stats.keys().next_back() {
+            let to_seal: Vec<EpochId> = self
+                .epoch_stats
+                .iter()
+                .filter(|(e, s)| **e < open && !s.sealed)
+                .map(|(e, _)| *e)
+                .collect();
+            for epoch in to_seal {
+                self.seal_epoch_cluster(epoch, &mut blobs)?;
+            }
+        }
+        if let Some(journal) = &mut self.cluster_journal {
+            journal
+                .append_batch(&blobs)
+                .map_err(|e| AuditError::Log(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Seals `epoch` cluster-wide: checkpoints its accumulator digest
+    /// on the hash chain, marks every node's manifest sealed (journaled
+    /// per node), and queues the cluster-journal seal record.
+    fn seal_epoch_cluster(
+        &mut self,
+        epoch: EpochId,
+        blobs: &mut Vec<dla_logstore::journal::JournalEntry>,
+    ) -> Result<(), AuditError> {
+        let (items, digest) = {
+            let stats = self
+                .epoch_stats
+                .get_mut(&epoch)
+                .expect("sealing an observed epoch");
+            stats.sealed = true;
+            (stats.deposits, stats.acc.clone())
+        };
+        self.chain.seal(epoch.0, items, digest);
+        for node in &self.nodes {
+            node.store_mut()
+                .seal_epoch(epoch)
+                .map_err(|e| AuditError::Log(e.to_string()))?;
+        }
+        if self.cluster_journal.is_some() {
+            blobs.push(dla_logstore::journal::JournalEntry::Blob {
+                tag: BLOB_EPOCH_SEAL,
+                bytes: epoch.0.to_be_bytes().to_vec(),
+            });
+        }
+        dla_telemetry::record(dla_telemetry::CostKind::EpochSeal, 1);
+        self.meta_log(
+            "cluster",
+            "epoch-seal",
+            format!("epoch={epoch} items={items}"),
+        );
+        Ok(())
     }
 
     /// Verifies the **non-repudiation** of a record: the logging user's
@@ -815,17 +1151,39 @@ impl DlaCluster {
         ))
     }
 
-    /// Logs a batch of records.
+    /// Logs a batch of records through the batched deposit pipeline:
+    /// per-record network behavior is identical to logging one at a
+    /// time, but journal fsyncs and accumulator folds are amortized —
+    /// one `append_batch` and one fold per touched epoch for the whole
+    /// call.
     ///
     /// # Errors
     ///
-    /// As [`DlaCluster::log_record`]; stops at the first failure.
+    /// As [`DlaCluster::log_record`]; stops at the first failure (the
+    /// records already shipped are still committed and flushed).
     pub fn log_records(
         &mut self,
         user: &AppUser,
         records: &[LogRecord],
     ) -> Result<Vec<Glsn>, AuditError> {
-        records.iter().map(|r| self.log_record(user, r)).collect()
+        let mut glsns = Vec::with_capacity(records.len());
+        let mut blobs = Vec::new();
+        let mut groups: BTreeMap<EpochId, Vec<Vec<u8>>> = BTreeMap::new();
+        let mut failure = None;
+        for record in records {
+            match self.ship_one(user, record, &mut blobs, &mut groups) {
+                Ok(glsn) => glsns.push(glsn),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        self.flush_deposit_batch(blobs, groups)?;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(glsns),
+        }
     }
 
     /// Parses, normalizes, plans and executes an auditing query,
@@ -1072,12 +1430,14 @@ impl DlaCluster {
 /// Cluster-journal blob tags.
 const BLOB_DEPOSIT: u8 = 0x01;
 const BLOB_TICKET_COUNTER: u8 = 0x02;
+const BLOB_EPOCH_SEAL: u8 = 0x03;
 
 fn encode_deposit_blob(
     glsn: Glsn,
     deposit: &Ubig,
     public: &dla_crypto::schnorr::SchnorrPublicKey,
     signature: &dla_crypto::schnorr::Signature,
+    time: Option<u64>,
 ) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u64(glsn.0)
@@ -1085,20 +1445,29 @@ fn encode_deposit_blob(
         .put_bytes(&public.to_bytes())
         .put_bytes(&signature.e.to_bytes_be())
         .put_bytes(&signature.s.to_bytes_be());
+    // Optional record timestamp (feeds the per-epoch time index on
+    // restart). Appended after the original fields so pre-epoch blobs
+    // stay decodable.
+    match time {
+        Some(t) => {
+            w.put_u8(1).put_u64(t);
+        }
+        None => {
+            w.put_u8(0);
+        }
+    }
     w.finish().to_vec()
 }
 
-fn decode_deposit_blob(
-    bytes: &[u8],
-) -> Result<
-    (
-        Glsn,
-        Ubig,
-        dla_crypto::schnorr::SchnorrPublicKey,
-        dla_crypto::schnorr::Signature,
-    ),
-    AuditError,
-> {
+type DepositBlob = (
+    Glsn,
+    Ubig,
+    dla_crypto::schnorr::SchnorrPublicKey,
+    dla_crypto::schnorr::Signature,
+    Option<u64>,
+);
+
+fn decode_deposit_blob(bytes: &[u8]) -> Result<DepositBlob, AuditError> {
     let mut r = Reader::new(bytes);
     let parse = |e: dla_net::wire::WireError| AuditError::Config(format!("deposit blob: {e}"));
     let glsn = Glsn(r.get_u64().map_err(parse)?);
@@ -1108,12 +1477,19 @@ fn decode_deposit_blob(
     ));
     let e = Ubig::from_bytes_be(r.get_bytes().map_err(parse)?);
     let s = Ubig::from_bytes_be(r.get_bytes().map_err(parse)?);
+    // Legacy blobs end here; current ones carry a time presence flag.
+    let time = match r.get_u8() {
+        Ok(1) => Some(r.get_u64().map_err(parse)?),
+        Ok(_) => None,
+        Err(_) => None,
+    };
     r.finish().map_err(parse)?;
     Ok((
         glsn,
         deposit,
         public,
         dla_crypto::schnorr::Signature { e, s },
+        time,
     ))
 }
 
@@ -1383,5 +1759,143 @@ mod tests {
         assert_eq!(outcome.replans, 1);
         assert_eq!(outcome.excluded, [2].into_iter().collect());
         assert!(outcome.repairs[0].is_fully_verified());
+    }
+
+    fn epoch_cluster(epoch_length: u64) -> DlaCluster {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        DlaCluster::new(
+            ClusterConfig::new(4, schema)
+                .with_partition(partition)
+                .with_seed(42)
+                .with_epoch_length(epoch_length),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn epochs_roll_and_seal_as_glsns_advance() {
+        let mut c = epoch_cluster(2);
+        let user = c.register_user("u0").unwrap();
+        c.log_records(&user, &paper_table1()).unwrap();
+        // 5 records, 2 per epoch: epochs 0 and 1 sealed, epoch 2 open.
+        let stats: Vec<&EpochStats> = c.epoch_stats().collect();
+        assert_eq!(stats.len(), 3);
+        assert!(stats[0].sealed && stats[1].sealed && !stats[2].sealed);
+        assert_eq!(stats[0].deposits, 2);
+        assert_eq!(stats[2].deposits, 1);
+        assert!(stats[0].time_lo.is_some());
+        assert_eq!(c.checkpoint_chain().len(), 2);
+        assert!(c.checkpoint_chain().verify_links());
+        assert_eq!(c.trail_items(), 5);
+        // Node manifests agree on sealing.
+        for node in c.nodes() {
+            assert!(node.store().is_sealed(EpochId(0)));
+            assert!(!node.store().is_sealed(EpochId(2)));
+        }
+        // The sealed checkpoint digest is the epoch accumulator.
+        let cp = c.checkpoint_chain().get(0).unwrap();
+        assert_eq!(cp.digest, c.epoch_stat(EpochId(0)).unwrap().acc);
+        assert_eq!(cp.items, 2);
+    }
+
+    #[test]
+    fn batched_and_single_logging_agree_on_trail_state() {
+        let records = paper_table1();
+        let mut batched = epoch_cluster(2);
+        let user = batched.register_user("u0").unwrap();
+        batched.log_records(&user, &records).unwrap();
+        let mut single = epoch_cluster(2);
+        let user = single.register_user("u0").unwrap();
+        for r in &records {
+            single.log_record(&user, r).unwrap();
+        }
+        assert_eq!(batched.trail_accumulator(), single.trail_accumulator());
+        assert_eq!(
+            batched.checkpoint_chain().head_link(),
+            single.checkpoint_chain().head_link()
+        );
+        assert_eq!(batched.logged_glsns(), single.logged_glsns());
+        for (a, b) in batched.epoch_stats().zip(single.epoch_stats()) {
+            assert_eq!(a.acc, b.acc);
+            assert_eq!(a.deposits, b.deposits);
+            assert_eq!(a.sealed, b.sealed);
+        }
+    }
+
+    #[test]
+    fn glsn_window_restricts_to_intersecting_epochs() {
+        let mut c = epoch_cluster(2);
+        let user = c.register_user("u0").unwrap();
+        let glsns = c.log_records(&user, &paper_table1()).unwrap();
+        // Epoch 0 holds Table 1's first two records (20:18:35, 20:20:35).
+        let e0 = c.epoch_stat(EpochId(0)).unwrap();
+        let window = crate::plan::TimeWindow {
+            lo: Some(e0.time_lo.unwrap()),
+            hi: Some(e0.time_hi.unwrap()),
+        };
+        let (lo, hi) = c.glsn_window_for(&window).unwrap();
+        assert_eq!((lo, hi), (glsns[0], glsns[1]));
+        // Unbounded → no pruning; disjoint → empty sentinel.
+        assert!(c
+            .glsn_window_for(&crate::plan::TimeWindow::unbounded())
+            .is_none());
+        let disjoint = crate::plan::TimeWindow {
+            lo: Some(1),
+            hi: Some(2),
+        };
+        let (lo, hi) = c.glsn_window_for(&disjoint).unwrap();
+        assert!(lo > hi, "disjoint window yields the empty sentinel");
+    }
+
+    #[test]
+    fn epoch_state_survives_restart() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "dla-cluster-epoch-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            let schema = Schema::paper_example();
+            let partition = Partition::paper_example(&schema);
+            DlaCluster::new(
+                ClusterConfig::new(4, schema)
+                    .with_partition(partition)
+                    .with_seed(42)
+                    .with_epoch_length(2)
+                    .with_journal_dir(&dir),
+            )
+            .unwrap()
+        };
+        let mut c = build();
+        let user = c.register_user("u0").unwrap();
+        c.log_records(&user, &paper_table1()).unwrap();
+        let chain_before = c.checkpoint_chain().clone();
+        let trail_before = c.trail_accumulator().clone();
+        let stats_before: Vec<(EpochId, u64, bool)> = c
+            .epoch_stats()
+            .map(|s| (s.epoch, s.deposits, s.sealed))
+            .collect();
+        drop(c);
+
+        let c = build();
+        assert_eq!(c.checkpoint_chain(), &chain_before);
+        assert!(c.checkpoint_chain().verify_links());
+        assert_eq!(c.trail_accumulator(), &trail_before);
+        assert_eq!(c.trail_items(), 5);
+        let stats_after: Vec<(EpochId, u64, bool)> = c
+            .epoch_stats()
+            .map(|s| (s.epoch, s.deposits, s.sealed))
+            .collect();
+        assert_eq!(stats_after, stats_before);
+        // The rebuilt time index still prunes.
+        let e0 = c.epoch_stat(EpochId(0)).unwrap();
+        assert!(e0.time_lo.is_some());
+        for node in c.nodes() {
+            assert!(node.store().is_sealed(EpochId(0)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -210,6 +210,12 @@ pub fn execute_on(
     let query_span = dla_telemetry::span("query", "execute", start_elapsed.as_nanos());
     let subq_span = dla_telemetry::span("phase", "subqueries", start_elapsed.as_nanos());
 
+    // Epoch pruning: if the plan proves a time window, restrict every
+    // node scan to the glsn range of the epochs that window overlaps.
+    // Conjunct-derived bounds hold for every answer record, so pruning
+    // cannot change the result — only how much trail is touched.
+    let window = cluster.glsn_window_for(&plan.time_window);
+
     // Phase 1: independent subqueries — the scheduler.
     let mut sessions: Vec<SessionId> = Vec::new();
     let mut per_subquery: Vec<(usize, GlsnSet, Vec<ProtocolReport>)> =
@@ -220,7 +226,7 @@ pub fn execute_on(
             for (i, subquery) in plan.subqueries.iter().enumerate() {
                 let mut rng = StdRng::seed_from_u64(subquery_seed(query_seed, i as u64));
                 let session = Session::root(transport);
-                per_subquery.push(run_subquery(cluster, &session, subquery, &mut rng)?);
+                per_subquery.push(run_subquery(cluster, &session, subquery, &mut rng, window)?);
             }
             combine_session = SessionId::ROOT;
         }
@@ -249,7 +255,7 @@ pub fn execute_on(
                             let mut rng =
                                 StdRng::seed_from_u64(subquery_seed(query_seed, i as u64));
                             let session = Session::new(transport, sid);
-                            run_subquery(cluster, &session, subquery, &mut rng)
+                            run_subquery(cluster, &session, subquery, &mut rng, window)
                         })
                     })
                     .collect();
@@ -520,6 +526,7 @@ fn run_subquery(
     session: &Session<'_>,
     subquery: &Subquery,
     rng: &mut StdRng,
+    window: Option<(Glsn, Glsn)>,
 ) -> Result<(usize, GlsnSet, Vec<ProtocolReport>), AuditError> {
     let _scope = dla_telemetry::scope("subquery", session.id().0);
     let kind = match &subquery.kind {
@@ -529,13 +536,27 @@ fn run_subquery(
     let span = dla_telemetry::span("subquery", kind, session.elapsed().as_nanos());
     let result = match &subquery.kind {
         SubqueryKind::Local { node } => {
-            let set = scan_clause_local(cluster, *node, subquery)?;
+            let set = scan_clause_local(cluster, *node, subquery, window)?;
             Ok((*node, set, Vec::new()))
         }
-        SubqueryKind::Cross { nodes } => execute_cross(cluster, session, subquery, nodes, rng),
+        SubqueryKind::Cross { nodes } => {
+            execute_cross(cluster, session, subquery, nodes, rng, window)
+        }
     };
     span.end(session.elapsed().as_nanos());
     result
+}
+
+/// Iterates a store's fragments, pruned to the epoch-derived glsn
+/// window when one applies.
+fn scan_pruned<'a>(
+    store: &'a dla_logstore::store::FragmentStore,
+    window: Option<(Glsn, Glsn)>,
+) -> Box<dyn Iterator<Item = &'a dla_logstore::fragment::Fragment> + 'a> {
+    match window {
+        Some((lo, hi)) => Box::new(store.scan_window(lo, hi)),
+        None => Box::new(store.scan_all()),
+    }
 }
 
 /// A node evaluates a whole clause against its own fragments.
@@ -543,10 +564,11 @@ fn scan_clause_local(
     cluster: &DlaCluster,
     node: usize,
     subquery: &Subquery,
+    window: Option<(Glsn, Glsn)>,
 ) -> Result<GlsnSet, AuditError> {
     let store = cluster.node(node).store();
     let mut out = GlsnSet::new();
-    for frag in store.scan_all() {
+    for frag in scan_pruned(&store, window) {
         let mut matched = false;
         for literal in subquery.clause.literals() {
             if eval_literal_lenient(literal, &frag.values)? {
@@ -580,10 +602,11 @@ fn scan_literal(
     cluster: &DlaCluster,
     node: usize,
     literal: &Predicate,
+    window: Option<(Glsn, Glsn)>,
 ) -> Result<GlsnSet, AuditError> {
     let store = cluster.node(node).store();
     let mut out = GlsnSet::new();
-    for frag in store.scan_all() {
+    for frag in scan_pruned(&store, window) {
         if eval_literal_lenient(literal, &frag.values)? {
             out.insert(frag.glsn);
         }
@@ -596,11 +619,10 @@ fn presence_set(
     cluster: &DlaCluster,
     node: usize,
     attr: &dla_logstore::model::AttrName,
+    window: Option<(Glsn, Glsn)>,
 ) -> GlsnSet {
-    cluster
-        .node(node)
-        .store()
-        .scan_all()
+    let store = cluster.node(node).store();
+    scan_pruned(&store, window)
         .filter(|f| f.values.get(attr).is_some())
         .map(|f| f.glsn)
         .collect()
@@ -611,11 +633,10 @@ fn value_pairs(
     cluster: &DlaCluster,
     node: usize,
     attr: &dla_logstore::model::AttrName,
+    window: Option<(Glsn, Glsn)>,
 ) -> Vec<(Glsn, AttrValue)> {
-    cluster
-        .node(node)
-        .store()
-        .scan_all()
+    let store = cluster.node(node).store();
+    scan_pruned(&store, window)
         .filter_map(|f| f.values.get(attr).map(|v| (f.glsn, v.clone())))
         .collect()
 }
@@ -626,6 +647,7 @@ fn execute_cross(
     subquery: &Subquery,
     nodes: &BTreeSet<usize>,
     rng: &mut StdRng,
+    window: Option<(Glsn, Glsn)>,
 ) -> Result<(usize, GlsnSet, Vec<ProtocolReport>), AuditError> {
     let holder = *nodes.iter().next().expect("cross subquery has nodes");
     let mut reports = Vec::new();
@@ -635,7 +657,12 @@ fn execute_cross(
     for step in &subquery.steps {
         match step {
             LiteralStep::LocalScan { node, literal } => {
-                let set = scan_literal(cluster, *node, &subquery.clause.literals()[*literal])?;
+                let set = scan_literal(
+                    cluster,
+                    *node,
+                    &subquery.clause.literals()[*literal],
+                    window,
+                )?;
                 per_node.entry(*node).or_default().extend(set);
             }
             LiteralStep::CrossEqualityJoin {
@@ -652,6 +679,7 @@ fn execute_cross(
                     &subquery.clause.literals()[*literal],
                     *negated,
                     rng,
+                    window,
                 )?;
                 reports.append(&mut r);
                 per_node.entry(*left_node).or_default().extend(set);
@@ -668,6 +696,7 @@ fn execute_cross(
                     *right_node,
                     &subquery.clause.literals()[*literal],
                     rng,
+                    window,
                 )?;
                 per_node.entry(*left_node).or_default().extend(set);
             }
@@ -711,6 +740,7 @@ fn execute_cross(
 /// computed as a secure set intersection on `glsn ‖ H(value)` items.
 /// For `≠`, the complement within the joint presence set (obtained by
 /// a second, values-free intersection).
+#[allow(clippy::too_many_arguments)]
 fn equality_join(
     cluster: &DlaCluster,
     session: &Session<'_>,
@@ -719,6 +749,7 @@ fn equality_join(
     literal: &Predicate,
     negated: bool,
     rng: &mut StdRng,
+    window: Option<(Glsn, Glsn)>,
 ) -> Result<(GlsnSet, Vec<ProtocolReport>), AuditError> {
     let crate::query::Operand::Attr(rhs_attr) = &literal.rhs else {
         return Err(AuditError::Planning(
@@ -733,11 +764,11 @@ fn equality_join(
         out.extend_from_slice(&sha256::digest(&value.to_canonical_bytes())[..16]);
         out
     };
-    let left_items: Vec<Vec<u8>> = value_pairs(cluster, left_node, &literal.lhs)
+    let left_items: Vec<Vec<u8>> = value_pairs(cluster, left_node, &literal.lhs, window)
         .iter()
         .map(|(g, v)| item(*g, v))
         .collect();
-    let right_items: Vec<Vec<u8>> = value_pairs(cluster, right_node, rhs_attr)
+    let right_items: Vec<Vec<u8>> = value_pairs(cluster, right_node, rhs_attr, window)
         .iter()
         .map(|(g, v)| item(*g, v))
         .collect();
@@ -761,11 +792,11 @@ fn equality_join(
     }
 
     // ≠: joint presence minus the equal set.
-    let left_presence: Vec<Vec<u8>> = presence_set(cluster, left_node, &literal.lhs)
+    let left_presence: Vec<Vec<u8>> = presence_set(cluster, left_node, &literal.lhs, window)
         .iter()
         .map(|g| g.0.to_be_bytes().to_vec())
         .collect();
-    let right_presence: Vec<Vec<u8>> = presence_set(cluster, right_node, rhs_attr)
+    let right_presence: Vec<Vec<u8>> = presence_set(cluster, right_node, rhs_attr, window)
         .iter()
         .map(|g| g.0.to_be_bytes().to_vec())
         .collect();
@@ -821,6 +852,7 @@ fn masked_compare(
     right_node: usize,
     literal: &Predicate,
     rng: &mut StdRng,
+    window: Option<(Glsn, Glsn)>,
 ) -> Result<GlsnSet, AuditError> {
     let crate::query::Operand::Attr(rhs_attr) = &literal.rhs else {
         return Err(AuditError::Planning(
@@ -828,8 +860,8 @@ fn masked_compare(
         ));
     };
     let op = literal.op;
-    let left_pairs = value_pairs(cluster, left_node, &literal.lhs);
-    let right_pairs = value_pairs(cluster, right_node, rhs_attr);
+    let left_pairs = value_pairs(cluster, left_node, &literal.lhs, window);
+    let right_pairs = value_pairs(cluster, right_node, rhs_attr, window);
     let ttp = cluster.ttp_node();
     let (left_id, right_id) = (NodeId(left_node), NodeId(right_node));
 

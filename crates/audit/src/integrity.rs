@@ -309,6 +309,118 @@ pub fn check_all(
         .collect()
 }
 
+/// The verdict of a trail-level accumulator verification
+/// ([`check_trail`] / [`check_window`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrailVerdict {
+    /// Whether every verified digest matched its commitment.
+    pub ok: bool,
+    /// Whether the sealed-checkpoint hash chain verified link by link.
+    pub chain_ok: bool,
+    /// Epochs whose accumulators were re-derived and compared.
+    pub epochs_checked: usize,
+    /// Deposit items folded during verification — the work metric the
+    /// epoch-sharding experiment compares windowed vs full.
+    pub items_folded: u64,
+}
+
+/// Full-trail baseline verification: refolds **every** deposit item
+/// into one accumulator from `x₀` (one fold per deposit, the unsharded
+/// §4.1 cost) and compares against the cluster's whole-trail
+/// accumulator. O(total trail) regardless of how narrow the audit is.
+#[must_use]
+pub fn check_trail(cluster: &DlaCluster) -> TrailVerdict {
+    let params = cluster.accumulator_params();
+    let mut acc = params.start().clone();
+    let mut items_folded = 0u64;
+    for glsn in cluster.logged_glsns() {
+        let deposit = cluster.deposit(glsn).expect("logged glsns have deposits");
+        acc = params.fold(&acc, &crate::cluster::trail_item(glsn, deposit));
+        items_folded += 1;
+    }
+    TrailVerdict {
+        ok: acc == *cluster.trail_accumulator() && items_folded == cluster.trail_items(),
+        chain_ok: true,
+        epochs_checked: 1,
+        items_folded,
+    }
+}
+
+/// Windowed verification over the epoch-sharded trail: verifies the
+/// sealed-checkpoint hash chain end to end (O(#epochs) hashing, no
+/// folds), then re-derives the accumulator of **only** the epochs whose
+/// observed time range intersects `window` — sealed epochs against
+/// their checkpointed digests, the open epoch against the running
+/// accumulator. An unbounded window verifies every epoch.
+///
+/// Cost is proportional to the deposits inside the queried window, not
+/// the trail length — the point of epoch sharding. Soundness: epochs
+/// outside the window are still bound by the hash chain, so a rewritten
+/// sealed epoch is caught by `chain_ok` even when its items are never
+/// refolded.
+#[must_use]
+pub fn check_window(cluster: &DlaCluster, window: &crate::plan::TimeWindow) -> TrailVerdict {
+    use std::collections::BTreeMap;
+    let params = cluster.accumulator_params();
+    let chain = cluster.checkpoint_chain();
+    let chain_ok = chain.verify_links();
+    let policy = cluster.epoch_policy();
+
+    let selected: Vec<dla_logstore::epoch::EpochId> = cluster
+        .epoch_stats()
+        .filter(|s| {
+            if window.is_unbounded() {
+                return true;
+            }
+            match (s.time_lo, s.time_hi) {
+                (Some(lo), Some(hi)) => window.intersects(lo, hi),
+                // No time info ⇒ no record can satisfy a time
+                // predicate (lenient eval) ⇒ outside every window.
+                _ => false,
+            }
+        })
+        .map(|s| s.epoch)
+        .collect();
+
+    // One pass over the deposits, grouped by selected epoch.
+    let mut groups: BTreeMap<dla_logstore::epoch::EpochId, Vec<Vec<u8>>> = BTreeMap::new();
+    for glsn in cluster.logged_glsns() {
+        let epoch = policy.epoch_of(glsn);
+        if selected.contains(&epoch) {
+            let deposit = cluster.deposit(glsn).expect("logged glsns have deposits");
+            groups
+                .entry(epoch)
+                .or_default()
+                .push(crate::cluster::trail_item(glsn, deposit));
+        }
+    }
+
+    let mut ok = chain_ok;
+    let mut items_folded = 0u64;
+    for &epoch in &selected {
+        let items = groups.remove(&epoch).unwrap_or_default();
+        let refs: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+        let folded = params.fold_batch(&[params.start().clone()], &refs);
+        items_folded += refs.len() as u64;
+        match chain.get(epoch.0) {
+            Some(cp) => {
+                ok &= cp.items == refs.len() as u64 && folded[0] == cp.digest;
+            }
+            None => {
+                let stats = cluster.epoch_stat(epoch).expect("selected from stats");
+                ok &= folded[0] == stats.acc;
+            }
+        }
+    }
+
+    TrailVerdict {
+        ok,
+        chain_ok,
+        epochs_checked: selected.len(),
+        items_folded,
+    }
+}
+
 /// The result of a cross-node ACL consistency check for one ticket.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AclConsistency {
@@ -555,5 +667,65 @@ mod tests {
             check_record_among(&mut cluster, glsns[0], 1, &survivors(&[0, 1, 2, 3])).unwrap();
         assert!(verdict.ok);
         assert_eq!(verdict.messages, 4);
+    }
+
+    fn epoch_loaded() -> (DlaCluster, Vec<Glsn>) {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let mut cluster = DlaCluster::new(
+            ClusterConfig::new(4, schema)
+                .with_partition(partition)
+                .with_seed(31)
+                .with_epoch_length(2),
+        )
+        .unwrap();
+        let user = cluster.register_user("u0").unwrap();
+        let glsns = cluster.log_records(&user, &paper_table1()).unwrap();
+        (cluster, glsns)
+    }
+
+    #[test]
+    fn full_trail_check_passes_and_folds_everything() {
+        let (cluster, glsns) = epoch_loaded();
+        let verdict = check_trail(&cluster);
+        assert!(verdict.ok);
+        assert_eq!(verdict.items_folded, glsns.len() as u64);
+    }
+
+    #[test]
+    fn windowed_check_folds_only_overlapping_epochs() {
+        let (cluster, _) = epoch_loaded();
+        // Window covering only epoch 0's two records.
+        let e0 = cluster.epoch_stat(dla_logstore::epoch::EpochId(0)).unwrap();
+        let window = crate::plan::TimeWindow {
+            lo: Some(e0.time_lo.unwrap()),
+            hi: Some(e0.time_hi.unwrap()),
+        };
+        let verdict = check_window(&cluster, &window);
+        assert!(verdict.ok);
+        assert!(verdict.chain_ok);
+        assert_eq!(verdict.epochs_checked, 1);
+        assert_eq!(verdict.items_folded, 2, "only epoch 0's items refolded");
+        // Unbounded windows verify every epoch and every item.
+        let full = check_window(&cluster, &crate::plan::TimeWindow::unbounded());
+        assert!(full.ok);
+        assert_eq!(full.epochs_checked, 3);
+        assert_eq!(full.items_folded, 5);
+    }
+
+    #[test]
+    fn windowed_check_detects_deposit_tampering_inside_the_window() {
+        let (mut cluster, glsns) = epoch_loaded();
+        // Rewrite the deposit map entry for a record in epoch 0 — the
+        // refold no longer matches the sealed checkpoint digest.
+        cluster.tamper_deposit_for_tests(glsns[0], Ubig::from_u64(12345));
+        let e0 = cluster.epoch_stat(dla_logstore::epoch::EpochId(0)).unwrap();
+        let window = crate::plan::TimeWindow {
+            lo: Some(e0.time_lo.unwrap()),
+            hi: Some(e0.time_hi.unwrap()),
+        };
+        let verdict = check_window(&cluster, &window);
+        assert!(!verdict.ok, "tampered deposit must break the checkpoint");
+        assert!(verdict.chain_ok, "the chain itself is untouched");
     }
 }

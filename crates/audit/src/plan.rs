@@ -5,9 +5,10 @@
 //! the distributed executor will run.
 
 use crate::normal::{Clause, NormalizedQuery};
-use crate::query::{Operand, Predicate};
+use crate::query::{CmpOp, Operand, Predicate};
 use crate::AuditError;
 use dla_logstore::fragment::Partition;
+use dla_logstore::model::{AttrName, AttrValue};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -86,6 +87,119 @@ impl fmt::Display for Subquery {
     }
 }
 
+/// The `time` bounds a query provably confines its answers to, in the
+/// paper's Table 1 time encoding. `None` on a side means unbounded.
+///
+/// Extracted from the CNF conservatively: a clause (conjunct)
+/// contributes a bound only when **every** literal of its disjunction
+/// constrains `time` against a constant — any record satisfying the
+/// query then satisfies that clause, hence lies inside the bound. The
+/// query window is the intersection across contributing clauses, so
+/// pruning any scan to it can never drop an answer. Executors use it to
+/// restrict subquery scans to the epochs the window overlaps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TimeWindow {
+    /// Inclusive lower bound.
+    pub lo: Option<u64>,
+    /// Inclusive upper bound.
+    pub hi: Option<u64>,
+}
+
+impl TimeWindow {
+    /// The window constraining nothing.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        TimeWindow::default()
+    }
+
+    /// Whether the window constrains nothing (no pruning possible).
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.lo.is_none() && self.hi.is_none()
+    }
+
+    /// Whether no time value satisfies the window.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(lo), Some(hi)) if lo > hi)
+    }
+
+    /// Whether the inclusive range `[lo, hi]` intersects the window.
+    #[must_use]
+    pub fn intersects(&self, lo: u64, hi: u64) -> bool {
+        self.lo.is_none_or(|w| hi >= w) && self.hi.is_none_or(|w| lo <= w)
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lo, self.hi) {
+            (None, None) => write!(f, "time ∈ (-inf, +inf)"),
+            (Some(lo), None) => write!(f, "time ∈ [{lo}, +inf)"),
+            (None, Some(hi)) => write!(f, "time ∈ (-inf, {hi}]"),
+            (Some(lo), Some(hi)) => write!(f, "time ∈ [{lo}, {hi}]"),
+        }
+    }
+}
+
+/// The window one literal confines `time` to, if it is a
+/// `time θ const` predicate (conservative: inclusive bounds).
+fn literal_time_window(literal: &Predicate) -> Option<TimeWindow> {
+    if literal.lhs != AttrName::new("time") {
+        return None;
+    }
+    let Operand::Const(AttrValue::Time(t)) = &literal.rhs else {
+        return None;
+    };
+    let (lo, hi) = match literal.op {
+        CmpOp::Lt | CmpOp::Le => (None, Some(*t)),
+        CmpOp::Gt | CmpOp::Ge => (Some(*t), None),
+        CmpOp::Eq => (Some(*t), Some(*t)),
+        CmpOp::Ne => (None, None),
+    };
+    Some(TimeWindow { lo, hi })
+}
+
+/// Extracts the provable [`TimeWindow`] of a normalized query.
+#[must_use]
+pub fn extract_time_window(normalized: &NormalizedQuery) -> TimeWindow {
+    let mut window = TimeWindow::unbounded();
+    for clause in normalized.clauses() {
+        // Union across the clause's disjunction: every literal must
+        // bound time, else the clause bounds nothing.
+        let mut clause_window: Option<TimeWindow> = None;
+        let mut all_bound = true;
+        for literal in clause.literals() {
+            let Some(w) = literal_time_window(literal) else {
+                all_bound = false;
+                break;
+            };
+            clause_window = Some(match clause_window {
+                None => w,
+                Some(acc) => TimeWindow {
+                    lo: acc.lo.zip(w.lo).map(|(a, b)| a.min(b)),
+                    hi: acc.hi.zip(w.hi).map(|(a, b)| a.max(b)),
+                },
+            });
+        }
+        if !all_bound {
+            continue;
+        }
+        if let Some(w) = clause_window {
+            // Intersection across conjuncts.
+            window.lo = match (window.lo, w.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            window.hi = match (window.hi, w.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+    }
+    window
+}
+
 /// A full query plan plus the §5 metric inputs.
 #[derive(Clone, PartialEq, Debug)]
 pub struct QueryPlan {
@@ -97,6 +211,9 @@ pub struct QueryPlan {
     pub cross_atom_count: usize,
     /// `q`: conjunctive connectives in `Q_N` (subquery count − 1).
     pub conjunct_count: usize,
+    /// The provable `time` bounds of the answers — the epoch-pruning
+    /// input ([`extract_time_window`]).
+    pub time_window: TimeWindow,
 }
 
 impl QueryPlan {
@@ -234,6 +351,7 @@ pub fn plan(normalized: &NormalizedQuery, partition: &Partition) -> Result<Query
         atom_count: normalized.atom_count(),
         cross_atom_count,
         conjunct_count: normalized.len() - 1,
+        time_window: extract_time_window(normalized),
         subqueries,
     })
 }
@@ -341,6 +459,73 @@ mod tests {
         assert_eq!(p.atom_count, 4);
         assert_eq!(p.cross_atom_count, 2);
         assert_eq!(p.conjunct_count, 2);
+    }
+
+    #[test]
+    fn time_window_extraction_is_conservative() {
+        use crate::parser::parse_paper_time;
+        let t_lo = parse_paper_time("20:00:00/05/12/2002").unwrap();
+        let t_hi = parse_paper_time("21:00:00/05/12/2002").unwrap();
+
+        // A pure conjunction of time bounds intersects them.
+        let p = planned("time > '20:00:00/05/12/2002' AND time < '21:00:00/05/12/2002'");
+        assert_eq!(
+            p.time_window,
+            TimeWindow {
+                lo: Some(t_lo),
+                hi: Some(t_hi)
+            }
+        );
+        assert!(!p.time_window.is_unbounded());
+
+        // Bounds conjoined with other predicates still apply.
+        let p = planned("time >= '20:00:00/05/12/2002' AND c1 > 5");
+        assert_eq!(
+            p.time_window,
+            TimeWindow {
+                lo: Some(t_lo),
+                hi: None
+            }
+        );
+
+        // A time bound disjoined with a non-time literal proves nothing.
+        let p = planned("time > '20:00:00/05/12/2002' OR c1 > 5");
+        assert!(p.time_window.is_unbounded());
+
+        // A disjunction of time bounds takes the union.
+        let p = planned("time < '20:00:00/05/12/2002' OR time = '21:00:00/05/12/2002'");
+        assert_eq!(
+            p.time_window,
+            TimeWindow {
+                lo: None,
+                hi: Some(t_hi)
+            }
+        );
+
+        // != constrains nothing; no time literals constrain nothing.
+        let p = planned("time != '20:00:00/05/12/2002'");
+        assert!(p.time_window.is_unbounded());
+        let p = planned("c1 > 5 AND id = 'U1'");
+        assert!(p.time_window.is_unbounded());
+    }
+
+    #[test]
+    fn time_window_geometry_helpers() {
+        let w = TimeWindow {
+            lo: Some(10),
+            hi: Some(20),
+        };
+        assert!(w.intersects(15, 30));
+        assert!(w.intersects(0, 10));
+        assert!(!w.intersects(21, 25));
+        assert!(!w.is_empty());
+        assert!(TimeWindow {
+            lo: Some(5),
+            hi: Some(4)
+        }
+        .is_empty());
+        assert!(TimeWindow::unbounded().intersects(0, u64::MAX));
+        assert_eq!(w.to_string(), "time ∈ [10, 20]");
     }
 
     #[test]

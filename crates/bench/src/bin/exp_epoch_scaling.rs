@@ -1,0 +1,286 @@
+//! Experiment P11: epoch-sharded trail scaling. Grows the log trail
+//! while holding the audited time window fixed, and shows that
+//!
+//! * windowed integrity verification (`integrity::check_window`) folds
+//!   only the deposits of the epochs overlapping the window — a
+//!   constant as the trail grows — while the unsharded baseline
+//!   (`integrity::check_trail`) re-folds every deposit ever logged,
+//! * the epoch-pruned executor returns byte-identical answers to an
+//!   effectively unsharded cluster (one epoch spanning the whole
+//!   trail) for the same windowed query.
+//!
+//! Writes `BENCH_epoch_scaling.json`.
+//!
+//! Run with: `cargo run -p dla-bench --bin exp_epoch_scaling --release`
+//! (pass `--quick` for the CI-sized configuration).
+
+use dla_audit::cluster::{ClusterConfig, DlaCluster};
+use dla_audit::exec::ResilientPolicy;
+use dla_audit::integrity::{check_trail, check_window, TrailVerdict};
+use dla_audit::plan::TimeWindow;
+use dla_audit::query::{CmpOp, Criteria, Predicate};
+use dla_bench::render_table;
+use dla_logstore::fragment::Partition;
+use dla_logstore::gen::{generate, WorkloadConfig};
+use dla_logstore::model::{AttrValue, Glsn};
+use dla_logstore::schema::Schema;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const SEED: u64 = 11;
+const EPOCH_LEN: u64 = 8;
+/// A trail length large enough to disable sharding: every deposit
+/// lands in epoch 0, so pruning and windowed checks see one epoch.
+const UNSHARDED_EPOCH_LEN: u64 = 1 << 40;
+/// The audited window: the first WINDOW_SECS seconds of the workload.
+/// Held fixed while the trail grows underneath it.
+const WINDOW_SECS: u64 = 720;
+
+struct Row {
+    records: usize,
+    epochs: usize,
+    windowed: TrailVerdict,
+    full: TrailVerdict,
+    windowed_ms: f64,
+    full_ms: f64,
+    pruned_query_ms: f64,
+    unsharded_query_ms: f64,
+    answer_glsns: usize,
+    answers_identical: bool,
+}
+
+fn loaded_cluster(records: usize, epoch_length: u64) -> DlaCluster {
+    let schema = Schema::paper_example();
+    let partition = Partition::paper_example(&schema);
+    let mut cluster = DlaCluster::new(
+        ClusterConfig::new(4, schema)
+            .with_partition(partition)
+            .with_seed(SEED)
+            .with_epoch_length(epoch_length),
+    )
+    .expect("cluster builds");
+    let user = cluster.register_user("auditor").expect("capacity");
+    // Same seed for every trail length: the generated prefix is
+    // identical, so the fixed window always covers the same records.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let workload = generate(
+        &WorkloadConfig {
+            records,
+            ..WorkloadConfig::default()
+        },
+        &mut rng,
+    );
+    cluster.log_records(&user, &workload).expect("logs");
+    cluster
+}
+
+/// The windowed audit query: `time <= base+WINDOW_SECS AND protocol = UDP`.
+fn windowed_criteria(base: u64) -> Criteria {
+    Criteria::pred(Predicate::with_const(
+        "time",
+        CmpOp::Le,
+        AttrValue::Time(base + WINDOW_SECS),
+    ))
+    .and(Criteria::pred(Predicate::with_const(
+        "protocol",
+        CmpOp::Eq,
+        AttrValue::text("UDP"),
+    )))
+}
+
+fn answer_bytes(glsns: &[Glsn]) -> Vec<u8> {
+    let mut sorted: Vec<Glsn> = glsns.to_vec();
+    sorted.sort_unstable();
+    sorted.iter().flat_map(|g| g.0.to_be_bytes()).collect()
+}
+
+fn timed_query(cluster: &mut DlaCluster, criteria: &Criteria, iters: usize) -> (f64, Vec<Glsn>) {
+    let normalized = dla_audit::normal::normalize(criteria);
+    let mut best_ms = f64::INFINITY;
+    let mut answer = Vec::new();
+    for _ in 0..iters {
+        let started = Instant::now();
+        let outcome =
+            dla_audit::exec::execute_resilient(cluster, &normalized, &ResilientPolicy::default())
+                .expect("query runs");
+        best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1000.0);
+        answer = outcome.result.glsns;
+    }
+    (best_ms, answer)
+}
+
+fn run_row(records: usize, iters: usize) -> Row {
+    let mut sharded = loaded_cluster(records, EPOCH_LEN);
+    let mut unsharded = loaded_cluster(records, UNSHARDED_EPOCH_LEN);
+    let base = WorkloadConfig::default().start_time;
+    let window = TimeWindow {
+        lo: Some(base),
+        hi: Some(base + WINDOW_SECS),
+    };
+
+    let mut windowed_ms = f64::INFINITY;
+    let mut full_ms = f64::INFINITY;
+    let mut windowed = None;
+    let mut full = None;
+    for _ in 0..iters {
+        let started = Instant::now();
+        windowed = Some(check_window(&sharded, &window));
+        windowed_ms = windowed_ms.min(started.elapsed().as_secs_f64() * 1000.0);
+        let started = Instant::now();
+        full = Some(check_trail(&sharded));
+        full_ms = full_ms.min(started.elapsed().as_secs_f64() * 1000.0);
+    }
+    let windowed = windowed.expect("at least one iteration");
+    let full = full.expect("at least one iteration");
+    assert!(windowed.ok && windowed.chain_ok, "windowed check must pass");
+    assert!(full.ok, "full-trail check must pass");
+
+    let criteria = windowed_criteria(base);
+    let (pruned_query_ms, pruned_answer) = timed_query(&mut sharded, &criteria, iters);
+    let (unsharded_query_ms, unsharded_answer) = timed_query(&mut unsharded, &criteria, iters);
+    let answers_identical = answer_bytes(&pruned_answer) == answer_bytes(&unsharded_answer);
+
+    Row {
+        records,
+        epochs: sharded.epoch_stats().count(),
+        windowed,
+        full,
+        windowed_ms,
+        full_ms,
+        pruned_query_ms,
+        unsharded_query_ms,
+        answer_glsns: pruned_answer.len(),
+        answers_identical,
+    }
+}
+
+fn json_row(r: &Row) -> String {
+    format!(
+        concat!(
+            "    {{\"records\": {}, \"epochs\": {}, ",
+            "\"windowed_folds\": {}, \"windowed_epochs\": {}, \"full_folds\": {}, ",
+            "\"windowed_ms\": {:.3}, \"full_ms\": {:.3}, ",
+            "\"pruned_query_ms\": {:.3}, \"unsharded_query_ms\": {:.3}, ",
+            "\"answer_glsns\": {}, \"answers_identical\": {}}}"
+        ),
+        r.records,
+        r.epochs,
+        r.windowed.items_folded,
+        r.windowed.epochs_checked,
+        r.full.items_folded,
+        r.windowed_ms,
+        r.full_ms,
+        r.pruned_query_ms,
+        r.unsharded_query_ms,
+        r.answer_glsns,
+        r.answers_identical,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (trail_lengths, iters): (&[usize], usize) = if quick {
+        (&[24, 96], 1)
+    } else {
+        (&[48, 96, 192], 3)
+    };
+
+    let rows: Vec<Row> = trail_lengths.iter().map(|&n| run_row(n, iters)).collect();
+
+    // Gates. (1) Answers are byte-identical sharded vs unsharded.
+    for r in &rows {
+        assert!(
+            r.answers_identical,
+            "pruned answers diverged from unsharded at {} records",
+            r.records
+        );
+    }
+    // (2) The windowed fold count does not move as the trail grows:
+    // the window covers the same epochs at every trail length.
+    let window_folds = rows[0].windowed.items_folded;
+    for r in &rows {
+        assert_eq!(
+            r.windowed.items_folded, window_folds,
+            "windowed folds must stay constant as the trail grows"
+        );
+        assert_eq!(
+            r.full.items_folded, r.records as u64,
+            "the full-trail check folds every deposit"
+        );
+    }
+    // (3) At >= 4x trail/window ratio the windowed check folds
+    // strictly fewer items than the full-trail re-fold.
+    let mut gated = 0usize;
+    for r in &rows {
+        if r.records as u64 >= 4 * window_folds {
+            assert!(
+                r.windowed.items_folded < r.full.items_folded,
+                "windowed ({}) must fold strictly fewer than full ({}) at {} records",
+                r.windowed.items_folded,
+                r.full.items_folded,
+                r.records
+            );
+            gated += 1;
+        }
+    }
+    assert!(gated > 0, "at least one row must hit the 4x ratio gate");
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.records.to_string(),
+                r.epochs.to_string(),
+                format!("{}/{}", r.windowed.items_folded, r.windowed.epochs_checked),
+                r.full.items_folded.to_string(),
+                format!("{:.2}", r.windowed_ms),
+                format!("{:.2}", r.full_ms),
+                format!("{:.2}", r.pruned_query_ms),
+                r.answer_glsns.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "P11 - EPOCH-SHARDED TRAIL SCALING (epoch={EPOCH_LEN}, window={WINDOW_SECS}s{})",
+                if quick { ", quick" } else { "" }
+            ),
+            &[
+                "records",
+                "epochs",
+                "win folds/ep",
+                "full folds",
+                "win ms",
+                "full ms",
+                "query ms",
+                "answers",
+            ],
+            &table
+        )
+    );
+    let last = rows.last().expect("at least one row");
+    println!(
+        "windowed verification folds {} items regardless of trail length (full-trail: {} at {} \
+         records); pruned and unsharded answers byte-identical in every row.",
+        window_folds, last.full.items_folded, last.records
+    );
+
+    let entries: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"epoch_scaling\",\n  \"quick\": {},\n",
+            "  \"epoch_length\": {},\n  \"window_secs\": {},\n",
+            "  \"window_folds\": {},\n",
+            "  \"rows\": [\n{}\n  ]\n}}\n"
+        ),
+        quick,
+        EPOCH_LEN,
+        WINDOW_SECS,
+        window_folds,
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_epoch_scaling.json", &json).expect("write BENCH_epoch_scaling.json");
+    println!("\nwrote BENCH_epoch_scaling.json");
+}

@@ -157,6 +157,151 @@ impl AccumulatorParams {
             .into_iter()
             .fold(self.x0.clone(), |acc, item| self.fold(&acc, item))
     }
+
+    /// Folds a whole batch of items into each of several running
+    /// accumulators at once. Quasi-commutativity (Eq. 9) collapses the
+    /// per-item ladder into a single exponentiation per accumulator:
+    /// `acc^{y₁·y₂·…·y_k} mod n`, and the shared exponent lets all
+    /// accumulators reuse one window plan via
+    /// [`MontgomeryContext::modexp_batch`]. This is the accumulator leg
+    /// of the batched deposit pipeline — one fold per batch instead of
+    /// one per deposit.
+    ///
+    /// Telemetry counts `items.len() × accs.len()` logical accumulator
+    /// folds, keeping windowed-vs-full verification comparisons in
+    /// units of *items folded* regardless of batching.
+    #[must_use]
+    pub fn fold_batch(&self, accs: &[Ubig], items: &[&[u8]]) -> Vec<Ubig> {
+        if items.is_empty() {
+            return accs.to_vec();
+        }
+        dla_telemetry::record(
+            dla_telemetry::CostKind::AccumulatorFold,
+            (items.len() * accs.len()) as u64,
+        );
+        let exponent = items
+            .iter()
+            .map(|item| self.item_exponent(item))
+            .reduce(|a, b| a * b)
+            .expect("items is non-empty");
+        self.ctx.modexp_batch(accs, &exponent)
+    }
+}
+
+/// One sealed epoch's summary: its accumulator digest, how many items
+/// it folded, and a hash link binding it to every earlier seal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EpochCheckpoint {
+    /// The sealed epoch.
+    pub epoch: u64,
+    /// Number of items folded into `digest`.
+    pub items: u64,
+    /// The epoch's accumulator value (fold of its items from `x₀`).
+    pub digest: Ubig,
+    /// `H(prev_link ‖ epoch ‖ items ‖ digest)` — position- and
+    /// history-binding, like the meta-audit trail's hash chain.
+    pub link: [u8; 32],
+}
+
+/// The incremental checkpoint chain over sealed epochs.
+///
+/// Each seal stores the epoch's accumulator digest and chains it to the
+/// previous seal with a hash link, so a windowed audit can verify
+/// *only* the epochs it overlaps plus this O(#epochs) chain of links —
+/// never the whole trail. Dropping, reordering, or rewriting any sealed
+/// epoch breaks every later link.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CheckpointChain {
+    checkpoints: Vec<EpochCheckpoint>,
+}
+
+impl CheckpointChain {
+    /// An empty chain (no epoch sealed yet).
+    #[must_use]
+    pub fn new() -> Self {
+        CheckpointChain::default()
+    }
+
+    /// The link a seal of (`epoch`, `items`, `digest`) on top of
+    /// `prev_link` would carry.
+    #[must_use]
+    pub fn link_over(prev_link: &[u8; 32], epoch: u64, items: u64, digest: &Ubig) -> [u8; 32] {
+        sha256::digest_parts(&[
+            b"dla-epoch-checkpoint",
+            prev_link,
+            &epoch.to_be_bytes(),
+            &items.to_be_bytes(),
+            &digest.to_bytes_be(),
+        ])
+    }
+
+    /// Seals `epoch` with its accumulator `digest` over `items` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` does not strictly follow the last sealed epoch
+    /// — seals are totally ordered by construction (the open epoch only
+    /// rolls forward).
+    pub fn seal(&mut self, epoch: u64, items: u64, digest: Ubig) -> &EpochCheckpoint {
+        if let Some(last) = self.checkpoints.last() {
+            assert!(
+                epoch > last.epoch,
+                "epoch {epoch} sealed out of order (last sealed: {})",
+                last.epoch
+            );
+        }
+        let link = Self::link_over(&self.head_link(), epoch, items, &digest);
+        self.checkpoints.push(EpochCheckpoint {
+            epoch,
+            items,
+            digest,
+            link,
+        });
+        self.checkpoints.last().expect("just pushed")
+    }
+
+    /// The link of the most recent seal (all zeros when empty).
+    #[must_use]
+    pub fn head_link(&self) -> [u8; 32] {
+        self.checkpoints.last().map_or([0u8; 32], |c| c.link)
+    }
+
+    /// Recomputes every link from the genesis and compares: `true` iff
+    /// the chain is internally consistent.
+    #[must_use]
+    pub fn verify_links(&self) -> bool {
+        let mut prev = [0u8; 32];
+        for c in &self.checkpoints {
+            if Self::link_over(&prev, c.epoch, c.items, &c.digest) != c.link {
+                return false;
+            }
+            prev = c.link;
+        }
+        true
+    }
+
+    /// The checkpoint for `epoch`, if sealed.
+    #[must_use]
+    pub fn get(&self, epoch: u64) -> Option<&EpochCheckpoint> {
+        self.checkpoints.iter().find(|c| c.epoch == epoch)
+    }
+
+    /// Iterates seals in seal order.
+    pub fn iter(&self) -> impl Iterator<Item = &EpochCheckpoint> {
+        self.checkpoints.iter()
+    }
+
+    /// Number of sealed epochs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether no epoch has been sealed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +398,55 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_modulus_rejected() {
         let _ = AccumulatorParams::from_modulus(Ubig::two());
+    }
+
+    #[test]
+    fn fold_batch_matches_sequential_folds() {
+        let p = params();
+        let items: Vec<&[u8]> = vec![b"d0", b"d1", b"d2", b"d3", b"d4"];
+        // Two independent accumulators absorb the same batch.
+        let a0 = p.accumulate([b"seed-a".as_slice()]);
+        let b0 = p.accumulate([b"seed-b".as_slice()]);
+        let batched = p.fold_batch(&[a0.clone(), b0.clone()], &items);
+        let seq_a = items.iter().fold(a0.clone(), |acc, i| p.fold(&acc, i));
+        let seq_b = items.iter().fold(b0.clone(), |acc, i| p.fold(&acc, i));
+        assert_eq!(batched, vec![seq_a, seq_b]);
+        // Empty batch is the identity.
+        assert_eq!(p.fold_batch(std::slice::from_ref(&a0), &[]), vec![a0]);
+    }
+
+    #[test]
+    fn checkpoint_chain_links_and_detects_tampering() {
+        let p = params();
+        let mut chain = CheckpointChain::new();
+        assert!(chain.is_empty());
+        assert!(chain.verify_links());
+        for (e, label) in [(0u64, "epoch0"), (1, "epoch1"), (3, "epoch3")] {
+            let digest = p.accumulate([label.as_bytes()]);
+            chain.seal(e, 1, digest);
+        }
+        assert_eq!(chain.len(), 3);
+        assert!(chain.verify_links());
+        assert!(chain.get(1).is_some());
+        assert!(chain.get(2).is_none());
+
+        // Rewriting a sealed digest breaks its own link check.
+        let mut tampered = chain.clone();
+        tampered.checkpoints[1].digest = p.accumulate([b"evil".as_slice()]);
+        assert!(!tampered.verify_links());
+
+        // Dropping a middle seal breaks the next link.
+        let mut dropped = chain.clone();
+        dropped.checkpoints.remove(1);
+        assert!(!dropped.verify_links());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn checkpoint_chain_rejects_out_of_order_seal() {
+        let p = params();
+        let mut chain = CheckpointChain::new();
+        chain.seal(2, 1, p.accumulate([b"x".as_slice()]));
+        chain.seal(2, 1, p.accumulate([b"y".as_slice()]));
     }
 }

@@ -1,0 +1,177 @@
+//! Epoch sharding of the log trail.
+//!
+//! The paper's §4.1 integrity circulation folds the *entire* trail into
+//! one accumulator, so verification is O(total trail) even for a narrow
+//! audit window. Sharding the glsn space into fixed-length **epochs**
+//! (cf. Crosby & Wallach's tamper-evident logging and the checkpoint
+//! trees of Certificate Transparency) lets a sealed epoch be summarized
+//! once — its accumulator digest chained to the previous seal — so a
+//! windowed audit folds only the epochs it overlaps.
+//!
+//! The epoch of a record is a pure function of its glsn, fixed at
+//! deposit time by the allocator: `epoch = (glsn - base) / length`.
+//! Every node therefore agrees on epoch membership without any extra
+//! coordination.
+
+use crate::model::Glsn;
+use std::fmt;
+
+/// Identifies one epoch of the glsn space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EpochId(pub u64);
+
+impl fmt::Display for EpochId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Maps glsns to epochs: `epoch = (glsn - base) / length`. Glsns below
+/// `base` (there are none in a well-formed trail — the allocator starts
+/// at `base`) saturate into epoch 0.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EpochPolicy {
+    base: u64,
+    length: u64,
+}
+
+impl EpochPolicy {
+    /// A policy carving the glsn space from `base` into epochs of
+    /// `length` glsns. `length` is clamped to at least 1.
+    #[must_use]
+    pub fn new(base: Glsn, length: u64) -> Self {
+        EpochPolicy {
+            base: base.0,
+            length: length.max(1),
+        }
+    }
+
+    /// The default policy: epochs of 1024 glsns starting at the paper's
+    /// first glsn (`0x139aef78`). Long enough that small workloads stay
+    /// within the open epoch.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        EpochPolicy::new(Glsn(0x139a_ef78), 1024)
+    }
+
+    /// Epoch length in glsns.
+    #[must_use]
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// First glsn of epoch 0.
+    #[must_use]
+    pub fn base(&self) -> Glsn {
+        Glsn(self.base)
+    }
+
+    /// The epoch containing `glsn`.
+    #[must_use]
+    pub fn epoch_of(&self, glsn: Glsn) -> EpochId {
+        EpochId(glsn.0.saturating_sub(self.base) / self.length)
+    }
+
+    /// The inclusive glsn range `[lo, hi]` covered by `epoch`.
+    #[must_use]
+    pub fn glsn_range(&self, epoch: EpochId) -> (Glsn, Glsn) {
+        let lo = self
+            .base
+            .saturating_add(epoch.0.saturating_mul(self.length));
+        let hi = lo.saturating_add(self.length - 1);
+        (Glsn(lo), Glsn(hi))
+    }
+}
+
+impl Default for EpochPolicy {
+    fn default() -> Self {
+        EpochPolicy::paper_default()
+    }
+}
+
+/// Per-epoch bookkeeping a [`crate::store::FragmentStore`] maintains:
+/// how many fragments landed in the epoch, the glsn extremes actually
+/// observed, and whether the epoch has been sealed (no further deposits
+/// admitted; its accumulator digest is checkpointed cluster-side).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EpochManifest {
+    /// The epoch this manifest describes.
+    pub epoch: EpochId,
+    /// Fragments stored in this epoch (own fragments only).
+    pub fragments: u64,
+    /// Smallest glsn actually stored in the epoch.
+    pub glsn_lo: Glsn,
+    /// Largest glsn actually stored in the epoch.
+    pub glsn_hi: Glsn,
+    /// Whether the epoch is sealed. Sealing is recorded in the node's
+    /// journal, so it survives [`crate::store::FragmentStore::restore`].
+    pub sealed: bool,
+}
+
+impl EpochManifest {
+    /// A manifest for a freshly opened epoch with one fragment at
+    /// `glsn`.
+    #[must_use]
+    pub fn opened_at(epoch: EpochId, glsn: Glsn) -> Self {
+        EpochManifest {
+            epoch,
+            fragments: 1,
+            glsn_lo: glsn,
+            glsn_hi: glsn,
+            sealed: false,
+        }
+    }
+
+    /// Records one more fragment at `glsn`.
+    pub fn observe(&mut self, glsn: Glsn) {
+        self.fragments += 1;
+        self.glsn_lo = self.glsn_lo.min(glsn);
+        self.glsn_hi = self.glsn_hi.max(glsn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_of_partitions_the_glsn_space() {
+        let policy = EpochPolicy::new(Glsn(100), 10);
+        assert_eq!(policy.epoch_of(Glsn(100)), EpochId(0));
+        assert_eq!(policy.epoch_of(Glsn(109)), EpochId(0));
+        assert_eq!(policy.epoch_of(Glsn(110)), EpochId(1));
+        assert_eq!(policy.epoch_of(Glsn(345)), EpochId(24));
+        // Below base saturates to epoch 0 rather than underflowing.
+        assert_eq!(policy.epoch_of(Glsn(5)), EpochId(0));
+    }
+
+    #[test]
+    fn glsn_range_is_inclusive_and_consistent_with_epoch_of() {
+        let policy = EpochPolicy::new(Glsn(0x139a_ef78), 16);
+        for e in [0u64, 1, 7, 100] {
+            let (lo, hi) = policy.glsn_range(EpochId(e));
+            assert_eq!(hi.0 - lo.0 + 1, 16);
+            assert_eq!(policy.epoch_of(lo), EpochId(e));
+            assert_eq!(policy.epoch_of(hi), EpochId(e));
+            assert_eq!(policy.epoch_of(Glsn(hi.0 + 1)), EpochId(e + 1));
+        }
+    }
+
+    #[test]
+    fn zero_length_is_clamped() {
+        let policy = EpochPolicy::new(Glsn(0), 0);
+        assert_eq!(policy.length(), 1);
+        assert_eq!(policy.epoch_of(Glsn(3)), EpochId(3));
+    }
+
+    #[test]
+    fn manifest_tracks_extremes() {
+        let mut m = EpochManifest::opened_at(EpochId(2), Glsn(25));
+        m.observe(Glsn(21));
+        m.observe(Glsn(29));
+        assert_eq!(m.fragments, 3);
+        assert_eq!(m.glsn_lo, Glsn(21));
+        assert_eq!(m.glsn_hi, Glsn(29));
+        assert!(!m.sealed);
+    }
+}

@@ -122,30 +122,27 @@ impl Journal {
     ///
     /// Returns [`LogError::Store`] on I/O failure.
     pub fn append(&mut self, entry: &JournalEntry) -> Result<(), LogError> {
-        let (kind, payload) = match entry {
-            JournalEntry::Fragment(frag) => (KIND_FRAGMENT, frag.to_canonical_bytes()),
-            JournalEntry::Tombstone(glsn) => (KIND_TOMBSTONE, glsn.0.to_be_bytes().to_vec()),
-            JournalEntry::AclGrant { ticket, ops, glsn } => {
-                let mut payload = Vec::with_capacity(9 + ticket.len());
-                payload.push(*ops);
-                payload.extend_from_slice(&glsn.0.to_be_bytes());
-                payload.extend_from_slice(ticket.as_bytes());
-                (KIND_ACL_GRANT, payload)
-            }
-            JournalEntry::Blob { tag, bytes } => {
-                let mut payload = Vec::with_capacity(1 + bytes.len());
-                payload.push(*tag);
-                payload.extend_from_slice(bytes);
-                (KIND_BLOB, payload)
-            }
-        };
-        let mut body = Vec::with_capacity(1 + payload.len());
-        body.push(kind);
-        body.extend_from_slice(&payload);
-        let mut framed = Vec::with_capacity(8 + body.len());
-        framed.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        framed.extend_from_slice(&crc32(&body).to_be_bytes());
-        framed.extend_from_slice(&body);
+        self.append_batch(std::slice::from_ref(entry))
+    }
+
+    /// Appends a batch of entries with a **single** fsync: every frame
+    /// is written back-to-back, then `sync_data` once. A crash mid-batch
+    /// leaves a torn tail that [`Journal::open`] truncates away, so the
+    /// batch is atomic per entry (a prefix survives) but costs one disk
+    /// sync instead of one per entry — the amortization behind the
+    /// cluster's batched deposit pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] on I/O failure.
+    pub fn append_batch(&mut self, entries: &[JournalEntry]) -> Result<(), LogError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut framed = Vec::new();
+        for entry in entries {
+            encode_framed(entry, &mut framed);
+        }
         self.file
             .write_all(&framed)
             .and_then(|()| self.file.sync_data())
@@ -159,13 +156,31 @@ impl Journal {
     }
 
     /// Folds replayed entries into the live fragment map (tombstones
-    /// remove).
-    #[must_use]
-    pub fn materialize(entries: Vec<JournalEntry>) -> Vec<Fragment> {
+    /// remove). A *different* fragment entry for a glsn that is already
+    /// live is a duplicated deposit — the write path rejects those, so
+    /// one in the journal means replayed or tampered history and is an
+    /// error rather than a silent keep-latest rewrite. A byte-identical
+    /// re-append (a crash between write and ack, retried) is idempotent,
+    /// and a delete-then-rewrite (fragment, tombstone, fragment) remains
+    /// legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::DuplicateGlsn`] on a conflicting rewrite of a
+    /// live fragment.
+    pub fn materialize(entries: Vec<JournalEntry>) -> Result<Vec<Fragment>, LogError> {
         let mut live = std::collections::BTreeMap::new();
         for entry in entries {
             match entry {
                 JournalEntry::Fragment(frag) => {
+                    if let Some(existing) = live.get(&frag.glsn) {
+                        if *existing != frag {
+                            return Err(LogError::DuplicateGlsn {
+                                glsn: frag.glsn,
+                                node: frag.node,
+                            });
+                        }
+                    }
                     live.insert(frag.glsn, frag);
                 }
                 JournalEntry::Tombstone(glsn) => {
@@ -174,8 +189,36 @@ impl Journal {
                 JournalEntry::AclGrant { .. } | JournalEntry::Blob { .. } => {}
             }
         }
-        live.into_values().collect()
+        Ok(live.into_values().collect())
     }
+}
+
+/// Frames one entry (`[len][crc][kind ‖ payload]`) onto `out`.
+fn encode_framed(entry: &JournalEntry, out: &mut Vec<u8>) {
+    let (kind, payload) = match entry {
+        JournalEntry::Fragment(frag) => (KIND_FRAGMENT, frag.to_canonical_bytes()),
+        JournalEntry::Tombstone(glsn) => (KIND_TOMBSTONE, glsn.0.to_be_bytes().to_vec()),
+        JournalEntry::AclGrant { ticket, ops, glsn } => {
+            let mut payload = Vec::with_capacity(9 + ticket.len());
+            payload.push(*ops);
+            payload.extend_from_slice(&glsn.0.to_be_bytes());
+            payload.extend_from_slice(ticket.as_bytes());
+            (KIND_ACL_GRANT, payload)
+        }
+        JournalEntry::Blob { tag, bytes } => {
+            let mut payload = Vec::with_capacity(1 + bytes.len());
+            payload.push(*tag);
+            payload.extend_from_slice(bytes);
+            (KIND_BLOB, payload)
+        }
+    };
+    let mut body = Vec::with_capacity(1 + payload.len());
+    body.push(kind);
+    body.extend_from_slice(&payload);
+    out.reserve(8 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(&body).to_be_bytes());
+    out.extend_from_slice(&body);
 }
 
 enum EntryError {
@@ -303,8 +346,26 @@ mod tests {
         }
         let (_, replayed) = Journal::open(&path).unwrap();
         assert_eq!(replayed.len(), frags.len());
-        let live = Journal::materialize(replayed);
+        let live = Journal::materialize(replayed).unwrap();
         assert_eq!(live, frags);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_batch_single_sync_round_trips() {
+        let path = temp_path("batch");
+        let frags = sample_fragments();
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            let entries: Vec<JournalEntry> = frags
+                .iter()
+                .map(|f| JournalEntry::Fragment(f.clone()))
+                .collect();
+            journal.append_batch(&entries).unwrap();
+            journal.append_batch(&[]).unwrap(); // empty batch is a no-op
+        }
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(Journal::materialize(replayed).unwrap(), frags);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -322,7 +383,7 @@ mod tests {
                 .unwrap();
         }
         let (_, replayed) = Journal::open(&path).unwrap();
-        let live = Journal::materialize(replayed);
+        let live = Journal::materialize(replayed).unwrap();
         assert_eq!(live.len(), frags.len() - 1);
         assert!(live.iter().all(|f| f.glsn != frags[2].glsn));
         std::fs::remove_file(&path).unwrap();
@@ -402,7 +463,10 @@ mod tests {
     }
 
     #[test]
-    fn rewrites_of_same_glsn_keep_latest() {
+    fn rewrites_of_same_glsn_are_rejected() {
+        // A second fragment entry for a live glsn used to silently win
+        // ("keep latest") — a duplicated deposit could rewrite history
+        // on replay. Materialize now refuses.
         let path = temp_path("rewrite");
         let mut frag = sample_fragments()[0].clone();
         {
@@ -419,12 +483,31 @@ mod tests {
                 .unwrap();
         }
         let (_, replayed) = Journal::open(&path).unwrap();
-        let live = Journal::materialize(replayed);
-        assert_eq!(live.len(), 1);
-        assert_eq!(
-            live[0].values.get(&"c2".into()),
-            Some(&crate::model::AttrValue::Fixed2(99_999))
+        let err = Journal::materialize(replayed).unwrap_err();
+        assert!(
+            matches!(err, LogError::DuplicateGlsn { glsn, .. } if glsn == frag.glsn),
+            "{err}"
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn delete_then_rewrite_is_legal() {
+        let path = temp_path("del-rewrite");
+        let frag = sample_fragments()[0].clone();
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            journal
+                .append(&JournalEntry::Fragment(frag.clone()))
+                .unwrap();
+            journal.append(&JournalEntry::Tombstone(frag.glsn)).unwrap();
+            journal
+                .append(&JournalEntry::Fragment(frag.clone()))
+                .unwrap();
+        }
+        let (_, replayed) = Journal::open(&path).unwrap();
+        let live = Journal::materialize(replayed).unwrap();
+        assert_eq!(live, vec![frag]);
         std::fs::remove_file(&path).unwrap();
     }
 }

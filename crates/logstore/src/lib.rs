@@ -37,6 +37,7 @@
 use std::fmt;
 
 pub mod acl;
+pub mod epoch;
 pub mod fragment;
 pub mod gen;
 pub mod journal;
@@ -57,8 +58,12 @@ pub enum LogError {
     Partition(String),
     /// An operation was denied by a ticket or access-control table.
     AccessDenied(String),
-    /// A storage-level failure (missing or duplicate glsn, wrong node).
+    /// A storage-level failure (missing glsn, wrong node).
     Store(String),
+    /// A deposit arrived for a glsn that is already stored with
+    /// different content — a replayed or duplicated deposit must never
+    /// silently rewrite history (§4's "uniquely assigned" invariant).
+    DuplicateGlsn { glsn: Glsn, node: usize },
 }
 
 impl fmt::Display for LogError {
@@ -68,6 +73,9 @@ impl fmt::Display for LogError {
             LogError::Partition(msg) => write!(f, "partition error: {msg}"),
             LogError::AccessDenied(msg) => write!(f, "access denied: {msg}"),
             LogError::Store(msg) => write!(f, "store error: {msg}"),
+            LogError::DuplicateGlsn { glsn, node } => {
+                write!(f, "duplicate glsn: {glsn} already stored at node {node}")
+            }
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Per-node fragment storage and the cluster-wide glsn allocator.
 
 use crate::acl::{AccessControlTable, Operation, OperationSet, Ticket};
+use crate::epoch::{EpochId, EpochManifest, EpochPolicy};
 use crate::fragment::Fragment;
 use crate::journal::{Journal, JournalEntry};
 use crate::model::{AttrName, AttrValue, Glsn};
@@ -29,8 +30,26 @@ impl GlsnAllocator {
     }
 
     /// Allocates the next glsn.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the glsn space is exhausted (the counter would pass
+    /// `u64::MAX`): a wrapping counter would silently reissue glsn 0 and
+    /// break the §4 "uniquely assigned" invariant, which every
+    /// accumulator deposit depends on. Exhaustion is unreachable in
+    /// practice (2⁶⁴ deposits) and unrecoverable if it happens, so a
+    /// loud panic beats a quietly corrupted trail.
     pub fn allocate(&self) -> Glsn {
-        Glsn(self.next.fetch_add(1, Ordering::Relaxed))
+        match self
+            .next
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_add(1))
+        {
+            Ok(prev) => Glsn(prev),
+            Err(_) => panic!(
+                "glsn space exhausted: allocator reached u64::MAX and cannot \
+                 issue another unique glsn"
+            ),
+        }
     }
 }
 
@@ -46,6 +65,10 @@ pub const BLOB_STANDBY: u8 = 0x10;
 /// Journal blob tag for an adopted fragment — a standby promoted after
 /// its owner died (payload: [`Fragment::to_canonical_bytes`]).
 pub const BLOB_ADOPTED: u8 = 0x11;
+/// Journal blob tag for an epoch seal (payload: epoch id as u64 BE).
+/// Replayed by [`FragmentStore::restore`] so a sealed epoch stays
+/// closed to deposits across restarts.
+pub const BLOB_EPOCH_SEAL: u8 = 0x12;
 
 /// One DLA node's fragment store plus its replica of the access-control
 /// table. Optionally backed by a durable [`Journal`]: writes and
@@ -71,6 +94,8 @@ pub struct FragmentStore {
     adopted: BTreeMap<(usize, Glsn), Fragment>,
     acl: AccessControlTable,
     journal: Option<Journal>,
+    epoch_policy: EpochPolicy,
+    epochs: BTreeMap<EpochId, EpochManifest>,
 }
 
 impl fmt::Debug for FragmentStore {
@@ -85,9 +110,17 @@ impl fmt::Debug for FragmentStore {
 }
 
 impl FragmentStore {
-    /// Creates the store for DLA node `node`.
+    /// Creates the store for DLA node `node` with the default epoch
+    /// policy.
     #[must_use]
     pub fn new(node: usize) -> Self {
+        FragmentStore::with_policy(node, EpochPolicy::default())
+    }
+
+    /// Creates the store for DLA node `node` sharding its trail per
+    /// `policy`.
+    #[must_use]
+    pub fn with_policy(node: usize, policy: EpochPolicy) -> Self {
         FragmentStore {
             node,
             fragments: BTreeMap::new(),
@@ -95,20 +128,43 @@ impl FragmentStore {
             adopted: BTreeMap::new(),
             acl: AccessControlTable::new(),
             journal: None,
+            epoch_policy: policy,
+            epochs: BTreeMap::new(),
         }
     }
 
     /// Creates a durable store journaling to `path` (which may already
-    /// contain a previous run's entries — they are replayed).
+    /// contain a previous run's entries — they are replayed) under the
+    /// default epoch policy.
     ///
     /// # Errors
     ///
-    /// Returns [`LogError::Store`] on I/O failure or journal corruption.
+    /// Returns [`LogError::Store`] on I/O failure or journal corruption,
+    /// [`LogError::DuplicateGlsn`] if the journal contains a duplicated
+    /// deposit.
     pub fn restore(node: usize, path: &Path) -> Result<Self, LogError> {
+        FragmentStore::restore_with_policy(node, path, EpochPolicy::default())
+    }
+
+    /// [`FragmentStore::restore`] with an explicit epoch policy. Epoch
+    /// seal records are replayed so sealed epochs stay closed, and
+    /// per-epoch manifests are rebuilt from the surviving fragments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] on I/O failure or journal corruption,
+    /// [`LogError::DuplicateGlsn`] if the journal contains a duplicated
+    /// deposit or a conflicting standby/adopted copy.
+    pub fn restore_with_policy(
+        node: usize,
+        path: &Path,
+        policy: EpochPolicy,
+    ) -> Result<Self, LogError> {
         let (journal, entries) = Journal::open(path)?;
         let mut acl = AccessControlTable::new();
-        let mut standby = BTreeMap::new();
-        let mut adopted = BTreeMap::new();
+        let mut standby: BTreeMap<(usize, Glsn), Fragment> = BTreeMap::new();
+        let mut adopted: BTreeMap<(usize, Glsn), Fragment> = BTreeMap::new();
+        let mut sealed = Vec::new();
         for entry in &entries {
             match entry {
                 JournalEntry::AclGrant { ticket, ops, glsn } => {
@@ -120,21 +176,60 @@ impl FragmentStore {
                 }
                 JournalEntry::Blob { tag, bytes } if *tag == BLOB_STANDBY => {
                     let frag = Fragment::from_canonical_bytes(bytes)?;
+                    // Re-shipped identical copies are idempotent; a
+                    // conflicting copy for the same (origin, glsn) is a
+                    // duplicated deposit.
+                    if let Some(existing) = standby.get(&(frag.node, frag.glsn)) {
+                        if *existing != frag {
+                            return Err(LogError::DuplicateGlsn {
+                                glsn: frag.glsn,
+                                node: frag.node,
+                            });
+                        }
+                    }
                     standby.insert((frag.node, frag.glsn), frag);
                 }
                 JournalEntry::Blob { tag, bytes } if *tag == BLOB_ADOPTED => {
                     let frag = Fragment::from_canonical_bytes(bytes)?;
+                    if let Some(existing) = adopted.get(&(frag.node, frag.glsn)) {
+                        if *existing != frag {
+                            return Err(LogError::DuplicateGlsn {
+                                glsn: frag.glsn,
+                                node: frag.node,
+                            });
+                        }
+                    }
                     // A promoted standby is no longer a standby.
                     standby.remove(&(frag.node, frag.glsn));
                     adopted.insert((frag.node, frag.glsn), frag);
                 }
+                JournalEntry::Blob { tag, bytes } if *tag == BLOB_EPOCH_SEAL => {
+                    let raw: [u8; 8] = bytes.as_slice().try_into().map_err(|_| {
+                        LogError::Store("epoch seal payload must be 8 bytes".into())
+                    })?;
+                    sealed.push(EpochId(u64::from_be_bytes(raw)));
+                }
                 _ => {}
             }
         }
-        let fragments = Journal::materialize(entries)
+        let fragments: BTreeMap<Glsn, Fragment> = Journal::materialize(entries)?
             .into_iter()
             .map(|f| (f.glsn, f))
             .collect();
+        let mut epochs: BTreeMap<EpochId, EpochManifest> = BTreeMap::new();
+        for glsn in fragments.keys() {
+            let epoch = policy.epoch_of(*glsn);
+            epochs
+                .entry(epoch)
+                .and_modify(|m| m.observe(*glsn))
+                .or_insert_with(|| EpochManifest::opened_at(epoch, *glsn));
+        }
+        for epoch in sealed {
+            epochs
+                .entry(epoch)
+                .or_insert_with(|| empty_manifest(&policy, epoch))
+                .sealed = true;
+        }
         Ok(FragmentStore {
             node,
             fragments,
@@ -142,6 +237,8 @@ impl FragmentStore {
             adopted,
             acl,
             journal: Some(journal),
+            epoch_policy: policy,
+            epochs,
         })
     }
 
@@ -179,9 +276,19 @@ impl FragmentStore {
             )));
         }
         if self.fragments.contains_key(&fragment.glsn) {
+            // A silent BTreeMap::insert here would let a replayed or
+            // duplicated deposit rewrite history without tripping the
+            // accumulator.
+            return Err(LogError::DuplicateGlsn {
+                glsn: fragment.glsn,
+                node: self.node,
+            });
+        }
+        let epoch = self.epoch_policy.epoch_of(fragment.glsn);
+        if self.epochs.get(&epoch).is_some_and(|m| m.sealed) {
             return Err(LogError::Store(format!(
-                "glsn {} already stored at node {}",
-                fragment.glsn, self.node
+                "epoch {epoch} is sealed at node {}: glsn {} cannot be deposited",
+                self.node, fragment.glsn
             )));
         }
         if let Some(journal) = &mut self.journal {
@@ -193,6 +300,10 @@ impl FragmentStore {
             })?;
         }
         self.acl.authorize(ticket, fragment.glsn);
+        self.epochs
+            .entry(epoch)
+            .and_modify(|m| m.observe(fragment.glsn))
+            .or_insert_with(|| EpochManifest::opened_at(epoch, fragment.glsn));
         self.fragments.insert(fragment.glsn, fragment);
         Ok(())
     }
@@ -227,6 +338,9 @@ impl FragmentStore {
         if let Some(journal) = &mut self.journal {
             journal.append(&JournalEntry::Tombstone(glsn))?;
         }
+        if let Some(m) = self.epochs.get_mut(&self.epoch_policy.epoch_of(glsn)) {
+            m.fragments = m.fragments.saturating_sub(1);
+        }
         Ok(self.fragments.remove(&glsn).expect("checked above"))
     }
 
@@ -250,19 +364,100 @@ impl FragmentStore {
         self.fragments.values().chain(self.adopted.values())
     }
 
+    /// [`FragmentStore::scan_all`] restricted to the inclusive glsn
+    /// window `[lo, hi]` — the epoch-pruned scan surface. Own fragments
+    /// come from a BTreeMap range (no full-trail walk); adopted ones
+    /// are filtered.
+    pub fn scan_window(&self, lo: Glsn, hi: Glsn) -> impl Iterator<Item = &Fragment> {
+        let adopted = self
+            .adopted
+            .values()
+            .filter(move |f| f.glsn >= lo && f.glsn <= hi);
+        // An inverted window (lo > hi) is the planner's "provably no
+        // answers" sentinel — BTreeMap::range would panic on it.
+        let stored = if lo <= hi {
+            Some(self.fragments.range(lo..=hi))
+        } else {
+            None
+        };
+        stored.into_iter().flatten().map(|(_, f)| f).chain(adopted)
+    }
+
+    /// The store's epoch policy.
+    #[must_use]
+    pub fn epoch_policy(&self) -> EpochPolicy {
+        self.epoch_policy
+    }
+
+    /// The manifest for `epoch`, if any deposit or seal touched it.
+    #[must_use]
+    pub fn epoch_manifest(&self, epoch: EpochId) -> Option<&EpochManifest> {
+        self.epochs.get(&epoch)
+    }
+
+    /// Iterates the per-epoch manifests in epoch order.
+    pub fn epoch_manifests(&self) -> impl Iterator<Item = &EpochManifest> {
+        self.epochs.values()
+    }
+
+    /// Whether `epoch` has been sealed on this node.
+    #[must_use]
+    pub fn is_sealed(&self, epoch: EpochId) -> bool {
+        self.epochs.get(&epoch).is_some_and(|m| m.sealed)
+    }
+
+    /// Seals `epoch`: no further deposits are admitted into it. The
+    /// seal is journaled (when durable), so it survives
+    /// [`FragmentStore::restore`]. Idempotent — re-sealing a sealed
+    /// epoch is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] if journaling fails.
+    pub fn seal_epoch(&mut self, epoch: EpochId) -> Result<(), LogError> {
+        if self.is_sealed(epoch) {
+            return Ok(());
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append(&JournalEntry::Blob {
+                tag: BLOB_EPOCH_SEAL,
+                bytes: epoch.0.to_be_bytes().to_vec(),
+            })?;
+        }
+        let policy = self.epoch_policy;
+        self.epochs
+            .entry(epoch)
+            .or_insert_with(|| empty_manifest(&policy, epoch))
+            .sealed = true;
+        Ok(())
+    }
+
     /// Stores a warm standby copy of another node's fragment (ring
-    /// replication at log time). Idempotent per (origin, glsn).
+    /// replication at log time). Idempotent per (origin, glsn) for
+    /// byte-identical re-ships.
     ///
     /// # Errors
     ///
     /// Returns [`LogError::Store`] if the fragment belongs to this node
-    /// (a node is not its own standby) or journaling fails.
+    /// (a node is not its own standby) or journaling fails, and
+    /// [`LogError::DuplicateGlsn`] if a *different* fragment is already
+    /// held for the same (origin, glsn).
     pub fn store_standby(&mut self, fragment: Fragment) -> Result<(), LogError> {
         if fragment.node == self.node {
             return Err(LogError::Store(format!(
                 "node {} cannot hold a standby of its own fragment",
                 self.node
             )));
+        }
+        match self.standby.get(&(fragment.node, fragment.glsn)) {
+            Some(existing) if *existing == fragment => return Ok(()),
+            Some(_) => {
+                return Err(LogError::DuplicateGlsn {
+                    glsn: fragment.glsn,
+                    node: fragment.node,
+                })
+            }
+            None => {}
         }
         if let Some(journal) = &mut self.journal {
             journal.append(&JournalEntry::Blob {
@@ -282,13 +477,25 @@ impl FragmentStore {
     /// # Errors
     ///
     /// Returns [`LogError::Store`] if the fragment belongs to this node
-    /// or journaling fails.
+    /// or journaling fails, and [`LogError::DuplicateGlsn`] if a
+    /// *different* fragment was already adopted for the same
+    /// (origin, glsn).
     pub fn adopt(&mut self, fragment: Fragment) -> Result<(), LogError> {
         if fragment.node == self.node {
             return Err(LogError::Store(format!(
                 "node {} cannot adopt its own fragment",
                 self.node
             )));
+        }
+        match self.adopted.get(&(fragment.node, fragment.glsn)) {
+            Some(existing) if *existing == fragment => return Ok(()),
+            Some(_) => {
+                return Err(LogError::DuplicateGlsn {
+                    glsn: fragment.glsn,
+                    node: fragment.node,
+                })
+            }
+            None => {}
         }
         if let Some(journal) = &mut self.journal {
             journal.append(&JournalEntry::Blob {
@@ -380,6 +587,19 @@ impl FragmentStore {
     }
 }
 
+/// A manifest for an epoch sealed before any deposit touched it: zero
+/// fragments, bounds set to the policy's nominal range.
+fn empty_manifest(policy: &EpochPolicy, epoch: EpochId) -> EpochManifest {
+    let (lo, hi) = policy.glsn_range(epoch);
+    EpochManifest {
+        epoch,
+        fragments: 0,
+        glsn_lo: lo,
+        glsn_hi: hi,
+        sealed: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,7 +685,174 @@ mod tests {
         let mut store = FragmentStore::new(1);
         let frag = sample_fragments(7).remove(1);
         store.write(&t, frag.clone()).unwrap();
-        assert!(store.write(&t, frag).is_err());
+        let err = store.write(&t, frag).unwrap_err();
+        assert_eq!(
+            err,
+            LogError::DuplicateGlsn {
+                glsn: Glsn(7),
+                node: 1
+            }
+        );
+    }
+
+    #[test]
+    fn allocator_panics_at_glsn_exhaustion() {
+        let alloc = GlsnAllocator::starting_at(Glsn(u64::MAX - 1));
+        assert_eq!(alloc.allocate(), Glsn(u64::MAX - 1));
+        let result = std::panic::catch_unwind(|| alloc.allocate());
+        let err = result.expect_err("allocating past u64::MAX must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("glsn space exhausted"), "panic said: {msg}");
+        // The allocator is poisoned at MAX, not wrapped: it keeps
+        // refusing rather than silently reissuing glsn 0.
+        assert!(std::panic::catch_unwind(|| alloc.allocate()).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_duplicated_deposit_in_journal() {
+        // Regression for the silent-overwrite bug: a journal carrying
+        // two Fragment entries for one glsn (a duplicated deposit) used
+        // to materialize keep-latest; restore must now refuse.
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-dup-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let frag = sample_fragments(7).remove(1);
+        let mut tampered = frag.clone();
+        tampered
+            .values
+            .insert(AttrName::new("c2"), AttrValue::Fixed2(666_666));
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            journal.append(&JournalEntry::Fragment(frag)).unwrap();
+            journal.append(&JournalEntry::Fragment(tampered)).unwrap();
+        }
+        let err = FragmentStore::restore(1, &path).unwrap_err();
+        assert!(
+            matches!(err, LogError::DuplicateGlsn { glsn: Glsn(7), .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn standby_is_idempotent_but_rejects_conflicting_copy() {
+        let mut store = FragmentStore::new(1);
+        let frag = sample_fragments(7).remove(0);
+        store.store_standby(frag.clone()).unwrap();
+        // Byte-identical re-ship: fine.
+        store.store_standby(frag.clone()).unwrap();
+        assert_eq!(store.standby_count(), 1);
+        // Conflicting content for the same (origin, glsn): refused.
+        let mut conflicting = frag;
+        conflicting
+            .values
+            .insert(AttrName::new("time"), AttrValue::Time(424_242));
+        let err = store.store_standby(conflicting.clone()).unwrap_err();
+        assert!(matches!(err, LogError::DuplicateGlsn { .. }), "{err}");
+        // Same audit on the adopted map.
+        store.promote_standby(0).unwrap();
+        let err = store.adopt(conflicting).unwrap_err();
+        assert!(matches!(err, LogError::DuplicateGlsn { .. }), "{err}");
+    }
+
+    #[test]
+    fn epoch_manifests_track_deposits() {
+        let t = ticket(OperationSet::read_write());
+        let policy = EpochPolicy::new(Glsn(0), 4);
+        let mut store = FragmentStore::with_policy(1, policy);
+        for glsn in [1u64, 3, 5, 6] {
+            store.write(&t, sample_fragments(glsn).remove(1)).unwrap();
+        }
+        let e0 = store.epoch_manifest(EpochId(0)).unwrap();
+        assert_eq!(
+            (e0.fragments, e0.glsn_lo, e0.glsn_hi),
+            (2, Glsn(1), Glsn(3))
+        );
+        let e1 = store.epoch_manifest(EpochId(1)).unwrap();
+        assert_eq!(
+            (e1.fragments, e1.glsn_lo, e1.glsn_hi),
+            (2, Glsn(5), Glsn(6))
+        );
+        assert_eq!(store.epoch_manifests().count(), 2);
+    }
+
+    #[test]
+    fn sealed_epoch_rejects_deposits() {
+        let t = ticket(OperationSet::read_write());
+        let policy = EpochPolicy::new(Glsn(0), 4);
+        let mut store = FragmentStore::with_policy(1, policy);
+        store.write(&t, sample_fragments(1).remove(1)).unwrap();
+        store.seal_epoch(EpochId(0)).unwrap();
+        store.seal_epoch(EpochId(0)).unwrap(); // idempotent
+        assert!(store.is_sealed(EpochId(0)));
+        let err = store.write(&t, sample_fragments(2).remove(1)).unwrap_err();
+        assert!(err.to_string().contains("sealed"), "{err}");
+        // The next epoch is still open.
+        store.write(&t, sample_fragments(5).remove(1)).unwrap();
+    }
+
+    #[test]
+    fn scan_window_prunes_to_range() {
+        let t = ticket(OperationSet::read_write());
+        let mut store = FragmentStore::new(1);
+        for glsn in [2u64, 4, 6, 8] {
+            store.write(&t, sample_fragments(glsn).remove(1)).unwrap();
+        }
+        // An adopted fragment inside and one outside the window.
+        store.store_standby(sample_fragments(5).remove(0)).unwrap();
+        store.store_standby(sample_fragments(9).remove(0)).unwrap();
+        store.promote_standby(0).unwrap();
+
+        let mut seen: Vec<u64> = store
+            .scan_window(Glsn(4), Glsn(7))
+            .map(|f| f.glsn.0)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![4, 5, 6]);
+        // Full-range window matches scan_all.
+        assert_eq!(
+            store.scan_window(Glsn(0), Glsn(u64::MAX)).count(),
+            store.scan_all().count()
+        );
+        // Inverted window = the planner's empty sentinel, not a panic.
+        assert_eq!(store.scan_window(Glsn(1), Glsn(0)).count(), 0);
+    }
+
+    #[test]
+    fn epoch_seals_survive_restart() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-seal-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let t = ticket(OperationSet::read_write());
+        let policy = EpochPolicy::new(Glsn(0), 4);
+        {
+            let mut store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+            store.write(&t, sample_fragments(1).remove(1)).unwrap();
+            store.write(&t, sample_fragments(5).remove(1)).unwrap();
+            store.seal_epoch(EpochId(0)).unwrap();
+        }
+        let mut store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+        assert!(store.is_sealed(EpochId(0)), "seal must survive restart");
+        assert!(!store.is_sealed(EpochId(1)));
+        let m0 = store.epoch_manifest(EpochId(0)).unwrap();
+        assert_eq!((m0.fragments, m0.glsn_lo), (1, Glsn(1)));
+        let err = store.write(&t, sample_fragments(2).remove(1)).unwrap_err();
+        assert!(err.to_string().contains("sealed"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

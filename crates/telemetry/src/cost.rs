@@ -40,6 +40,12 @@ pub enum CostKind {
     Timeout,
     /// Protocol-defined communication round.
     Round,
+    /// An epoch of the log trail was sealed (its accumulator digest
+    /// checkpointed).
+    EpochSeal,
+    /// One batch processed by the batched deposit pipeline (amortized
+    /// journal fsync + accumulator fold).
+    DepositBatch,
 }
 
 impl CostKind {
@@ -58,6 +64,8 @@ impl CostKind {
             CostKind::Retransmit => "retransmits",
             CostKind::Timeout => "timeouts",
             CostKind::Round => "rounds",
+            CostKind::EpochSeal => "epoch_seals",
+            CostKind::DepositBatch => "deposit_batches",
         }
     }
 }
@@ -88,6 +96,10 @@ pub struct CostVector {
     pub timeouts: u64,
     /// Protocol rounds.
     pub rounds: u64,
+    /// Epoch seals (checkpointed accumulator digests).
+    pub epoch_seals: u64,
+    /// Batches processed by the batched deposit pipeline.
+    pub deposit_batches: u64,
 }
 
 impl CostVector {
@@ -105,6 +117,8 @@ impl CostVector {
             CostKind::Retransmit => &mut self.retransmits,
             CostKind::Timeout => &mut self.timeouts,
             CostKind::Round => &mut self.rounds,
+            CostKind::EpochSeal => &mut self.epoch_seals,
+            CostKind::DepositBatch => &mut self.deposit_batches,
         };
         *slot += amount;
     }
@@ -122,6 +136,8 @@ impl CostVector {
         self.retransmits += other.retransmits;
         self.timeouts += other.timeouts;
         self.rounds += other.rounds;
+        self.epoch_seals += other.epoch_seals;
+        self.deposit_batches += other.deposit_batches;
     }
 
     /// True when every counter is zero.
@@ -132,7 +148,7 @@ impl CostVector {
 
     /// `(label, value)` pairs in a stable order, for exporters.
     #[must_use]
-    pub fn entries(&self) -> [(&'static str, u64); 11] {
+    pub fn entries(&self) -> [(&'static str, u64); 13] {
         [
             ("modexp", self.modexp),
             ("mont_mul_steps", self.mont_mul_steps),
@@ -145,6 +161,8 @@ impl CostVector {
             ("retransmits", self.retransmits),
             ("timeouts", self.timeouts),
             ("rounds", self.rounds),
+            ("epoch_seals", self.epoch_seals),
+            ("deposit_batches", self.deposit_batches),
         ]
     }
 }
@@ -217,13 +235,15 @@ mod tests {
             CostKind::Retransmit,
             CostKind::Timeout,
             CostKind::Round,
+            CostKind::EpochSeal,
+            CostKind::DepositBatch,
         ];
         let mut v = CostVector::default();
         for (i, kind) in kinds.iter().enumerate() {
             v.add(*kind, (i + 1) as u64);
         }
         let values: Vec<u64> = v.entries().iter().map(|(_, n)| *n).collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
         assert!(!v.is_zero());
     }
 

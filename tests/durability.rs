@@ -92,11 +92,14 @@ fn tampering_before_restart_is_still_detected_after() {
             .unwrap();
     }
 
-    let mut recovered = DlaCluster::new(config(&dir)).unwrap();
-    let verdict = integrity::check_record(&mut recovered, target, 0).unwrap();
+    // Recovery itself refuses the forgery: a *conflicting* fragment
+    // entry for a live glsn is a duplicated deposit, rejected at replay
+    // rather than silently keep-latest rewritten (and only caught later
+    // by the accumulator circulation, as it used to be).
+    let err = DlaCluster::new(config(&dir)).unwrap_err();
     assert!(
-        !verdict.ok,
-        "on-disk tampering must be detected after restart"
+        err.to_string().contains("duplicate glsn"),
+        "on-disk tampering must be detected during recovery, got: {err}"
     );
 
     std::fs::remove_dir_all(&dir).unwrap();
@@ -160,10 +163,11 @@ fn crash_tail_and_duplicated_writes_recover_cleanly() {
     bytes.extend_from_slice(&[0x00, 0x00, 0x01, 0x00, 0xAB, 0xCD]);
     std::fs::write(&path, &bytes).unwrap();
 
-    // Replay drops the torn tail and last-write-wins collapses the
-    // duplicate appends back to one fragment per glsn.
+    // Replay drops the torn tail; the byte-identical retry appends are
+    // idempotent and collapse back to one fragment per glsn (only a
+    // *conflicting* rewrite is a duplicated deposit).
     let (_, entries) = Journal::open(&path).unwrap();
-    let fragments = Journal::materialize(entries);
+    let fragments = Journal::materialize(entries).expect("identical re-appends are idempotent");
     assert_eq!(
         fragments.len(),
         5,
