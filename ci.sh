@@ -95,6 +95,45 @@ for r in gated:
 PY
 fi
 
+echo "==> dla-cluster smoke run (4 app + 3 infrastructure node processes)"
+cargo run --release -p dla-deploy --bin dla-cluster -- --nodes 4 --records 8 --seed 7 \
+    | grep -q "CLUSTER OK"
+
+echo "==> exp_socket_e2e --quick (asserts socket answers match in-process)"
+cargo run --release -p dla-bench --bin exp_socket_e2e -- --quick >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .experiment == "socket_e2e"
+        and (.mode == "process" or .mode == "thread")
+        and .answers_identical
+        and (.digest | length == 64)
+        and (.tcp_deposits_per_sec > 0)
+        and (.channel_deposits_per_sec > 0)
+        and (.rows | length == 5)
+        and (.rows | all(has("protocol") and has("tcp_ms") and has("channel_ms")))
+        and ([.rows[].protocol] | sort
+             == ["equality", "ranking", "ssi", "sum", "union"])
+    ' BENCH_socket_e2e.json >/dev/null
+else
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_socket_e2e.json"))
+assert d["experiment"] == "socket_e2e"
+assert d["mode"] in ("process", "thread")
+assert d["answers_identical"], "socket answers must match in-process"
+assert len(d["digest"]) == 64
+assert d["tcp_deposits_per_sec"] > 0 and d["channel_deposits_per_sec"] > 0
+rows = d["rows"]
+assert len(rows) == 5
+for r in rows:
+    for key in ("protocol", "tcp_ms", "channel_ms"):
+        assert key in r, key
+assert sorted(r["protocol"] for r in rows) == [
+    "equality", "ranking", "ssi", "sum", "union"
+]
+PY
+fi
+
 echo "==> chrome-trace export validates as JSON"
 cargo run --release --example telemetry_trace >/dev/null
 if command -v jq >/dev/null 2>&1; then

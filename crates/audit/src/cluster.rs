@@ -15,7 +15,7 @@ use dla_logstore::schema::Schema;
 use dla_logstore::store::{FragmentStore, GlsnAllocator};
 use dla_net::latency::LatencyModel;
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NetConfig, NodeId, SharedNet, SimNet};
+use dla_net::{NetConfig, NodeId, ReliableConfig, SharedNet, SimNet};
 use parking_lot::{MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,6 +58,13 @@ pub struct ClusterConfig {
     /// forward, earlier epochs are sealed and their accumulator digests
     /// checkpointed. Defaults to 1024.
     pub epoch_length: u64,
+    /// ARQ retransmission tuning (base timeout, retry budget, jitter
+    /// seed) used when queries run through the reliable transport
+    /// wrapper — see [`DlaCluster::resilient_policy`].
+    pub retransmit: ReliableConfig,
+    /// Failure-detector tuning: heartbeat suspicion threshold and
+    /// per-probe timeout.
+    pub health: crate::health::HealthConfig,
 }
 
 impl ClusterConfig {
@@ -76,6 +83,8 @@ impl ClusterConfig {
             standby_replication: false,
             batch_mode: BatchMode::Serial,
             epoch_length: 1024,
+            retransmit: ReliableConfig::default(),
+            health: crate::health::HealthConfig::default(),
         }
     }
 
@@ -149,6 +158,23 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_epoch_length(mut self, epoch_length: u64) -> Self {
         self.epoch_length = epoch_length;
+        self
+    }
+
+    /// Sets the ARQ retransmission tuning (base timeout, retry budget,
+    /// jitter seed) that [`DlaCluster::resilient_policy`] hands to the
+    /// reliable transport wrapper.
+    #[must_use]
+    pub fn with_retransmit(mut self, retransmit: ReliableConfig) -> Self {
+        self.retransmit = retransmit;
+        self
+    }
+
+    /// Sets the failure-detector tuning (heartbeat suspicion threshold
+    /// and per-probe timeout).
+    #[must_use]
+    pub fn with_health(mut self, health: crate::health::HealthConfig) -> Self {
+        self.health = health;
         self
     }
 }
@@ -396,6 +422,11 @@ pub struct DlaCluster {
     max_users: usize,
     rng: StdRng,
     standby_replication: bool,
+    /// ARQ tuning from the configuration (see
+    /// [`ClusterConfig::with_retransmit`]).
+    retransmit: ReliableConfig,
+    /// Failure-detector tuning from the configuration.
+    health: crate::health::HealthConfig,
     /// Retirement log: `(dead node, adopter)` in declaration order.
     /// The adopter serves the dead node's attributes from promoted
     /// standby fragments; [`DlaCluster::effective_partition`] replays
@@ -598,6 +629,8 @@ impl DlaCluster {
             max_users: config.max_users,
             rng,
             standby_replication: config.standby_replication,
+            retransmit: config.retransmit,
+            health: config.health,
             retired: Vec::new(),
             epoch_policy,
             epoch_stats,
@@ -660,6 +693,20 @@ impl DlaCluster {
     #[must_use]
     pub fn auditor_node(&self) -> NodeId {
         NodeId(self.nodes.len())
+    }
+
+    /// The resilience policy derived from this cluster's configuration:
+    /// the configured ARQ retransmission tuning and failure-detector
+    /// thresholds, defaults for everything else. Pass it to
+    /// [`DlaCluster::query_resilient`] (or tweak the returned value
+    /// first) instead of re-stating the constants at every call site.
+    #[must_use]
+    pub fn resilient_policy(&self) -> crate::exec::ResilientPolicy {
+        crate::exec::ResilientPolicy {
+            reliable: Some(self.retransmit),
+            health: self.health.clone(),
+            ..crate::exec::ResilientPolicy::default()
+        }
     }
 
     /// The dedicated blind-TTP helper's network id.

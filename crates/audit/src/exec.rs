@@ -272,12 +272,24 @@ pub fn execute_on(
             // ∧-join barrier: the conjunction can only start once every
             // subquery session has delivered, so open the combiner
             // session and advance it to the latest subquery finish.
+            // The transport may keep its own timeline (a wall-clock
+            // socket mesh reports real elapsed time; the cluster's
+            // SharedNet reports the same virtual clocks read below) —
+            // fold its view in as well, reading it *before* taking the
+            // SimNet lock because on SharedNet both sides are the same
+            // non-reentrant mutex.
+            let transport_join = sessions
+                .iter()
+                .map(|&sid| transport.elapsed(sid))
+                .max()
+                .unwrap_or_default();
             let mut n = net.lock();
             let join_at = sessions
                 .iter()
                 .map(|&sid| n.session_elapsed(sid))
                 .max()
-                .unwrap_or(start_elapsed);
+                .unwrap_or(start_elapsed)
+                .max(transport_join);
             combine_session = n.open_session();
             n.sync_session(combine_session, join_at);
         }

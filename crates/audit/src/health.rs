@@ -10,9 +10,10 @@
 //! rejoin.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use dla_net::wire::{Reader, Writer};
-use dla_net::{NodeId, Session, SessionId, SimTime, Transport};
+use dla_net::{Clock, NodeId, Session, SessionId, SimTime, Transport};
 
 use crate::cluster::DlaCluster;
 use crate::AuditError;
@@ -65,6 +66,13 @@ pub struct HealthMonitor {
     config: HealthConfig,
     statuses: Vec<NodeStatus>,
     rounds: u64,
+    /// Optional time driver. `None` keeps the legacy simulator
+    /// semantics (missed probes only *charge* virtual time to the
+    /// auditor's session clock). With a clock injected, each missed
+    /// probe also advances the driver — a virtual clock ticks forward,
+    /// a wall clock genuinely waits out the probe deadline — and
+    /// telemetry events are stamped from it.
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl HealthMonitor {
@@ -77,7 +85,17 @@ impl HealthMonitor {
             config,
             statuses: vec![NodeStatus::Alive; cluster.num_nodes()],
             rounds: 0,
+            clock: None,
         }
+    }
+
+    /// Injects a time driver: missed probes advance `clock` by the
+    /// probe timeout (sleeping for real on a wall clock) and status
+    /// transitions are stamped from it.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
     }
 
     /// The dedicated heartbeat session id.
@@ -150,6 +168,9 @@ impl HealthMonitor {
             } else {
                 // Model the auditor waiting out the probe deadline.
                 session.charge(auditor, self.config.probe_timeout);
+                if let Some(clock) = &self.clock {
+                    clock.advance(self.config.probe_timeout);
+                }
                 let next = match self.statuses[node] {
                     NodeStatus::Alive => NodeStatus::Suspected { misses: 1 },
                     NodeStatus::Suspected { misses } => {
@@ -177,9 +198,16 @@ impl HealthMonitor {
                 NodeStatus::Suspected { .. } => "health-suspect",
                 NodeStatus::Dead => "health-dead",
             };
+            // Stamp from the injected driver when present (real
+            // timestamps on wall deployments), else from the session's
+            // virtual makespan as before.
+            let at = self
+                .clock
+                .as_ref()
+                .map_or_else(|| session.elapsed(), |c| c.now());
             dla_telemetry::event(
                 name,
-                session.elapsed().as_nanos(),
+                at.as_nanos(),
                 &[
                     ("node", &node.to_string()),
                     ("round", &self.rounds.to_string()),
@@ -304,6 +332,23 @@ mod tests {
         // Root-session accounting is untouched by heartbeat traffic.
         let (root_msgs, _) = Session::root(cluster.shared_net()).counters();
         assert_eq!(root_msgs, 0);
+    }
+
+    #[test]
+    fn injected_clock_advances_on_missed_probes() {
+        let cluster = cluster();
+        cluster.net_mut().faults_mut().kill_node(2);
+        let clock = Arc::new(dla_net::VirtualClock::new());
+        let mut monitor = HealthMonitor::new(&cluster, HealthConfig::default())
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        monitor.probe_round(&cluster).unwrap();
+        // One missed probe: the driver waited out exactly one timeout.
+        assert_eq!(clock.now(), HealthConfig::default().probe_timeout);
+        monitor.probe_round(&cluster).unwrap();
+        assert_eq!(
+            clock.now().as_nanos(),
+            2 * HealthConfig::default().probe_timeout.as_nanos()
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod attest;
 pub mod centralized;
 pub mod cluster;
 pub mod correlate;
+pub mod deploy;
 pub mod exec;
 pub mod health;
 pub mod integrity;

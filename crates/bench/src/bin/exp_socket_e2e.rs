@@ -1,0 +1,289 @@
+//! Experiment P12: socket-deployed end-to-end audit. Runs the seeded
+//! deployment workload — trail-fragment deposits plus the five MPC
+//! query protocols — twice:
+//!
+//! * over a **TCP mesh** of node processes (spawned `dla-node`
+//!   binaries when one can be located, in-process serve loops on
+//!   plain threads otherwise), every protocol hop crossing the
+//!   route → forward → deliver socket path, and
+//! * over the **in-process channel transport** (the baseline every
+//!   virtual-clock suite uses),
+//!
+//! and asserts the answers are **byte-identical** before reporting
+//! deposits/sec and per-protocol latency for both. Writes
+//! `BENCH_socket_e2e.json`.
+//!
+//! Run with: `cargo run -p dla-bench --bin exp_socket_e2e --release`
+//! (pass `--quick` for the CI-sized configuration).
+
+use dla_audit::deploy::{build_cluster, fragments, run_workload, WorkloadOutcome, WorkloadSpec};
+use dla_bench::render_table;
+use dla_deploy::{locate_node_bin, ChildNode, PeerTable};
+use dla_net::tcp::{serve, NodeConfig, TcpConfig, TcpNet};
+use dla_net::{ChannelNet, NodeId, SimTime, VirtualClock};
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PROTOCOLS: usize = 5;
+
+/// The socket mesh under measurement: either spawned node processes or
+/// serve loops on threads, torn down after the run.
+enum Mesh {
+    Processes(Vec<ChildNode>),
+    Threads(Vec<std::thread::JoinHandle<std::io::Result<dla_net::NodeReport>>>),
+}
+
+fn spawn_process_mesh(total: usize) -> Option<(Vec<Option<SocketAddr>>, Mesh)> {
+    let bin = locate_node_bin()?;
+    let mut children = Vec::new();
+    for id in 0..total {
+        match ChildNode::spawn(&bin, id, "bench", 1000 + id as u64) {
+            Ok(child) => children.push(child),
+            Err(_) => {
+                for child in &mut children {
+                    child.kill();
+                }
+                return None;
+            }
+        }
+    }
+    let table = PeerTable(children.iter().map(|c| Some(c.addr)).collect());
+    for child in &mut children {
+        if child.send_peers(&table).is_err() {
+            for child in &mut children {
+                child.kill();
+            }
+            return None;
+        }
+    }
+    Some((table.0, Mesh::Processes(children)))
+}
+
+fn spawn_thread_mesh(total: usize) -> (Vec<Option<SocketAddr>>, Mesh) {
+    let listeners: Vec<TcpListener> = (0..total)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let peers: Vec<Option<SocketAddr>> = listeners
+        .iter()
+        .map(|l| Some(l.local_addr().expect("local addr")))
+        .collect();
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let config = NodeConfig {
+                id,
+                peers: peers.clone(),
+                role: "bench".to_string(),
+                key: 1000 + id as u64,
+            };
+            std::thread::spawn(move || serve(listener, config))
+        })
+        .collect();
+    (peers, Mesh::Threads(handles))
+}
+
+struct SocketRun {
+    outcome: WorkloadOutcome,
+    store_deposits_per_sec: f64,
+}
+
+/// One full workload over a fresh mesh: store-path deposits first
+/// (measured), then the session-shipped workload.
+fn socket_run(spec: &WorkloadSpec, mode: &str) -> SocketRun {
+    let total = spec.network_size();
+    let (peers, mesh) = if mode == "process" {
+        spawn_process_mesh(total).expect("process mesh launches")
+    } else {
+        spawn_thread_mesh(total)
+    };
+    let net = TcpNet::connect(
+        &peers,
+        BTreeSet::new(),
+        TcpConfig {
+            timeout: SimTime::from_millis(10_000),
+            ..TcpConfig::default()
+        },
+    )
+    .expect("connect to mesh");
+    let cluster = build_cluster(spec).expect("cluster");
+
+    let items = fragments(&cluster, spec.nodes);
+    let started = Instant::now();
+    for (glsn, owner, item) in &items {
+        net.deposit(NodeId(*owner), *glsn, item).expect("store ack");
+    }
+    let store_secs = started.elapsed().as_secs_f64();
+    let store_deposits_per_sec = items.len() as f64 / store_secs.max(1e-9);
+
+    let outcome = run_workload(&cluster, &net, spec).expect("socket workload");
+
+    let reports = net.shutdown();
+    assert_eq!(reports.len(), total, "every node farewells");
+    match mesh {
+        Mesh::Processes(children) => {
+            for child in children {
+                let id = child.id;
+                let report = child.finish(Duration::from_secs(10)).expect("child report");
+                let bye = reports.iter().find(|b| b.id == id).expect("bye for node");
+                assert_eq!(&report, bye, "farewell matches the printed report");
+            }
+        }
+        Mesh::Threads(handles) => {
+            for handle in handles {
+                handle.join().expect("join").expect("serve");
+            }
+        }
+    }
+    SocketRun {
+        outcome,
+        store_deposits_per_sec,
+    }
+}
+
+fn channel_run(spec: &WorkloadSpec) -> WorkloadOutcome {
+    let cluster = build_cluster(spec).expect("cluster");
+    let net = ChannelNet::with_clock(
+        spec.network_size(),
+        SimTime::from_millis(10_000),
+        Arc::new(VirtualClock::new()),
+    );
+    run_workload(&cluster, &net, spec).expect("channel workload")
+}
+
+fn deposits_per_sec(outcome: &WorkloadOutcome) -> f64 {
+    outcome.deposits_shipped as f64 / (outcome.deposit_millis / 1e3).max(1e-9)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (spec, iters) = if quick {
+        (
+            WorkloadSpec {
+                records: 8,
+                ..WorkloadSpec::default()
+            },
+            1,
+        )
+    } else {
+        (WorkloadSpec::default(), 3)
+    };
+    let mode = if locate_node_bin().is_some() {
+        "process"
+    } else {
+        "thread"
+    };
+
+    // Iterate whole runs (fresh mesh + fresh cluster each time), keep
+    // the fastest latency per protocol; answers must agree on every
+    // iteration.
+    let mut tcp_ms = [f64::INFINITY; PROTOCOLS];
+    let mut channel_ms = [f64::INFINITY; PROTOCOLS];
+    let mut tcp_store_rate = 0f64;
+    let mut tcp_dep_rate = 0f64;
+    let mut channel_dep_rate = 0f64;
+    let mut digest = String::new();
+    let mut answers: Vec<(String, String)> = Vec::new();
+    for _ in 0..iters {
+        let socket = socket_run(&spec, mode);
+        let channel = channel_run(&spec);
+
+        assert_eq!(
+            socket.outcome.digest_hex(),
+            channel.digest_hex(),
+            "socket and channel answers must be byte-identical"
+        );
+        assert!(socket.outcome.integrity_ok(), "socket trail verifies");
+        assert!(channel.integrity_ok(), "channel trail verifies");
+
+        for (i, (s, c)) in socket
+            .outcome
+            .runs
+            .iter()
+            .zip(channel.runs.iter())
+            .enumerate()
+        {
+            assert_eq!((s.protocol, &s.answer), (c.protocol, &c.answer));
+            tcp_ms[i] = tcp_ms[i].min(s.millis);
+            channel_ms[i] = channel_ms[i].min(c.millis);
+        }
+        tcp_store_rate = tcp_store_rate.max(socket.store_deposits_per_sec);
+        tcp_dep_rate = tcp_dep_rate.max(deposits_per_sec(&socket.outcome));
+        channel_dep_rate = channel_dep_rate.max(deposits_per_sec(&channel));
+        digest = socket.outcome.digest_hex();
+        answers = socket
+            .outcome
+            .runs
+            .iter()
+            .map(|r| (r.protocol.to_string(), r.answer.clone()))
+            .collect();
+    }
+
+    let table: Vec<Vec<String>> = answers
+        .iter()
+        .enumerate()
+        .map(|(i, (protocol, answer))| {
+            vec![
+                protocol.clone(),
+                format!("{:.2}", tcp_ms[i]),
+                format!("{:.2}", channel_ms[i]),
+                if answer.len() > 28 {
+                    format!("{}…", &answer[..27])
+                } else {
+                    answer.clone()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "P12 - SOCKET-DEPLOYED E2E AUDIT ({mode} mesh, {} nodes{})",
+                spec.network_size(),
+                if quick { ", quick" } else { "" }
+            ),
+            &["protocol", "tcp ms", "channel ms", "answer"],
+            &table
+        )
+    );
+    println!(
+        "deposits/sec: tcp session {tcp_dep_rate:.0}, tcp store path {tcp_store_rate:.0}, \
+         channel {channel_dep_rate:.0}; answers byte-identical across transports (digest {digest})."
+    );
+
+    let rows: Vec<String> = answers
+        .iter()
+        .enumerate()
+        .map(|(i, (protocol, _))| {
+            format!(
+                "    {{\"protocol\": \"{}\", \"tcp_ms\": {:.3}, \"channel_ms\": {:.3}}}",
+                protocol, tcp_ms[i], channel_ms[i]
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"socket_e2e\",\n  \"quick\": {},\n",
+            "  \"mode\": \"{}\",\n  \"nodes\": {},\n  \"records\": {},\n",
+            "  \"answers_identical\": true,\n  \"digest\": \"{}\",\n",
+            "  \"tcp_deposits_per_sec\": {:.1},\n",
+            "  \"tcp_store_deposits_per_sec\": {:.1},\n",
+            "  \"channel_deposits_per_sec\": {:.1},\n",
+            "  \"rows\": [\n{}\n  ]\n}}\n"
+        ),
+        quick,
+        mode,
+        spec.nodes,
+        spec.records,
+        digest,
+        tcp_dep_rate,
+        tcp_store_rate,
+        channel_dep_rate,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_socket_e2e.json", &json).expect("write BENCH_socket_e2e.json");
+    println!("\nwrote BENCH_socket_e2e.json");
+}

@@ -1,0 +1,118 @@
+//! One DLA node process: binds its listener, announces the bound
+//! address, waits for the launcher to hand over the complete peer
+//! table, then serves the socket mesh until the coordinator says
+//! SHUTDOWN. See `dla_deploy` for the line protocol.
+//!
+//! ```text
+//! dla-node --id 2 --listen 127.0.0.1:0 --role app --key 1002
+//! ```
+//!
+//! A `--peers` flag may supply the table up front (static deployments
+//! with pre-assigned ports); without it the table is read from stdin.
+
+#![deny(rust_2018_idioms)]
+
+use dla_deploy::{render_report, PeerTable};
+use dla_net::tcp::{serve, NodeConfig};
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+struct Args {
+    id: usize,
+    listen: String,
+    role: String,
+    key: u64,
+    peers: Option<PeerTable>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut id = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut role = "app".to_string();
+    let mut key = 0u64;
+    let mut peers = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--id" => id = Some(value("--id")?.parse().map_err(|e| format!("--id: {e}"))?),
+            "--listen" => listen = value("--listen")?,
+            "--role" => role = value("--role")?,
+            "--key" => key = value("--key")?.parse().map_err(|e| format!("--key: {e}"))?,
+            "--peers" => peers = Some(PeerTable::parse(&value("--peers")?)?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        id: id.ok_or("--id is required")?,
+        listen,
+        role,
+        key,
+        peers,
+    })
+}
+
+fn run(args: Args) -> io::Result<()> {
+    let listener = TcpListener::bind(&args.listen)?;
+    let addr = listener.local_addr()?;
+
+    // Announce the bound address; the launcher collects these lines to
+    // assemble the peer table. Explicit flush: stdout is block-buffered
+    // behind a pipe and the launcher blocks on this line.
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "LISTEN {} {}", args.id, addr)?;
+    out.flush()?;
+
+    let peers = match args.peers {
+        Some(table) => table,
+        None => {
+            let mut line = String::new();
+            io::stdin().lock().read_line(&mut line)?;
+            let text = line
+                .strip_prefix("PEERS ")
+                .ok_or_else(|| io::Error::other(format!("expected PEERS line, got {line:?}")))?;
+            PeerTable::parse(text).map_err(io::Error::other)?
+        }
+    };
+    if peers.0.get(args.id).copied().flatten() != Some(addr) {
+        return Err(io::Error::other(format!(
+            "peer table entry for node {} does not match bound address {addr}",
+            args.id
+        )));
+    }
+
+    let report = serve(
+        listener,
+        NodeConfig {
+            id: args.id,
+            peers: peers.0,
+            role: args.role,
+            key: args.key,
+        },
+    )?;
+    writeln!(out, "{}", render_report(&report))?;
+    out.flush()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("dla-node: {message}");
+            eprintln!(
+                "usage: dla-node --id N [--listen ADDR] [--role ROLE] [--key K] [--peers TABLE]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let id = args.id;
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dla-node {id}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

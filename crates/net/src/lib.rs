@@ -11,6 +11,9 @@
 //!   ([`stats::TrafficStats`]). All protocol experiments run on it.
 //! * [`transport`] — a crossbeam-channel transport for running nodes as
 //!   real OS threads.
+//! * [`tcp::TcpNet`] — a socket transport for running nodes as separate
+//!   OS *processes* over loopback (or a real network), driven by the
+//!   pluggable [`time::Clock`] runtime.
 //! * [`topology::Ring`] — the relay route of the commutative-encryption
 //!   protocols.
 //! * [`wire`] — the length-prefixed binary message format.
@@ -46,6 +49,7 @@ pub mod reliable;
 pub mod session;
 pub mod sim;
 pub mod stats;
+pub mod tcp;
 pub mod time;
 pub mod topology;
 pub mod transport;
@@ -54,7 +58,8 @@ pub mod wire;
 pub use reliable::{Reliable, ReliableConfig, ReliableStats};
 pub use session::{ChannelNet, Session, SharedNet, SimLink, Transport};
 pub use sim::{Envelope, NetConfig, SimNet};
-pub use time::SimTime;
+pub use tcp::{NodeConfig, NodeReport, TcpConfig, TcpNet};
+pub use time::{Clock, SimTime, VirtualClock, WallClock};
 
 /// Identifies one protocol session multiplexed over a network.
 ///

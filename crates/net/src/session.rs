@@ -19,14 +19,15 @@
 
 use crate::sim::{Envelope, SimNet};
 use crate::stats::TrafficStats;
-use crate::time::SimTime;
+use crate::time::{Clock, SimTime, WallClock};
 use crate::{NetError, NodeId, SessionId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A network that can carry several protocol sessions at once.
 ///
@@ -336,7 +337,8 @@ pub struct ChannelNet {
     senders: Vec<Sender<Bytes>>,
     inboxes: Vec<Mutex<ChannelInbox>>,
     stats: Mutex<TrafficStats>,
-    timeout: Duration,
+    timeout: SimTime,
+    clock: Arc<dyn Clock>,
 }
 
 impl ChannelNet {
@@ -351,13 +353,29 @@ impl ChannelNet {
         Self::with_timeout(n, Duration::from_secs(5))
     }
 
-    /// As [`ChannelNet::new`] with an explicit receive timeout.
+    /// As [`ChannelNet::new`] with an explicit receive timeout, driven
+    /// by a [`WallClock`] (receives block in real time).
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     #[must_use]
     pub fn with_timeout(n: usize, timeout: Duration) -> Self {
+        let timeout = SimTime::from_nanos(u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX));
+        Self::with_clock(n, timeout, Arc::new(WallClock::new()))
+    }
+
+    /// As [`ChannelNet::with_timeout`] with an explicit [`Clock`]
+    /// driver for the receive deadlines. Under a wall clock each
+    /// fruitless wait slice counts against the real deadline; under a
+    /// virtual clock the transport itself advances the clock by the
+    /// waited span when a slice expires, so the deadline still fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_clock(n: usize, timeout: SimTime, clock: Arc<dyn Clock>) -> Self {
         assert!(n > 0, "network needs at least one node");
         let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n)
             .map(|_| {
@@ -376,7 +394,14 @@ impl ChannelNet {
             inboxes,
             stats: Mutex::new(TrafficStats::new()),
             timeout,
+            clock,
         }
+    }
+
+    /// The clock driving this transport's receive deadlines.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// A snapshot of the traffic counters.
@@ -404,15 +429,25 @@ impl ChannelNet {
             dla_telemetry::record(dla_telemetry::CostKind::MsgDelivered, 1);
             return Ok(envelope);
         }
-        let deadline = Instant::now() + self.timeout;
+        let deadline = self.clock.now() + self.timeout;
         loop {
-            let left = deadline
-                .checked_duration_since(Instant::now())
-                .unwrap_or(Duration::ZERO);
-            let frame = inbox
-                .rx
-                .recv_timeout(left)
-                .map_err(|_| NetError::Timeout(node))?;
+            let now = self.clock.now();
+            if now >= deadline {
+                return Err(NetError::Timeout(node));
+            }
+            let left = deadline - now;
+            let frame = match inbox.rx.recv_timeout(left.to_duration()) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    // A virtual clock does not move on its own: the
+                    // transport advances it by the span it just waited
+                    // out so the deadline check above fires.
+                    if self.clock.is_virtual() {
+                        self.clock.advance(left);
+                    }
+                    continue;
+                }
+            };
             // A frame that fails to decode (truncation or checksum
             // mismatch) is discarded: a reliable layer above recovers
             // it by retransmission, and an unreliable caller would
@@ -585,6 +620,25 @@ mod tests {
             session.recv(NodeId(0)).unwrap_err(),
             NetError::Timeout(NodeId(0))
         );
+    }
+
+    #[test]
+    fn channel_net_deadline_runs_on_the_injected_clock() {
+        use crate::time::{Clock, VirtualClock};
+        let clock = Arc::new(VirtualClock::new());
+        let net = ChannelNet::with_clock(2, SimTime::from_millis(2), Arc::clone(&clock) as _);
+        let session = Session::root(&net);
+        // The wait charges the virtual clock instead of real time.
+        assert_eq!(
+            session.recv(NodeId(0)).unwrap_err(),
+            NetError::Timeout(NodeId(0))
+        );
+        assert!(clock.now() >= SimTime::from_millis(2));
+        // Delivery still works after a timeout, and a pre-advanced
+        // clock shifts (not shrinks) the deadline window.
+        clock.advance(SimTime::from_millis(10));
+        session.send(NodeId(1), NodeId(0), Bytes::from_static(b"late"));
+        assert_eq!(&session.recv(NodeId(0)).unwrap().payload[..], b"late");
     }
 
     #[test]

@@ -1,0 +1,811 @@
+//! A socket transport that crosses process boundaries ([`TcpNet`]).
+//!
+//! Every other backend ([`crate::SimLink`], [`crate::SharedNet`],
+//! [`crate::ChannelNet`]) lives in one OS process. `TcpNet` is the
+//! fourth [`Transport`]: messages travel as length-prefixed
+//! [`Envelope::encode`] frames over `std::net` TCP connections between
+//! genuinely separate processes, one per DLA or application node.
+//!
+//! # Deployment model
+//!
+//! The protocol engines in `dla-mpc` are *centrally driven*: one
+//! coordinator (the auditor's process) performs every node's sends and
+//! receives over a [`Session`]. `TcpNet` keeps that driver intact while
+//! making every hop cross real sockets:
+//!
+//! * `send(from, to)` where `from` is a remote node ships a **route**
+//!   frame to the process serving `from`, which forwards the envelope
+//!   to the process serving `to`, which hands it back to the
+//!   coordinator as a **deliver** frame — three TCP legs, with the
+//!   message genuinely transiting both owning processes.
+//! * `recv(node)` pops the coordinator-side inbox that the reader /
+//!   demux thread fills from incoming deliver frames, demultiplexed by
+//!   session exactly like [`crate::ChannelNet`].
+//! * Node processes run [`serve`] (the `dla-node` binary is a thin
+//!   wrapper): an accept loop plus per-peer writer threads, a
+//!   connect/accept handshake that exchanges node ids, dial-on-demand
+//!   between peers with reconnect-and-backoff, and a deposit store for
+//!   fragments shipped via [`TcpNet::deposit`].
+//!
+//! Timers run on the pluggable [`Clock`] driver ([`crate::WallClock`]
+//! by default): receive deadlines, and — through
+//! [`crate::Reliable::with_clock`] — real retransmission backoff.
+//!
+//! [`Session`]: crate::Session
+
+use crate::sim::Envelope;
+use crate::stats::TrafficStats;
+use crate::time::{Clock, SimTime, WallClock};
+use crate::wire::{crc32, Reader, Writer};
+use crate::{NetError, NodeId, SessionId, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{self, Read, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Protocol magic exchanged in the handshake ("DLA1TCP1").
+const MAGIC: u64 = 0x444C_4131_5443_5031;
+/// The coordinator's id in the handshake (never a valid node index).
+const COORD: u64 = u64::MAX;
+/// Largest frame body accepted. A length prefix beyond this is
+/// rejected *before* any allocation, so a hostile peer cannot make a
+/// reader allocate unbounded memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+const FRAME_HELLO: u8 = 0x01;
+const FRAME_ROUTE: u8 = 0x02;
+const FRAME_FWD: u8 = 0x03;
+const FRAME_DELIVER: u8 = 0x04;
+const FRAME_STORE: u8 = 0x05;
+const FRAME_STORED: u8 = 0x06;
+const FRAME_SHUTDOWN: u8 = 0x07;
+const FRAME_BYE: u8 = 0x08;
+
+/// Writes one length-prefixed frame (`u32` big-endian length, then the
+/// body).
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects bodies above [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl IoWrite, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let len = body.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including clean EOF as
+/// [`io::ErrorKind::UnexpectedEof`]); a length prefix above
+/// [`MAX_FRAME`] yields [`io::ErrorKind::InvalidData`] **without
+/// allocating**.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized frame length prefix",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Decodes the envelope carried by a route/forward/deliver frame body
+/// (everything after the tag byte). Truncated bytes, trailing bytes
+/// and checksum mismatches all surface as [`NetError::Corrupt`] at
+/// `node` — never a panic, and never silent garbage.
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] on any malformed input.
+pub fn decode_envelope(frame: &[u8], node: NodeId) -> Result<Envelope, NetError> {
+    Envelope::decode(frame).map_err(|_| NetError::Corrupt(node))
+}
+
+fn envelope_frame(tag: u8, envelope: &Envelope) -> Vec<u8> {
+    let encoded = envelope.encode();
+    let mut body = Vec::with_capacity(1 + encoded.len());
+    body.push(tag);
+    body.extend_from_slice(&encoded);
+    body
+}
+
+fn hello_frame(sender: u64, n: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(FRAME_HELLO)
+        .put_u64(MAGIC)
+        .put_u64(sender)
+        .put_u64(n);
+    w.finish().to_vec()
+}
+
+fn parse_hello(body: &[u8]) -> io::Result<(u64, u64)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut r = Reader::new(body);
+    match (r.get_u8(), r.get_u64(), r.get_u64(), r.get_u64()) {
+        (Ok(FRAME_HELLO), Ok(magic), Ok(sender), Ok(n)) if magic == MAGIC => Ok((sender, n)),
+        _ => Err(bad("malformed handshake")),
+    }
+}
+
+/// Dials `addr`, retrying with exponential backoff until `deadline`
+/// real time has passed — the reconnect discipline both the
+/// coordinator and the peer-to-peer dial-on-demand path use (a peer
+/// that is still starting up, or that dropped a connection, is retried
+/// rather than declared gone).
+fn dial_with_backoff(addr: SocketAddr, deadline: Duration) -> io::Result<TcpStream> {
+    let started = std::time::Instant::now();
+    let mut pause = Duration::from_millis(25);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                // Frames are small request/response units; Nagle plus
+                // delayed ACK would add ~40ms stalls per hop.
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(e) if started.elapsed() >= deadline => return Err(e),
+            Err(_) => {
+                thread::sleep(pause);
+                pause = (pause * 2).min(Duration::from_millis(800));
+            }
+        }
+    }
+}
+
+/// Performs the connect-side handshake: announce ourselves, read the
+/// peer's announcement back.
+fn handshake(stream: &mut TcpStream, us: u64, n: u64) -> io::Result<(u64, u64)> {
+    write_frame(stream, &hello_frame(us, n))?;
+    let body = read_frame(stream)?;
+    parse_hello(&body)
+}
+
+// ---------------------------------------------------------------------
+// Node-process side: the serve loop behind the `dla-node` binary.
+// ---------------------------------------------------------------------
+
+/// Static configuration of one node process: its id, the peer table
+/// (`None` entries are node ids the coordinator hosts in-process), a
+/// role label and an identity key folded into the teardown digest.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's id (index into the peer table).
+    pub id: usize,
+    /// Listen/dial addresses per node id; `peers[id]` is this node's
+    /// own address, `None` marks coordinator-hosted ids.
+    pub peers: Vec<Option<SocketAddr>>,
+    /// Role label ("ttp", "app", …) echoed in the report.
+    pub role: String,
+    /// Identity key: seeds the deposit digest so a report can be tied
+    /// to the keyed node that produced it.
+    pub key: u64,
+}
+
+/// What one node process did, reported in its farewell frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Node id.
+    pub id: usize,
+    /// Route frames executed (envelopes this node sent on behalf of
+    /// the coordinator's driver).
+    pub routed: u64,
+    /// Forward frames received for this node and handed up.
+    pub forwarded: u64,
+    /// Fragments stored via [`TcpNet::deposit`].
+    pub stored: u64,
+    /// Total stored payload bytes.
+    pub stored_bytes: u64,
+    /// Running CRC-32 chain over the stored payloads, seeded with the
+    /// node's identity key.
+    pub digest: u64,
+}
+
+#[derive(Debug, Default)]
+struct NodeStats {
+    routed: u64,
+    forwarded: u64,
+    stored: u64,
+    stored_bytes: u64,
+    digest: u64,
+    fragments: Vec<(u64, Vec<u8>)>,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    id: u64,
+    n: u64,
+    peers: Vec<Option<SocketAddr>>,
+    writers: Mutex<HashMap<u64, Sender<Vec<u8>>>>,
+    writer_handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    stats: Mutex<NodeStats>,
+    done: AtomicBool,
+    done_tx: Sender<()>,
+}
+
+impl NodeState {
+    /// Registers a connection's writer thread and returns the sending
+    /// half. The newest connection to a peer wins; a replaced writer's
+    /// channel disconnects, which makes its thread exit.
+    fn register(self: &Arc<Self>, peer: u64, stream: TcpStream) -> Sender<Vec<u8>> {
+        let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+        let state = Arc::clone(self);
+        let mut write_half = stream.try_clone().expect("clone stream for writer");
+        let handle = thread::spawn(move || {
+            // recv() keeps draining queued frames after every sender
+            // drops, so shutdown can flush the farewell by dropping the
+            // map entry and joining this thread.
+            while let Ok(frame) = rx.recv() {
+                if write_frame(&mut write_half, &frame).is_err() {
+                    // Connection died: deregister so the next send
+                    // re-dials with backoff.
+                    state.writers.lock().remove(&peer);
+                    break;
+                }
+            }
+        });
+        self.writer_handles.lock().push(handle);
+        self.writers.lock().insert(peer, tx.clone());
+        let state = Arc::clone(self);
+        thread::spawn(move || state.reader_loop(peer, stream));
+        tx
+    }
+
+    /// A writer for `peer`, dialing on demand (with reconnect backoff)
+    /// when no live connection exists. Peer ids the coordinator hosts
+    /// in-process resolve to the coordinator connection.
+    fn writer_for(self: &Arc<Self>, peer: u64) -> Option<Sender<Vec<u8>>> {
+        let target = if (peer as usize) < self.peers.len() && self.peers[peer as usize].is_none() {
+            COORD
+        } else {
+            peer
+        };
+        if let Some(tx) = self.writers.lock().get(&target) {
+            return Some(tx.clone());
+        }
+        if target == COORD {
+            return None; // the coordinator always dials us, never vice versa
+        }
+        let addr = self.peers.get(target as usize).copied().flatten()?;
+        let mut stream = dial_with_backoff(addr, Duration::from_secs(10)).ok()?;
+        let (peer_id, _) = handshake(&mut stream, self.id, self.n).ok()?;
+        Some(self.register(peer_id, stream))
+    }
+
+    fn reader_loop(self: Arc<Self>, peer: u64, mut stream: TcpStream) {
+        loop {
+            if self.done.load(Ordering::Acquire) {
+                return;
+            }
+            let Ok(body) = read_frame(&mut stream) else {
+                return;
+            };
+            self.dispatch(peer, &body);
+        }
+    }
+
+    fn dispatch(self: &Arc<Self>, peer: u64, body: &[u8]) {
+        match body.first().copied() {
+            Some(FRAME_ROUTE) => {
+                let Ok(envelope) = decode_envelope(&body[1..], NodeId(self.id as usize)) else {
+                    return;
+                };
+                if envelope.from.0 as u64 != self.id {
+                    return; // misrouted: we only originate our own traffic
+                }
+                self.stats.lock().routed += 1;
+                if let Some(tx) = self.writer_for(envelope.to.0 as u64) {
+                    let _ = tx.send(envelope_frame(FRAME_FWD, &envelope));
+                }
+            }
+            Some(FRAME_FWD) => {
+                let Ok(envelope) = decode_envelope(&body[1..], NodeId(self.id as usize)) else {
+                    return;
+                };
+                if envelope.to.0 as u64 != self.id {
+                    return;
+                }
+                self.stats.lock().forwarded += 1;
+                // Final leg: hand the envelope up to the coordinator.
+                if let Some(tx) = self.writers.lock().get(&COORD) {
+                    let _ = tx.send(envelope_frame(FRAME_DELIVER, &envelope));
+                }
+            }
+            Some(FRAME_STORE) => {
+                let mut r = Reader::new(&body[1..]);
+                let (Ok(glsn), Ok(payload)) = (r.get_u64(), r.get_bytes()) else {
+                    return;
+                };
+                let (count, digest) = {
+                    let mut stats = self.stats.lock();
+                    let mut seed = stats.digest.to_be_bytes().to_vec();
+                    seed.extend_from_slice(payload);
+                    stats.digest = u64::from(crc32(&seed));
+                    stats.stored += 1;
+                    stats.stored_bytes += payload.len() as u64;
+                    stats.fragments.push((glsn, payload.to_vec()));
+                    (stats.stored, stats.digest)
+                };
+                if let Some(tx) = self.writers.lock().get(&peer) {
+                    let mut w = Writer::new();
+                    w.put_u8(FRAME_STORED)
+                        .put_u64(glsn)
+                        .put_u64(count)
+                        .put_u64(digest);
+                    let _ = tx.send(w.finish().to_vec());
+                }
+            }
+            Some(FRAME_SHUTDOWN) => {
+                let report = self.report();
+                if let Some(tx) = self.writers.lock().get(&peer) {
+                    let mut w = Writer::new();
+                    w.put_u8(FRAME_BYE)
+                        .put_u64(report.id as u64)
+                        .put_u64(report.routed)
+                        .put_u64(report.forwarded)
+                        .put_u64(report.stored)
+                        .put_u64(report.stored_bytes)
+                        .put_u64(report.digest);
+                    let _ = tx.send(w.finish().to_vec());
+                }
+                self.done.store(true, Ordering::Release);
+                let _ = self.done_tx.send(());
+            }
+            _ => {} // unknown or handshake frames mid-stream: ignored
+        }
+    }
+
+    fn report(&self) -> NodeReport {
+        let stats = self.stats.lock();
+        NodeReport {
+            id: self.id as usize,
+            routed: stats.routed,
+            forwarded: stats.forwarded,
+            stored: stats.stored,
+            stored_bytes: stats.stored_bytes,
+            digest: stats.digest,
+        }
+    }
+}
+
+/// Serves one node on a pre-bound listener until the coordinator sends
+/// a shutdown frame; returns the node's final [`NodeReport`]. This is
+/// the body of the `dla-node` binary, and in-process tests drive it
+/// from plain threads over loopback listeners.
+///
+/// # Errors
+///
+/// Returns an error if the listener's local address cannot be read.
+/// Per-connection failures are absorbed: a broken peer link is
+/// re-dialed on demand.
+pub fn serve(listener: TcpListener, config: NodeConfig) -> io::Result<NodeReport> {
+    let own_addr = listener.local_addr()?;
+    let (done_tx, done_rx) = unbounded();
+    let state = Arc::new(NodeState {
+        id: config.id as u64,
+        n: config.peers.len() as u64,
+        peers: config.peers,
+        writers: Mutex::new(HashMap::new()),
+        writer_handles: Mutex::new(Vec::new()),
+        stats: Mutex::new(NodeStats {
+            digest: config.key,
+            ..NodeStats::default()
+        }),
+        done: AtomicBool::new(false),
+        done_tx,
+    });
+    let acceptor = Arc::clone(&state);
+    thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            if acceptor.done.load(Ordering::Acquire) {
+                return;
+            }
+            let _ = stream.set_nodelay(true);
+            // Accept-side handshake: announce ourselves, learn the
+            // dialer's id, then wire up reader + writer threads.
+            if let Ok((peer, _)) = handshake(&mut stream, acceptor.id, acceptor.n) {
+                acceptor.register(peer, stream);
+            }
+        }
+    });
+    let _ = done_rx.recv();
+    // Unblock the accept loop so the thread exits promptly.
+    let _ = TcpStream::connect(own_addr);
+    // Flush in-flight frames (the BYE farewell in particular) before
+    // returning: drop every sender so the writer threads drain their
+    // queues and exit, then join them. Without this a node process can
+    // exit before the farewell reaches the coordinator.
+    state.writers.lock().clear();
+    let handles: Vec<_> = state.writer_handles.lock().drain(..).collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(state.report())
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side: the TcpNet transport.
+// ---------------------------------------------------------------------
+
+/// Tuning for a [`TcpNet`] coordinator.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Receive deadline (measured on `clock`).
+    pub timeout: SimTime,
+    /// Time driver for deadlines and envelope timestamps.
+    pub clock: Arc<dyn Clock>,
+    /// Real-time budget for the initial connect-with-backoff to every
+    /// node process.
+    pub connect_deadline: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            timeout: SimTime::from_millis(5_000),
+            clock: Arc::new(WallClock::new()),
+            connect_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TcpInbox {
+    rx: Receiver<Envelope>,
+    stash: VecDeque<Envelope>,
+}
+
+/// The coordinator's end of a process-per-node cluster: a [`Transport`]
+/// whose every hop crosses the TCP mesh of node processes (see the
+/// module docs for the route/forward/deliver flow).
+#[derive(Debug)]
+pub struct TcpNet {
+    n: usize,
+    local: BTreeSet<usize>,
+    writers: Vec<Option<Sender<Vec<u8>>>>,
+    inbox_tx: Vec<Sender<Envelope>>,
+    inboxes: Vec<Mutex<TcpInbox>>,
+    stored_rx: Mutex<Receiver<(u64, u64, u64)>>,
+    bye_rx: Mutex<Receiver<NodeReport>>,
+    stats: Mutex<TrafficStats>,
+    timeout: SimTime,
+    clock: Arc<dyn Clock>,
+}
+
+impl TcpNet {
+    /// Connects the coordinator to every node process in `peers`
+    /// (dialing with reconnect backoff, exchanging ids in the
+    /// handshake). Ids in `local` — and any peer-table `None` entry —
+    /// are hosted in this process: their traffic short-circuits
+    /// through local inboxes, which is how the coordinator plays the
+    /// auditor and blind-TTP roles itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection or handshake failure after the
+    /// backoff budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is empty.
+    pub fn connect(
+        peers: &[Option<SocketAddr>],
+        local: BTreeSet<usize>,
+        config: TcpConfig,
+    ) -> io::Result<TcpNet> {
+        assert!(!peers.is_empty(), "network needs at least one node");
+        let n = peers.len();
+        let (inbox_tx, inboxes): (Vec<_>, Vec<_>) = (0..n)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                (
+                    tx,
+                    Mutex::new(TcpInbox {
+                        rx,
+                        stash: VecDeque::new(),
+                    }),
+                )
+            })
+            .unzip();
+        let (stored_tx, stored_rx) = unbounded();
+        let (bye_tx, bye_rx) = unbounded();
+        let mut writers: Vec<Option<Sender<Vec<u8>>>> = vec![None; n];
+        for (id, addr) in peers.iter().enumerate() {
+            let Some(addr) = addr else { continue };
+            if local.contains(&id) {
+                continue;
+            }
+            let mut stream = dial_with_backoff(*addr, config.connect_deadline)?;
+            let (peer, _) = handshake(&mut stream, COORD, n as u64)?;
+            if peer != id as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("peer at {addr} announced id {peer}, expected {id}"),
+                ));
+            }
+            let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+            let mut write_half = stream.try_clone()?;
+            thread::spawn(move || {
+                while let Ok(frame) = rx.recv() {
+                    if write_frame(&mut write_half, &frame).is_err() {
+                        break;
+                    }
+                }
+            });
+            let inbox_tx = inbox_tx.clone();
+            let stored_tx = stored_tx.clone();
+            let bye_tx = bye_tx.clone();
+            thread::spawn(move || {
+                coordinator_reader(&mut stream, n, &inbox_tx, &stored_tx, &bye_tx);
+            });
+            writers[id] = Some(tx);
+        }
+        Ok(TcpNet {
+            n,
+            local,
+            writers,
+            inbox_tx,
+            inboxes,
+            stored_rx: Mutex::new(stored_rx),
+            bye_rx: Mutex::new(bye_rx),
+            stats: Mutex::new(TrafficStats::new()),
+            timeout: config.timeout,
+            clock: config.clock,
+        })
+    }
+
+    /// The clock driving deadlines and envelope timestamps.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// A snapshot of the traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> TrafficStats {
+        self.stats.lock().clone()
+    }
+
+    /// Ships a deposit fragment to the process serving `node` and waits
+    /// for its acknowledgement: the node's running `(count, digest)`
+    /// after storing it. One deposit may be outstanding at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when `node` is not a connected remote
+    /// process or the acknowledgement does not arrive in time.
+    pub fn deposit(&self, node: NodeId, glsn: u64, payload: &[u8]) -> Result<(u64, u64), NetError> {
+        let Some(tx) = self.writers.get(node.0).and_then(|w| w.as_ref()) else {
+            return Err(NetError::Timeout(node));
+        };
+        let mut w = Writer::new();
+        w.put_u8(FRAME_STORE).put_u64(glsn).put_bytes(payload);
+        if tx.send(w.finish().to_vec()).is_err() {
+            return Err(NetError::Timeout(node));
+        }
+        let rx = self.stored_rx.lock();
+        let deadline = self.timeout.to_duration();
+        loop {
+            match rx.recv_timeout(deadline) {
+                Ok((acked, count, digest)) if acked == glsn => return Ok((count, digest)),
+                Ok(_) => continue, // stale ack from an earlier deposit
+                Err(_) => return Err(NetError::Timeout(node)),
+            }
+        }
+    }
+
+    /// Sends every node process a shutdown frame and collects their
+    /// farewell reports (waiting up to the receive timeout for each).
+    #[must_use]
+    pub fn shutdown(&self) -> Vec<NodeReport> {
+        let mut expected = 0usize;
+        for tx in self.writers.iter().flatten() {
+            if tx.send(vec![FRAME_SHUTDOWN]).is_ok() {
+                expected += 1;
+            }
+        }
+        let rx = self.bye_rx.lock();
+        let mut reports = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            match rx.recv_timeout(self.timeout.to_duration()) {
+                Ok(report) => reports.push(report),
+                Err(_) => break,
+            }
+        }
+        reports.sort_by_key(|r| r.id);
+        reports
+    }
+
+    /// Blocking receive with session (and optional sender) filtering —
+    /// the same stash-and-demux discipline as
+    /// [`crate::ChannelNet`], on this transport's clock.
+    fn recv_filtered(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: Option<NodeId>,
+    ) -> Result<Envelope, NetError> {
+        assert!(node.0 < self.n, "node {node} out of range");
+        let mut inbox = self.inboxes[node.0].lock();
+        let matches = |e: &Envelope| e.session == session && from.is_none_or(|f| e.from == f);
+        if let Some(pos) = inbox.stash.iter().position(&matches) {
+            let envelope = inbox.stash.remove(pos).expect("position just found");
+            self.stats
+                .lock()
+                .record_delivery(envelope.session, envelope.payload.len());
+            dla_telemetry::record(dla_telemetry::CostKind::MsgDelivered, 1);
+            return Ok(envelope);
+        }
+        let deadline = self.clock.now() + self.timeout;
+        loop {
+            let now = self.clock.now();
+            if now >= deadline {
+                return Err(NetError::Timeout(node));
+            }
+            let left = deadline - now;
+            let envelope = match inbox.rx.recv_timeout(left.to_duration()) {
+                Ok(envelope) => envelope,
+                Err(_) => {
+                    if self.clock.is_virtual() {
+                        self.clock.advance(left);
+                    }
+                    continue;
+                }
+            };
+            if matches(&envelope) {
+                self.stats
+                    .lock()
+                    .record_delivery(envelope.session, envelope.payload.len());
+                dla_telemetry::record(dla_telemetry::CostKind::MsgDelivered, 1);
+                return Ok(envelope);
+            }
+            inbox.stash.push_back(envelope);
+        }
+    }
+}
+
+/// The coordinator's reader/demux loop for one node connection:
+/// deliver and forward frames land in the per-node inboxes (malformed
+/// envelopes are dropped and counted — the reliable layer recovers
+/// them by retransmission), store acks and farewells go to their
+/// dedicated channels.
+fn coordinator_reader(
+    stream: &mut TcpStream,
+    n: usize,
+    inbox_tx: &[Sender<Envelope>],
+    stored_tx: &Sender<(u64, u64, u64)>,
+    bye_tx: &Sender<NodeReport>,
+) {
+    while let Ok(body) = read_frame(stream) {
+        match body.first().copied() {
+            Some(FRAME_DELIVER | FRAME_FWD) => {
+                let Ok(envelope) = Envelope::decode(&body[1..]) else {
+                    continue;
+                };
+                if envelope.to.0 < n {
+                    let _ = inbox_tx[envelope.to.0].send(envelope);
+                }
+            }
+            Some(FRAME_STORED) => {
+                let mut r = Reader::new(&body[1..]);
+                if let (Ok(glsn), Ok(count), Ok(digest)) = (r.get_u64(), r.get_u64(), r.get_u64()) {
+                    let _ = stored_tx.send((glsn, count, digest));
+                }
+            }
+            Some(FRAME_BYE) => {
+                let mut r = Reader::new(&body[1..]);
+                if let (
+                    Ok(id),
+                    Ok(routed),
+                    Ok(forwarded),
+                    Ok(stored),
+                    Ok(stored_bytes),
+                    Ok(digest),
+                ) = (
+                    r.get_u64(),
+                    r.get_u64(),
+                    r.get_u64(),
+                    r.get_u64(),
+                    r.get_u64(),
+                    r.get_u64(),
+                ) {
+                    let _ = bye_tx.send(NodeReport {
+                        id: id as usize,
+                        routed,
+                        forwarded,
+                        stored,
+                        stored_bytes,
+                        digest,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Transport for TcpNet {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
+        assert!(to.0 < self.n, "node {to} out of range");
+        self.stats
+            .lock()
+            .record_send(session, from.0, to.0, payload.len(), SimTime::ZERO);
+        dla_telemetry::record(dla_telemetry::CostKind::MsgSent, 1);
+        dla_telemetry::record(dla_telemetry::CostKind::BytesSent, payload.len() as u64);
+        let now = self.clock.now();
+        let envelope = Envelope::new(session, from, to, payload, now, now);
+        let from_local = self.local.contains(&from.0) || self.writers[from.0].is_none();
+        let dropped = if from_local {
+            if self.local.contains(&to.0) || self.writers[to.0].is_none() {
+                // Both endpoints hosted here: a loopback delivery.
+                self.inbox_tx[to.0].send(envelope).is_err()
+            } else {
+                // We are the origin: forward straight to the owner of `to`.
+                let tx = self.writers[to.0].as_ref().expect("checked above");
+                tx.send(envelope_frame(FRAME_FWD, &envelope)).is_err()
+            }
+        } else {
+            // Ask the process serving `from` to originate the send.
+            let tx = self.writers[from.0].as_ref().expect("checked above");
+            tx.send(envelope_frame(FRAME_ROUTE, &envelope)).is_err()
+        };
+        if dropped {
+            self.stats.lock().messages_dropped += 1;
+        }
+    }
+
+    fn recv(&self, session: SessionId, node: NodeId) -> Result<Envelope, NetError> {
+        self.recv_filtered(session, node, None)
+    }
+
+    fn recv_from(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: NodeId,
+    ) -> Result<Envelope, NetError> {
+        self.recv_filtered(session, node, Some(from))
+    }
+
+    fn charge(&self, _session: SessionId, _node: NodeId, _cost: SimTime) {
+        // Wall-clock transport: compute time passes by itself.
+    }
+
+    fn counters(&self, session: SessionId) -> (u64, u64) {
+        let stats = self.stats.lock();
+        let s = stats.session(session);
+        (s.messages, s.bytes)
+    }
+
+    fn elapsed(&self, session: SessionId) -> SimTime {
+        // Wall transports have one timeline for every session: the
+        // clock's reading since the coordinator came up. Telemetry
+        // spans stamped from `Session::elapsed` therefore carry real
+        // timestamps on this backend.
+        let _ = session;
+        self.clock.now()
+    }
+}
