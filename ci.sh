@@ -95,6 +95,54 @@ for r in gated:
 PY
 fi
 
+echo "==> exp_adversary --quick (asserts 100% detection, zero false alarms, zero leaks)"
+cargo run --release -p dla-bench --bin exp_adversary -- --quick >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .experiment == "adversary"
+        and (.attacks | length == 4)
+        and (.attacks | all(has("class") and has("detection_rate")
+                            and has("mean_messages_to_detect")
+                            and has("mean_virtual_ns_to_detect")
+                            and has("detected_by")))
+        and (.attacks | all(.detection_rate == 1.0))
+        and ([.attacks[].class] | sort
+             == ["checkpoint_equivocation", "fragment_tamper",
+                 "malformed_ciphertext", "relay_round_lie"])
+        and (.honest_baseline.false_alarms == 0)
+        and (.collusion | length >= 3)
+        and (.collusion | all(.foreign_plaintext_hits == 0))
+        and (([.collusion[] | select(.size == 0)][0].c_store - .paper.c_store)
+             | fabs < 1e-6)
+        and (([.collusion[] | select(.size == 0)][0].c_dla - .paper.c_dla)
+             | fabs < 1e-6)
+    ' BENCH_adversary.json >/dev/null
+else
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_adversary.json"))
+assert d["experiment"] == "adversary"
+attacks = d["attacks"]
+assert sorted(a["class"] for a in attacks) == [
+    "checkpoint_equivocation", "fragment_tamper",
+    "malformed_ciphertext", "relay_round_lie",
+]
+for a in attacks:
+    for key in ("detection_rate", "mean_messages_to_detect",
+                "mean_virtual_ns_to_detect", "detected_by"):
+        assert key in a, key
+    assert a["detection_rate"] == 1.0, f"{a['class']} missed an attack"
+assert d["honest_baseline"]["false_alarms"] == 0, "false alarm on honest run"
+collusion = d["collusion"]
+assert len(collusion) >= 3
+for c in collusion:
+    assert c["foreign_plaintext_hits"] == 0, f"coalition {c['coalition']} leaked"
+base = next(c for c in collusion if c["size"] == 0)
+assert abs(base["c_store"] - d["paper"]["c_store"]) < 1e-6
+assert abs(base["c_dla"] - d["paper"]["c_dla"]) < 1e-6
+PY
+fi
+
 echo "==> dla-cluster smoke run (4 app + 3 infrastructure node processes)"
 cargo run --release -p dla-deploy --bin dla-cluster -- --nodes 4 --records 8 --seed 7 \
     | grep -q "CLUSTER OK"

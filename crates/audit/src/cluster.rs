@@ -761,6 +761,19 @@ impl DlaCluster {
         &self.net
     }
 
+    /// Installs a Byzantine [`dla_net::adversary::Adversary`] on the
+    /// cluster's network: selected nodes start lying on the wire (their
+    /// forgeries re-stamped with valid checksums). See
+    /// [`crate::adversary`] for the scenario runner built on this.
+    pub fn set_adversary(&self, adversary: std::sync::Arc<dyn dla_net::adversary::Adversary>) {
+        self.net.lock().set_adversary(adversary);
+    }
+
+    /// Removes any installed adversary; the cluster is honest again.
+    pub fn clear_adversary(&self) {
+        self.net.lock().clear_adversary();
+    }
+
     /// Borrows the network and RNG together (protocol modules need
     /// both mutably alongside node state).
     pub(crate) fn net_and_rng(&mut self) -> (MutexGuard<'_, SimNet>, &mut StdRng) {

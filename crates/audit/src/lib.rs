@@ -48,6 +48,7 @@
 
 use std::fmt;
 
+pub mod adversary;
 pub mod aggregate;
 pub mod attest;
 pub mod centralized;

@@ -22,6 +22,26 @@ use dla_logstore::fragment::Partition;
 use dla_logstore::model::LogRecord;
 use dla_logstore::schema::Schema;
 
+/// The §5 worked values of the paper for the Table 1 schema under the
+/// four-node example partition — pinned so experiments can compare
+/// empirically measured confidentiality against the published numbers.
+pub mod paper {
+    /// `C_store` of a Table 1 record: `v·u/w = 3·4/7` (Eq. 10).
+    pub const C_STORE: f64 = 12.0 / 7.0;
+    /// `C_auditing` of the Fig. 3 query
+    /// `c1 > 30 AND id = 'U1' AND protocol = 'TCP'`:
+    /// `(t+q)/(s+q) = (0+2)/(3+2)` (Eq. 11).
+    pub const C_AUDITING_FIG3: f64 = 2.0 / 5.0;
+    /// `C_auditing` of the worked cross-subquery example
+    /// `c1 > 40 OR id = 'U2'`: `(2+0)/(2+0)` (Eq. 11).
+    pub const C_AUDITING_CROSS: f64 = 1.0;
+    /// `C_query` of the Fig. 3 query (Eq. 12).
+    pub const C_QUERY_FIG3: f64 = 24.0 / 35.0;
+    /// `C_DLA` of the two-query §5 workload:
+    /// `12/7 · (2/5 + 1)/2` (Eq. 13).
+    pub const C_DLA: f64 = 6.0 / 5.0;
+}
+
 /// `C_store(Log)` (Eq. 10).
 ///
 /// Returns 0 for an empty record.

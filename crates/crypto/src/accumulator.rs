@@ -203,6 +203,52 @@ pub struct EpochCheckpoint {
     pub link: [u8; 32],
 }
 
+impl EpochCheckpoint {
+    /// Canonical byte encoding for gossiping a head between peers:
+    /// `epoch ‖ items ‖ digest_len ‖ digest ‖ link`, all big-endian.
+    /// (The crypto crate carries no wire dependency, so the format is
+    /// spelled out here and transported opaquely.)
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let digest = self.digest.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + 8 + 4 + digest.len() + 32);
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.items.to_be_bytes());
+        out.extend_from_slice(&(digest.len() as u32).to_be_bytes());
+        out.extend_from_slice(&digest);
+        out.extend_from_slice(&self.link);
+        out
+    }
+
+    /// Decodes an [`EpochCheckpoint::encode`] blob; `None` on any
+    /// structural mismatch (truncation, bad length, trailing bytes).
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let fixed = 8 + 8 + 4;
+        let digest_len = u32::from_be_bytes(bytes.get(16..20)?.try_into().ok()?) as usize;
+        if bytes.len() != fixed + digest_len + 32 {
+            return None;
+        }
+        let digest = Ubig::from_bytes_be(&bytes[fixed..fixed + digest_len]);
+        let link: [u8; 32] = bytes[fixed + digest_len..].try_into().ok()?;
+        Some(EpochCheckpoint {
+            epoch: u64::from_be_bytes(bytes[..8].try_into().ok()?),
+            items: u64::from_be_bytes(bytes[8..16].try_into().ok()?),
+            digest,
+            link,
+        })
+    }
+
+    /// Whether `other` is an equivocation of this checkpoint: the same
+    /// epoch presented with different contents. Two honest copies of a
+    /// sealed epoch are bytewise equal, so any divergence between what
+    /// a node showed two different peers is proof of misbehavior.
+    #[must_use]
+    pub fn equivocates(&self, other: &EpochCheckpoint) -> bool {
+        self.epoch == other.epoch && self != other
+    }
+}
+
 /// The incremental checkpoint chain over sealed epochs.
 ///
 /// Each seal stores the epoch's accumulator digest and chains it to the
@@ -284,6 +330,16 @@ impl CheckpointChain {
     #[must_use]
     pub fn get(&self, epoch: u64) -> Option<&EpochCheckpoint> {
         self.checkpoints.iter().find(|c| c.epoch == epoch)
+    }
+
+    /// Whether a checkpoint `presented` by a peer matches this chain's
+    /// own seal of the same epoch. A forged head — even one whose link
+    /// is internally consistent because it was re-linked over the true
+    /// prefix — fails here, since the local chain already holds the
+    /// genuine seal.
+    #[must_use]
+    pub fn endorses(&self, presented: &EpochCheckpoint) -> bool {
+        self.get(presented.epoch) == Some(presented)
     }
 
     /// Iterates seals in seal order.
@@ -439,6 +495,46 @@ mod tests {
         let mut dropped = chain.clone();
         dropped.checkpoints.remove(1);
         assert!(!dropped.verify_links());
+    }
+
+    #[test]
+    fn checkpoint_encoding_round_trips_and_rejects_malformed() {
+        let p = params();
+        let mut chain = CheckpointChain::new();
+        chain.seal(4, 9, p.accumulate([b"e4".as_slice()]));
+        let checkpoint = chain.get(4).expect("sealed").clone();
+        let encoded = checkpoint.encode();
+        assert_eq!(EpochCheckpoint::decode(&encoded), Some(checkpoint));
+        assert_eq!(EpochCheckpoint::decode(&encoded[..encoded.len() - 1]), None);
+        assert_eq!(EpochCheckpoint::decode(&[encoded, vec![0]].concat()), None);
+        assert_eq!(EpochCheckpoint::decode(b"short"), None);
+    }
+
+    #[test]
+    fn equivocation_is_divergence_on_the_same_epoch() {
+        let p = params();
+        let mut chain = CheckpointChain::new();
+        chain.seal(0, 2, p.accumulate([b"a".as_slice()]));
+        chain.seal(1, 2, p.accumulate([b"b".as_slice()]));
+        let genuine = chain.get(1).expect("sealed").clone();
+        assert!(chain.endorses(&genuine));
+        assert!(!genuine.equivocates(&genuine));
+
+        // A forged head re-linked over the true prefix is internally
+        // consistent, yet both peer cross-checks catch it.
+        let prev = chain.get(0).expect("sealed").link;
+        let digest = p.accumulate([b"forged".as_slice()]);
+        let link = CheckpointChain::link_over(&prev, 1, 2, &digest);
+        let forged = EpochCheckpoint {
+            epoch: 1,
+            items: 2,
+            digest,
+            link,
+        };
+        assert!(genuine.equivocates(&forged));
+        assert!(!chain.endorses(&forged));
+        // Different epochs never equivocate, however different.
+        assert!(!chain.get(0).expect("sealed").equivocates(&genuine));
     }
 
     #[test]

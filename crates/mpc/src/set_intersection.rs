@@ -368,18 +368,25 @@ pub(crate) fn run<R: Rng + ?Sized>(
     })
 }
 
+/// Wire tag of every SSI relay/collection message — the byte an
+/// interposed adversary matches on to target ring ciphertext blobs
+/// (see `dla_net::adversary`).
+pub const SET_TAG: u8 = 0x01;
+
 fn encode_set(origin: u64, elements: &[Ubig]) -> bytes::Bytes {
     let mut w = Writer::new();
-    w.put_u8(0x01).put_u64(origin).put_list(elements, |w, e| {
-        w.put_bytes(&e.to_bytes_be());
-    });
+    w.put_u8(SET_TAG)
+        .put_u64(origin)
+        .put_list(elements, |w, e| {
+            w.put_bytes(&e.to_bytes_be());
+        });
     w.finish()
 }
 
 fn decode_set(payload: &[u8]) -> Result<(u64, Vec<Ubig>), MpcError> {
     let mut r = Reader::new(payload);
     let tag = r.get_u8()?;
-    if tag != 0x01 {
+    if tag != SET_TAG {
         return Err(MpcError::Wire(format!("unexpected message tag {tag}")));
     }
     let origin = r.get_u64()?;

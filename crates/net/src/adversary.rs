@@ -1,0 +1,576 @@
+//! Byzantine interposition at the transport layer.
+//!
+//! The fault layer ([`crate::fault::FaultPlan`]) models a *benign*
+//! network: drops, duplicates and bit rot, all of which leave a stale
+//! checksum behind and are therefore visible to any receiver. A
+//! Byzantine node is different — it **re-stamps its own lie**. An
+//! [`Adversary`] sits between protocol code and a [`Transport`] and can
+//! rewrite outgoing payloads *before* the envelope checksum is
+//! computed, so the forgery is perfectly well-formed on the wire and
+//! only the cryptographic machinery above (accumulator circulation,
+//! checkpoint chains, origin tags) can catch it.
+//!
+//! Two interposition points share one policy trait:
+//!
+//! * [`AdversaryNet`] wraps any [`Transport`] — [`crate::ChannelNet`],
+//!   [`crate::tcp::TcpNet`] — for threaded and cross-process runs.
+//! * [`crate::sim::SimNet::set_adversary`] hooks the same trait into
+//!   the simulator's send path, which is what the in-process DLA
+//!   cluster drives.
+//!
+//! [`ScriptedAdversary`] is the standard implementation: a compromised
+//! set plus an ordered list of [`TamperRule`]s, with every
+//! nondeterministic choice (victims, flip masks, target offsets) drawn
+//! from [`scenario_rng`] so a whole attack schedule replays
+//! deterministically from `(cluster seed, scenario id)` on any
+//! transport. Honest-but-curious coalitions use the same object: nodes
+//! in the *curious* set never tamper, but every wire message they send
+//! or receive is captured for post-hoc leak analysis.
+
+use crate::sim::Envelope;
+use crate::time::SimTime;
+use crate::wire::crc32;
+use crate::{NetError, NodeId, SessionId, Transport};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Derives the RNG stream for one adversary scenario from the cluster
+/// seed — the same idiom as [`crate::fault::fault_rng`], with its own
+/// stream constant so attack schedules are reproducible and independent
+/// of the fault and latency streams: replaying scenario 3 draws the
+/// same victims and masks no matter what else the network rolled.
+#[must_use]
+pub fn scenario_rng(cluster_seed: u64, scenario_id: u64) -> StdRng {
+    let mut x = scenario_id.wrapping_add(0x41D7_E751_0C2B_9A6D);
+    let stream = rand::splitmix64(&mut x);
+    StdRng::seed_from_u64(cluster_seed ^ stream)
+}
+
+/// What a Byzantine sender does to one outgoing payload.
+///
+/// Every variant except [`Tamper::Drop`] produces a payload that is
+/// re-stamped with a fresh checksum — the lie is wire-consistent and
+/// must be caught by protocol-level verification, not by the envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tamper {
+    /// Send the payload unchanged.
+    Pass,
+    /// Byzantine omission: silently swallow the message.
+    Drop,
+    /// Substitute a wholly forged payload (checkpoint equivocation,
+    /// replayed blobs, …).
+    Replace(Bytes),
+    /// XOR `mask` into the byte `offset_from_end` positions before the
+    /// end — "flip a ring ciphertext" without knowing the exact frame
+    /// length. Out-of-range offsets leave the payload unchanged.
+    Flip {
+        /// Distance from the last byte (0 = last byte).
+        offset_from_end: usize,
+        /// XOR mask (0 is a no-op).
+        mask: u8,
+    },
+    /// Keep only the first `len` bytes — a malformed blob that fails
+    /// structural decoding at the receiver.
+    Truncate(usize),
+}
+
+impl Tamper {
+    /// Applies this tamper to `payload`. `None` means the message is
+    /// swallowed entirely.
+    #[must_use]
+    pub fn apply(&self, payload: &Bytes) -> Option<Bytes> {
+        match self {
+            Tamper::Pass => Some(payload.clone()),
+            Tamper::Drop => None,
+            Tamper::Replace(forged) => Some(forged.clone()),
+            Tamper::Flip {
+                offset_from_end,
+                mask,
+            } => {
+                let mut bytes = payload.to_vec();
+                if let Some(slot) = bytes
+                    .len()
+                    .checked_sub(1 + offset_from_end)
+                    .and_then(|i| bytes.get_mut(i))
+                {
+                    *slot ^= mask;
+                }
+                Some(Bytes::from(bytes))
+            }
+            Tamper::Truncate(len) => Some(Bytes::copy_from_slice(
+                &payload[..(*len).min(payload.len())],
+            )),
+        }
+    }
+}
+
+/// One entry in a scripted attack schedule: which messages it matches
+/// and what happens to them. Rules are consulted in order; the first
+/// live match fires.
+#[derive(Clone, Debug)]
+pub struct TamperRule {
+    /// Match only messages sent by this node (`None` = any sender).
+    pub from: Option<usize>,
+    /// Match only messages to this node (`None` = any receiver).
+    pub to: Option<usize>,
+    /// Match only payloads whose first byte is this protocol tag.
+    pub tag: Option<u8>,
+    /// Skip this many matching messages before firing.
+    pub skip: u64,
+    /// Fire at most this many times (`u64::MAX` = every match).
+    pub fires: u64,
+    /// What to do with a matched message.
+    pub action: Tamper,
+}
+
+impl TamperRule {
+    /// A rule that fires once on the first message matching
+    /// `(from, tag)`.
+    #[must_use]
+    pub fn once_from(from: usize, tag: u8, action: Tamper) -> Self {
+        TamperRule {
+            from: Some(from),
+            to: None,
+            tag: Some(tag),
+            skip: 0,
+            fires: 1,
+            action,
+        }
+    }
+
+    fn matches(&self, from: NodeId, to: NodeId, payload: &[u8]) -> bool {
+        self.from.is_none_or(|f| from.0 == f)
+            && self.to.is_none_or(|t| to.0 == t)
+            && self.tag.is_none_or(|tag| payload.first() == Some(&tag))
+    }
+}
+
+#[derive(Debug)]
+struct RuleState {
+    rule: TamperRule,
+    matched: u64,
+    fired: u64,
+}
+
+/// One wire message seen by a curious coalition member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapturedMessage {
+    /// Session the message travelled on.
+    pub session: SessionId,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// The payload as it crossed the wire (post-tamper).
+    pub payload: Bytes,
+}
+
+/// One forgery the adversary committed, recorded for replay checks: the
+/// same scenario seed must produce the identical event list on every
+/// transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TamperEvent {
+    /// Session of the tampered message.
+    pub session: SessionId,
+    /// Byzantine sender.
+    pub from: NodeId,
+    /// Receiver the lie was addressed to.
+    pub to: NodeId,
+    /// Index of the rule that fired.
+    pub rule: usize,
+    /// CRC-32 of the payload the protocol handed over.
+    pub original_crc: u32,
+    /// CRC-32 of what actually went out (`None` = swallowed).
+    pub forged_crc: Option<u32>,
+}
+
+/// Aggregate view of what a [`ScriptedAdversary`] did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryReport {
+    /// Messages rewritten (including truncations and flips).
+    pub forged: usize,
+    /// Messages swallowed.
+    pub dropped: usize,
+    /// Messages captured by the curious coalition.
+    pub observed: usize,
+    /// Every forgery, in wire order.
+    pub events: Vec<TamperEvent>,
+}
+
+/// A network-interposed adversary policy.
+///
+/// Implementations must be `Send + Sync` (transports are shared across
+/// threads) and `Debug` (they ride inside transport structs that derive
+/// it).
+pub trait Adversary: Send + Sync + std::fmt::Debug {
+    /// Decides what happens to one outgoing message. Called for every
+    /// send on the interposed transport.
+    fn tamper(&self, session: SessionId, from: NodeId, to: NodeId, payload: &[u8]) -> Tamper;
+
+    /// Observes one message as it crosses the wire (post-tamper).
+    /// Curious-coalition implementations record what their members can
+    /// see; the default ignores everything.
+    fn observe(&self, session: SessionId, from: NodeId, to: NodeId, payload: &[u8]) {
+        let _ = (session, from, to, payload);
+    }
+
+    /// Whether `node` is under Byzantine control (used by scenario
+    /// runners for reporting; transports never need it).
+    fn compromised(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+}
+
+/// The standard scripted adversary: a compromised set, a curious
+/// coalition, and an ordered rule schedule. Interior mutability keeps
+/// it usable behind `Arc` from any transport.
+#[derive(Debug, Default)]
+pub struct ScriptedAdversary {
+    compromised: BTreeSet<usize>,
+    curious: BTreeSet<usize>,
+    rules: Mutex<Vec<RuleState>>,
+    captures: Mutex<Vec<CapturedMessage>>,
+    report: Mutex<AdversaryReport>,
+}
+
+impl ScriptedAdversary {
+    /// An adversary controlling nothing and watching nobody.
+    #[must_use]
+    pub fn new() -> Self {
+        ScriptedAdversary::default()
+    }
+
+    /// Puts `node` under Byzantine control: its outgoing messages are
+    /// run through the rule schedule.
+    #[must_use]
+    pub fn compromise(mut self, node: usize) -> Self {
+        self.compromised.insert(node);
+        self
+    }
+
+    /// Adds `node` to the honest-but-curious coalition: every message
+    /// it sends or receives is captured.
+    #[must_use]
+    pub fn curious(mut self, node: usize) -> Self {
+        self.curious.insert(node);
+        self
+    }
+
+    /// Appends `rule` to the schedule.
+    #[must_use]
+    pub fn rule(self, rule: TamperRule) -> Self {
+        self.rules.lock().push(RuleState {
+            rule,
+            matched: 0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// The curious coalition's captured transcript, in wire order.
+    #[must_use]
+    pub fn captured(&self) -> Vec<CapturedMessage> {
+        self.captures.lock().clone()
+    }
+
+    /// A snapshot of everything the adversary did.
+    #[must_use]
+    pub fn report(&self) -> AdversaryReport {
+        self.report.lock().clone()
+    }
+}
+
+impl Adversary for ScriptedAdversary {
+    fn tamper(&self, session: SessionId, from: NodeId, to: NodeId, payload: &[u8]) -> Tamper {
+        if !self.compromised.contains(&from.0) {
+            return Tamper::Pass;
+        }
+        let mut rules = self.rules.lock();
+        for (index, state) in rules.iter_mut().enumerate() {
+            if !state.rule.matches(from, to, payload) {
+                continue;
+            }
+            state.matched += 1;
+            if state.matched <= state.rule.skip || state.fired >= state.rule.fires {
+                continue;
+            }
+            state.fired += 1;
+            let action = state.rule.action.clone();
+            let forged_crc = action
+                .apply(&Bytes::copy_from_slice(payload))
+                .map(|p| crc32(&p));
+            let mut report = self.report.lock();
+            match forged_crc {
+                Some(_) => report.forged += 1,
+                None => report.dropped += 1,
+            }
+            report.events.push(TamperEvent {
+                session,
+                from,
+                to,
+                rule: index,
+                original_crc: crc32(payload),
+                forged_crc,
+            });
+            return action;
+        }
+        Tamper::Pass
+    }
+
+    fn observe(&self, session: SessionId, from: NodeId, to: NodeId, payload: &[u8]) {
+        if self.curious.contains(&from.0) || self.curious.contains(&to.0) {
+            self.report.lock().observed += 1;
+            self.captures.lock().push(CapturedMessage {
+                session,
+                from,
+                to,
+                payload: Bytes::copy_from_slice(payload),
+            });
+        }
+    }
+
+    fn compromised(&self, node: NodeId) -> bool {
+        self.compromised.contains(&node.0)
+    }
+}
+
+/// A [`Transport`] wrapper that routes every send through an
+/// [`Adversary`] — the interposition point for the threaded and socket
+/// backends (the simulator hooks the policy natively, see
+/// [`crate::sim::SimNet::set_adversary`]).
+///
+/// Tampered payloads reach the inner transport *before* it stamps the
+/// envelope checksum, so forgeries arrive intact-looking; only
+/// [`Tamper::Drop`] is visible at this layer (as a silent loss).
+#[derive(Debug)]
+pub struct AdversaryNet<T> {
+    inner: T,
+    adversary: Arc<dyn Adversary>,
+}
+
+impl<T: Transport> AdversaryNet<T> {
+    /// Interposes `adversary` in front of `inner`.
+    pub fn new(inner: T, adversary: Arc<dyn Adversary>) -> Self {
+        AdversaryNet { inner, adversary }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for AdversaryNet<T> {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn send(&self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
+        let action = self.adversary.tamper(session, from, to, &payload);
+        match action.apply(&payload) {
+            Some(outgoing) => {
+                self.adversary.observe(session, from, to, &outgoing);
+                self.inner.send(session, from, to, outgoing);
+            }
+            None => {
+                // Byzantine omission: the wire never sees the message,
+                // so neither do curious observers.
+            }
+        }
+    }
+
+    fn recv(&self, session: SessionId, node: NodeId) -> Result<Envelope, NetError> {
+        self.inner.recv(session, node)
+    }
+
+    fn recv_from(
+        &self,
+        session: SessionId,
+        node: NodeId,
+        from: NodeId,
+    ) -> Result<Envelope, NetError> {
+        self.inner.recv_from(session, node, from)
+    }
+
+    fn charge(&self, session: SessionId, node: NodeId, cost: SimTime) {
+        self.inner.charge(session, node, cost);
+    }
+
+    fn counters(&self, session: SessionId) -> (u64, u64) {
+        self.inner.counters(session)
+    }
+
+    fn elapsed(&self, session: SessionId) -> SimTime {
+        self.inner.elapsed(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelNet, Session};
+    use rand::Rng;
+
+    #[test]
+    fn scenario_rng_is_deterministic_and_scenario_independent() {
+        let draw = |seed, scenario| scenario_rng(seed, scenario).gen::<u64>();
+        assert_eq!(draw(7, 3), draw(7, 3));
+        assert_ne!(draw(7, 3), draw(7, 4));
+        assert_ne!(draw(7, 3), draw(8, 3));
+        // Independent of the fault stream for the same ids.
+        let fault = crate::fault::fault_rng(7, SessionId(3)).gen::<u64>();
+        assert_ne!(draw(7, 3), fault);
+    }
+
+    #[test]
+    fn tamper_variants_rewrite_as_specified() {
+        let payload = Bytes::from_static(b"\x40hello");
+        assert_eq!(Tamper::Pass.apply(&payload), Some(payload.clone()));
+        assert_eq!(Tamper::Drop.apply(&payload), None);
+        assert_eq!(
+            Tamper::Replace(Bytes::from_static(b"xx")).apply(&payload),
+            Some(Bytes::from_static(b"xx"))
+        );
+        assert_eq!(
+            Tamper::Flip {
+                offset_from_end: 0,
+                mask: 0x01
+            }
+            .apply(&payload),
+            Some(Bytes::from_static(b"\x40helln"))
+        );
+        assert_eq!(
+            Tamper::Truncate(3).apply(&payload),
+            Some(Bytes::from_static(b"\x40he"))
+        );
+        // Out-of-range flips and truncations are harmless.
+        assert_eq!(
+            Tamper::Flip {
+                offset_from_end: 99,
+                mask: 0xFF
+            }
+            .apply(&payload),
+            Some(payload.clone())
+        );
+        assert_eq!(Tamper::Truncate(99).apply(&payload), Some(payload));
+    }
+
+    #[test]
+    fn scripted_rules_fire_in_order_with_skip_and_budget() {
+        let adversary = ScriptedAdversary::new().compromise(1).rule(TamperRule {
+            from: Some(1),
+            to: None,
+            tag: Some(0x40),
+            skip: 1,
+            fires: 1,
+            action: Tamper::Drop,
+        });
+        let send =
+            |payload: &[u8]| adversary.tamper(SessionId::ROOT, NodeId(1), NodeId(2), payload);
+        // Wrong tag, wrong sender, skipped first match, then fire once.
+        assert_eq!(send(b"\x41x"), Tamper::Pass);
+        assert_eq!(
+            adversary.tamper(SessionId::ROOT, NodeId(0), NodeId(2), b"\x40x"),
+            Tamper::Pass
+        );
+        assert_eq!(send(b"\x40x"), Tamper::Pass); // skip: 1
+        assert_eq!(send(b"\x40x"), Tamper::Drop); // fires
+        assert_eq!(send(b"\x40x"), Tamper::Pass); // budget spent
+        let report = adversary.report();
+        assert_eq!((report.forged, report.dropped), (0, 1));
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].forged_crc, None);
+    }
+
+    #[test]
+    fn forged_payloads_cross_channel_net_with_valid_checksums() {
+        let adversary = Arc::new(ScriptedAdversary::new().compromise(0).rule(
+            TamperRule::once_from(
+                0,
+                0x40,
+                Tamper::Flip {
+                    offset_from_end: 0,
+                    mask: 0xFF,
+                },
+            ),
+        ));
+        let net = AdversaryNet::new(ChannelNet::new(2), Arc::clone(&adversary) as _);
+        let session = Session::root(&net);
+        session.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x40\x00"));
+        // The lie is re-stamped: Session::recv's checksum gate passes
+        // and the receiver gets the forged bytes as if genuine.
+        let envelope = session.recv(NodeId(1)).expect("forgery is wire-intact");
+        assert_eq!(&envelope.payload[..], b"\x40\xFF");
+        assert!(envelope.is_intact());
+        assert_eq!(adversary.report().forged, 1);
+    }
+
+    #[test]
+    fn byzantine_omission_swallows_the_message() {
+        let adversary = Arc::new(
+            ScriptedAdversary::new()
+                .compromise(0)
+                .rule(TamperRule::once_from(0, 0x40, Tamper::Drop)),
+        );
+        let net = AdversaryNet::new(
+            ChannelNet::with_timeout(2, std::time::Duration::from_millis(20)),
+            Arc::clone(&adversary) as _,
+        );
+        let session = Session::root(&net);
+        session.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x40gone"));
+        assert_eq!(
+            session.recv(NodeId(1)).unwrap_err(),
+            NetError::Timeout(NodeId(1))
+        );
+        assert_eq!(adversary.report().dropped, 1);
+    }
+
+    #[test]
+    fn curious_coalition_captures_only_its_own_traffic() {
+        let adversary = Arc::new(ScriptedAdversary::new().curious(1));
+        let net = AdversaryNet::new(ChannelNet::new(3), Arc::clone(&adversary) as _);
+        let session = Session::root(&net);
+        session.send(NodeId(0), NodeId(1), Bytes::from_static(b"to-coalition"));
+        session.send(NodeId(0), NodeId(2), Bytes::from_static(b"foreign"));
+        session.send(NodeId(1), NodeId(2), Bytes::from_static(b"from-coalition"));
+        let captured = adversary.captured();
+        let payloads: Vec<&[u8]> = captured.iter().map(|c| &c.payload[..]).collect();
+        assert_eq!(payloads, vec![&b"to-coalition"[..], b"from-coalition"]);
+        assert_eq!(adversary.report().observed, 2);
+    }
+
+    #[test]
+    fn same_schedule_replays_identically() {
+        let run = || {
+            let mut rng = scenario_rng(42, 7);
+            let mask = rng.gen_range(1..=255u8);
+            let adversary = Arc::new(ScriptedAdversary::new().compromise(0).rule(
+                TamperRule::once_from(
+                    0,
+                    0x40,
+                    Tamper::Flip {
+                        offset_from_end: 0,
+                        mask,
+                    },
+                ),
+            ));
+            let net = AdversaryNet::new(ChannelNet::new(2), Arc::clone(&adversary) as _);
+            let session = Session::root(&net);
+            for _ in 0..3 {
+                session.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x40abc"));
+            }
+            adversary.report()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -43,6 +43,7 @@
 
 use std::fmt;
 
+pub mod adversary;
 pub mod fault;
 pub mod latency;
 pub mod reliable;
@@ -55,6 +56,7 @@ pub mod topology;
 pub mod transport;
 pub mod wire;
 
+pub use adversary::{Adversary, AdversaryNet, ScriptedAdversary, Tamper, TamperRule};
 pub use reliable::{Reliable, ReliableConfig, ReliableStats};
 pub use session::{ChannelNet, Session, SharedNet, SimLink, Transport};
 pub use sim::{Envelope, NetConfig, SimNet};

@@ -267,6 +267,7 @@ pub struct SimNet {
     next_session: u64,
     seq: u64,
     capture: Option<Vec<(NodeId, NodeId, Bytes)>>,
+    adversary: Option<std::sync::Arc<dyn crate::adversary::Adversary>>,
 }
 
 impl SimNet {
@@ -293,7 +294,20 @@ impl SimNet {
             next_session: 1,
             seq: 0,
             capture: config.capture_payloads.then(Vec::new),
+            adversary: None,
         }
+    }
+
+    /// Installs a Byzantine [`crate::adversary::Adversary`] policy on
+    /// the send path. Forgeries are applied before checksum stamping —
+    /// see the module docs of [`crate::adversary`].
+    pub fn set_adversary(&mut self, adversary: std::sync::Arc<dyn crate::adversary::Adversary>) {
+        self.adversary = Some(adversary);
+    }
+
+    /// Removes any installed adversary; subsequent sends are honest.
+    pub fn clear_adversary(&mut self) {
+        self.adversary = None;
     }
 
     /// Number of nodes.
@@ -347,6 +361,40 @@ impl SimNet {
         if let Some(capture) = &mut self.capture {
             capture.push((from, to, payload.clone()));
         }
+        // Byzantine interposition runs before the checksum is stamped:
+        // a forged payload goes out wire-consistent, so only
+        // protocol-level verification can catch it — unlike the benign
+        // Corrupt fault below, whose stale checksum any receiver sees.
+        let payload = match self.adversary.clone() {
+            Some(adversary) => {
+                match adversary
+                    .tamper(session, from, to, &payload)
+                    .apply(&payload)
+                {
+                    Some(outgoing) => {
+                        adversary.observe(session, from, to, &outgoing);
+                        outgoing
+                    }
+                    None => {
+                        // Byzantine omission: account the send, deliver
+                        // nothing.
+                        self.ensure_session(session);
+                        let state = self.sessions.get_mut(&session).expect("session exists");
+                        let sent_at = state.clocks[from.0];
+                        self.stats
+                            .record_send(session, from.0, to.0, payload.len(), sent_at);
+                        self.stats.messages_dropped += 1;
+                        dla_telemetry::record(dla_telemetry::CostKind::MsgSent, 1);
+                        dla_telemetry::record(
+                            dla_telemetry::CostKind::BytesSent,
+                            payload.len() as u64,
+                        );
+                        return;
+                    }
+                }
+            }
+            None => payload,
+        };
         self.ensure_session(session);
         let state = self.sessions.get_mut(&session).expect("session exists");
         let sent_at = state.clocks[from.0];

@@ -236,6 +236,11 @@ struct NodeState {
     n: u64,
     peers: Vec<Option<SocketAddr>>,
     writers: Mutex<HashMap<u64, Sender<Vec<u8>>>>,
+    /// Peers whose current connection *we* initiated. An inbound HELLO
+    /// announcing such a peer is a simultaneous connect (both sides
+    /// dialed at once), not a spoof, and must be accepted — rejecting
+    /// it would close the stream the peer is already writing on.
+    dialed: Mutex<BTreeSet<u64>>,
     writer_handles: Mutex<Vec<thread::JoinHandle<()>>>,
     stats: Mutex<NodeStats>,
     done: AtomicBool,
@@ -244,8 +249,10 @@ struct NodeState {
 
 impl NodeState {
     /// Registers a connection's writer thread and returns the sending
-    /// half. The newest connection to a peer wins; a replaced writer's
-    /// channel disconnects, which makes its thread exit.
+    /// half. A peer with a live writer is only re-registered on a
+    /// simultaneous connect (the accept loop checks `dialed`); any
+    /// other replacement requires the dead connection to deregister
+    /// itself first, so an impostor can never displace a live session.
     fn register(self: &Arc<Self>, peer: u64, stream: TcpStream) -> Sender<Vec<u8>> {
         let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
         let state = Arc::clone(self);
@@ -259,6 +266,7 @@ impl NodeState {
                     // Connection died: deregister so the next send
                     // re-dials with backoff.
                     state.writers.lock().remove(&peer);
+                    state.dialed.lock().remove(&peer);
                     break;
                 }
             }
@@ -285,9 +293,19 @@ impl NodeState {
         if target == COORD {
             return None; // the coordinator always dials us, never vice versa
         }
+        if target == self.id {
+            return None; // self-traffic is dispatched locally, never dialed
+        }
         let addr = self.peers.get(target as usize).copied().flatten()?;
         let mut stream = dial_with_backoff(addr, Duration::from_secs(10)).ok()?;
         let (peer_id, _) = handshake(&mut stream, self.id, self.n).ok()?;
+        if peer_id != target {
+            // Whatever answered at the peer's address is lying about
+            // its id; don't register a writer under a name it may use
+            // to impersonate the real node.
+            return None;
+        }
+        self.dialed.lock().insert(peer_id);
         Some(self.register(peer_id, stream))
     }
 
@@ -313,7 +331,12 @@ impl NodeState {
                     return; // misrouted: we only originate our own traffic
                 }
                 self.stats.lock().routed += 1;
-                if let Some(tx) = self.writer_for(envelope.to.0 as u64) {
+                if envelope.to.0 as u64 == self.id {
+                    // Self-hop: forward locally. Dialing our own
+                    // listener would trip the spoof guard (the accept
+                    // loop refuses a HELLO announcing our own id).
+                    self.dispatch(peer, &envelope_frame(FRAME_FWD, &envelope));
+                } else if let Some(tx) = self.writer_for(envelope.to.0 as u64) {
                     let _ = tx.send(envelope_frame(FRAME_FWD, &envelope));
                 }
             }
@@ -405,6 +428,7 @@ pub fn serve(listener: TcpListener, config: NodeConfig) -> io::Result<NodeReport
         n: config.peers.len() as u64,
         peers: config.peers,
         writers: Mutex::new(HashMap::new()),
+        dialed: Mutex::new(BTreeSet::new()),
         writer_handles: Mutex::new(Vec::new()),
         stats: Mutex::new(NodeStats {
             digest: config.key,
@@ -421,8 +445,23 @@ pub fn serve(listener: TcpListener, config: NodeConfig) -> io::Result<NodeReport
             }
             let _ = stream.set_nodelay(true);
             // Accept-side handshake: announce ourselves, learn the
-            // dialer's id, then wire up reader + writer threads.
+            // dialer's id, then wire up reader + writer threads. A
+            // dialer announcing our own id, or an id whose live session
+            // *they* initiated, is a spoof attempt — registering it
+            // would let the newcomer hijack the existing writer (and
+            // with it any acks addressed to that peer), so the
+            // connection is dropped instead. The one legitimate
+            // conflict is a simultaneous connect: we dialed the peer
+            // while it dialed us. Its inbound connection is accepted
+            // (the peer is already writing on it) and takes over the
+            // writer slot; the crossing credit is consumed so a second
+            // conflicting HELLO is back to being a spoof.
             if let Ok((peer, _)) = handshake(&mut stream, acceptor.id, acceptor.n) {
+                let crossing = acceptor.dialed.lock().remove(&peer);
+                if peer == acceptor.id || (!crossing && acceptor.writers.lock().contains_key(&peer))
+                {
+                    continue;
+                }
                 acceptor.register(peer, stream);
             }
         }

@@ -6,11 +6,14 @@
 //! processes.
 
 use bytes::Bytes;
-use dla_net::tcp::{serve, NodeConfig, TcpConfig, TcpNet};
+use dla_net::adversary::{scenario_rng, AdversaryNet, ScriptedAdversary, Tamper, TamperRule};
+use dla_net::tcp::{read_frame, serve, write_frame, NodeConfig, TcpConfig, TcpNet};
 use dla_net::time::SimTime;
-use dla_net::{NetError, NodeId, Session, SessionId, Transport};
+use dla_net::{ChannelNet, NetError, NodeId, Session, SessionId, Transport};
+use rand::Rng;
 use std::collections::BTreeSet;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -204,4 +207,110 @@ fn connect_retries_with_backoff_until_the_node_is_up() {
     assert_eq!(count, 1);
     let _ = net.shutdown();
     server.join().expect("join").expect("serve");
+}
+
+#[test]
+fn hello_spoofing_cannot_hijack_a_live_session() {
+    let (peers, handles) = spawn_mesh(1, 0);
+    let net = TcpNet::connect(&peers, BTreeSet::new(), quick_config()).expect("connect");
+    let (count, _) = net.deposit(NodeId(0), 1, b"before").expect("ack");
+    assert_eq!(count, 1);
+
+    // An attacker dials the node's listener and completes the HELLO
+    // exchange announcing the coordinator's reserved id. Before the
+    // hardening, register() replaced the live COORD writer ("newest
+    // connection wins"), re-pointing STORED acks at the attacker.
+    let spoof = |announced: u64| {
+        let mut attacker = TcpStream::connect(peers[0].expect("node addr")).expect("attacker dial");
+        attacker
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut hello = dla_net::wire::Writer::new();
+        hello
+            .put_u8(0x01) // FRAME_HELLO
+            .put_u64(0x444C_4131_5443_5031) // protocol MAGIC ("DLA1TCP1")
+            .put_u64(announced)
+            .put_u64(peers.len() as u64);
+        write_frame(&mut attacker, &hello.finish()).expect("send spoofed hello");
+        // The node answers with its own hello before validating ours...
+        let body = read_frame(&mut attacker).expect("node's hello");
+        assert_eq!(body.first(), Some(&0x01));
+        // ...then drops the connection: the attacker never receives
+        // another frame (in particular, no stolen STORED ack).
+        assert!(
+            read_frame(&mut attacker).is_err(),
+            "spoofed session (announced id {announced}) must be closed"
+        );
+    };
+    spoof(u64::MAX); // impersonate the coordinator
+    spoof(0); // impersonate the node itself
+
+    // The genuine coordinator connection still owns the COORD writer:
+    // deposits keep flowing and their acks still arrive here.
+    let (count, _) = net
+        .deposit(NodeId(0), 2, b"after")
+        .expect("ack after spoof");
+    assert_eq!(count, 2);
+
+    let reports = net.shutdown();
+    assert_eq!(reports[0].stored, 2);
+    for handle in handles {
+        handle.join().expect("join").expect("serve");
+    }
+}
+
+/// Same seeded schedule, two transports: the adversary's forgeries and
+/// the bytes the victim receives must be identical under [`ChannelNet`]
+/// and [`TcpNet`] — the determinism contract scenario replays rely on.
+#[test]
+fn scripted_attacks_replay_identically_on_channel_and_tcp() {
+    let schedule = || {
+        let mut rng = scenario_rng(5, 11);
+        let mask = rng.gen_range(1..=255u8);
+        Arc::new(ScriptedAdversary::new().compromise(0).rule(TamperRule {
+            from: Some(0),
+            to: Some(1),
+            tag: Some(0x40),
+            skip: 1,
+            fires: 1,
+            action: Tamper::Flip {
+                offset_from_end: 0,
+                mask,
+            },
+        }))
+    };
+    fn drive<T: Transport>(net: &AdversaryNet<T>) -> Vec<Vec<u8>> {
+        let session = Session::new(net, SessionId(4));
+        (0..3u8)
+            .map(|i| {
+                session.send(NodeId(0), NodeId(1), Bytes::from(vec![0x40, b'm', i]));
+                let envelope = session.recv_from(NodeId(1), NodeId(0)).expect("delivery");
+                assert!(
+                    envelope.is_intact(),
+                    "forgeries are re-stamped, not corrupt"
+                );
+                envelope.payload.to_vec()
+            })
+            .collect()
+    }
+
+    let channel_adversary = schedule();
+    let channel_net = AdversaryNet::new(ChannelNet::new(2), Arc::clone(&channel_adversary) as _);
+    let channel_seen = drive(&channel_net);
+
+    let (peers, handles) = spawn_mesh(2, 0);
+    let tcp_adversary = schedule();
+    let tcp_net = AdversaryNet::new(
+        TcpNet::connect(&peers, BTreeSet::new(), quick_config()).expect("connect"),
+        Arc::clone(&tcp_adversary) as _,
+    );
+    let tcp_seen = drive(&tcp_net);
+    let _ = tcp_net.into_inner().shutdown();
+    for handle in handles {
+        handle.join().expect("join").expect("serve");
+    }
+
+    assert_eq!(channel_seen, tcp_seen);
+    assert_ne!(channel_seen[0], channel_seen[1], "second message is forged");
+    assert_eq!(channel_adversary.report(), tcp_adversary.report());
 }

@@ -1,6 +1,9 @@
 //! Adversarial integration tests: compromised nodes, tampered
 //! fragments, diverging ACLs, membership cheating and lossy networks.
 
+use confidential_audit::audit::adversary::{
+    run_attack, run_coalition, run_honest, AttackClass, DetectorMatrix,
+};
 use confidential_audit::audit::cluster::{ClusterConfig, DlaCluster};
 use confidential_audit::audit::integrity;
 use confidential_audit::audit::membership::{EvidenceChain, MembershipAuthority};
@@ -193,6 +196,152 @@ fn corrupted_share_cannot_skew_an_aggregate() {
         // protocol detected and refused, which is equally acceptable.
         assert_eq!(outcome.total, 170, "undetected corruption skewed the sum");
     }
+}
+
+/// The expected detector matrix per attack class: which of the §4.1
+/// mechanisms is responsible for catching each lie.
+fn expected_detectors(class: AttackClass) -> DetectorMatrix {
+    match class {
+        // In-flight accumulator lie: only the circulation comparison
+        // sees it; stores, journal and chain stay clean.
+        AttackClass::RelayRoundLie => DetectorMatrix {
+            accumulator: true,
+            ..DetectorMatrix::default()
+        },
+        // Structurally broken SSI blob: the protocol fail-stops before
+        // any verdict machinery is reached.
+        AttackClass::MalformedCiphertext => DetectorMatrix {
+            protocol: true,
+            ..DetectorMatrix::default()
+        },
+        // A forged head is caught three independent ways: peer
+        // cross-check / local endorsement (chain), digest re-derivation
+        // (accumulator), and the doctored journal backing the lie
+        // (meta-journal).
+        AttackClass::CheckpointEquivocation => DetectorMatrix {
+            accumulator: true,
+            meta_journal: true,
+            checkpoint_chain: true,
+            protocol: false,
+        },
+        // Rewritten stored fragment: the circulated accumulator
+        // diverges from the deposit; deposits themselves are untouched
+        // so trail/journal/chain stay green.
+        AttackClass::FragmentTamper => DetectorMatrix {
+            accumulator: true,
+            ..DetectorMatrix::default()
+        },
+    }
+}
+
+#[test]
+fn every_attack_class_is_detected_by_exactly_the_expected_machinery() {
+    for class in AttackClass::ALL {
+        for seed in [31, 32, 33] {
+            let report = run_attack(class, seed).expect("scenario runs");
+            assert_eq!(
+                report.detected,
+                expected_detectors(class),
+                "{} under seed {seed}",
+                class.key()
+            );
+            assert!(report.detected.any(), "{} went undetected", class.key());
+            assert!(
+                report.messages_to_detect > 0,
+                "{} detection cost not measured",
+                class.key()
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_attacks_are_transient_but_state_tampering_persists() {
+    for class in AttackClass::ALL {
+        let report = run_attack(class, 64).unwrap();
+        let expect_clean = !matches!(class, AttackClass::FragmentTamper);
+        assert_eq!(
+            report.residual_clean,
+            expect_clean,
+            "{}: residual state",
+            class.key()
+        );
+    }
+}
+
+#[test]
+fn honest_runs_raise_no_alarms() {
+    for seed in [41, 42, 43] {
+        let report = run_honest(seed).expect("honest run completes");
+        assert!(
+            !report.detected.any(),
+            "false alarm on honest run (seed {seed}): {:?}",
+            report.detected
+        );
+        assert!(report.verifications >= 8, "all detector suites ran");
+    }
+}
+
+#[test]
+fn attack_reports_replay_deterministically() {
+    for class in AttackClass::ALL {
+        let a = run_attack(class, 99).unwrap();
+        let b = run_attack(class, 99).unwrap();
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.verifications, b.verifications);
+        assert_eq!(a.messages_to_detect, b.messages_to_detect);
+        assert_eq!(a.virtual_ns_to_detect, b.virtual_ns_to_detect);
+        assert_eq!(a.forged_messages, b.forged_messages);
+    }
+}
+
+#[test]
+fn sub_threshold_coalitions_capture_no_foreign_plaintext() {
+    let patterns: [&[usize]; 5] = [&[], &[1], &[1, 2], &[1, 3], &[1, 2, 3]];
+    for coalition in patterns {
+        let report = run_coalition(51, coalition).expect("coalition run completes");
+        assert_eq!(
+            report.foreign_plaintext_hits, 0,
+            "coalition {coalition:?} saw foreign plaintext"
+        );
+        assert!(
+            report.needles_scanned > 0,
+            "leak scan must have needles to look for"
+        );
+        if !coalition.is_empty() {
+            assert!(report.captured_messages > 0, "curious nodes see traffic");
+        }
+        assert!(
+            (report.c_store - report.c_store_formula).abs() < 1e-9,
+            "coalition {coalition:?}: measured C_store {} vs formula {}",
+            report.c_store,
+            report.c_store_formula
+        );
+    }
+    // A full coalition is not sub-threshold and must be refused.
+    assert!(run_coalition(51, &[0, 1, 2, 3]).is_err());
+}
+
+#[test]
+fn collusion_degrades_the_paper_metrics_as_predicted() {
+    let baseline = run_coalition(52, &[]).unwrap();
+    // No collusion reproduces the pinned §5 values.
+    assert!((baseline.c_store - 12.0 / 7.0).abs() < 1e-9);
+    assert!((baseline.c_auditing - 2.0 / 5.0).abs() < 1e-9);
+    assert!((baseline.c_query - 24.0 / 35.0).abs() < 1e-9);
+    assert!((baseline.c_dla - 6.0 / 5.0).abs() < 1e-9);
+
+    // Colluding nodes merge storage domains: u drops and every metric
+    // degrades monotonically with coalition size.
+    let two = run_coalition(52, &[1, 3]).unwrap();
+    assert_eq!(two.observed_domains, 3);
+    assert!(two.c_store < baseline.c_store);
+    assert!(two.c_dla < baseline.c_dla);
+
+    let three = run_coalition(52, &[1, 2, 3]).unwrap();
+    assert_eq!(three.observed_domains, 2);
+    assert!(three.c_store < two.c_store);
+    assert!(three.c_dla < two.c_dla);
 }
 
 #[test]
