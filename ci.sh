@@ -143,6 +143,47 @@ assert abs(base["c_dla"] - d["paper"]["c_dla"]) < 1e-6
 PY
 fi
 
+echo "==> exp_federation --quick (asserts ring-sweep scaling, identical answers, tamper catch)"
+cargo run --release -p dla-bench --bin exp_federation -- --quick >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .experiment == "federation"
+        and .digests_identical
+        and .tamper_detected
+        and (.speedup_4x_vs_1 >= 2.0)
+        and (.rows | length >= 3)
+        and ([.rows[].rings] | (contains([1]) and contains([4])))
+        and (.rows | all(has("rings") and has("makespan_ns")
+                         and has("deposits_per_sec") and has("broadcast_digest")
+                         and has("routed_digest") and has("published")))
+        and (.broadcast_digest | length == 64)
+        and (.rows | all(.broadcast_digest == $top.broadcast_digest))
+        and (.rows | all(.routed_digest == $top.routed_digest))
+        and (.rows | all(.root_ok and .tamper_detected and .published > 0))
+    ' --argjson top "$(jq '{broadcast_digest, routed_digest}' BENCH_federation.json)" \
+        BENCH_federation.json >/dev/null
+else
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_federation.json"))
+assert d["experiment"] == "federation"
+assert d["digests_identical"] and d["tamper_detected"]
+assert d["speedup_4x_vs_1"] >= 2.0, "4-ring ingest speedup below 2x"
+rows = d["rows"]
+assert len(rows) >= 3
+rings = [r["rings"] for r in rows]
+assert 1 in rings and 4 in rings, "ring sweep must cover 1 and 4 rings"
+assert len(d["broadcast_digest"]) == 64
+for r in rows:
+    for key in ("rings", "makespan_ns", "deposits_per_sec",
+                "broadcast_digest", "routed_digest", "published"):
+        assert key in r, key
+    assert r["broadcast_digest"] == d["broadcast_digest"], "digest diverged"
+    assert r["routed_digest"] == d["routed_digest"], "routed digest diverged"
+    assert r["root_ok"] and r["tamper_detected"] and r["published"] > 0
+PY
+fi
+
 echo "==> dla-cluster smoke run (4 app + 3 infrastructure node processes)"
 cargo run --release -p dla-deploy --bin dla-cluster -- --nodes 4 --records 8 --seed 7 \
     | grep -q "CLUSTER OK"

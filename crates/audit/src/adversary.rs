@@ -22,6 +22,13 @@
 //! * [`AttackClass::FragmentTamper`] — a node rewrites a stored
 //!   fragment before the audit; the accumulator circulation flags it.
 //!
+//! A fifth scenario is scheduling, not forgery: [`run_delay_attack`]
+//! holds a compromised node's outbound ARQ data frames in the
+//! transport for a few send rounds ([`Tamper::Delay`]) and asserts the
+//! *opposite* polarity — no byte is altered, so the ARQ
+//! retransmit/duplicate-suppression path must mask the reordering with
+//! the honest answer and zero detector false alarms.
+//!
 //! Every scenario derives all of its choices (victims, targets, flip
 //! masks) from [`scenario_rng`]`(cluster_seed, scenario_id)`, so a
 //! report is reproducible from its two seeds alone.
@@ -564,6 +571,95 @@ pub fn run_honest(seed: u64) -> Result<ScenarioReport, AuditError> {
     })
 }
 
+/// Wire tag of the ARQ data frame (`dla_net::reliable` framing) — the
+/// target of the scheduling adversary in [`run_delay_attack`].
+pub const ARQ_DATA_TAG: u8 = 0x01;
+
+/// Outcome of the delay/reorder scheduling attack against the ARQ
+/// layer ([`run_delay_attack`]).
+#[derive(Clone, Debug)]
+pub struct DelayReport {
+    /// Cluster seed the scenario ran under.
+    pub seed: u64,
+    /// DLA node whose outbound data frames were delayed.
+    pub victim: usize,
+    /// Frames the adversary actually held back and released late.
+    pub delayed_frames: usize,
+    /// Whole-query attempts the resilient executor needed.
+    pub attempts: u32,
+    /// Whether the delayed run produced the same answer (glsn set and
+    /// cardinality) as the honest baseline.
+    pub answer_matches_honest: bool,
+    /// Detectors that fired after the adversary was cleared — a
+    /// scheduling attack forges nothing, so every flag here is a false
+    /// alarm.
+    pub detected: DetectorMatrix,
+}
+
+/// The scheduling attack: a compromised node's outbound ARQ data
+/// frames are held in the transport for a few send rounds and released
+/// late, so the receiver sees them out of order (or, while held, not at
+/// all). Unlike the forgery classes, the correct outcome is *silence*:
+/// no byte is altered, so the retransmit/duplicate-suppression path
+/// must mask the reordering — the query answer matches the honest
+/// baseline and no detector raises an alarm.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] if the scenario cluster cannot be built or
+/// the resilient query exhausts its attempts (which would mean the ARQ
+/// layer failed to mask the delay).
+pub fn run_delay_attack(seed: u64) -> Result<DelayReport, AuditError> {
+    let mut rng = scenario_rng(seed, 5);
+    let query = WORKLOAD[0];
+
+    // Honest baseline: same seed, same resilient path, no adversary.
+    let (mut baseline, _user, _glsns) = scenario_cluster(seed)?;
+    let policy = baseline.resilient_policy();
+    let honest = baseline.query_resilient(query, &policy)?;
+
+    let (mut cluster, _user, _glsns) = scenario_cluster(seed)?;
+    // The victim must actually send data frames for this query: pick
+    // among the owners of the query's attributes, not all DLA nodes.
+    let owners: Vec<usize> = ["c1", "id", "protocol"]
+        .iter()
+        .filter_map(|name| cluster.partition().node_of(&(*name).into()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let victim = owners[rng.gen_range(0..owners.len())];
+    let rounds = rng.gen_range(1..=3u64);
+    let fires = rng.gen_range(2..=4u64);
+    let adversary = Arc::new(
+        ScriptedAdversary::new()
+            .compromise(victim)
+            .rule(TamperRule {
+                from: Some(victim),
+                to: None,
+                tag: Some(ARQ_DATA_TAG),
+                skip: 0,
+                fires,
+                action: Tamper::Delay(rounds),
+            }),
+    );
+    cluster.set_adversary(Arc::clone(&adversary) as Arc<dyn Adversary>);
+    let policy = cluster.resilient_policy();
+    let outcome = cluster.query_resilient(query, &policy)?;
+    cluster.clear_adversary();
+
+    let detected = residual_detectors(&mut cluster);
+    let answer_matches_honest = outcome.result.glsns == honest.result.glsns
+        && outcome.result.cardinality == honest.result.cardinality;
+    Ok(DelayReport {
+        seed,
+        victim,
+        delayed_frames: adversary.report().delayed,
+        attempts: outcome.attempts,
+        answer_matches_honest,
+        detected,
+    })
+}
+
 /// The §5 view of a colluding coalition: the merged partition in which
 /// the coalition's attribute sets pool at its lowest-index member (the
 /// other members keep empty slots so node indices stay aligned).
@@ -809,6 +905,31 @@ mod tests {
         assert_eq!(a.messages_to_detect, b.messages_to_detect);
         assert_eq!(a.virtual_ns_to_detect, b.virtual_ns_to_detect);
         assert_eq!(a.forged_messages, b.forged_messages);
+    }
+
+    #[test]
+    fn delay_attack_is_masked_by_the_arq_layer() {
+        let report = run_delay_attack(101).unwrap();
+        assert!(report.delayed_frames > 0, "the scheduler never fired");
+        assert!(
+            report.answer_matches_honest,
+            "reordering changed the answer"
+        );
+        assert!(
+            !report.detected.any(),
+            "scheduling alone must not raise alarms: {:?}",
+            report.detected
+        );
+    }
+
+    #[test]
+    fn delay_attack_replays_from_its_seed() {
+        let a = run_delay_attack(7).unwrap();
+        let b = run_delay_attack(7).unwrap();
+        assert_eq!(a.victim, b.victim);
+        assert_eq!(a.delayed_frames, b.delayed_frames);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.detected, b.detected);
     }
 
     #[test]

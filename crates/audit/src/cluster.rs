@@ -65,6 +65,11 @@ pub struct ClusterConfig {
     /// Failure-detector tuning: heartbeat suspicion threshold and
     /// per-probe timeout.
     pub health: crate::health::HealthConfig,
+    /// First glsn this cluster allocates (and its epoch policy's base).
+    /// Defaults to the paper's first glsn; a federated sub-ring sets
+    /// its [`dla_logstore::epoch::RingNamespace`] span base here so
+    /// every ring draws from a disjoint glsn range.
+    pub glsn_base: Option<Glsn>,
 }
 
 impl ClusterConfig {
@@ -85,7 +90,17 @@ impl ClusterConfig {
             epoch_length: 1024,
             retransmit: ReliableConfig::default(),
             health: crate::health::HealthConfig::default(),
+            glsn_base: None,
         }
+    }
+
+    /// Sets the first glsn the cluster allocates and bases its epochs
+    /// at — the knob a federation turns to give each sub-ring its own
+    /// glsn span (see [`dla_logstore::epoch::RingNamespace`]).
+    #[must_use]
+    pub fn with_glsn_base(mut self, base: Glsn) -> Self {
+        self.glsn_base = Some(base);
+        self
     }
 
     /// Sets the RNG seed.
@@ -492,8 +507,10 @@ impl DlaCluster {
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         let group = SchnorrGroup::fixed_256();
-        let epoch_policy =
-            EpochPolicy::new(EpochPolicy::paper_default().base(), config.epoch_length);
+        let glsn_base = config
+            .glsn_base
+            .unwrap_or_else(|| EpochPolicy::paper_default().base());
+        let epoch_policy = EpochPolicy::new(glsn_base, config.epoch_length);
         let nodes: Vec<DlaNode> = (0..config.nodes)
             .map(|i| {
                 let store = match &config.journal_dir {
@@ -571,7 +588,7 @@ impl DlaCluster {
         };
         let allocator = match next_glsn {
             Some(glsn) => GlsnAllocator::starting_at(glsn),
-            None => GlsnAllocator::default(),
+            None => GlsnAllocator::starting_at(glsn_base),
         };
 
         let acc_params = AccumulatorParams::fixed_512();

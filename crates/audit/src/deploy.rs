@@ -56,6 +56,11 @@ pub struct WorkloadSpec {
     /// Master seed (cluster keys, workload generation, protocol
     /// randomness all derive from it).
     pub seed: u64,
+    /// Federation ring this deployment belongs to: the cluster draws
+    /// its glsns from ring `ring`'s span of
+    /// [`dla_logstore::epoch::RingNamespace::paper_default`]. Ring 0
+    /// is the historical single-ring deployment.
+    pub ring: u64,
 }
 
 impl Default for WorkloadSpec {
@@ -64,6 +69,7 @@ impl Default for WorkloadSpec {
             nodes: 4,
             records: 12,
             seed: 7,
+            ring: 0,
         }
     }
 }
@@ -150,9 +156,11 @@ pub fn fragments(cluster: &DlaCluster, nodes: usize) -> Vec<(u64, usize, Vec<u8>
 /// Propagates cluster construction and logging failures.
 pub fn build_cluster(spec: &WorkloadSpec) -> Result<DlaCluster, AuditError> {
     let schema = Schema::paper_example();
+    let namespace = dla_logstore::epoch::RingNamespace::paper_default();
     let mut config = ClusterConfig::new(spec.nodes, schema.clone())
         .with_seed(spec.seed)
-        .with_epoch_length(4);
+        .with_epoch_length(4)
+        .with_glsn_base(namespace.base_of(spec.ring));
     if spec.nodes == 4 {
         config = config.with_partition(Partition::paper_example(&schema));
     }

@@ -421,6 +421,63 @@ pub fn check_window(cluster: &DlaCluster, window: &crate::plan::TimeWindow) -> T
     }
 }
 
+/// The federated extension of [`TrailVerdict`]: a sub-ring's local
+/// verdict plus the root-ring cross-checks that bind the ring's sealed
+/// history to the rest of the federation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FederatedTrailVerdict {
+    /// The sub-ring's own verdict (local accumulator + chain).
+    pub local: TrailVerdict,
+    /// The root-ring cross-check
+    /// ([`crate::federation::FederatedCluster::check_root`]): the
+    /// global fold, per-ring chain endorsements and cross-ring
+    /// endorsement records all verified.
+    pub root: crate::federation::RootVerdict,
+}
+
+impl FederatedTrailVerdict {
+    /// Whether both the local and the root-ring checks passed.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.local.ok && self.local.chain_ok && self.root.ok()
+    }
+}
+
+/// Federated [`check_trail`]: full-trail verification of sub-ring
+/// `ring` **plus** the root accumulator cross-check. A sub-ring that
+/// rewrites a deposit fails the local leg; one that rewrites a *sealed,
+/// published* epoch (consistently, journal and all) passes its own
+/// refold but fails the root leg — the published checkpoint no longer
+/// matches its chain and the global fold cannot be reproduced from the
+/// rings' current heads.
+#[must_use]
+pub fn check_federated_trail(
+    federation: &crate::federation::FederatedCluster,
+    ring: usize,
+) -> FederatedTrailVerdict {
+    FederatedTrailVerdict {
+        local: check_trail(federation.ring(ring)),
+        root: federation.check_root(),
+    }
+}
+
+/// Federated [`check_window`]: windowed verification of sub-ring
+/// `ring` against both its local chain and the root accumulator. The
+/// windowed leg folds only the epochs intersecting `window` (the
+/// epoch-sharding cost bound survives federation); the root leg is
+/// O(published checkpoints) regardless of the window.
+#[must_use]
+pub fn check_federated_window(
+    federation: &crate::federation::FederatedCluster,
+    ring: usize,
+    window: &crate::plan::TimeWindow,
+) -> FederatedTrailVerdict {
+    FederatedTrailVerdict {
+        local: check_window(federation.ring(ring), window),
+        root: federation.check_root(),
+    }
+}
+
 /// The result of a cross-node ACL consistency check for one ticket.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AclConsistency {

@@ -56,6 +56,7 @@ pub mod cluster;
 pub mod correlate;
 pub mod deploy;
 pub mod exec;
+pub mod federation;
 pub mod health;
 pub mod integrity;
 pub mod membership;

@@ -360,6 +360,167 @@ impl CheckpointChain {
     }
 }
 
+/// A sealed sub-ring checkpoint as published to the federation's root
+/// ring: the checkpoint plus the ring that sealed it.
+///
+/// The root ring folds [`RingCheckpoint::root_item`] into its global
+/// accumulator — the same §4.1 primitive applied recursively, one level
+/// up: sub-rings accumulate deposits into epoch digests, the root ring
+/// accumulates epoch digests into one federation-wide value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RingCheckpoint {
+    /// The sub-ring that sealed this epoch.
+    pub ring: u64,
+    /// The sealed epoch checkpoint, exactly as the sub-ring's own
+    /// [`CheckpointChain`] holds it.
+    pub checkpoint: EpochCheckpoint,
+}
+
+impl RingCheckpoint {
+    /// Canonical byte encoding: `ring ‖ checkpoint`, big-endian.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let inner = self.checkpoint.encode();
+        let mut out = Vec::with_capacity(8 + inner.len());
+        out.extend_from_slice(&self.ring.to_be_bytes());
+        out.extend_from_slice(&inner);
+        out
+    }
+
+    /// Decodes a [`RingCheckpoint::encode`] blob; `None` on any
+    /// structural mismatch.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let ring = u64::from_be_bytes(bytes.get(..8)?.try_into().ok()?);
+        let checkpoint = EpochCheckpoint::decode(&bytes[8..])?;
+        Some(RingCheckpoint { ring, checkpoint })
+    }
+
+    /// The item the root ring folds into its global accumulator for
+    /// this publication. Domain-separated and ring-qualified, so the
+    /// same epoch digest published by two different rings contributes
+    /// two distinct items.
+    #[must_use]
+    pub fn root_item(&self) -> Vec<u8> {
+        let inner = self.checkpoint.encode();
+        let mut out = Vec::with_capacity(18 + 8 + inner.len());
+        out.extend_from_slice(b"dla-root-ring-item");
+        out.extend_from_slice(&self.ring.to_be_bytes());
+        out.extend_from_slice(&inner);
+        out
+    }
+}
+
+/// A cross-ring endorsement record: ring `endorser` vouches that it saw
+/// `subject` (another ring's sealed checkpoint) while its own chain
+/// head was `endorser_head`. Published alongside the root fold, these
+/// records mean no single ring can rewrite its history — a rewrite
+/// would have to recall endorsements held by every *other* ring.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RingEndorsement {
+    /// The endorsing ring.
+    pub endorser: u64,
+    /// The foreign checkpoint being endorsed.
+    pub subject: RingCheckpoint,
+    /// The endorser's own chain head link at endorsement time — pins
+    /// the endorsement to a state the endorser's chain actually passed
+    /// through.
+    pub endorser_head: [u8; 32],
+    /// `H(tag ‖ endorser ‖ subject ‖ endorser_head)` — the record's
+    /// integrity seal.
+    pub seal: [u8; 32],
+}
+
+impl RingEndorsement {
+    /// The seal an endorsement of `subject` by `endorser` at
+    /// `endorser_head` must carry.
+    #[must_use]
+    pub fn seal_over(
+        endorser: u64,
+        subject: &RingCheckpoint,
+        endorser_head: &[u8; 32],
+    ) -> [u8; 32] {
+        sha256::digest_parts(&[
+            b"dla-ring-endorsement",
+            &endorser.to_be_bytes(),
+            &subject.encode(),
+            endorser_head,
+        ])
+    }
+
+    /// Whether the record's seal matches its contents.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        Self::seal_over(self.endorser, &self.subject, &self.endorser_head) == self.seal
+    }
+
+    /// Canonical byte encoding:
+    /// `endorser ‖ subject_len ‖ subject ‖ endorser_head ‖ seal`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let subject = self.subject.encode();
+        let mut out = Vec::with_capacity(8 + 4 + subject.len() + 64);
+        out.extend_from_slice(&self.endorser.to_be_bytes());
+        out.extend_from_slice(&(subject.len() as u32).to_be_bytes());
+        out.extend_from_slice(&subject);
+        out.extend_from_slice(&self.endorser_head);
+        out.extend_from_slice(&self.seal);
+        out
+    }
+
+    /// Decodes a [`RingEndorsement::encode`] blob; `None` on any
+    /// structural mismatch.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let subject_len = u32::from_be_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+        if bytes.len() != 12 + subject_len + 64 {
+            return None;
+        }
+        let subject = RingCheckpoint::decode(&bytes[12..12 + subject_len])?;
+        Some(RingEndorsement {
+            endorser: u64::from_be_bytes(bytes[..8].try_into().ok()?),
+            subject,
+            endorser_head: bytes[12 + subject_len..12 + subject_len + 32]
+                .try_into()
+                .ok()?,
+            seal: bytes[12 + subject_len + 32..].try_into().ok()?,
+        })
+    }
+}
+
+impl CheckpointChain {
+    /// Issues this chain's endorsement of a *foreign* ring's sealed
+    /// checkpoint, pinned to the current head link. The companion check
+    /// is [`CheckpointChain::upholds`] — the foreign-ring extension of
+    /// the local [`CheckpointChain::endorses`].
+    #[must_use]
+    pub fn endorse_foreign(&self, endorser: u64, subject: RingCheckpoint) -> RingEndorsement {
+        let endorser_head = self.head_link();
+        let seal = RingEndorsement::seal_over(endorser, &subject, &endorser_head);
+        RingEndorsement {
+            endorser,
+            subject,
+            endorser_head,
+            seal,
+        }
+    }
+
+    /// Whether this chain (the *endorser's* chain) stands behind an
+    /// endorsement: the seal must verify and `endorser_head` must be a
+    /// state this chain actually passed through — the zero genesis head
+    /// or one of its sealed links. An endorsement forged against a head
+    /// the endorser never held fails here even with a valid seal.
+    #[must_use]
+    pub fn upholds(&self, endorsement: &RingEndorsement) -> bool {
+        endorsement.verify()
+            && (endorsement.endorser_head == [0u8; 32]
+                || self
+                    .checkpoints
+                    .iter()
+                    .any(|c| c.link == endorsement.endorser_head))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +696,81 @@ mod tests {
         assert!(!chain.endorses(&forged));
         // Different epochs never equivocate, however different.
         assert!(!chain.get(0).expect("sealed").equivocates(&genuine));
+    }
+
+    #[test]
+    fn ring_checkpoint_encoding_round_trips_and_domain_separates() {
+        let p = params();
+        let mut chain = CheckpointChain::new();
+        chain.seal(0, 3, p.accumulate([b"ring-epoch".as_slice()]));
+        let checkpoint = chain.get(0).expect("sealed").clone();
+        let a = RingCheckpoint {
+            ring: 1,
+            checkpoint: checkpoint.clone(),
+        };
+        let b = RingCheckpoint {
+            ring: 2,
+            checkpoint,
+        };
+        assert_eq!(RingCheckpoint::decode(&a.encode()), Some(a.clone()));
+        assert_eq!(RingCheckpoint::decode(b"short"), None);
+        // Same epoch digest, different ring → different root items, so
+        // the global fold distinguishes publications per ring.
+        assert_ne!(a.root_item(), b.root_item());
+        let fold_a = p.fold(p.start(), &a.root_item());
+        let fold_b = p.fold(p.start(), &b.root_item());
+        assert_ne!(fold_a, fold_b);
+    }
+
+    #[test]
+    fn foreign_endorsements_verify_and_pin_the_endorser_head() {
+        let p = params();
+        // Ring 0 seals two epochs; ring 1 endorses ring 0's epoch 1.
+        let mut ring0 = CheckpointChain::new();
+        ring0.seal(0, 2, p.accumulate([b"r0e0".as_slice()]));
+        ring0.seal(1, 2, p.accumulate([b"r0e1".as_slice()]));
+        let mut ring1 = CheckpointChain::new();
+        ring1.seal(0, 2, p.accumulate([b"r1e0".as_slice()]));
+
+        let subject = RingCheckpoint {
+            ring: 0,
+            checkpoint: ring0.get(1).expect("sealed").clone(),
+        };
+        let endorsement = ring1.endorse_foreign(1, subject.clone());
+        assert!(endorsement.verify());
+        assert!(ring1.upholds(&endorsement));
+        assert_eq!(
+            RingEndorsement::decode(&endorsement.encode()),
+            Some(endorsement.clone())
+        );
+        assert_eq!(RingEndorsement::decode(&endorsement.encode()[..20]), None);
+
+        // A seal recomputed over a different subject fails verify.
+        let mut forged = endorsement.clone();
+        forged.subject.ring = 9;
+        assert!(!forged.verify());
+        assert!(!ring1.upholds(&forged));
+
+        // A valid-sealed endorsement against a head ring 1 never held
+        // is not upheld by ring 1's chain.
+        let alien_head = [7u8; 32];
+        let alien = RingEndorsement {
+            endorser: 1,
+            subject: subject.clone(),
+            endorser_head: alien_head,
+            seal: RingEndorsement::seal_over(1, &subject, &alien_head),
+        };
+        assert!(alien.verify());
+        assert!(!ring1.upholds(&alien));
+
+        // The zero genesis head is a state every chain passed through.
+        let genesis = RingEndorsement {
+            endorser: 1,
+            subject: subject.clone(),
+            endorser_head: [0u8; 32],
+            seal: RingEndorsement::seal_over(1, &subject, &[0u8; 32]),
+        };
+        assert!(ring1.upholds(&genesis));
     }
 
     #[test]

@@ -19,6 +19,8 @@
 
 use dla_audit::deploy::{build_cluster, fragments, run_workload, WorkloadSpec};
 use dla_deploy::{locate_node_bin, ChildNode, PeerTable};
+use dla_logstore::epoch::RingNamespace;
+use dla_logstore::model::Glsn;
 use dla_net::tcp::{TcpConfig, TcpNet};
 use dla_net::{ChannelNet, NodeId, SimTime, VirtualClock};
 use std::collections::BTreeSet;
@@ -52,6 +54,11 @@ fn parse_args() -> Result<Args, String> {
                 spec.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--ring" => {
+                spec.ring = value("--ring")?
+                    .parse()
+                    .map_err(|e| format!("--ring: {e}"))?;
             }
             "--flat-roles" => keep_roles = false,
             other => return Err(format!("unknown flag {other:?}")),
@@ -134,15 +141,29 @@ fn run(args: &Args) -> Result<(), String> {
 
         // Push every trail fragment through the store path so the node
         // processes accumulate auditable deposit digests.
+        // Federation contract: every glsn this process cluster mints
+        // must fall inside its ring's namespace span, so a federated
+        // launcher can run one `dla-cluster --ring r` per sub-ring
+        // without glsn collisions.
+        let namespace = RingNamespace::paper_default();
         let mut stored = 0u64;
         for (glsn, owner, item) in fragments(&cluster, spec.nodes) {
+            if namespace.ring_of(Glsn(glsn)) != Some(spec.ring) {
+                return Err(format!(
+                    "glsn {glsn} escaped ring {}'s namespace span",
+                    spec.ring
+                ));
+            }
             let (count, _) = net
                 .deposit(NodeId(owner), glsn, &item)
                 .map_err(|e| format!("storing fragment {glsn} on node {owner}: {e}"))?;
             debug_assert!(count > 0);
             stored += 1;
         }
-        println!("dla-cluster: {stored} trail fragments stored across the mesh");
+        println!(
+            "dla-cluster: {stored} trail fragments stored across the mesh (ring {} glsns)",
+            spec.ring
+        );
 
         let outcome = run_workload(&cluster, &net, spec)
             .map_err(|e| format!("running socket workload: {e}"))?;
@@ -230,7 +251,9 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(message) => {
             eprintln!("dla-cluster: {message}");
-            eprintln!("usage: dla-cluster [--nodes N] [--records R] [--seed S] [--flat-roles]");
+            eprintln!(
+                "usage: dla-cluster [--nodes N] [--records R] [--seed S] [--ring R] [--flat-roles]"
+            );
             return ExitCode::FAILURE;
         }
     };

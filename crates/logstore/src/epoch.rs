@@ -130,6 +130,75 @@ impl EpochManifest {
     }
 }
 
+/// Ring-scoped glsn namespacing for the hierarchical federation: ring
+/// `r` owns the half-open span `[base + r·span, base + (r+1)·span)`,
+/// so every federated deposit carries a globally unique glsn and any
+/// glsn maps back to its owning ring without coordination — the same
+/// pure-function trick [`EpochPolicy`] plays one level down for
+/// epochs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RingNamespace {
+    base: u64,
+    span: u64,
+}
+
+impl RingNamespace {
+    /// A namespace carving the glsn space from `base` into per-ring
+    /// spans of `span` glsns. `span` is clamped to at least 1.
+    #[must_use]
+    pub fn new(base: Glsn, span: u64) -> Self {
+        RingNamespace {
+            base: base.0,
+            span: span.max(1),
+        }
+    }
+
+    /// The default namespace: spans of 2³² glsns starting at the
+    /// paper's first glsn — room for four billion deposits per ring
+    /// before spans could collide.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RingNamespace::new(Glsn(0x139a_ef78), 1 << 32)
+    }
+
+    /// Span width in glsns.
+    #[must_use]
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// The first glsn of ring `ring`'s span (its allocator start and
+    /// epoch-policy base).
+    #[must_use]
+    pub fn base_of(&self, ring: u64) -> Glsn {
+        Glsn(self.base.saturating_add(ring.saturating_mul(self.span)))
+    }
+
+    /// The ring owning `glsn`, or `None` for glsns below the namespace
+    /// base (none exist in a well-formed federated trail).
+    #[must_use]
+    pub fn ring_of(&self, glsn: Glsn) -> Option<u64> {
+        glsn.0
+            .checked_sub(self.base)
+            .map(|offset| offset / self.span)
+    }
+
+    /// The epoch policy ring `ring` runs: epochs of `epoch_length`
+    /// glsns carved from the ring's own span base, so each sub-ring's
+    /// epoch numbering starts at 0 exactly as a standalone cluster's
+    /// does.
+    #[must_use]
+    pub fn policy_for(&self, ring: u64, epoch_length: u64) -> EpochPolicy {
+        EpochPolicy::new(self.base_of(ring), epoch_length)
+    }
+}
+
+impl Default for RingNamespace {
+    fn default() -> Self {
+        RingNamespace::paper_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +231,28 @@ mod tests {
         let policy = EpochPolicy::new(Glsn(0), 0);
         assert_eq!(policy.length(), 1);
         assert_eq!(policy.epoch_of(Glsn(3)), EpochId(3));
+    }
+
+    #[test]
+    fn ring_namespace_partitions_and_inverts() {
+        let ns = RingNamespace::new(Glsn(1000), 100);
+        assert_eq!(ns.base_of(0), Glsn(1000));
+        assert_eq!(ns.base_of(3), Glsn(1300));
+        assert_eq!(ns.ring_of(Glsn(1000)), Some(0));
+        assert_eq!(ns.ring_of(Glsn(1099)), Some(0));
+        assert_eq!(ns.ring_of(Glsn(1100)), Some(1));
+        assert_eq!(ns.ring_of(Glsn(999)), None);
+        // Per-ring epoch policies re-base so every ring's epochs count
+        // from 0 over its own span.
+        let policy = ns.policy_for(2, 10);
+        assert_eq!(policy.base(), Glsn(1200));
+        assert_eq!(policy.epoch_of(Glsn(1215)), EpochId(1));
+        // Zero span is clamped; defaults line up with the paper base.
+        assert_eq!(RingNamespace::new(Glsn(0), 0).span(), 1);
+        assert_eq!(
+            RingNamespace::default().base_of(0),
+            EpochPolicy::paper_default().base()
+        );
     }
 
     #[test]

@@ -69,6 +69,30 @@ pub const BLOB_ADOPTED: u8 = 0x11;
 /// Replayed by [`FragmentStore::restore`] so a sealed epoch stays
 /// closed to deposits across restarts.
 pub const BLOB_EPOCH_SEAL: u8 = 0x12;
+/// Journal blob tag for the store's epoch policy (payload: base glsn
+/// then epoch length, both u64 BE). Written once when a durable store
+/// first opens its journal, so [`FragmentStore::restore`] rebuilds
+/// manifests under the policy the trail was actually sharded with
+/// instead of silently assuming the default.
+pub const BLOB_EPOCH_POLICY: u8 = 0x13;
+
+fn encode_epoch_policy(policy: EpochPolicy) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&policy.base().0.to_be_bytes());
+    out.extend_from_slice(&policy.length().to_be_bytes());
+    out
+}
+
+fn decode_epoch_policy(bytes: &[u8]) -> Result<EpochPolicy, LogError> {
+    if bytes.len() != 16 {
+        return Err(LogError::Store(
+            "epoch policy payload must be 16 bytes".into(),
+        ));
+    }
+    let base = u64::from_be_bytes(bytes[..8].try_into().expect("sliced to 8"));
+    let length = u64::from_be_bytes(bytes[8..].try_into().expect("sliced to 8"));
+    Ok(EpochPolicy::new(Glsn(base), length))
+}
 
 /// One DLA node's fragment store plus its replica of the access-control
 /// table. Optionally backed by a durable [`Journal`]: writes and
@@ -134,8 +158,10 @@ impl FragmentStore {
     }
 
     /// Creates a durable store journaling to `path` (which may already
-    /// contain a previous run's entries — they are replayed) under the
-    /// default epoch policy.
+    /// contain a previous run's entries — they are replayed). The epoch
+    /// policy is read back from the journal's [`BLOB_EPOCH_POLICY`]
+    /// record; only a genuinely fresh (or pre-policy legacy) journal
+    /// falls back to the default policy, which is then persisted.
     ///
     /// # Errors
     ///
@@ -143,7 +169,7 @@ impl FragmentStore {
     /// [`LogError::DuplicateGlsn`] if the journal contains a duplicated
     /// deposit.
     pub fn restore(node: usize, path: &Path) -> Result<Self, LogError> {
-        FragmentStore::restore_with_policy(node, path, EpochPolicy::default())
+        FragmentStore::restore_inner(node, path, None)
     }
 
     /// [`FragmentStore::restore`] with an explicit epoch policy. Epoch
@@ -153,6 +179,8 @@ impl FragmentStore {
     /// # Errors
     ///
     /// Returns [`LogError::Store`] on I/O failure or journal corruption,
+    /// or if the journal already records a *different* epoch policy
+    /// (re-sharding an existing trail would silently re-bucket history);
     /// [`LogError::DuplicateGlsn`] if the journal contains a duplicated
     /// deposit or a conflicting standby/adopted copy.
     pub fn restore_with_policy(
@@ -160,7 +188,46 @@ impl FragmentStore {
         path: &Path,
         policy: EpochPolicy,
     ) -> Result<Self, LogError> {
-        let (journal, entries) = Journal::open(path)?;
+        FragmentStore::restore_inner(node, path, Some(policy))
+    }
+
+    fn restore_inner(
+        node: usize,
+        path: &Path,
+        requested: Option<EpochPolicy>,
+    ) -> Result<Self, LogError> {
+        let (mut journal, entries) = Journal::open(path)?;
+        let mut persisted: Option<EpochPolicy> = None;
+        for entry in &entries {
+            if let JournalEntry::Blob { tag, bytes } = entry {
+                if *tag == BLOB_EPOCH_POLICY {
+                    persisted = Some(decode_epoch_policy(bytes)?);
+                }
+            }
+        }
+        let policy = match (persisted, requested) {
+            (Some(p), Some(r)) if p != r => {
+                return Err(LogError::Store(format!(
+                    "journal {} was sharded with epoch policy \
+                     (base={}, length={}) but restore requested \
+                     (base={}, length={})",
+                    path.display(),
+                    p.base(),
+                    p.length(),
+                    r.base(),
+                    r.length()
+                )));
+            }
+            (Some(p), _) => p,
+            (None, requested) => {
+                let policy = requested.unwrap_or_default();
+                journal.append(&JournalEntry::Blob {
+                    tag: BLOB_EPOCH_POLICY,
+                    bytes: encode_epoch_policy(policy),
+                })?;
+                policy
+            }
+        };
         let mut acl = AccessControlTable::new();
         let mut standby: BTreeMap<(usize, Glsn), Fragment> = BTreeMap::new();
         let mut adopted: BTreeMap<(usize, Glsn), Fragment> = BTreeMap::new();
@@ -852,6 +919,46 @@ mod tests {
         assert_eq!((m0.fragments, m0.glsn_lo), (1, Glsn(1)));
         let err = store.write(&t, sample_fragments(2).remove(1)).unwrap_err();
         assert!(err.to_string().contains("sealed"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn restore_reads_back_the_persisted_epoch_policy() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-policy-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let t = ticket(OperationSet::read_write());
+        let policy = EpochPolicy::new(Glsn(0), 4);
+        assert_ne!(
+            policy,
+            EpochPolicy::default(),
+            "test needs a non-default policy"
+        );
+        {
+            let mut store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+            store.write(&t, sample_fragments(1).remove(1)).unwrap();
+            store.write(&t, sample_fragments(5).remove(1)).unwrap();
+            store.seal_epoch(EpochId(0)).unwrap();
+        }
+        // A plain restore (no policy argument) must come back under the
+        // journaled policy, not the default: glsn 5 sits in epoch 1 of
+        // the length-4 policy but would land elsewhere under the
+        // default's 0x139aef78 base.
+        let store = FragmentStore::restore(1, &path).unwrap();
+        assert_eq!(store.epoch_policy(), policy);
+        assert!(store.is_sealed(EpochId(0)));
+        let m1 = store.epoch_manifest(EpochId(1)).unwrap();
+        assert_eq!((m1.fragments, m1.glsn_lo), (1, Glsn(5)));
+
+        // Restoring under a conflicting policy is refused outright.
+        let err =
+            FragmentStore::restore_with_policy(1, &path, EpochPolicy::new(Glsn(0), 8)).unwrap_err();
+        assert!(err.to_string().contains("epoch policy"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -76,6 +76,13 @@ pub enum Tamper {
     /// Keep only the first `len` bytes — a malformed blob that fails
     /// structural decoding at the receiver.
     Truncate(usize),
+    /// Adversarial scheduling: hold the message back, byte-for-byte
+    /// intact, and release it onto the wire only after this many
+    /// subsequent sends have gone out — reordering without forging
+    /// anything. A transport that does not implement scheduling treats
+    /// it as [`Tamper::Pass`] ([`Tamper::apply`] leaves the payload
+    /// unchanged).
+    Delay(u64),
 }
 
 impl Tamper {
@@ -104,6 +111,9 @@ impl Tamper {
             Tamper::Truncate(len) => Some(Bytes::copy_from_slice(
                 &payload[..(*len).min(payload.len())],
             )),
+            // The payload itself is untouched; the *transport* holds it
+            // back (see `AdversaryNet::send` / `SimNet::send_on`).
+            Tamper::Delay(_) => Some(payload.clone()),
         }
     }
 }
@@ -195,6 +205,8 @@ pub struct AdversaryReport {
     pub forged: usize,
     /// Messages swallowed.
     pub dropped: usize,
+    /// Messages held back for late, reordered release.
+    pub delayed: usize,
     /// Messages captured by the curious coalition.
     pub observed: usize,
     /// Every forgery, in wire order.
@@ -305,9 +317,12 @@ impl Adversary for ScriptedAdversary {
                 .apply(&Bytes::copy_from_slice(payload))
                 .map(|p| crc32(&p));
             let mut report = self.report.lock();
-            match forged_crc {
-                Some(_) => report.forged += 1,
-                None => report.dropped += 1,
+            match &action {
+                Tamper::Delay(_) => report.delayed += 1,
+                _ => match forged_crc {
+                    Some(_) => report.forged += 1,
+                    None => report.dropped += 1,
+                },
             }
             report.events.push(TamperEvent {
                 session,
@@ -351,12 +366,53 @@ impl Adversary for ScriptedAdversary {
 pub struct AdversaryNet<T> {
     inner: T,
     adversary: Arc<dyn Adversary>,
+    delayed: Mutex<Vec<DelayedSend>>,
+}
+
+/// A message held back by [`Tamper::Delay`], waiting out its rounds in
+/// the transport's stash (shared with the simulator's native hook).
+#[derive(Debug)]
+pub(crate) struct DelayedSend {
+    pub(crate) rounds_left: u64,
+    pub(crate) session: SessionId,
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) payload: Bytes,
+}
+
+/// Ages a delay stash by one send event: every held message's counter
+/// drops by one and the expired ones are drained, in stash order.
+pub(crate) fn age_delayed(stash: &mut Vec<DelayedSend>) -> Vec<DelayedSend> {
+    if stash.is_empty() {
+        return Vec::new();
+    }
+    let mut due = Vec::new();
+    stash.retain_mut(|m| {
+        if m.rounds_left <= 1 {
+            due.push(DelayedSend {
+                rounds_left: 0,
+                session: m.session,
+                from: m.from,
+                to: m.to,
+                payload: m.payload.clone(),
+            });
+            false
+        } else {
+            m.rounds_left -= 1;
+            true
+        }
+    });
+    due
 }
 
 impl<T: Transport> AdversaryNet<T> {
     /// Interposes `adversary` in front of `inner`.
     pub fn new(inner: T, adversary: Arc<dyn Adversary>) -> Self {
-        AdversaryNet { inner, adversary }
+        AdversaryNet {
+            inner,
+            adversary,
+            delayed: Mutex::new(Vec::new()),
+        }
     }
 
     /// The wrapped transport.
@@ -376,16 +432,35 @@ impl<T: Transport> Transport for AdversaryNet<T> {
     }
 
     fn send(&self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
+        // Every send ages the delay stash by one round; expired
+        // messages re-enter the wire *after* the current one, which is
+        // exactly the reordering the delay was scripted to cause.
+        let due = age_delayed(&mut self.delayed.lock());
         let action = self.adversary.tamper(session, from, to, &payload);
-        match action.apply(&payload) {
-            Some(outgoing) => {
-                self.adversary.observe(session, from, to, &outgoing);
-                self.inner.send(session, from, to, outgoing);
+        match action {
+            Tamper::Delay(rounds) => {
+                self.delayed.lock().push(DelayedSend {
+                    rounds_left: rounds,
+                    session,
+                    from,
+                    to,
+                    payload,
+                });
             }
-            None => {
-                // Byzantine omission: the wire never sees the message,
-                // so neither do curious observers.
-            }
+            action => match action.apply(&payload) {
+                Some(outgoing) => {
+                    self.adversary.observe(session, from, to, &outgoing);
+                    self.inner.send(session, from, to, outgoing);
+                }
+                None => {
+                    // Byzantine omission: the wire never sees the
+                    // message, so neither do curious observers.
+                }
+            },
+        }
+        for m in due {
+            self.adversary.observe(m.session, m.from, m.to, &m.payload);
+            self.inner.send(m.session, m.from, m.to, m.payload);
         }
     }
 
@@ -547,6 +622,61 @@ mod tests {
         let payloads: Vec<&[u8]> = captured.iter().map(|c| &c.payload[..]).collect();
         assert_eq!(payloads, vec![&b"to-coalition"[..], b"from-coalition"]);
         assert_eq!(adversary.report().observed, 2);
+    }
+
+    #[test]
+    fn delay_reorders_without_forging_a_byte() {
+        let adversary = Arc::new(
+            ScriptedAdversary::new()
+                .compromise(0)
+                .rule(TamperRule::once_from(0, 0x40, Tamper::Delay(1))),
+        );
+        let net = AdversaryNet::new(ChannelNet::new(2), Arc::clone(&adversary) as _);
+        let session = Session::root(&net);
+        session.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x40first"));
+        session.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x41second"));
+        // The delayed message re-enters the wire after the next send:
+        // the receiver sees them swapped, both byte-identical and
+        // checksum-intact.
+        let a = session.recv(NodeId(1)).unwrap();
+        let b = session.recv(NodeId(1)).unwrap();
+        assert_eq!(&a.payload[..], b"\x41second");
+        assert_eq!(&b.payload[..], b"\x40first");
+        assert!(a.is_intact() && b.is_intact());
+        let report = adversary.report();
+        assert_eq!(
+            (report.delayed, report.forged, report.dropped),
+            (1, 0, 0),
+            "a delay is scheduling, not forgery"
+        );
+    }
+
+    #[test]
+    fn delay_on_the_simulator_releases_after_the_scripted_rounds() {
+        use crate::sim::{NetConfig, SimNet};
+        let adversary = Arc::new(
+            ScriptedAdversary::new()
+                .compromise(0)
+                .rule(TamperRule::once_from(0, 0x40, Tamper::Delay(2))),
+        );
+        let mut net = SimNet::new(2, NetConfig::ideal());
+        net.set_adversary(Arc::clone(&adversary) as _);
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x40held"));
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x41one"));
+        net.send(NodeId(0), NodeId(1), Bytes::from_static(b"\x42two"));
+        let order: Vec<Bytes> = (0..3)
+            .map(|_| net.recv(NodeId(1)).unwrap().payload)
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                Bytes::from_static(b"\x41one"),
+                Bytes::from_static(b"\x42two"),
+                Bytes::from_static(b"\x40held"),
+            ]
+        );
+        // All three eventually crossed the wire.
+        assert_eq!(net.stats().messages_sent, 3);
     }
 
     #[test]

@@ -268,6 +268,9 @@ pub struct SimNet {
     seq: u64,
     capture: Option<Vec<(NodeId, NodeId, Bytes)>>,
     adversary: Option<std::sync::Arc<dyn crate::adversary::Adversary>>,
+    /// Messages held back by [`crate::adversary::Tamper::Delay`]; each
+    /// subsequent send ages the stash and releases expired entries.
+    delayed: Vec<crate::adversary::DelayedSend>,
 }
 
 impl SimNet {
@@ -295,6 +298,7 @@ impl SimNet {
             seq: 0,
             capture: config.capture_payloads.then(Vec::new),
             adversary: None,
+            delayed: Vec::new(),
         }
     }
 
@@ -306,8 +310,11 @@ impl SimNet {
     }
 
     /// Removes any installed adversary; subsequent sends are honest.
+    /// Messages the adversary was still holding back vanish with it
+    /// (an endless delay is indistinguishable from a drop).
     pub fn clear_adversary(&mut self) {
         self.adversary = None;
+        self.delayed.clear();
     }
 
     /// Number of nodes.
@@ -361,40 +368,73 @@ impl SimNet {
         if let Some(capture) = &mut self.capture {
             capture.push((from, to, payload.clone()));
         }
+        // Every send ages the adversary's delay stash by one round;
+        // expired messages re-enter the wire *after* the current one
+        // (stamped and clocked at release time), which is exactly the
+        // reordering a scripted delay is meant to cause.
+        let due = crate::adversary::age_delayed(&mut self.delayed);
         // Byzantine interposition runs before the checksum is stamped:
         // a forged payload goes out wire-consistent, so only
         // protocol-level verification can catch it — unlike the benign
-        // Corrupt fault below, whose stale checksum any receiver sees.
+        // Corrupt fault in `transmit`, whose stale checksum any
+        // receiver sees.
+        let mut held = false;
         let payload = match self.adversary.clone() {
             Some(adversary) => {
-                match adversary
-                    .tamper(session, from, to, &payload)
-                    .apply(&payload)
-                {
-                    Some(outgoing) => {
-                        adversary.observe(session, from, to, &outgoing);
-                        outgoing
-                    }
-                    None => {
-                        // Byzantine omission: account the send, deliver
-                        // nothing.
-                        self.ensure_session(session);
-                        let state = self.sessions.get_mut(&session).expect("session exists");
-                        let sent_at = state.clocks[from.0];
-                        self.stats
-                            .record_send(session, from.0, to.0, payload.len(), sent_at);
-                        self.stats.messages_dropped += 1;
-                        dla_telemetry::record(dla_telemetry::CostKind::MsgSent, 1);
-                        dla_telemetry::record(
-                            dla_telemetry::CostKind::BytesSent,
-                            payload.len() as u64,
-                        );
-                        return;
+                let action = adversary.tamper(session, from, to, &payload);
+                if let crate::adversary::Tamper::Delay(rounds) = action {
+                    self.delayed.push(crate::adversary::DelayedSend {
+                        rounds_left: rounds,
+                        session,
+                        from,
+                        to,
+                        payload: payload.clone(),
+                    });
+                    held = true;
+                    payload
+                } else {
+                    match action.apply(&payload) {
+                        Some(outgoing) => {
+                            adversary.observe(session, from, to, &outgoing);
+                            outgoing
+                        }
+                        None => {
+                            // Byzantine omission: account the send,
+                            // deliver nothing.
+                            self.ensure_session(session);
+                            let state = self.sessions.get_mut(&session).expect("session exists");
+                            let sent_at = state.clocks[from.0];
+                            self.stats
+                                .record_send(session, from.0, to.0, payload.len(), sent_at);
+                            self.stats.messages_dropped += 1;
+                            dla_telemetry::record(dla_telemetry::CostKind::MsgSent, 1);
+                            dla_telemetry::record(
+                                dla_telemetry::CostKind::BytesSent,
+                                payload.len() as u64,
+                            );
+                            held = true;
+                            payload
+                        }
                     }
                 }
             }
             None => payload,
         };
+        if !held {
+            self.transmit(session, from, to, payload);
+        }
+        for m in due {
+            if let Some(adversary) = self.adversary.clone() {
+                adversary.observe(m.session, m.from, m.to, &m.payload);
+            }
+            self.transmit(m.session, m.from, m.to, m.payload);
+        }
+    }
+
+    /// The honest tail of a send: accounting, checksum stamping, fault
+    /// roll and delivery. Delayed messages re-enter here on release, so
+    /// their envelopes are stamped and clocked at release time.
+    fn transmit(&mut self, session: SessionId, from: NodeId, to: NodeId, payload: Bytes) {
         self.ensure_session(session);
         let state = self.sessions.get_mut(&session).expect("session exists");
         let sent_at = state.clocks[from.0];
