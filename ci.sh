@@ -28,21 +28,47 @@ done
 echo "==> exp_fault_recovery --quick"
 cargo run --release -p dla-bench --bin exp_fault_recovery -- --quick >/dev/null
 
-echo "==> exp_cost_profile --quick"
+echo "==> exp_cost_profile --quick (asserts fixed-base audit beats the refold ladder)"
 cargo run --release -p dla-bench --bin exp_cost_profile -- --quick >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .experiment == "cost_profile"
+        and (.protocols | all(has("fixed_base_builds") and has("multi_exp_terms")))
+        and (.fixed_base_vs_ladder.table_builds == 1)
+        and (.fixed_base_vs_ladder.fixed_base_mont_mul_steps
+             < .fixed_base_vs_ladder.ladder_mont_mul_steps)
+    ' BENCH_cost_profile.json >/dev/null
+else
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_cost_profile.json"))
+assert d["experiment"] == "cost_profile"
+for p in d["protocols"]:
+    assert "fixed_base_builds" in p and "multi_exp_terms" in p
+fb = d["fixed_base_vs_ladder"]
+assert fb["table_builds"] == 1
+assert fb["fixed_base_mont_mul_steps"] < fb["ladder_mont_mul_steps"], \
+    "fixed-base audit must take fewer Montgomery steps than the refold ladder"
+PY
+fi
 
-echo "==> exp_crypto_hotpath --quick (asserts windowed beats binary)"
+echo "==> exp_crypto_hotpath --quick (asserts windowed beats binary, accel >= 2x windowed)"
 cargo run --release -p dla-bench --bin exp_crypto_hotpath -- --quick >/dev/null
 if command -v jq >/dev/null 2>&1; then
     jq -e '
         .experiment == "crypto_hotpath"
-        and (.cells | length == 12)
+        and (.cells | length == 16)
         and (.cells | all(has("elapsed_ms") and has("modexp")
                           and has("mont_mul_steps") and has("modexp_per_sec")))
         and ([.cells[] | select(.exp == "windowed" and .qr == "jacobi"
                                 and .batch == "serial")][0].modexp_per_sec
              > [.cells[] | select(.exp == "binary" and .qr == "jacobi"
                                   and .batch == "serial")][0].modexp_per_sec)
+        and (.speedup_accel_vs_windowed >= 2.0)
+        and ([.cells[] | select(.exp == "accel" and .qr == "jacobi"
+                                and .batch == "serial")][0].modexp_per_sec
+             >= 2 * [.cells[] | select(.exp == "windowed" and .qr == "jacobi"
+                                       and .batch == "serial")][0].modexp_per_sec)
     ' BENCH_crypto_hotpath.json >/dev/null
 else
     python3 - <<'PY'
@@ -50,7 +76,7 @@ import json
 d = json.load(open("BENCH_crypto_hotpath.json"))
 assert d["experiment"] == "crypto_hotpath"
 cells = d["cells"]
-assert len(cells) == 12
+assert len(cells) == 16
 for c in cells:
     for key in ("elapsed_ms", "modexp", "mont_mul_steps", "modexp_per_sec"):
         assert key in c, key
@@ -61,6 +87,11 @@ assert (
     pick("windowed", "jacobi", "serial")["modexp_per_sec"]
     > pick("binary", "jacobi", "serial")["modexp_per_sec"]
 ), "windowed modexp throughput must strictly beat binary"
+assert d["speedup_accel_vs_windowed"] >= 2.0, "accel kernel below 2x over windowed"
+assert (
+    pick("accel", "jacobi", "serial")["modexp_per_sec"]
+    >= 2 * pick("windowed", "jacobi", "serial")["modexp_per_sec"]
+), "accel modexp throughput must be at least 2x windowed"
 PY
 fi
 

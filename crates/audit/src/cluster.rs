@@ -5,7 +5,7 @@
 use crate::AuditError;
 use dla_bigint::Ubig;
 use dla_crypto::accumulator::{AccumulatorParams, CheckpointChain};
-use dla_crypto::pohlig_hellman::{BatchMode, CommutativeDomain};
+use dla_crypto::pohlig_hellman::{BatchMode, CommutativeDomain, ExpAlgo};
 use dla_crypto::schnorr::{SchnorrGroup, SchnorrKeyPair};
 use dla_logstore::acl::{OperationSet, Ticket, TicketAuthority};
 use dla_logstore::epoch::{EpochId, EpochPolicy};
@@ -53,6 +53,11 @@ pub struct ClusterConfig {
     /// exponentiations over worker threads without changing a byte of
     /// any transcript.
     pub batch_mode: BatchMode,
+    /// Which exponentiation ladder the commutative cipher runs on.
+    /// Defaults to the accelerated fixed-width kernel; the slower
+    /// ladders stay available as differential oracles — every algorithm
+    /// produces identical ciphertexts and transcripts.
+    pub exp_algo: ExpAlgo,
     /// Glsns per trail epoch (the sharding grain). Deposits are
     /// assigned to epochs at allocation time; when the open epoch rolls
     /// forward, earlier epochs are sealed and their accumulator digests
@@ -87,6 +92,7 @@ impl ClusterConfig {
             journal_dir: None,
             standby_replication: false,
             batch_mode: BatchMode::Serial,
+            exp_algo: ExpAlgo::default(),
             epoch_length: 1024,
             retransmit: ReliableConfig::default(),
             health: crate::health::HealthConfig::default(),
@@ -154,6 +160,16 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_batch_mode(mut self, batch_mode: BatchMode) -> Self {
         self.batch_mode = batch_mode;
+        self
+    }
+
+    /// Selects the exponentiation algorithm for the cluster's
+    /// commutative cipher (default [`ExpAlgo::Accel`]). Answers,
+    /// transcripts and telemetry op totals are identical for every
+    /// algorithm; only the arithmetic route differs.
+    #[must_use]
+    pub fn with_exp_algo(mut self, exp_algo: ExpAlgo) -> Self {
+        self.exp_algo = exp_algo;
         self
     }
 
@@ -629,7 +645,7 @@ impl DlaCluster {
                 schema: config.schema,
                 partition,
                 group,
-                domain: CommutativeDomain::fixed_256(),
+                domain: CommutativeDomain::fixed_256().with_exp_algo(config.exp_algo),
                 acc_params,
                 batch_mode: config.batch_mode,
             }),

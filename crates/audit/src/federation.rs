@@ -570,11 +570,11 @@ impl FederatedCluster {
     /// detects a sub-ring rewriting its published history.
     #[must_use]
     pub fn verify_presented(&self, presented: &[RingCheckpoint]) -> bool {
-        let mut acc = self.acc_params.start().clone();
-        for record in presented {
-            acc = self.acc_params.fold(&acc, &record.root_item());
-        }
-        acc == self.root_acc
+        let items: Vec<Vec<u8>> = presented.iter().map(RingCheckpoint::root_item).collect();
+        let refs: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+        // Eq. 9 collapses the refold ladder into one fixed-base power
+        // of x₀ — same value, one table walk per cross-check.
+        self.acc_params.accumulate_batch(&refs) == self.root_acc
     }
 
     /// The full root-ring cross-check: the archived publications refold

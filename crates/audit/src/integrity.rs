@@ -324,20 +324,28 @@ pub struct TrailVerdict {
     pub items_folded: u64,
 }
 
-/// Full-trail baseline verification: refolds **every** deposit item
-/// into one accumulator from `x₀` (one fold per deposit, the unsharded
-/// §4.1 cost) and compares against the cluster's whole-trail
-/// accumulator. O(total trail) regardless of how narrow the audit is.
+/// Full-trail baseline verification: re-derives the whole-trail
+/// accumulator `x₀^{∏ yᵢ}` over **every** deposit item (the unsharded
+/// §4.1 cost, one logical fold per deposit) and compares against the
+/// cluster's trail accumulator. Since the fold ladder collapses to one
+/// fixed-base power of `x₀` (Eq. 9), the evaluation rides the cached
+/// [`dla_crypto::accumulator::AccumulatorParams::power_of_start`]
+/// table; the value is bit-identical to folding item by item.
+/// O(total trail) regardless of how narrow the audit is.
 #[must_use]
 pub fn check_trail(cluster: &DlaCluster) -> TrailVerdict {
     let params = cluster.accumulator_params();
-    let mut acc = params.start().clone();
-    let mut items_folded = 0u64;
-    for glsn in cluster.logged_glsns() {
-        let deposit = cluster.deposit(glsn).expect("logged glsns have deposits");
-        acc = params.fold(&acc, &crate::cluster::trail_item(glsn, deposit));
-        items_folded += 1;
-    }
+    let items: Vec<Vec<u8>> = cluster
+        .logged_glsns()
+        .into_iter()
+        .map(|glsn| {
+            let deposit = cluster.deposit(glsn).expect("logged glsns have deposits");
+            crate::cluster::trail_item(glsn, deposit)
+        })
+        .collect();
+    let refs: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+    let acc = params.accumulate_batch(&refs);
+    let items_folded = refs.len() as u64;
     TrailVerdict {
         ok: acc == *cluster.trail_accumulator() && items_folded == cluster.trail_items(),
         chain_ok: true,
@@ -354,10 +362,13 @@ pub fn check_trail(cluster: &DlaCluster) -> TrailVerdict {
 /// accumulator. An unbounded window verifies every epoch.
 ///
 /// Cost is proportional to the deposits inside the queried window, not
-/// the trail length — the point of epoch sharding. Soundness: epochs
-/// outside the window are still bound by the hash chain, so a rewritten
-/// sealed epoch is caught by `chain_ok` even when its items are never
-/// refolded.
+/// the trail length — the point of epoch sharding. The sealed epochs'
+/// digests are checked in **one** random-linear-combination batch
+/// (`x₀^{Σ rⱼEⱼ} = ∏ digestⱼ^{rⱼ}` via the fixed-base table and
+/// multi-exponentiation) rather than one refold per epoch. Soundness:
+/// epochs outside the window are still bound by the hash chain, so a
+/// rewritten sealed epoch is caught by `chain_ok` even when its items
+/// are never refolded.
 #[must_use]
 pub fn check_window(cluster: &DlaCluster, window: &crate::plan::TimeWindow) -> TrailVerdict {
     use std::collections::BTreeMap;
@@ -397,21 +408,28 @@ pub fn check_window(cluster: &DlaCluster, window: &crate::plan::TimeWindow) -> T
 
     let mut ok = chain_ok;
     let mut items_folded = 0u64;
+    // Sealed epochs become claims `digest = x₀^{Eⱼ}` verified in one
+    // random-linear-combination pass (one fixed-base power plus one
+    // multi-exponentiation, instead of one refold per epoch); the open
+    // epoch has no sealed digest and is compared directly.
+    let mut claims: Vec<(Ubig, Ubig)> = Vec::new();
     for &epoch in &selected {
         let items = groups.remove(&epoch).unwrap_or_default();
         let refs: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
-        let folded = params.fold_batch(&[params.start().clone()], &refs);
+        let exponent = params.batch_exponent(&refs);
         items_folded += refs.len() as u64;
         match chain.get(epoch.0) {
             Some(cp) => {
-                ok &= cp.items == refs.len() as u64 && folded[0] == cp.digest;
+                ok &= cp.items == refs.len() as u64;
+                claims.push((cp.digest.clone(), exponent));
             }
             None => {
                 let stats = cluster.epoch_stat(epoch).expect("selected from stats");
-                ok &= folded[0] == stats.acc;
+                ok &= params.power_of_start(&exponent) == stats.acc;
             }
         }
     }
+    ok &= params.batch_verify(&claims);
 
     TrailVerdict {
         ok,

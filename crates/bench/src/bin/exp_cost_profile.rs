@@ -4,12 +4,19 @@
 //! MPC protocols, captured by running each one under an installed
 //! [`dla_telemetry::Recorder`].
 //!
+//! Also profiles the accumulator verification leg twice — once with
+//! the per-epoch refold ladder, once through the cached fixed-base
+//! table plus one RLC batch check — and asserts against the session
+//! meters that the fixed-base route does strictly fewer Montgomery
+//! multiplication steps for the same items-folded work units.
+//!
 //! Writes `BENCH_cost_profile.json`.
 //!
 //! Run with: `cargo run -p dla-bench --bin exp_cost_profile --release`
 //! (pass `--quick` for the CI-sized configuration).
 
-use dla_bigint::F61;
+use dla_bigint::{Ubig, F61};
+use dla_crypto::accumulator::AccumulatorParams;
 use dla_crypto::pohlig_hellman::CommutativeDomain;
 use dla_mpc::equality::secure_equality;
 use dla_mpc::ranking::secure_ranking;
@@ -52,6 +59,103 @@ fn profile(label: &'static str, f: impl FnOnce() -> ProtocolReport) -> Profile {
     }
 }
 
+/// Runs `f` under a fresh recorder and returns its result together
+/// with the total session cost it incurred.
+fn metered<T>(f: impl FnOnce() -> T) -> (T, CostVector) {
+    let recorder = Recorder::new();
+    let out = {
+        let _install = recorder.install();
+        f()
+    };
+    (out, recorder.take().total_cost())
+}
+
+/// The fixed-base-vs-ladder comparison on the accumulator leg.
+struct FixedBaseProfile {
+    epochs: usize,
+    items_per_epoch: usize,
+    build_cost: CostVector,
+    ladder_cost: CostVector,
+    accel_cost: CostVector,
+}
+
+/// Audits the same sealed trail twice: the ladder auditor refolds each
+/// epoch from `x₀` (one modexp ladder per epoch), the accelerated
+/// auditor derives the per-epoch exponents and settles every claim in
+/// one RLC batch check over the cached `x₀` table. Digest agreement,
+/// equal items-folded units and the strict Montgomery-step win are all
+/// asserted against the session meters.
+fn profile_fixed_base_vs_ladder(quick: bool) -> FixedBaseProfile {
+    let params = AccumulatorParams::fixed_512();
+    let epochs = if quick { 6 } else { 12 };
+    let items_per_epoch = 2usize;
+    let epoch_items: Vec<Vec<Vec<u8>>> = (0..epochs)
+        .map(|e| {
+            (0..items_per_epoch)
+                .map(|i| format!("deposit-{e}-{i}").into_bytes())
+                .collect()
+        })
+        .collect();
+
+    // One-time table construction, metered separately so its
+    // amortisation is explicit in the report.
+    let (_, build_cost) = metered(|| params.power_of_start(&Ubig::one()));
+    assert_eq!(build_cost.fixed_base_builds, 1, "exactly one table build");
+
+    // Seal the epoch digests outside either auditor's bill.
+    let digests: Vec<Ubig> = epoch_items
+        .iter()
+        .map(|items| params.accumulate(items.iter().map(Vec::as_slice)))
+        .collect();
+
+    let (ladder_ok, ladder_cost) = metered(|| {
+        epoch_items
+            .iter()
+            .zip(&digests)
+            .all(|(items, digest)| params.accumulate(items.iter().map(Vec::as_slice)) == *digest)
+    });
+    let (accel_ok, accel_cost) = metered(|| {
+        let claims: Vec<(Ubig, Ubig)> = epoch_items
+            .iter()
+            .zip(&digests)
+            .map(|(items, digest)| {
+                let refs: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+                (digest.clone(), params.batch_exponent(&refs))
+            })
+            .collect();
+        params.batch_verify(&claims)
+    });
+
+    assert!(ladder_ok, "ladder auditor accepts the genuine trail");
+    assert!(accel_ok, "fixed-base auditor accepts the genuine trail");
+    assert_eq!(
+        accel_cost.acc_fold, ladder_cost.acc_fold,
+        "both routes bill the same items-folded units"
+    );
+    assert_eq!(
+        accel_cost.multi_exp_terms, epochs as u64,
+        "one multi-exp term per epoch claim"
+    );
+    assert_eq!(
+        accel_cost.fixed_base_builds, 0,
+        "the cached table is reused, never rebuilt"
+    );
+    assert!(
+        accel_cost.mont_mul_steps < ladder_cost.mont_mul_steps,
+        "fixed-base verification ({} steps) must beat the refold ladder ({} steps)",
+        accel_cost.mont_mul_steps,
+        ladder_cost.mont_mul_steps
+    );
+
+    FixedBaseProfile {
+        epochs,
+        items_per_epoch,
+        build_cost,
+        ladder_cost,
+        accel_cost,
+    }
+}
+
 fn sets(n: usize, size: usize) -> Vec<Vec<Vec<u8>>> {
     (0..n)
         .map(|party| {
@@ -74,6 +178,7 @@ fn json_entry(p: &Profile) -> String {
             "    {{\"protocol\": \"{}\", \"parties\": {}, \"rounds\": {}, ",
             "\"messages\": {}, \"bytes\": {}, \"modexp\": {}, \"mont_mul_steps\": {}, ",
             "\"modinv\": {}, \"accumulator_folds\": {}, \"shamir_evals\": {}, ",
+            "\"fixed_base_builds\": {}, \"multi_exp_terms\": {}, ",
             "\"telemetry_rounds\": {}, \"telemetry_msgs\": {}}}"
         ),
         p.label,
@@ -86,6 +191,8 @@ fn json_entry(p: &Profile) -> String {
         p.costs.modinv,
         p.costs.acc_fold,
         p.costs.shamir_eval,
+        p.costs.fixed_base_builds,
+        p.costs.multi_exp_terms,
         p.costs.rounds,
         p.costs.msgs_sent,
     )
@@ -226,11 +333,42 @@ fn main() {
          Shamir-based sum costs field ops only."
     );
 
+    let fb = profile_fixed_base_vs_ladder(quick);
+    println!(
+        "\nfixed-base vs ladder ({} epochs x {} deposits): table build {} steps \
+         (once), refold ladder {} steps, fixed-base + RLC batch {} steps \
+         ({:.1}x fewer per audit)",
+        fb.epochs,
+        fb.items_per_epoch,
+        fb.build_cost.mont_mul_steps,
+        fb.ladder_cost.mont_mul_steps,
+        fb.accel_cost.mont_mul_steps,
+        fb.ladder_cost.mont_mul_steps as f64 / fb.accel_cost.mont_mul_steps as f64
+    );
+
     let entries: Vec<String> = profiles.iter().map(json_entry).collect();
+    let fb_json = format!(
+        concat!(
+            "  \"fixed_base_vs_ladder\": {{\"epochs\": {}, \"items_per_epoch\": {}, ",
+            "\"table_build_mont_mul_steps\": {}, \"table_builds\": {}, ",
+            "\"ladder_mont_mul_steps\": {}, \"fixed_base_mont_mul_steps\": {}, ",
+            "\"items_folded\": {}, \"multi_exp_terms\": {}, \"step_ratio\": {:.2}}}"
+        ),
+        fb.epochs,
+        fb.items_per_epoch,
+        fb.build_cost.mont_mul_steps,
+        fb.build_cost.fixed_base_builds,
+        fb.ladder_cost.mont_mul_steps,
+        fb.accel_cost.mont_mul_steps,
+        fb.ladder_cost.acc_fold,
+        fb.accel_cost.multi_exp_terms,
+        fb.ladder_cost.mont_mul_steps as f64 / fb.accel_cost.mont_mul_steps as f64
+    );
     let json = format!(
-        "{{\n  \"experiment\": \"cost_profile\",\n  \"quick\": {},\n  \"protocols\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"cost_profile\",\n  \"quick\": {},\n  \"protocols\": [\n{}\n  ],\n{}\n}}\n",
         quick,
-        entries.join(",\n")
+        entries.join(",\n"),
+        fb_json
     );
     std::fs::write("BENCH_cost_profile.json", &json).expect("write BENCH_cost_profile.json");
     println!("\nwrote BENCH_cost_profile.json");

@@ -4,7 +4,9 @@
 //!
 //! * exponentiation algorithm — `schoolbook` (division-based ladder),
 //!   `binary` (Montgomery bit-at-a-time), `windowed` (Montgomery
-//!   sliding-window with odd-powers table),
+//!   sliding-window with odd-powers table), `accel` (fixed-width
+//!   Montgomery kernel with known-order exponent reduction — the
+//!   default),
 //! * quadratic-residue test for message encoding — `euler` (full
 //!   exponent-`q` modexp per pad probe) vs `jacobi` (binary Jacobi
 //!   symbol),
@@ -12,9 +14,11 @@
 //!
 //! measuring wall-clock and telemetry op counts per cell. Every cell
 //! must return identical answers and message counts; the windowed
-//! exponentiation must strictly beat the binary baseline, and the full
+//! exponentiation must strictly beat the binary baseline, the full
 //! fast path (windowed+jacobi+pooled) must be at least 2× faster than
-//! the old default (binary+euler+serial).
+//! the old default (binary+euler+serial), and the accelerated kernel
+//! must be at least 2× faster again than the windowed ladder on the
+//! same cell — the PR gate for the fixed-base/multi-exp work.
 //!
 //! Writes `BENCH_crypto_hotpath.json`.
 //!
@@ -31,10 +35,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-const EXP_ALGOS: [(ExpAlgo, &str); 3] = [
+const EXP_ALGOS: [(ExpAlgo, &str); 4] = [
     (ExpAlgo::Schoolbook, "schoolbook"),
     (ExpAlgo::Binary, "binary"),
     (ExpAlgo::Windowed, "windowed"),
+    (ExpAlgo::Accel, "accel"),
 ];
 const QR_TESTS: [(QrTest, &str); 2] = [(QrTest::Euler, "euler"), (QrTest::Jacobi, "jacobi")];
 const BATCHES: [(BatchMode, &str); 2] = [
@@ -151,10 +156,10 @@ fn find<'a>(cells: &'a [Cell], exp: &str, qr: &str, batch: &str) -> &'a Cell {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (n, set_size, iters) = if quick { (3, 8, 2) } else { (4, 16, 3) };
+    let (n, set_size, iters) = if quick { (3, 8, 3) } else { (4, 16, 7) };
     let inputs = sets(n, set_size);
 
-    let mut cells = Vec::with_capacity(12);
+    let mut cells = Vec::with_capacity(16);
     for exp in EXP_ALGOS {
         for qr in QR_TESTS {
             for batch in BATCHES {
@@ -199,6 +204,39 @@ fn main() {
         "windowed must take fewer Montgomery steps than binary"
     );
 
+    // The accelerated kernel: same op counts as the windowed ladder
+    // (reduction never fires on in-range Pohlig–Hellman exponents) but
+    // at least 2x the throughput — the gate for the fixed-base /
+    // multi-exp PR.
+    let accel = find(&cells, "accel", "jacobi", "serial");
+    assert_eq!(
+        accel.modexp, windowed.modexp,
+        "accel must perform the same modexp count as windowed"
+    );
+    assert!(
+        accel.mont_mul_steps <= windowed.mont_mul_steps,
+        "accel must never take more Montgomery steps than windowed"
+    );
+    let accel_vs_windowed = windowed.elapsed_ms / accel.elapsed_ms;
+    if !quick {
+        assert!(
+            accel_vs_windowed >= 2.0,
+            "accel must be >= 2x over the windowed ladder (got {accel_vs_windowed:.2}x)"
+        );
+    }
+
+    // Pooled batching with the work-size threshold: batches below the
+    // crossover run the serial code path, so `pooled` may never be
+    // meaningfully slower than `serial` on the same knobs.
+    let accel_pooled = find(&cells, "accel", "jacobi", "pooled");
+    assert!(
+        accel_pooled.elapsed_ms <= accel.elapsed_ms * 1.5,
+        "pooled ({:.2}ms) must stay within 1.5x of serial ({:.2}ms) below the \
+         batching crossover",
+        accel_pooled.elapsed_ms,
+        accel.elapsed_ms
+    );
+
     // Headline speedup: the full fast path vs the old default path.
     let baseline = find(&cells, "binary", "euler", "serial");
     let fast = find(&cells, "windowed", "jacobi", "pooled");
@@ -238,8 +276,8 @@ fn main() {
     );
     println!(
         "speedup: windowed+jacobi+pooled is {speedup:.2}x over binary+euler+serial \
-         (windowed vs binary alone: {windowed_vs_binary:.2}x); identical answers and \
-         transcripts in all 12 cells."
+         (windowed vs binary alone: {windowed_vs_binary:.2}x, accel vs windowed: \
+         {accel_vs_windowed:.2}x); identical answers and transcripts in all 16 cells."
     );
 
     let entries: Vec<String> = cells.iter().map(json_cell).collect();
@@ -249,6 +287,7 @@ fn main() {
             "  \"parties\": {},\n  \"set_size\": {},\n  \"modulus_bits\": 256,\n",
             "  \"speedup_fast_vs_baseline\": {:.3},\n",
             "  \"speedup_windowed_vs_binary\": {:.3},\n",
+            "  \"speedup_accel_vs_windowed\": {:.3},\n",
             "  \"cells\": [\n{}\n  ]\n}}\n"
         ),
         quick,
@@ -256,6 +295,7 @@ fn main() {
         set_size,
         speedup,
         windowed_vs_binary,
+        accel_vs_windowed,
         entries.join(",\n")
     );
     std::fs::write("BENCH_crypto_hotpath.json", &json).expect("write BENCH_crypto_hotpath.json");

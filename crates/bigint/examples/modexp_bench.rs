@@ -1,0 +1,47 @@
+//! Raw modexp microbenchmark (scratch, used to tune the kernels).
+
+use dla_bigint::montgomery::MontgomeryContext;
+use dla_bigint::Ubig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for bits in [256usize, 512] {
+        let mut n = Ubig::random_bits(&mut rng, bits);
+        if n.is_even() {
+            n = n + Ubig::one();
+        }
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let exp = Ubig::random_bits(&mut rng, bits - 1);
+        let bases: Vec<Ubig> = (0..64).map(|_| Ubig::random_below(&mut rng, &n)).collect();
+        let iters = 20;
+
+        let t = Instant::now();
+        let mut sink = Ubig::zero();
+        for _ in 0..iters {
+            for b in &bases {
+                sink = ctx.modexp(b, &exp);
+            }
+        }
+        let per = t.elapsed().as_secs_f64() / (iters * bases.len()) as f64;
+        println!(
+            "{bits}-bit serial modexp: {:.1} us/op ({:.0}/s) [{}]",
+            per * 1e6,
+            1.0 / per,
+            sink.bit_len()
+        );
+
+        let t = Instant::now();
+        for _ in 0..iters {
+            let _ = ctx.modexp_batch(&bases, &exp);
+        }
+        let per = t.elapsed().as_secs_f64() / (iters * bases.len()) as f64;
+        println!(
+            "{bits}-bit batch  modexp: {:.1} us/op ({:.0}/s)",
+            per * 1e6,
+            1.0 / per
+        );
+    }
+}

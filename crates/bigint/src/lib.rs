@@ -30,11 +30,15 @@
 //! ```
 
 pub mod field;
+pub mod fixed_base;
 pub mod jacobi;
 pub mod modular;
 pub mod montgomery;
+pub mod multi_exp;
 pub mod prime;
 mod ubig;
 
 pub use field::F61;
+pub use fixed_base::FixedBase;
+pub use multi_exp::multi_exp;
 pub use ubig::{ParseUbigError, Ubig};

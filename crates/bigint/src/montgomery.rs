@@ -51,7 +51,7 @@ pub struct MontgomeryContext {
 /// accumulator and one double-width squaring buffer. Thread one
 /// `Scratch` through a whole exponentiation (or a whole batch) and no
 /// step allocates.
-struct Scratch {
+pub(crate) struct Scratch {
     /// CIOS accumulator, `k + 2` limbs.
     t: Vec<u64>,
     /// Double-width product buffer for squaring, `2k + 1` limbs.
@@ -61,7 +61,7 @@ struct Scratch {
 /// One step of a precomputed window plan: the sequence of squarings
 /// and odd-power multiplications that evaluates a fixed exponent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ExpOp {
+pub(crate) enum ExpOp {
     /// `acc ← acc²`.
     Square,
     /// `acc ← acc · base^(2i+1)` (index into the odd-powers table).
@@ -70,7 +70,7 @@ enum ExpOp {
 
 /// Window width for a given exponent size: wide enough that the
 /// odd-powers table pays for itself, never wider than 5 bits.
-fn window_width(exp_bits: usize) -> usize {
+pub(crate) fn window_width(exp_bits: usize) -> usize {
     match exp_bits {
         0..=24 => 1,
         25..=80 => 3,
@@ -82,7 +82,7 @@ fn window_width(exp_bits: usize) -> usize {
 /// Decomposes `exp` into a left-to-right sliding-window plan with
 /// `w`-bit windows anchored on odd values. Depends only on the
 /// exponent, so one plan is shared across a whole batch.
-fn window_plan(exp: &Ubig, w: usize) -> Vec<ExpOp> {
+pub(crate) fn window_plan(exp: &Ubig, w: usize) -> Vec<ExpOp> {
     let bits = exp.bit_len();
     let mut ops = Vec::with_capacity(bits + bits / w.max(1) + 1);
     let mut i = bits as isize - 1;
@@ -109,6 +109,354 @@ fn window_plan(exp: &Ubig, w: usize) -> Vec<ExpOp> {
         i = l - 1;
     }
     ops
+}
+
+/// Largest odd-powers table any window width in `1..=6` needs.
+const MAX_TABLE: usize = 32;
+
+/// The fixed-width Montgomery kernel: the same CIOS/REDC arithmetic as
+/// the generic slice path, monomorphised for a compile-time limb count
+/// `K`. Every temporary lives in a stack array whose length the
+/// compiler knows, so the inner loops unroll completely and carry no
+/// bounds checks — on the 4-limb (256-bit) protocol moduli this is
+/// worth ~2–3× over the `Vec`-indexed generic path. The generic path
+/// is retained verbatim as the differential oracle and as the fallback
+/// for limb counts the kernel is not built for.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FixedCtx<const K: usize> {
+    n: [u64; K],
+    n0_inv: u64,
+    r2: [u64; K],
+}
+
+impl<const K: usize> FixedCtx<K> {
+    /// `a >= b` on fixed-width operands.
+    #[inline]
+    fn geq(a: &[u64; K], b: &[u64; K]) -> bool {
+        for i in (0..K).rev() {
+            match a[i].cmp(&b[i]) {
+                std::cmp::Ordering::Greater => return true,
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        true
+    }
+
+    /// `a -= b` with `hi` as the carried limb above `a` (post-REDC
+    /// values are `< 2n`, so the borrow always cancels against `hi`).
+    #[inline]
+    fn sub_wide(a: &mut [u64; K], b: &[u64; K], hi: u64) {
+        let mut borrow = 0u64;
+        for i in 0..K {
+            let (d1, o1) = a[i].overflowing_sub(b[i]);
+            let (d2, o2) = d1.overflowing_sub(borrow);
+            a[i] = d2;
+            borrow = u64::from(o1) + u64::from(o2);
+        }
+        debug_assert_eq!(borrow, hi, "borrow must cancel the carried limb");
+    }
+
+    /// Montgomery product `REDC(a · b)` via CIOS, entirely in
+    /// registers/stack.
+    #[inline]
+    pub(crate) fn mont_mul(&self, a: &[u64; K], b: &[u64; K]) -> [u64; K] {
+        let mut t = [0u64; K];
+        let mut t_k = 0u64;
+        let mut t_k1: u64;
+        for &a_limb in a {
+            let ai = u128::from(a_limb);
+            let mut carry: u128 = 0;
+            for j in 0..K {
+                let cur = u128::from(t[j]) + ai * u128::from(b[j]) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t_k) + carry;
+            t_k = cur as u64;
+            t_k1 = (cur >> 64) as u64;
+
+            let m = u128::from(t[0].wrapping_mul(self.n0_inv));
+            let mut carry: u128 = (u128::from(t[0]) + m * u128::from(self.n[0])) >> 64;
+            for j in 1..K {
+                let cur = u128::from(t[j]) + m * u128::from(self.n[j]) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t_k) + carry;
+            t[K - 1] = cur as u64;
+            t_k = t_k1 + ((cur >> 64) as u64);
+        }
+        if t_k != 0 || Self::geq(&t, &self.n) {
+            Self::sub_wide(&mut t, &self.n, t_k);
+        }
+        t
+    }
+
+    /// Montgomery squaring `REDC(a²)`. Measured on the 4/8-limb
+    /// protocol moduli, the fused single-pass CIOS multiply beats a
+    /// dedicated half-products squaring (whose doubling pass and
+    /// separated REDC cost two extra serial sweeps over the
+    /// double-width buffer), so squaring simply reuses [`Self::mont_mul`].
+    #[inline]
+    pub(crate) fn mont_sqr(&self, a: &[u64; K]) -> [u64; K] {
+        self.mont_mul(a, a)
+    }
+
+    /// Conversion out of Montgomery form: `REDC(a)`.
+    #[inline]
+    pub(crate) fn redc(&self, a: &[u64; K]) -> [u64; K] {
+        let one = {
+            let mut v = [0u64; K];
+            v[0] = 1;
+            v
+        };
+        self.mont_mul(a, &one)
+    }
+
+    /// Conversion into Montgomery form: `REDC(a · R²) = a·R mod n`.
+    #[inline]
+    #[allow(clippy::wrong_self_convention)]
+    pub(crate) fn to_mont(&self, a: &[u64; K]) -> [u64; K] {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Reduces `v` mod `n` and packs it into a fixed-width operand.
+    /// The common case (`v < n`, as every protocol value is) costs a
+    /// comparison and a copy; only out-of-range inputs divide.
+    pub(crate) fn load(&self, v: &Ubig, ctx: &MontgomeryContext) -> [u64; K] {
+        let mut out = [0u64; K];
+        let limbs = v.limbs();
+        if limbs.len() <= K {
+            out[..limbs.len()].copy_from_slice(limbs);
+            if Self::geq(&out, &self.n) {
+                out = [0u64; K];
+                let reduced = v % &ctx.modulus_ubig();
+                out[..reduced.limbs().len()].copy_from_slice(reduced.limbs());
+            }
+        } else {
+            let reduced = v % &ctx.modulus_ubig();
+            out[..reduced.limbs().len()].copy_from_slice(reduced.limbs());
+        }
+        out
+    }
+
+    /// Unpacks a fixed-width operand into a [`Ubig`].
+    pub(crate) fn store(v: &[u64; K]) -> Ubig {
+        Ubig::from_limbs(v.to_vec())
+    }
+
+    /// Snapshots a [`MontgomeryContext`] into fixed-width form, or
+    /// `None` when the modulus is not exactly `K` limbs wide.
+    pub(crate) fn from_ctx(ctx: &MontgomeryContext) -> Option<Self> {
+        if ctx.n.len() != K {
+            return None;
+        }
+        let mut n = [0u64; K];
+        n.copy_from_slice(&ctx.n);
+        let mut r2 = [0u64; K];
+        r2.copy_from_slice(&ctx.r2);
+        Some(FixedCtx {
+            n,
+            n0_inv: ctx.n0_inv,
+            r2,
+        })
+    }
+
+    /// Evaluates one precomputed window plan for one base — the
+    /// fixed-width twin of [`MontgomeryContext::run_plan`], with the
+    /// odd-powers table in a stack array. Returns the result and the
+    /// same step count the generic path would report, so telemetry
+    /// cannot tell the kernels apart.
+    pub(crate) fn run_plan(
+        &self,
+        base: &Ubig,
+        plan: &[ExpOp],
+        window: usize,
+        ctx: &MontgomeryContext,
+    ) -> (Ubig, u64) {
+        debug_assert!((1..=6).contains(&window));
+        let mut steps = 1u64; // to_mont
+        let base_m = self.to_mont(&self.load(base, ctx));
+
+        // Odd-powers table: table[i] = base^(2i+1) in Montgomery form.
+        let table_len = 1usize << (window - 1);
+        let mut table = [[0u64; K]; MAX_TABLE];
+        table[0] = base_m;
+        if table_len > 1 {
+            let sq = self.mont_sqr(&base_m);
+            steps += 1;
+            for i in 1..table_len {
+                table[i] = self.mont_mul(&table[i - 1], &sq);
+                steps += 1;
+            }
+        }
+
+        let mut acc = [0u64; K];
+        let mut started = false;
+        for op in plan {
+            match *op {
+                ExpOp::Square => {
+                    if started {
+                        acc = self.mont_sqr(&acc);
+                        steps += 1;
+                    }
+                }
+                ExpOp::Multiply(idx) => {
+                    if started {
+                        acc = self.mont_mul(&acc, &table[idx]);
+                        steps += 1;
+                    } else {
+                        acc = table[idx];
+                        started = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(started, "non-zero exponent always multiplies");
+        let out = self.redc(&acc);
+        steps += 1;
+        (Self::store(&out), steps)
+    }
+
+    /// Evaluates one window plan for a whole batch of bases
+    /// *vertically*: every step of the plan is applied to all
+    /// accumulators before advancing. Single-stream Montgomery
+    /// multiplication is latency-bound on its carry chain; marching
+    /// independent accumulators in lockstep gives the out-of-order core
+    /// independent chains to overlap, which is worth another ~1.5× on
+    /// top of the fixed-width win. Identical arithmetic and step
+    /// accounting to per-base evaluation — only the schedule differs.
+    pub(crate) fn run_plan_batch(
+        &self,
+        bases: &[Ubig],
+        plan: &[ExpOp],
+        window: usize,
+        ctx: &MontgomeryContext,
+    ) -> (Vec<Ubig>, u64) {
+        debug_assert!((1..=6).contains(&window));
+        let n = bases.len();
+        let table_len = 1usize << (window - 1);
+        let mut steps = 0u64;
+
+        // Per-base odd-powers tables, flattened: row b starts at
+        // b·table_len.
+        let mut tables: Vec<[u64; K]> = Vec::with_capacity(n * table_len);
+        for base in bases {
+            let base_m = self.to_mont(&self.load(base, ctx));
+            steps += 1; // to_mont
+            let row = tables.len();
+            tables.push(base_m);
+            if table_len > 1 {
+                let sq = self.mont_sqr(&base_m);
+                steps += 1;
+                for i in 1..table_len {
+                    let next = self.mont_mul(&tables[row + i - 1], &sq);
+                    steps += 1;
+                    tables.push(next);
+                }
+            }
+        }
+
+        let mut accs = vec![[0u64; K]; n];
+        let mut started = false;
+        for op in plan {
+            match *op {
+                ExpOp::Square => {
+                    if started {
+                        for acc in &mut accs {
+                            *acc = self.mont_sqr(acc);
+                        }
+                        steps += n as u64;
+                    }
+                }
+                ExpOp::Multiply(idx) => {
+                    if started {
+                        for (b, acc) in accs.iter_mut().enumerate() {
+                            *acc = self.mont_mul(acc, &tables[b * table_len + idx]);
+                        }
+                        steps += n as u64;
+                    } else {
+                        for (b, acc) in accs.iter_mut().enumerate() {
+                            *acc = tables[b * table_len + idx];
+                        }
+                        started = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(started || n == 0, "non-zero exponent always multiplies");
+        let out = accs
+            .iter()
+            .map(|acc| {
+                steps += 1; // redc
+                Self::store(&self.redc(acc))
+            })
+            .collect();
+        (out, steps)
+    }
+}
+
+/// Uniform dispatch handle over the Montgomery kernels, for callers
+/// that stream limb-slice operands of any modulus width (the
+/// fixed-base tables and the multi-exponentiation kernel). Operands
+/// are `k`-limb slices in Montgomery form; each operation routes to
+/// the fixed-width kernel when one exists for this modulus, falling
+/// back to the generic scratch path otherwise.
+pub(crate) struct Kernel {
+    f4: Option<FixedCtx<4>>,
+    f8: Option<FixedCtx<8>>,
+    s: Scratch,
+}
+
+impl Kernel {
+    /// `a ← REDC(a · b)`.
+    pub(crate) fn mul_assign(&mut self, ctx: &MontgomeryContext, a: &mut [u64], b: &[u64]) {
+        if let Some(f) = &self.f4 {
+            let mut aa = [0u64; 4];
+            aa.copy_from_slice(a);
+            let mut bb = [0u64; 4];
+            bb.copy_from_slice(b);
+            a.copy_from_slice(&f.mont_mul(&aa, &bb));
+        } else if let Some(f) = &self.f8 {
+            let mut aa = [0u64; 8];
+            aa.copy_from_slice(a);
+            let mut bb = [0u64; 8];
+            bb.copy_from_slice(b);
+            a.copy_from_slice(&f.mont_mul(&aa, &bb));
+        } else {
+            ctx.mont_mul_assign(a, b, &mut self.s);
+        }
+    }
+
+    /// `a ← REDC(a²)`.
+    pub(crate) fn sqr_assign(&mut self, ctx: &MontgomeryContext, a: &mut [u64]) {
+        if let Some(f) = &self.f4 {
+            let mut aa = [0u64; 4];
+            aa.copy_from_slice(a);
+            a.copy_from_slice(&f.mont_sqr(&aa));
+        } else if let Some(f) = &self.f8 {
+            let mut aa = [0u64; 8];
+            aa.copy_from_slice(a);
+            a.copy_from_slice(&f.mont_sqr(&aa));
+        } else {
+            ctx.mont_sqr_assign(a, &mut self.s);
+        }
+    }
+
+    /// `a ← REDC(a)` (conversion out of Montgomery form).
+    pub(crate) fn redc_assign(&mut self, ctx: &MontgomeryContext, a: &mut [u64]) {
+        ctx.redc_assign(a, &mut self.s);
+    }
+
+    /// Converts `v` into a `k`-limb Montgomery-form operand.
+    #[allow(clippy::wrong_self_convention)]
+    pub(crate) fn to_mont(&mut self, ctx: &MontgomeryContext, v: &Ubig) -> Vec<u64> {
+        let mut out = pad(&(v % &ctx.modulus_ubig()), ctx.k());
+        let r2 = ctx.r2.clone();
+        self.mul_assign(ctx, &mut out, &r2);
+        out
+    }
 }
 
 impl MontgomeryContext {
@@ -144,8 +492,23 @@ impl MontgomeryContext {
     }
 
     /// Number of limbs `k`.
-    fn k(&self) -> usize {
+    pub(crate) fn k(&self) -> usize {
         self.n.len()
+    }
+
+    /// The modulus this context reduces by.
+    pub(crate) fn modulus(&self) -> Ubig {
+        self.modulus_ubig()
+    }
+
+    /// A dispatch handle for streaming Montgomery operations (see
+    /// [`Kernel`]).
+    pub(crate) fn kernel(&self) -> Kernel {
+        Kernel {
+            f4: FixedCtx::from_ctx(self),
+            f8: FixedCtx::from_ctx(self),
+            s: self.scratch(),
+        }
     }
 
     fn scratch(&self) -> Scratch {
@@ -307,10 +670,41 @@ impl MontgomeryContext {
 
     /// `base^exp mod n` by sliding-window exponentiation in Montgomery
     /// form — the default, fastest path. Window width adapts to the
-    /// exponent size (up to 5 bits; see [`window_width`]).
+    /// exponent size (up to 5 bits; see [`window_width`]), and 4- and
+    /// 8-limb moduli (the 256/512-bit protocol primes) route through
+    /// the fully unrolled [`FixedCtx`] kernel.
     #[must_use]
     pub fn modexp(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        dla_telemetry::record(dla_telemetry::CostKind::ModExp, 1);
+        if exp.is_zero() {
+            return Ubig::one() % &self.modulus_ubig();
+        }
+        let window = window_width(exp.bit_len());
+        let plan = window_plan(exp, window);
+        let (out, steps) = self.run_plan_accel(base, &plan, window);
+        dla_telemetry::record(dla_telemetry::CostKind::MontMulStep, steps);
+        out
+    }
+
+    /// `base^exp mod n` on the generic slice kernel regardless of limb
+    /// count — the PR 4 windowed path, retained verbatim as the
+    /// differential oracle and the `windowed` ablation rung.
+    #[must_use]
+    pub fn modexp_generic(&self, base: &Ubig, exp: &Ubig) -> Ubig {
         self.modexp_windowed(base, exp, window_width(exp.bit_len()))
+    }
+
+    /// Evaluates a window plan on the fastest kernel available for
+    /// this modulus width.
+    fn run_plan_accel(&self, base: &Ubig, plan: &[ExpOp], window: usize) -> (Ubig, u64) {
+        if let Some(f) = FixedCtx::<4>::from_ctx(self) {
+            return f.run_plan(base, plan, window, self);
+        }
+        if let Some(f) = FixedCtx::<8>::from_ctx(self) {
+            return f.run_plan(base, plan, window, self);
+        }
+        let mut s = self.scratch();
+        self.run_plan(base, plan, window, &mut s)
     }
 
     /// `base^exp mod n` with an explicit window width in `1..=6` —
@@ -429,6 +823,18 @@ impl MontgomeryContext {
     /// cost-indistinguishable.
     #[must_use]
     pub fn modexp_batch(&self, bases: &[Ubig], exp: &Ubig) -> Vec<Ubig> {
+        self.modexp_batch_inner(bases, exp, true)
+    }
+
+    /// Batch exponentiation pinned to the generic slice kernel — the
+    /// PR 4 behaviour, kept as the `windowed` ablation rung and the
+    /// differential oracle for the fixed-width kernel.
+    #[must_use]
+    pub fn modexp_batch_generic(&self, bases: &[Ubig], exp: &Ubig) -> Vec<Ubig> {
+        self.modexp_batch_inner(bases, exp, false)
+    }
+
+    fn modexp_batch_inner(&self, bases: &[Ubig], exp: &Ubig, accel: bool) -> Vec<Ubig> {
         if bases.is_empty() {
             return Vec::new();
         }
@@ -439,16 +845,28 @@ impl MontgomeryContext {
         }
         let window = window_width(exp.bit_len());
         let plan = window_plan(exp, window);
-        let mut s = self.scratch();
         let mut total_steps = 0u64;
-        let out = bases
-            .iter()
-            .map(|base| {
-                let (r, steps) = self.run_plan(base, &plan, window, &mut s);
-                total_steps += steps;
-                r
-            })
-            .collect();
+        let out: Vec<Ubig> = if accel && self.k() == 4 {
+            let f = FixedCtx::<4>::from_ctx(self).expect("k() == 4");
+            let (out, steps) = f.run_plan_batch(bases, &plan, window, self);
+            total_steps += steps;
+            out
+        } else if accel && self.k() == 8 {
+            let f = FixedCtx::<8>::from_ctx(self).expect("k() == 8");
+            let (out, steps) = f.run_plan_batch(bases, &plan, window, self);
+            total_steps += steps;
+            out
+        } else {
+            let mut s = self.scratch();
+            bases
+                .iter()
+                .map(|base| {
+                    let (r, steps) = self.run_plan(base, &plan, window, &mut s);
+                    total_steps += steps;
+                    r
+                })
+                .collect()
+        };
         dla_telemetry::record(dla_telemetry::CostKind::MontMulStep, total_steps);
         out
     }
@@ -712,6 +1130,44 @@ mod tests {
         for n in [3u64, 5, 0xFFFF_FFFF_FFFF_FFC5, 1_000_000_007] {
             let ctx = MontgomeryContext::new(&Ubig::from_u64(n)).unwrap();
             assert_eq!(n.wrapping_mul(ctx.n0_inv), u64::MAX, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn batch_never_costs_more_steps_than_independent_calls() {
+        // The batch path shares one window plan (and, on fixed-width
+        // moduli, one vertical plan replay) across all bases — its
+        // recorded `mont_mul_steps` must never exceed the sum of the
+        // same calls made independently.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for bits in [96usize, 256, 512] {
+            let mut n = Ubig::random_bits(&mut rng, bits);
+            if n.is_even() {
+                n = n + Ubig::one();
+            }
+            let ctx = MontgomeryContext::new(&n).unwrap();
+            let exp = Ubig::random_bits(&mut rng, bits - 1);
+            let bases: Vec<Ubig> = (0..9).map(|_| Ubig::random_below(&mut rng, &n)).collect();
+            let capture = |f: &dyn Fn() -> Vec<Ubig>| {
+                let recorder = dla_telemetry::Recorder::new();
+                let out = {
+                    let _install = recorder.install();
+                    f()
+                };
+                (out, recorder.take().total_cost())
+            };
+            let (batched, batch_cost) = capture(&|| ctx.modexp_batch(&bases, &exp));
+            let (pointwise, serial_cost) =
+                capture(&|| bases.iter().map(|b| ctx.modexp(b, &exp)).collect());
+            assert_eq!(batched, pointwise, "bits={bits}");
+            assert_eq!(batch_cost.modexp, serial_cost.modexp, "bits={bits}");
+            assert!(
+                batch_cost.mont_mul_steps <= serial_cost.mont_mul_steps,
+                "bits={bits}: batch {} steps must not exceed serial {}",
+                batch_cost.mont_mul_steps,
+                serial_cost.mont_mul_steps
+            );
         }
     }
 

@@ -311,7 +311,7 @@ fn sub(a: &Ubig, b: &Ubig) -> Ubig {
         out.push(d2);
         borrow = u64::from(o1) + u64::from(o2);
     }
-    assert_eq!(borrow, 0, "attempt to subtract with overflow (Ubig)");
+    assert_eq!(borrow, 0, "Ubig subtraction underflow");
     normalize(&mut out);
     Ubig { limbs: out }
 }

@@ -261,6 +261,102 @@ proptest! {
         let pointwise: Vec<Ubig> = bases.iter().map(|b| ctx.modexp(b, &exp)).collect();
         prop_assert_eq!(batched, pointwise);
     }
+
+    /// The accelerated fixed-width kernel path agrees with the generic
+    /// PR 4 sliding-window oracle on the same inputs — the differential
+    /// that keeps wire transcripts byte-identical.
+    #[test]
+    fn accel_modexp_matches_generic_oracle(
+        base in ubig(8),
+        exp in ubig(8),
+        bits in 65usize..=512,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = {
+            let mut m = Ubig::random_bits(&mut rng, bits);
+            m = &m + &(Ubig::one() << (bits - 1));
+            if m.is_even() { m = &m + &Ubig::one(); }
+            m
+        };
+        let ctx = MontgomeryContext::new(&m).expect("modulus is odd");
+        prop_assert_eq!(ctx.modexp(&base, &exp), ctx.modexp_generic(&base, &exp));
+    }
+
+    /// `FixedBase::pow` ≡ `modexp` across 65–512-bit odd moduli, both
+    /// inside the table's capacity and through the chunked fallback
+    /// (the capacity divisor deliberately undersizes some tables).
+    #[test]
+    fn fixed_base_matches_modexp(
+        base in ubig(8),
+        exp in ubig(8),
+        bits in 65usize..=512,
+        cap_divisor in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = {
+            let mut m = Ubig::random_bits(&mut rng, bits);
+            m = &m + &(Ubig::one() << (bits - 1));
+            if m.is_even() { m = &m + &Ubig::one(); }
+            m
+        };
+        let ctx = MontgomeryContext::new(&m).expect("modulus is odd");
+        let fb = dla_bigint::FixedBase::new(&ctx, &base, bits / cap_divisor);
+        prop_assert_eq!(fb.pow(&exp), ctx.modexp(&base, &exp));
+    }
+
+    /// `multi_exp` ≡ the product of independent ladders, across term
+    /// counts that exercise both the Straus and Pippenger schedules.
+    #[test]
+    fn multi_exp_matches_product_of_ladders(
+        k in 0usize..=80,
+        bits in 65usize..=256,
+        exp_limbs in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = prime::gen_prime(bits, &mut rng);
+        let ctx = MontgomeryContext::new(&p).expect("primes > 2 are odd");
+        let terms: Vec<(Ubig, Ubig)> = (0..k)
+            .map(|_| (
+                Ubig::random_below(&mut rng, &p),
+                Ubig::random_bits(&mut rng, exp_limbs * 64),
+            ))
+            .collect();
+        let product = terms.iter().fold(&Ubig::one() % &p, |acc, (b, e)| {
+            modular::modmul(&acc, &ctx.modexp(b, e), &p)
+        });
+        prop_assert_eq!(dla_bigint::multi_exp(&ctx, &terms), product);
+    }
+
+    /// Edge exponents 0, 1, p−1 (the group order) and p−1 ± 1 agree
+    /// between the fixed-base table, the accelerated kernel, and the
+    /// schoolbook reference.
+    #[test]
+    fn fixed_base_and_accel_edge_exponents_match(
+        base in ubig(6),
+        bits in 65usize..=160,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = prime::gen_prime(bits, &mut rng);
+        let ctx = MontgomeryContext::new(&p).expect("primes > 2 are odd");
+        let order = &p - &Ubig::one();
+        let fb = dla_bigint::FixedBase::new(&ctx, &base, bits);
+        let edges = [
+            Ubig::zero(),
+            Ubig::one(),
+            &order - &Ubig::one(),
+            order.clone(),
+            &order + &Ubig::one(),
+        ];
+        for exp in &edges {
+            let reference = modular::modexp_schoolbook(&base, exp, &p);
+            prop_assert_eq!(&ctx.modexp(&base, exp), &reference, "accel exp={}", exp);
+            prop_assert_eq!(&fb.pow(exp), &reference, "fixed-base exp={}", exp);
+        }
+    }
 }
 
 proptest! {

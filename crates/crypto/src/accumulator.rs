@@ -16,10 +16,10 @@
 
 use crate::sha256;
 use dla_bigint::montgomery::MontgomeryContext;
-use dla_bigint::{prime, Ubig};
+use dla_bigint::{modular, multi_exp, prime, FixedBase, Ubig};
 use rand::Rng;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Public parameters of a one-way accumulator: an RSA modulus `n`
 /// (factorization discarded after setup — a "rigid" modulus in the
@@ -29,6 +29,11 @@ pub struct AccumulatorParams {
     n: Arc<Ubig>,
     x0: Ubig,
     ctx: Arc<MontgomeryContext>,
+    /// Fixed-base table over `x₀`, built on first use and shared by
+    /// every clone of these parameters. Every verification path raises
+    /// `x₀` to some combined exponent, so the table amortises across
+    /// the whole cluster lifetime.
+    fixed: Arc<OnceLock<FixedBase>>,
 }
 
 impl PartialEq for AccumulatorParams {
@@ -77,7 +82,21 @@ impl AccumulatorParams {
             n: Arc::new(n),
             x0,
             ctx: Arc::new(ctx),
+            fixed: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Generates fresh parameters **keeping** the factorization as an
+    /// [`AccumulatorTrapdoor`], for the setup party that is allowed to
+    /// fold with CRT-split exponent reduction. Everyone else sees the
+    /// same public parameters as [`AccumulatorParams::generate`].
+    pub fn generate_with_trapdoor<R: Rng + ?Sized>(
+        bits: usize,
+        rng: &mut R,
+    ) -> (Self, AccumulatorTrapdoor) {
+        let (n, p, q) = prime::gen_rsa_modulus(bits, rng);
+        let trapdoor = AccumulatorTrapdoor::new(p, q);
+        (Self::from_modulus(n), trapdoor)
     }
 
     /// The standard 512-bit test parameters.
@@ -185,6 +204,236 @@ impl AccumulatorParams {
             .reduce(|a, b| a * b)
             .expect("items is non-empty");
         self.ctx.modexp_batch(accs, &exponent)
+    }
+
+    /// The fixed-base table over `x₀`, built once per parameter set.
+    /// Capacity covers the common case (a handful of items' combined
+    /// exponent plus batch-verification randomizers); anything larger
+    /// takes the table's chunked fallback and stays correct.
+    fn fixed_base(&self) -> &FixedBase {
+        self.fixed
+            .get_or_init(|| FixedBase::new(&self.ctx, &self.x0, 2 * self.n.bit_len() + 128))
+    }
+
+    /// The combined exponent one batched fold of `items` applies:
+    /// `∏ y(itemᵢ)` (Eq. 9 collapses the fold ladder into one power).
+    ///
+    /// Telemetry counts one logical accumulator fold per item — the
+    /// work is measured in *items absorbed* no matter how the power is
+    /// later evaluated.
+    #[must_use]
+    pub fn batch_exponent(&self, items: &[&[u8]]) -> Ubig {
+        dla_telemetry::record(dla_telemetry::CostKind::AccumulatorFold, items.len() as u64);
+        items
+            .iter()
+            .map(|item| self.item_exponent(item))
+            .fold(Ubig::one(), |a, b| a * b)
+    }
+
+    /// `x₀^exp mod n` through the cached fixed-base table —
+    /// bit-identical to folding from [`AccumulatorParams::start`] with
+    /// a ladder, minus the per-call squaring chain.
+    #[must_use]
+    pub fn power_of_start(&self, exp: &Ubig) -> Ubig {
+        self.fixed_base().pow(exp)
+    }
+
+    /// Accumulates a whole collection from `x₀` in **one** fixed-base
+    /// power, `x₀^{∏ yᵢ}` — the same value [`AccumulatorParams::accumulate`]
+    /// reaches with one ladder per item.
+    #[must_use]
+    pub fn accumulate_batch(&self, items: &[&[u8]]) -> Ubig {
+        if items.is_empty() {
+            return self.x0.clone();
+        }
+        let exponent = self.batch_exponent(items);
+        self.power_of_start(&exponent)
+    }
+
+    /// Batch-verifies claims of the form `digestⱼ = x₀^{Eⱼ}` with one
+    /// random-linear-combination check instead of one power per claim:
+    /// draw Fiat–Shamir randomizers `rⱼ` from the claims themselves and
+    /// test `x₀^{Σ rⱼ·Eⱼ} = ∏ digestⱼ^{rⱼ}` — the left side one
+    /// fixed-base power, the right side one [`multi_exp`] product.
+    /// Coefficient arithmetic is over ℤ (the group order is unknown),
+    /// so a forged digest slips through only by guessing a 128-bit
+    /// `rⱼ` relation. Callers wanting to *localise* a failure fall back
+    /// to per-claim [`AccumulatorParams::power_of_start`] comparisons.
+    #[must_use]
+    pub fn batch_verify(&self, claims: &[(Ubig, Ubig)]) -> bool {
+        if claims.is_empty() {
+            return true;
+        }
+        // Bind every randomizer to the full claim transcript.
+        let mut transcript = Vec::new();
+        for (digest, exponent) in claims {
+            let d = digest.to_bytes_be();
+            let e = exponent.to_bytes_be();
+            transcript.extend_from_slice(&(d.len() as u64).to_be_bytes());
+            transcript.extend_from_slice(&d);
+            transcript.extend_from_slice(&(e.len() as u64).to_be_bytes());
+            transcript.extend_from_slice(&e);
+        }
+        let seed = sha256::digest_parts(&[b"dla-batch-verify", &self.n.to_bytes_be(), &transcript]);
+        let randomizers: Vec<Ubig> = (0..claims.len())
+            .map(|j| {
+                let h = sha256::digest_parts(&[
+                    b"dla-batch-verify-r",
+                    &seed,
+                    &(j as u64).to_be_bytes(),
+                ]);
+                let r = Ubig::from_bytes_be(&h[..16]);
+                if r.is_zero() {
+                    Ubig::one()
+                } else {
+                    r
+                }
+            })
+            .collect();
+
+        let combined = claims
+            .iter()
+            .zip(&randomizers)
+            .map(|((_, exponent), r)| exponent.clone() * r.clone())
+            .fold(Ubig::zero(), |a, b| a + b);
+        let lhs = self.power_of_start(&combined);
+        let terms: Vec<(Ubig, Ubig)> = claims
+            .iter()
+            .zip(&randomizers)
+            .map(|((digest, _), r)| (digest.clone(), r.clone()))
+            .collect();
+        let rhs = multi_exp(&self.ctx, &terms);
+        lhs == rhs
+    }
+
+    /// CRT-split [`AccumulatorParams::fold_batch`] for the party that
+    /// kept the modulus factorization: the combined exponent is reduced
+    /// mod `p−1` / `q−1` and each power evaluated in the two half-size
+    /// prime fields, then recombined. Values are bit-identical to the
+    /// public fold; only the arithmetic route (and its cost) differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trapdoor` does not factor these parameters' modulus.
+    #[must_use]
+    pub fn fold_batch_with_trapdoor(
+        &self,
+        trapdoor: &AccumulatorTrapdoor,
+        accs: &[Ubig],
+        items: &[&[u8]],
+    ) -> Vec<Ubig> {
+        assert_eq!(
+            *self.n,
+            trapdoor.modulus(),
+            "trapdoor does not match these accumulator parameters"
+        );
+        if items.is_empty() {
+            return accs.to_vec();
+        }
+        dla_telemetry::record(
+            dla_telemetry::CostKind::AccumulatorFold,
+            (items.len() * accs.len()) as u64,
+        );
+        let exponent = items
+            .iter()
+            .map(|item| self.item_exponent(item))
+            .reduce(|a, b| a * b)
+            .expect("items is non-empty");
+        trapdoor.pow_batch(accs, &exponent)
+    }
+}
+
+/// The factorization of an accumulator modulus — held only by the
+/// setup party (everyone else works with the "rigid" public modulus).
+/// Knowing `p`, `q` turns one `n`-size exponentiation by a huge batch
+/// exponent into two half-size exponentiations by exponents reduced
+/// mod `p−1` / `q−1` (Fermat), recombined with the CRT.
+pub struct AccumulatorTrapdoor {
+    p: Ubig,
+    q: Ubig,
+    ctx_p: MontgomeryContext,
+    ctx_q: MontgomeryContext,
+    /// `q⁻¹ mod p`, for the CRT recombination.
+    q_inv: Ubig,
+}
+
+impl fmt::Debug for AccumulatorTrapdoor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the factors.
+        write!(
+            f,
+            "AccumulatorTrapdoor({} + {} bit factors)",
+            self.p.bit_len(),
+            self.q.bit_len()
+        )
+    }
+}
+
+impl AccumulatorTrapdoor {
+    fn new(p: Ubig, q: Ubig) -> Self {
+        let ctx_p = MontgomeryContext::new(&p).expect("RSA factors are odd primes");
+        let ctx_q = MontgomeryContext::new(&q).expect("RSA factors are odd primes");
+        let q_inv = modular::modinv(&q, &p).expect("distinct primes are coprime");
+        AccumulatorTrapdoor {
+            p,
+            q,
+            ctx_p,
+            ctx_q,
+            q_inv,
+        }
+    }
+
+    /// The modulus this trapdoor factors.
+    #[must_use]
+    pub fn modulus(&self) -> Ubig {
+        &self.p * &self.q
+    }
+
+    /// `exp mod (m−1)`, guarded so a non-zero exponent never reduces to
+    /// zero: `base^{m−1}` and `base^{e(m−1)}` agree mod the prime `m`
+    /// for every base (including multiples of `m`, where both are 0),
+    /// while `base^0 = 1` would not.
+    fn reduce(exp: &Ubig, order: &Ubig) -> Ubig {
+        if exp < order {
+            return exp.clone();
+        }
+        let r = exp % order;
+        if r.is_zero() && !exp.is_zero() {
+            order.clone()
+        } else {
+            r
+        }
+    }
+
+    /// `base^exp mod pq` via the CRT split.
+    #[must_use]
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        self.pow_batch(std::slice::from_ref(base), exp)
+            .pop()
+            .expect("one base in, one power out")
+    }
+
+    /// `baseᵢ^exp mod pq` for every base: the exponent reduces once per
+    /// prime, both half-size batches share their window plans.
+    #[must_use]
+    pub fn pow_batch(&self, bases: &[Ubig], exp: &Ubig) -> Vec<Ubig> {
+        let e_p = Self::reduce(exp, &(&self.p - &Ubig::one()));
+        let e_q = Self::reduce(exp, &(&self.q - &Ubig::one()));
+        let bases_p: Vec<Ubig> = bases.iter().map(|b| b % &self.p).collect();
+        let bases_q: Vec<Ubig> = bases.iter().map(|b| b % &self.q).collect();
+        let pows_p = self.ctx_p.modexp_batch(&bases_p, &e_p);
+        let pows_q = self.ctx_q.modexp_batch(&bases_q, &e_q);
+        pows_p
+            .into_iter()
+            .zip(pows_q)
+            .map(|(a_p, a_q)| {
+                // x ≡ a_p (mod p), x ≡ a_q (mod q):
+                // x = a_q + q·((a_p − a_q)·q⁻¹ mod p).
+                let diff = modular::modsub(&a_p, &(&a_q % &self.p), &self.p);
+                let t = modular::modmul(&diff, &self.q_inv, &self.p);
+                a_q + t * self.q.clone()
+            })
+            .collect()
     }
 }
 
@@ -771,6 +1020,140 @@ mod tests {
             seal: RingEndorsement::seal_over(1, &subject, &[0u8; 32]),
         };
         assert!(ring1.upholds(&genesis));
+    }
+
+    #[test]
+    fn power_of_start_matches_ladder_and_accumulate() {
+        let p = params();
+        let items: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d"];
+        let sequential = p.accumulate(items.iter().copied());
+        let batched = p.accumulate_batch(&items);
+        assert_eq!(sequential, batched);
+        // And directly against the generic ladder on the same exponent.
+        let exponent = p.batch_exponent(&items);
+        assert_eq!(
+            p.power_of_start(&exponent),
+            dla_bigint::modular::modexp(p.start(), &exponent, p.modulus())
+        );
+        assert_eq!(p.accumulate_batch(&[]), *p.start());
+    }
+
+    #[test]
+    fn batch_verify_accepts_genuine_and_rejects_forged_claims() {
+        let p = params();
+        let epochs: Vec<Vec<&[u8]>> = vec![
+            vec![b"e0-a", b"e0-b"],
+            vec![b"e1-a"],
+            vec![b"e2-a", b"e2-b", b"e2-c"],
+        ];
+        let claims: Vec<(Ubig, Ubig)> = epochs
+            .iter()
+            .map(|items| {
+                let e = p.batch_exponent(items);
+                (p.power_of_start(&e), e)
+            })
+            .collect();
+        assert!(p.batch_verify(&claims));
+        assert!(p.batch_verify(&[]), "an empty claim set is vacuously true");
+        assert!(p.batch_verify(&claims[..1]), "single claims verify too");
+
+        // A tampered digest fails the combined check.
+        let mut forged = claims.clone();
+        forged[1].0 = p.accumulate([b"evil".as_slice()]);
+        assert!(!p.batch_verify(&forged));
+
+        // So does a digest paired with the wrong exponent.
+        let mut swapped = claims.clone();
+        swapped.swap(0, 2);
+        let mut crossed = claims;
+        crossed[0].1 = swapped[0].1.clone();
+        assert!(!p.batch_verify(&crossed));
+    }
+
+    #[test]
+    fn trapdoor_crt_folds_match_public_folds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (p, trapdoor) = AccumulatorParams::generate_with_trapdoor(256, &mut rng);
+        assert_eq!(*p.modulus(), trapdoor.modulus());
+
+        let items: Vec<&[u8]> = (0..20)
+            .map(|i| -> &[u8] {
+                match i % 4 {
+                    0 => b"w",
+                    1 => b"x",
+                    2 => b"y",
+                    _ => b"z",
+                }
+            })
+            .collect();
+        let accs = vec![
+            p.accumulate([b"s0".as_slice()]),
+            p.accumulate([b"s1".as_slice()]),
+        ];
+        let public = p.fold_batch(&accs, &items);
+        let split = p.fold_batch_with_trapdoor(&trapdoor, &accs, &items);
+        assert_eq!(public, split, "CRT route must be bit-identical");
+        assert_eq!(
+            p.fold_batch_with_trapdoor(&trapdoor, &accs, &[]),
+            accs,
+            "empty batch is the identity"
+        );
+
+        // Direct powers, including exponents the reduction rewrites:
+        // a multiple of (p−1)(q−1) must not collapse to base^0.
+        let base = p.accumulate([b"base".as_slice()]);
+        for exp in [
+            Ubig::zero(),
+            Ubig::one(),
+            Ubig::from_u64(65_537),
+            &(&trapdoor.modulus() - &Ubig::one()) * &Ubig::from_u64(3),
+        ] {
+            assert_eq!(
+                trapdoor.pow(&base, &exp),
+                dla_bigint::modular::modexp(&base, &exp, p.modulus()),
+                "exp = {} bits",
+                exp.bit_len()
+            );
+        }
+    }
+
+    #[test]
+    fn trapdoor_folds_cost_fewer_mul_steps_on_large_batches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let (p, trapdoor) = AccumulatorParams::generate_with_trapdoor(256, &mut rng);
+        let items: Vec<&[u8]> = (0..24).map(|_| b"item".as_slice()).collect();
+        let accs = vec![p.accumulate([b"seed".as_slice()])];
+        let capture = |f: &dyn Fn() -> Vec<Ubig>| {
+            let recorder = dla_telemetry::Recorder::new();
+            let out = {
+                let _install = recorder.install();
+                f()
+            };
+            (out, recorder.take().total_cost())
+        };
+        let (public, public_cost) = capture(&|| p.fold_batch(&accs, &items));
+        let (split, split_cost) = capture(&|| p.fold_batch_with_trapdoor(&trapdoor, &accs, &items));
+        assert_eq!(public, split);
+        assert_eq!(
+            public_cost.acc_fold, split_cost.acc_fold,
+            "both routes absorb the same logical items"
+        );
+        assert!(
+            split_cost.mont_mul_steps < public_cost.mont_mul_steps,
+            "CRT split ({}) must beat the full-width fold ({})",
+            split_cost.mont_mul_steps,
+            public_cost.mont_mul_steps
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn trapdoor_for_a_different_modulus_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (_, trapdoor) = AccumulatorParams::generate_with_trapdoor(128, &mut rng);
+        let other = params();
+        let _ =
+            other.fold_batch_with_trapdoor(&trapdoor, &[other.start().clone()], &[b"x".as_slice()]);
     }
 
     #[test]

@@ -41,9 +41,15 @@ pub enum ExpAlgo {
     /// Montgomery bit-at-a-time square-and-multiply (the pre-windowed
     /// baseline).
     Binary,
-    /// Montgomery sliding-window with an odd-powers table (default).
-    #[default]
+    /// Montgomery sliding-window with an odd-powers table on the
+    /// generic slice kernel — the previous default, retained as an
+    /// ablation rung and differential oracle.
     Windowed,
+    /// Sliding-window exponentiation on the fixed-width Montgomery
+    /// kernel (fully unrolled 4/8-limb CIOS), with exponents reduced by
+    /// the known group order `p − 1 = 2q` first (default).
+    #[default]
+    Accel,
 }
 
 /// Which quadratic-residue test [`CommutativeDomain::encode`] probes
@@ -75,13 +81,21 @@ pub enum BatchMode {
     /// telemetry recorder is propagated into every worker
     /// ([`dla_telemetry::Recorder::install`] pattern). Worker-side
     /// costs merge into the same recorder but are not attributed to
-    /// the calling thread's innermost scope.
+    /// the calling thread's innermost scope. Batches smaller than
+    /// [`POOLED_MIN_BATCH`] run serially — spawning threads for a
+    /// handful of exponentiations costs more than it saves.
     Pooled {
         /// Upper bound on worker threads (clamped to the element
         /// count; `0` and `1` degenerate to serial).
         threads: usize,
     },
 }
+
+/// Smallest travelling-set size [`BatchMode::Pooled`] actually fans
+/// out for. Below this, thread spawn/join overhead exceeds the whole
+/// batch's exponentiation work, so pooled requests degrade to the
+/// serial shared-plan path (bit-identical results either way).
+pub const POOLED_MIN_BATCH: usize = 32;
 
 /// A precomputed 256-bit safe prime (p = 2q + 1, q prime), verified by
 /// the test suite. Used for fast deterministic tests and benches.
@@ -146,7 +160,7 @@ impl CommutativeDomain {
     }
 
     /// Selects the exponentiation algorithm (ablation knob; defaults to
-    /// [`ExpAlgo::Windowed`]). All choices compute identical values.
+    /// [`ExpAlgo::Accel`]). All choices compute identical values.
     #[must_use]
     pub fn with_exp_algo(mut self, algo: ExpAlgo) -> Self {
         self.exp_algo = algo;
@@ -229,8 +243,28 @@ impl CommutativeDomain {
         match self.exp_algo {
             ExpAlgo::Schoolbook => dla_bigint::modular::modexp_schoolbook(base, exp, &self.p),
             ExpAlgo::Binary => self.ctx.modexp_binary(base, exp),
-            ExpAlgo::Windowed => self.ctx.modexp(base, exp),
+            ExpAlgo::Windowed => self.ctx.modexp_generic(base, exp),
+            ExpAlgo::Accel => match self.reduce_exp(exp) {
+                Some(r) => self.ctx.modexp(base, &r),
+                None => self.ctx.modexp(base, exp),
+            },
         }
+    }
+
+    /// Reduces an exponent by the known group order `p − 1 = 2q`
+    /// (`Z_p^*` is cyclic of order `2q`, so `base^e = base^{e mod 2q}`
+    /// for every unit). Returns `None` when the exponent is already
+    /// below the order — the common case, detected by one comparison.
+    /// A non-zero exponent that reduces to zero lands on `2q` instead,
+    /// which keeps the non-unit edge case `0^e = 0` intact (reducing it
+    /// to an actual zero exponent would flip the answer to `1`).
+    fn reduce_exp(&self, exp: &Ubig) -> Option<Ubig> {
+        let order = self.p.as_ref() - &Ubig::one();
+        if *exp < order {
+            return None;
+        }
+        let r = exp % &order;
+        Some(if r.is_zero() { order } else { r })
     }
 
     /// `base^exp mod p` for every base in `bases`, in order.
@@ -247,7 +281,7 @@ impl CommutativeDomain {
             BatchMode::Serial => self.pow_batch_serial(bases, exp),
             BatchMode::Pooled { threads } => {
                 let threads = threads.min(bases.len());
-                if threads <= 1 {
+                if threads <= 1 || bases.len() < POOLED_MIN_BATCH {
                     return self.pow_batch_serial(bases, exp);
                 }
                 let recorder = dla_telemetry::current();
@@ -275,7 +309,12 @@ impl CommutativeDomain {
 
     fn pow_batch_serial(&self, bases: &[Ubig], exp: &Ubig) -> Vec<Ubig> {
         match self.exp_algo {
-            ExpAlgo::Windowed => self.ctx.modexp_batch(bases, exp),
+            ExpAlgo::Windowed => self.ctx.modexp_batch_generic(bases, exp),
+            ExpAlgo::Accel => {
+                let reduced = self.reduce_exp(exp);
+                self.ctx
+                    .modexp_batch(bases, reduced.as_ref().unwrap_or(exp))
+            }
             _ => bases.iter().map(|b| self.pow(b, exp)).collect(),
         }
     }
@@ -776,7 +815,12 @@ mod tests {
         let key = PhKey::generate(&base, &mut rng);
         let m = base.fingerprint(b"ablation element");
         let reference = key.encrypt(&m);
-        for algo in [ExpAlgo::Schoolbook, ExpAlgo::Binary, ExpAlgo::Windowed] {
+        for algo in [
+            ExpAlgo::Schoolbook,
+            ExpAlgo::Binary,
+            ExpAlgo::Windowed,
+            ExpAlgo::Accel,
+        ] {
             let domain = CommutativeDomain::fixed_256().with_exp_algo(algo);
             let alt = PhKey::from_exponent(&domain, key.e.clone()).unwrap();
             assert_eq!(alt.encrypt(&m), reference, "{algo:?}");
@@ -833,6 +877,63 @@ mod tests {
         assert_eq!(serial_steps, pooled_steps);
         assert_eq!(serial_exp, ms.len() as u64);
         assert!(serial_steps > 0);
+    }
+
+    #[test]
+    fn accel_reduces_exponents_by_group_order() {
+        // base^e = base^(e mod 2q) for units; the Accel rung reduces,
+        // the Windowed oracle never does — answers must still match.
+        let accel = CommutativeDomain::fixed_256();
+        let oracle = CommutativeDomain::fixed_256().with_exp_algo(ExpAlgo::Windowed);
+        let order = accel.modulus() - &Ubig::one();
+        let mut rng = rng();
+        let base = accel.fingerprint(b"reduction probe");
+        for exp in [
+            Ubig::zero(),
+            Ubig::one(),
+            order.clone(),
+            &order - &Ubig::one(),
+            &order + &Ubig::one(),
+            &order << 1,
+            &(&order * &Ubig::from_u64(7)) + &Ubig::from_u64(12345),
+            Ubig::random_bits(&mut rng, 1000),
+        ] {
+            assert_eq!(
+                accel.pow(&base, &exp),
+                oracle.pow(&base, &exp),
+                "exp={}",
+                exp.to_hex()
+            );
+        }
+        // The zero guard: 0^e must stay 0 even when e ≡ 0 (mod 2q).
+        assert_eq!(accel.pow(&Ubig::zero(), &order), Ubig::zero());
+        assert_eq!(accel.pow(&Ubig::zero(), &(&order << 1)), Ubig::zero());
+        assert_eq!(accel.pow(&Ubig::zero(), &Ubig::zero()), Ubig::one());
+    }
+
+    #[test]
+    fn pooled_below_threshold_degrades_to_serial() {
+        let domain = CommutativeDomain::fixed_256();
+        let mut rng = rng();
+        let key = PhKey::generate(&domain, &mut rng);
+        const { assert!(POOLED_MIN_BATCH > 2) };
+        let ms: Vec<Ubig> = (0..POOLED_MIN_BATCH as u32 - 1)
+            .map(|i| domain.fingerprint(&i.to_be_bytes()))
+            .collect();
+        // Identical values and identical telemetry *scope attribution*:
+        // a sub-threshold pooled batch never leaves the calling thread.
+        let run = |mode: BatchMode| {
+            let recorder = dla_telemetry::Recorder::new();
+            let out = {
+                let _guard = recorder.install();
+                key.encrypt_batch(&ms, mode)
+            };
+            (out, recorder.take().total_cost())
+        };
+        let (serial_out, serial_cost) = run(BatchMode::Serial);
+        let (pooled_out, pooled_cost) = run(BatchMode::Pooled { threads: 3 });
+        assert_eq!(serial_out, pooled_out);
+        assert_eq!(serial_cost, pooled_cost);
     }
 
     #[test]

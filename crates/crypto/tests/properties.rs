@@ -163,4 +163,23 @@ proptest! {
         let element = domain.encode(&message).unwrap();
         prop_assert_eq!(domain.decode(&element), message);
     }
+
+    /// Known-order exponent reduction is invisible: the accelerated
+    /// path (reduce mod p−1, fixed-width kernel) and the PR 4 windowed
+    /// oracle agree on every base, including exponents far beyond the
+    /// group order and exact multiples of it.
+    #[test]
+    fn exponent_reduction_matches_unreduced(
+        base in prop::collection::vec(any::<u64>(), 0..8),
+        exp in prop::collection::vec(any::<u64>(), 0..12),
+        order_multiple in 0u64..4,
+    ) {
+        use dla_crypto::pohlig_hellman::ExpAlgo;
+        let accel = CommutativeDomain::fixed_256().with_exp_algo(ExpAlgo::Accel);
+        let oracle = CommutativeDomain::fixed_256().with_exp_algo(ExpAlgo::Windowed);
+        let b = Ubig::from_limbs(base);
+        let order = accel.modulus() - &Ubig::one();
+        let e = &Ubig::from_limbs(exp) + &(&order * &Ubig::from_u64(order_multiple));
+        prop_assert_eq!(accel.pow(&b, &e), oracle.pow(&b, &e));
+    }
 }

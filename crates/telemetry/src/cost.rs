@@ -22,6 +22,13 @@ pub enum CostKind {
     /// hides (a 3-bit and a 512-bit exponent differ by two orders of
     /// magnitude in steps).
     MontMulStep,
+    /// One radix-2^w fixed-base table constructed (the precompute a
+    /// [`CostKind::MontMulStep`]-counted build pays once and every
+    /// subsequent fixed-base power amortises).
+    FixedBaseTableBuild,
+    /// One `(base, exponent)` term evaluated inside a Straus/Pippenger
+    /// multi-exponentiation (the batch analogue of [`CostKind::ModExp`]).
+    MultiExpTerm,
     /// Modular inverse (extended Euclid).
     ModInverse,
     /// One-way accumulator fold (§4.1).
@@ -55,6 +62,8 @@ impl CostKind {
         match self {
             CostKind::ModExp => "modexp",
             CostKind::MontMulStep => "mont_mul_steps",
+            CostKind::FixedBaseTableBuild => "fixed_base_builds",
+            CostKind::MultiExpTerm => "multi_exp_terms",
             CostKind::ModInverse => "modinv",
             CostKind::AccumulatorFold => "acc_fold",
             CostKind::ShamirEval => "shamir_eval",
@@ -78,6 +87,10 @@ pub struct CostVector {
     /// Montgomery multiplication/squaring steps performed inside
     /// exponentiations.
     pub mont_mul_steps: u64,
+    /// Fixed-base tables built.
+    pub fixed_base_builds: u64,
+    /// Terms evaluated by multi-exponentiation kernels.
+    pub multi_exp_terms: u64,
     /// Modular inverses.
     pub modinv: u64,
     /// Accumulator folds.
@@ -108,6 +121,8 @@ impl CostVector {
         let slot = match kind {
             CostKind::ModExp => &mut self.modexp,
             CostKind::MontMulStep => &mut self.mont_mul_steps,
+            CostKind::FixedBaseTableBuild => &mut self.fixed_base_builds,
+            CostKind::MultiExpTerm => &mut self.multi_exp_terms,
             CostKind::ModInverse => &mut self.modinv,
             CostKind::AccumulatorFold => &mut self.acc_fold,
             CostKind::ShamirEval => &mut self.shamir_eval,
@@ -127,6 +142,8 @@ impl CostVector {
     pub fn merge(&mut self, other: &CostVector) {
         self.modexp += other.modexp;
         self.mont_mul_steps += other.mont_mul_steps;
+        self.fixed_base_builds += other.fixed_base_builds;
+        self.multi_exp_terms += other.multi_exp_terms;
         self.modinv += other.modinv;
         self.acc_fold += other.acc_fold;
         self.shamir_eval += other.shamir_eval;
@@ -148,10 +165,12 @@ impl CostVector {
 
     /// `(label, value)` pairs in a stable order, for exporters.
     #[must_use]
-    pub fn entries(&self) -> [(&'static str, u64); 13] {
+    pub fn entries(&self) -> [(&'static str, u64); 15] {
         [
             ("modexp", self.modexp),
             ("mont_mul_steps", self.mont_mul_steps),
+            ("fixed_base_builds", self.fixed_base_builds),
+            ("multi_exp_terms", self.multi_exp_terms),
             ("modinv", self.modinv),
             ("acc_fold", self.acc_fold),
             ("shamir_eval", self.shamir_eval),
@@ -226,6 +245,8 @@ mod tests {
         let kinds = [
             CostKind::ModExp,
             CostKind::MontMulStep,
+            CostKind::FixedBaseTableBuild,
+            CostKind::MultiExpTerm,
             CostKind::ModInverse,
             CostKind::AccumulatorFold,
             CostKind::ShamirEval,
@@ -243,7 +264,10 @@ mod tests {
             v.add(*kind, (i + 1) as u64);
         }
         let values: Vec<u64> = v.entries().iter().map(|(_, n)| *n).collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(
+            values,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+        );
         assert!(!v.is_zero());
     }
 
