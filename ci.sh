@@ -215,6 +215,48 @@ for r in rows:
 PY
 fi
 
+echo "==> exp_standing_query --quick (asserts flat cached-window scans, identical answers)"
+cargo run --release -p dla-bench --bin exp_standing_query -- --quick >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .experiment == "standing_query"
+        and .federated_identical
+        and (.federated_published > 0)
+        and (.rows | length >= 2)
+        and (.rows | all(has("records") and has("cached_fragments")
+                         and has("rescan_fragments") and has("epochs_cached")
+                         and has("identical") and has("standing_identical")))
+        and (.rows | all(.identical and .standing_identical))
+        and (.rows | all(.epochs_cached > 0))
+        and (.rows | all(.cached_fragments == $top.cached_fragments))
+        and (.rows | all(.rescan_fragments == .records))
+        and ((.rows | last).rescan_fragments > (.rows | last).cached_fragments)
+    ' --argjson top "$(jq '{cached_fragments}' BENCH_standing_query.json)" \
+        BENCH_standing_query.json >/dev/null
+else
+    python3 - <<'PY'
+import json
+d = json.load(open("BENCH_standing_query.json"))
+assert d["experiment"] == "standing_query"
+assert d["federated_identical"], "federated standing answers diverged"
+assert d["federated_published"] > 0, "seals must push checkpoints unpolled"
+rows = d["rows"]
+assert len(rows) >= 2
+for r in rows:
+    for key in ("records", "cached_fragments", "rescan_fragments",
+                "epochs_cached", "identical", "standing_identical"):
+        assert key in r, key
+    assert r["identical"], "cached aggregate diverged from rescan"
+    assert r["standing_identical"], "standing deltas diverged from fresh query"
+    assert r["epochs_cached"] > 0, "window must hit cached epochs"
+    assert r["cached_fragments"] == d["cached_fragments"], \
+        "cached-window scan work must stay flat as the trail grows"
+    assert r["rescan_fragments"] == r["records"], "rescan touches every fragment"
+assert rows[-1]["rescan_fragments"] > rows[-1]["cached_fragments"], \
+    "rescan must do strictly more scan work at the longest trail"
+PY
+fi
+
 echo "==> dla-cluster smoke run (4 app + 3 infrastructure node processes)"
 cargo run --release -p dla-deploy --bin dla-cluster -- --nodes 4 --records 8 --seed 7 \
     | grep -q "CLUSTER OK"

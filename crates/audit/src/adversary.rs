@@ -374,11 +374,18 @@ pub fn run_attack(class: AttackClass, seed: u64) -> Result<ScenarioReport, Audit
             let digest = cluster
                 .accumulator_params()
                 .accumulate([b"equivocated-head".as_slice()]);
-            let link = CheckpointChain::link_over(&prev_link, epoch, genuine.items, &digest);
+            let link = CheckpointChain::link_over(
+                &prev_link,
+                epoch,
+                genuine.items,
+                &digest,
+                &genuine.aggregates,
+            );
             let forged = EpochCheckpoint {
                 epoch,
                 items: genuine.items,
                 digest,
+                aggregates: genuine.aggregates,
                 link,
             };
             let adversary = Arc::new(ScriptedAdversary::new().compromise(equivocator).rule(

@@ -13,11 +13,21 @@
 //!   receives only the reconstructed aggregate — it cannot tell which
 //!   node(s) contributed, and no per-record value ever leaves its
 //!   owner.
+//! * [`windowed_bucket_aggregate`] — count/sum over one predicate
+//!   bucket (`attr = 'value'`) restricted to a time window, answered
+//!   from the per-epoch partials materialized at seal time: a window
+//!   query combines O(epochs-in-window) precomputed partials instead
+//!   of rescanning fragments, falling back to an epoch-local scan only
+//!   where the cache cannot prove coverage. Cached partials are
+//!   integrity-checked against the aggregate commitment folded into
+//!   each epoch's checkpoint link before they are believed.
 
-use crate::cluster::DlaCluster;
+use crate::cluster::{epoch_aggregates_digest, DlaCluster};
 use crate::exec;
+use crate::plan::TimeWindow;
 use crate::AuditError;
 use dla_bigint::F61;
+use dla_logstore::epoch::EpochId;
 use dla_logstore::model::{AttrName, AttrValue, Glsn};
 use dla_mpc::report::ProtocolReport;
 use dla_mpc::sum::secure_sum;
@@ -161,6 +171,212 @@ pub fn sum_matching(
     })
 }
 
+/// Which machinery answers a [`windowed_bucket_aggregate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AggregatePath {
+    /// Combine sealed epochs' materialized partials where coverage is
+    /// provable, scanning only the epochs the cache cannot answer.
+    #[default]
+    Cached,
+    /// Ignore the cache entirely: scan the owner's whole trail. The
+    /// baseline the cached path must agree with byte for byte.
+    Rescan,
+}
+
+/// Result of a [`windowed_bucket_aggregate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WindowedAggregate {
+    /// Records in the bucket inside the window.
+    pub count: u64,
+    /// Sum of the requested numeric attribute over those records
+    /// (`None` when no sum attribute was requested).
+    pub sum: Option<i64>,
+    /// Epochs answered from cached partials.
+    pub epochs_cached: usize,
+    /// Epochs answered by scanning fragments.
+    pub epochs_scanned: usize,
+    /// Fragments visited by scanning (the work the cache avoids).
+    pub fragments_scanned: u64,
+}
+
+/// Whether `t` satisfies the window's inclusive bounds.
+fn in_window(window: &TimeWindow, t: u64) -> bool {
+    window.lo.is_none_or(|lo| t >= lo) && window.hi.is_none_or(|hi| t <= hi)
+}
+
+/// Whether the window contains the *entire* inclusive range `[lo, hi]`.
+fn window_covers(window: &TimeWindow, lo: u64, hi: u64) -> bool {
+    window.lo.is_none_or(|w| lo >= w) && window.hi.is_none_or(|w| hi <= w)
+}
+
+/// Counts (and optionally sums over) the records whose `attr` equals
+/// the text `value`, restricted to `window` over the `time` attribute.
+/// Records without a `time` are excluded whenever the window is
+/// bounded, mirroring strict predicate evaluation.
+///
+/// Under [`AggregatePath::Cached`] each sealed epoch whose observed
+/// time extent the window fully covers — and whose every deposit
+/// carried a time — is answered from its materialized
+/// [`dla_logstore::epoch::EpochPartials`], after re-deriving the
+/// cluster-wide aggregate commitment and checking it against the
+/// epoch's checkpoint. Everything else (open epochs, boundary-straddled
+/// epochs) is scanned fragment by fragment, so both paths return
+/// identical answers by construction — the bench and chaos suites
+/// assert it empirically.
+///
+/// # Errors
+///
+/// Returns [`AuditError::Planning`] if `attr` is unserved, or if
+/// `sum_attr` is not co-located with `attr` (per-record pairing happens
+/// at the owner); [`AuditError::Integrity`] if a cached partial fails
+/// its checkpoint commitment.
+pub fn windowed_bucket_aggregate(
+    cluster: &DlaCluster,
+    attr: &AttrName,
+    value: &str,
+    sum_attr: Option<&AttrName>,
+    window: &TimeWindow,
+    path: AggregatePath,
+) -> Result<WindowedAggregate, AuditError> {
+    let owner = cluster.partition().node_of(attr).ok_or_else(|| {
+        AuditError::Planning(format!("attribute {attr} is not served by any node"))
+    })?;
+    if let Some(sa) = sum_attr {
+        let sum_owner = cluster.partition().node_of(sa).ok_or_else(|| {
+            AuditError::Planning(format!("attribute {sa} is not served by any node"))
+        })?;
+        if sum_owner != owner {
+            return Err(AuditError::Planning(format!(
+                "sum attribute {sa} (node {sum_owner}) is not co-located with \
+                 bucket attribute {attr} (node {owner}); partial aggregation \
+                 pairs them per record at the owner"
+            )));
+        }
+    }
+    let time_attr = AttrName::new("time");
+    let time_owner = cluster.partition().node_of(&time_attr);
+
+    let mut out = WindowedAggregate {
+        count: 0,
+        sum: sum_attr.map(|_| 0),
+        epochs_cached: 0,
+        epochs_scanned: 0,
+        fragments_scanned: 0,
+    };
+    if window.is_empty() {
+        return Ok(out);
+    }
+
+    // The record's time lives at its own owner node, not necessarily
+    // beside the bucket attribute.
+    let record_time = |glsn| -> Option<u64> {
+        let store = cluster.node(time_owner?).store();
+        match store.get_local(glsn).and_then(|f| f.values.get(&time_attr)) {
+            Some(AttrValue::Time(t)) => Some(*t),
+            _ => None,
+        }
+    };
+    let bounded = !window.is_unbounded();
+
+    // One epoch's contribution by scanning the owner's fragments over
+    // the epoch's nominal glsn range (the partials' own scan surface).
+    let scan_epoch = |epoch: EpochId, out: &mut WindowedAggregate| {
+        let (lo, hi) = cluster.epoch_policy().glsn_range(epoch);
+        let store = cluster.node(owner).store();
+        for frag in store.scan_window(lo, hi) {
+            out.fragments_scanned += 1;
+            if frag.values.get(attr) != Some(&AttrValue::text(value)) {
+                continue;
+            }
+            if bounded {
+                let Some(t) = record_time(frag.glsn) else {
+                    continue;
+                };
+                if !in_window(window, t) {
+                    continue;
+                }
+            }
+            out.count += 1;
+            if let (Some(sa), Some(total)) = (sum_attr, out.sum.as_mut()) {
+                if let Some(AttrValue::Int(v) | AttrValue::Fixed2(v)) = frag.values.get(sa) {
+                    *total = total.wrapping_add(*v);
+                }
+            }
+        }
+        out.epochs_scanned += 1;
+    };
+
+    match path {
+        AggregatePath::Rescan => {
+            // The linear baseline: every observed epoch is scanned.
+            let epochs: Vec<EpochId> = cluster.epoch_stats().map(|s| s.epoch).collect();
+            for epoch in epochs {
+                scan_epoch(epoch, &mut out);
+            }
+        }
+        AggregatePath::Cached => {
+            for stats in cluster.epoch_stats() {
+                if bounded {
+                    // A bounded window needs timed records; an epoch
+                    // with none, or whose extent misses the window,
+                    // contributes nothing.
+                    let (Some(t_lo), Some(t_hi)) = (stats.time_lo, stats.time_hi) else {
+                        continue;
+                    };
+                    if !window.intersects(t_lo, t_hi) {
+                        continue;
+                    }
+                    let fully_covered =
+                        window_covers(window, t_lo, t_hi) && stats.timed == stats.deposits;
+                    if !(stats.sealed && fully_covered) {
+                        scan_epoch(stats.epoch, &mut out);
+                        continue;
+                    }
+                } else if !stats.sealed {
+                    scan_epoch(stats.epoch, &mut out);
+                    continue;
+                }
+                // Cached leg. The commitment folded into the checkpoint
+                // link endorses exactly these partials; verify before
+                // believing them.
+                let store = cluster.node(owner).store();
+                let Some(partials) = store.epoch_partials(stats.epoch) else {
+                    drop(store);
+                    scan_epoch(stats.epoch, &mut out);
+                    continue;
+                };
+                let committed = cluster
+                    .checkpoint_chain()
+                    .get(stats.epoch.0)
+                    .map(|c| c.aggregates);
+                let (count, sum) = match partials.bucket(attr, value) {
+                    Some(bucket) => (
+                        bucket.count,
+                        sum_attr.map(|sa| bucket.sums.get(sa).map_or(0, |p| p.total)),
+                    ),
+                    None => (0, sum_attr.map(|_| 0)),
+                };
+                drop(store);
+                let derived = epoch_aggregates_digest(cluster.nodes(), stats.epoch);
+                if committed != Some(derived) {
+                    return Err(AuditError::Integrity(format!(
+                        "epoch {} cached partials do not match the checkpointed \
+                         aggregate commitment",
+                        stats.epoch
+                    )));
+                }
+                out.count += count;
+                if let (Some(total), Some(s)) = (out.sum.as_mut(), sum) {
+                    *total = total.wrapping_add(s);
+                }
+                out.epochs_cached += 1;
+                dla_telemetry::record(dla_telemetry::CostKind::PartialCombine, 1);
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +452,177 @@ mod tests {
         let mut cluster = loaded();
         let outcome = sum_matching(&mut cluster, "c1 > 0", &"c1".into()).unwrap();
         assert!(outcome.reports.iter().any(|r| r.protocol == "secure-sum"));
+    }
+
+    fn epoch_loaded(
+        epoch_length: u64,
+        records: usize,
+    ) -> (DlaCluster, Vec<dla_logstore::model::LogRecord>) {
+        use rand::SeedableRng;
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let mut cluster = DlaCluster::new(
+            ClusterConfig::new(4, schema)
+                .with_partition(partition)
+                .with_seed(42)
+                .with_epoch_length(epoch_length),
+        )
+        .unwrap();
+        let user = cluster.register_user("u").unwrap();
+        let workload = dla_logstore::gen::generate(
+            &dla_logstore::gen::WorkloadConfig {
+                records,
+                ..Default::default()
+            },
+            &mut rand::rngs::StdRng::seed_from_u64(5),
+        );
+        cluster.log_records(&user, &workload).unwrap();
+        (cluster, workload)
+    }
+
+    fn record_time(record: &dla_logstore::model::LogRecord) -> u64 {
+        match record.get(&"time".into()) {
+            Some(AttrValue::Time(t)) => *t,
+            other => panic!("workload records carry a time, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn windowed_bucket_aggregate_cached_equals_rescan() {
+        let (cluster, workload) = epoch_loaded(4, 24);
+        let times: Vec<u64> = workload.iter().map(record_time).collect();
+        let window = TimeWindow {
+            lo: Some(times[3]),
+            hi: Some(times[19]),
+        };
+        let attr: AttrName = "protocol".into();
+        let sum_attr: AttrName = "c1".into();
+        for value in ["UDP", "TCP"] {
+            let cached = windowed_bucket_aggregate(
+                &cluster,
+                &attr,
+                value,
+                Some(&sum_attr),
+                &window,
+                AggregatePath::Cached,
+            )
+            .unwrap();
+            let rescan = windowed_bucket_aggregate(
+                &cluster,
+                &attr,
+                value,
+                Some(&sum_attr),
+                &window,
+                AggregatePath::Rescan,
+            )
+            .unwrap();
+            assert_eq!((cached.count, cached.sum), (rescan.count, rescan.sum));
+            assert!(
+                cached.epochs_cached > 0,
+                "a fully-covered sealed epoch must be answered from cache"
+            );
+            assert!(
+                cached.fragments_scanned < rescan.fragments_scanned,
+                "cache must reduce scan work: {} vs {}",
+                cached.fragments_scanned,
+                rescan.fragments_scanned
+            );
+            // Reference: count by hand from the workload.
+            let expected: u64 = workload
+                .iter()
+                .filter(|r| {
+                    r.get(&attr) == Some(&AttrValue::text(value))
+                        && (times[3]..=times[19]).contains(&record_time(r))
+                })
+                .count() as u64;
+            assert_eq!(cached.count, expected);
+        }
+    }
+
+    #[test]
+    fn windowed_bucket_aggregate_unbounded_counts_everything() {
+        let (cluster, workload) = epoch_loaded(4, 12);
+        let attr: AttrName = "id".into();
+        let sum_attr: AttrName = "c2".into();
+        let value = match workload[0].get(&attr) {
+            Some(AttrValue::Text(s)) => s.clone(),
+            other => panic!("id is text, got {other:?}"),
+        };
+        let cached = windowed_bucket_aggregate(
+            &cluster,
+            &attr,
+            &value,
+            Some(&sum_attr),
+            &TimeWindow::unbounded(),
+            AggregatePath::Cached,
+        )
+        .unwrap();
+        let rescan = windowed_bucket_aggregate(
+            &cluster,
+            &attr,
+            &value,
+            Some(&sum_attr),
+            &TimeWindow::unbounded(),
+            AggregatePath::Rescan,
+        )
+        .unwrap();
+        assert_eq!((cached.count, cached.sum), (rescan.count, rescan.sum));
+        let expected: i64 = workload
+            .iter()
+            .filter(|r| r.get(&attr) == Some(&AttrValue::text(&value)))
+            .map(|r| match r.get(&sum_attr) {
+                Some(AttrValue::Fixed2(v) | AttrValue::Int(v)) => *v,
+                other => panic!("c2 is numeric, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(cached.sum, Some(expected));
+    }
+
+    #[test]
+    fn windowed_bucket_aggregate_rejects_non_colocated_sum() {
+        let (cluster, _) = epoch_loaded(4, 8);
+        // protocol lives on P3, c2 on P1.
+        let err = windowed_bucket_aggregate(
+            &cluster,
+            &"protocol".into(),
+            "UDP",
+            Some(&"c2".into()),
+            &TimeWindow::unbounded(),
+            AggregatePath::Cached,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("co-located"), "{err}");
+    }
+
+    #[test]
+    fn tampered_cached_partials_fail_the_checkpoint_commitment() {
+        let (cluster, _) = epoch_loaded(4, 16);
+        let owner = cluster.partition().node_of(&"protocol".into()).unwrap();
+        // Tamper the cached partials of a sealed epoch directly in the
+        // owner's manifest.
+        {
+            let mut store = cluster.node(owner).store_mut();
+            let epoch = store
+                .epoch_manifests()
+                .find(|m| m.sealed && m.partials.is_some())
+                .map(|m| m.epoch)
+                .expect("a sealed epoch with partials");
+            let mut partials = store.epoch_partials(epoch).unwrap().clone();
+            partials.fragments += 1;
+            assert!(store.tamper_partials(epoch, partials));
+        }
+        let err = windowed_bucket_aggregate(
+            &cluster,
+            &"protocol".into(),
+            "UDP",
+            None,
+            &TimeWindow::unbounded(),
+            AggregatePath::Cached,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("aggregate commitment"),
+            "cached partials must be integrity-checked: {err}"
+        );
     }
 }

@@ -228,6 +228,11 @@ pub struct EpochStats {
     pub time_lo: Option<u64>,
     /// Largest `time` attribute among the epoch's records.
     pub time_hi: Option<u64>,
+    /// Deposits that carried a `time` attribute. When equal to
+    /// `deposits`, `[time_lo, time_hi]` bounds *every* record in the
+    /// epoch — the precondition for answering a time-windowed aggregate
+    /// from cached partials without consulting the fragments.
+    pub timed: u64,
     /// The epoch accumulator: fold of `trail_item(glsn, deposit)` for
     /// every deposit in the epoch, from `x₀`. Checkpointed on seal.
     pub acc: Ubig,
@@ -245,6 +250,7 @@ impl EpochStats {
             glsn_hi: Glsn(0),
             time_lo: None,
             time_hi: None,
+            timed: 0,
             acc: acc0,
             sealed: false,
         }
@@ -255,10 +261,42 @@ impl EpochStats {
         self.glsn_lo = self.glsn_lo.min(glsn);
         self.glsn_hi = self.glsn_hi.max(glsn);
         if let Some(t) = time {
+            self.timed += 1;
             self.time_lo = Some(self.time_lo.map_or(t, |lo| lo.min(t)));
             self.time_hi = Some(self.time_hi.map_or(t, |hi| hi.max(t)));
         }
     }
+}
+
+/// Commitment to the cluster-wide materialized aggregates of `epoch`:
+/// a domain-tagged hash over every node's canonical
+/// [`dla_logstore::epoch::EpochPartials`] encoding, in node order.
+/// Folded into the epoch's checkpoint link
+/// ([`CheckpointChain::seal_with_aggregates`]) so a cached partial
+/// consulted by a windowed aggregate query is integrity-checked
+/// against the published chain, never trusted. Nodes that never
+/// materialized contribute their live recompute — a pure function of
+/// their fragments, so the commitment is reproducible on restore.
+#[must_use]
+pub fn epoch_aggregates_digest(nodes: &[DlaNode], epoch: EpochId) -> [u8; 32] {
+    let epoch_be = epoch.0.to_be_bytes();
+    let encodings: Vec<Vec<u8>> = nodes
+        .iter()
+        .map(|node| {
+            let store = node.store();
+            store.epoch_partials(epoch).map_or_else(
+                || store.compute_partials(epoch).encode(),
+                dla_logstore::epoch::EpochPartials::encode,
+            )
+        })
+        .collect();
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(encodings.len() + 2);
+    parts.push(b"dla-epoch-aggregates");
+    parts.push(&epoch_be);
+    for encoding in &encodings {
+        parts.push(encoding);
+    }
+    dla_crypto::sha256::digest_parts(&parts)
 }
 
 /// The trail item folded into epoch and whole-trail accumulators for
@@ -478,6 +516,9 @@ pub struct DlaCluster {
     trail_acc: Ubig,
     /// Items folded into `trail_acc`.
     trail_items: u64,
+    /// Registered standing queries, evaluated incrementally at every
+    /// epoch seal (see [`crate::standing`]).
+    standing: crate::standing::StandingRegistry,
 }
 
 impl fmt::Debug for DlaCluster {
@@ -636,7 +677,17 @@ impl DlaCluster {
                 .entry(epoch)
                 .or_insert_with(|| EpochStats::open(epoch, acc_params.start().clone()));
             stats.sealed = true;
-            chain.seal(epoch.0, stats.deposits, stats.acc.clone());
+            // Re-materialize each node's aggregate partials (idempotent
+            // — restore already rebuilt journaled ones from the
+            // surviving fragments) so the aggregate commitment, and
+            // with it every chain link, is reproduced bit for bit.
+            for node in &nodes {
+                node.store_mut()
+                    .materialize_partials(epoch)
+                    .map_err(|e| AuditError::Log(e.to_string()))?;
+            }
+            let aggregates = epoch_aggregates_digest(&nodes, epoch);
+            chain.seal_with_aggregates(epoch.0, stats.deposits, stats.acc.clone(), aggregates);
         }
 
         Ok(DlaCluster {
@@ -670,6 +721,7 @@ impl DlaCluster {
             chain,
             trail_acc,
             trail_items,
+            standing: crate::standing::StandingRegistry::default(),
         })
     }
 
@@ -1181,9 +1233,11 @@ impl DlaCluster {
         Ok(())
     }
 
-    /// Seals `epoch` cluster-wide: checkpoints its accumulator digest
-    /// on the hash chain, marks every node's manifest sealed (journaled
-    /// per node), and queues the cluster-journal seal record.
+    /// Seals `epoch` cluster-wide: materializes every node's aggregate
+    /// partials, checkpoints the accumulator digest *and* the aggregate
+    /// commitment on the hash chain, marks every node's manifest sealed
+    /// (journaled per node), queues the cluster-journal seal record,
+    /// and pushes incremental deltas to every standing query.
     fn seal_epoch_cluster(
         &mut self,
         epoch: EpochId,
@@ -1197,7 +1251,18 @@ impl DlaCluster {
             stats.sealed = true;
             (stats.deposits, stats.acc.clone())
         };
-        self.chain.seal(epoch.0, items, digest);
+        // Cache the epoch's count/sum partials before sealing, so the
+        // commitment below endorses exactly what windowed aggregate
+        // queries will combine.
+        for node in &self.nodes {
+            node.store_mut()
+                .materialize_partials(epoch)
+                .map_err(|e| AuditError::Log(e.to_string()))?;
+            dla_telemetry::record(dla_telemetry::CostKind::PartialMaterialize, 1);
+        }
+        let aggregates = epoch_aggregates_digest(&self.nodes, epoch);
+        self.chain
+            .seal_with_aggregates(epoch.0, items, digest, aggregates);
         for node in &self.nodes {
             node.store_mut()
                 .seal_epoch(epoch)
@@ -1214,6 +1279,139 @@ impl DlaCluster {
             "cluster",
             "epoch-seal",
             format!("epoch={epoch} items={items}"),
+        );
+        self.emit_standing_deltas(epoch)?;
+        Ok(())
+    }
+
+    /// Registers a standing query (see [`crate::standing`]): the
+    /// criteria is parsed, normalized and validated against the
+    /// configured partition **once**; every subsequent epoch seal
+    /// evaluates it over just the sealed epoch's glsn range and pushes
+    /// a [`crate::standing::StandingDelta`]. Already-sealed epochs are
+    /// caught up immediately, so a late subscriber converges to the
+    /// same accumulated answer as one registered at genesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError`] on parse/plan failures, or if a catch-up
+    /// evaluation fails.
+    pub fn register_standing(
+        &mut self,
+        criteria: &str,
+    ) -> Result<crate::standing::StandingQueryId, AuditError> {
+        let parsed = crate::parser::parse(criteria, &self.ctx.schema)
+            .map_err(|e| AuditError::Parse(e.to_string()))?;
+        let normalized = crate::normal::normalize(&parsed);
+        // Fail registration, not some later seal, on an unplannable
+        // query.
+        crate::plan::plan(&normalized, &self.ctx.partition)?;
+        let id = self.standing.register(criteria, normalized);
+        self.meta_log(
+            "cluster",
+            "standing-register",
+            format!("query={id} criteria={criteria}"),
+        );
+        let sealed: Vec<EpochId> = self
+            .epoch_stats
+            .iter()
+            .filter(|(_, s)| s.sealed)
+            .map(|(e, _)| *e)
+            .collect();
+        for epoch in sealed {
+            self.emit_standing_delta_for(id, epoch)?;
+        }
+        Ok(id)
+    }
+
+    /// Drains the deltas pushed to `id` since the last drain (seal
+    /// order). Empty deltas are delivered too.
+    pub fn standing_deltas(
+        &mut self,
+        id: crate::standing::StandingQueryId,
+    ) -> Vec<crate::standing::StandingDelta> {
+        self.standing.drain_deltas(id)
+    }
+
+    /// The accumulated matches of standing query `id` over every
+    /// sealed epoch, sorted ascending. `None` for an unknown id.
+    #[must_use]
+    pub fn standing_matches(&self, id: crate::standing::StandingQueryId) -> Option<Vec<Glsn>> {
+        self.standing.matches(id)
+    }
+
+    /// The standing-query registry (read access for reporting).
+    #[must_use]
+    pub fn standing(&self) -> &crate::standing::StandingRegistry {
+        &self.standing
+    }
+
+    /// Evaluates every registered standing query against the freshly
+    /// sealed `epoch`.
+    fn emit_standing_deltas(&mut self, epoch: EpochId) -> Result<(), AuditError> {
+        for id in self.standing.ids() {
+            self.emit_standing_delta_for(id, epoch)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates standing query `id` over exactly `epoch`'s glsn range
+    /// and pushes the resulting delta. Idempotent per (query, epoch).
+    /// Runs under the cluster's ARQ configuration so seals during lossy
+    /// operation still deliver deltas.
+    fn emit_standing_delta_for(
+        &mut self,
+        id: crate::standing::StandingQueryId,
+        epoch: EpochId,
+    ) -> Result<(), AuditError> {
+        if self.standing.evaluated(id, epoch) {
+            return Ok(());
+        }
+        let clamp = {
+            let stats = self
+                .epoch_stats
+                .get(&epoch)
+                .expect("delta for an observed epoch");
+            if stats.deposits == 0 {
+                (Glsn(1), Glsn(0))
+            } else {
+                (stats.glsn_lo, stats.glsn_hi)
+            }
+        };
+        let normalized = self
+            .standing
+            .normalized(id)
+            .expect("delta for a registered query");
+        let partition = self.effective_partition();
+        let plan = crate::plan::plan(&normalized, &partition)?;
+        // Deterministic per (cluster, query, epoch): re-evaluations and
+        // restarted clusters replay identical protocol transcripts.
+        let seed_digest = dla_crypto::sha256::digest_parts(&[
+            b"dla-standing-seed",
+            &self.seed.to_be_bytes(),
+            &id.0.to_be_bytes(),
+            &epoch.0.to_be_bytes(),
+        ]);
+        let query_seed = u64::from_be_bytes(seed_digest[..8].try_into().expect("sliced to 8"));
+        let result = {
+            let reliable = dla_net::Reliable::with_config(self.shared_net(), self.retransmit);
+            crate::exec::execute_on_clamped(
+                self,
+                &reliable,
+                &plan,
+                true,
+                crate::exec::ExecMode::default(),
+                query_seed,
+                Some(clamp),
+            )?
+        };
+        let matched = result.glsns.len();
+        self.standing.push_delta(id, epoch, result.glsns);
+        dla_telemetry::record(dla_telemetry::CostKind::StandingDelta, 1);
+        self.meta_log(
+            "cluster",
+            "standing-delta",
+            format!("query={id} epoch={epoch} matches={matched}"),
         );
         Ok(())
     }

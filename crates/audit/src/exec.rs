@@ -202,6 +202,46 @@ pub fn execute_on(
     mode: ExecMode,
     query_seed: u64,
 ) -> Result<QueryResult, AuditError> {
+    execute_on_clamped(cluster, transport, plan, reveal, mode, query_seed, None)
+}
+
+/// Intersection of two optional inclusive glsn windows (`None` = no
+/// restriction). May produce an inverted (empty) range — scans treat
+/// that as the empty sentinel.
+#[must_use]
+pub(crate) fn intersect_glsn_windows(
+    a: Option<(Glsn, Glsn)>,
+    b: Option<(Glsn, Glsn)>,
+) -> Option<(Glsn, Glsn)> {
+    match (a, b) {
+        (None, w) | (w, None) => w,
+        (Some((al, ah)), Some((bl, bh))) => Some((al.max(bl), ah.min(bh))),
+    }
+}
+
+/// [`execute_on`] with an additional glsn `clamp` intersected into the
+/// plan's own epoch-pruning window. The standing-query engine uses this
+/// to evaluate a registered query against *one just-sealed epoch's*
+/// glsn range — the incremental delta — without touching the rest of
+/// the trail.
+///
+/// # Errors
+///
+/// As [`execute_on`].
+///
+/// # Panics
+///
+/// Panics if a subquery worker thread panics.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_on_clamped(
+    cluster: &DlaCluster,
+    transport: &(dyn Transport + Sync),
+    plan: &QueryPlan,
+    reveal: bool,
+    mode: ExecMode,
+    query_seed: u64,
+    clamp: Option<(Glsn, Glsn)>,
+) -> Result<QueryResult, AuditError> {
     let net = cluster.shared_net();
     let (start_messages, start_bytes, start_elapsed) = {
         let n = net.lock();
@@ -213,8 +253,9 @@ pub fn execute_on(
     // Epoch pruning: if the plan proves a time window, restrict every
     // node scan to the glsn range of the epochs that window overlaps.
     // Conjunct-derived bounds hold for every answer record, so pruning
-    // cannot change the result — only how much trail is touched.
-    let window = cluster.glsn_window_for(&plan.time_window);
+    // cannot change the result — only how much trail is touched. An
+    // explicit caller clamp narrows it further.
+    let window = intersect_glsn_windows(cluster.glsn_window_for(&plan.time_window), clamp);
 
     // Phase 1: independent subqueries — the scheduler.
     let mut sessions: Vec<SessionId> = Vec::new();

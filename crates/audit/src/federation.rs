@@ -50,11 +50,12 @@
 
 use crate::aggregate;
 use crate::cluster::{AppUser, ClusterConfig, DlaCluster};
+use crate::standing::StandingQueryId;
 use crate::AuditError;
 use dla_bigint::{Ubig, F61};
 use dla_crypto::accumulator::{AccumulatorParams, RingCheckpoint, RingEndorsement};
 use dla_crypto::sha256;
-use dla_logstore::epoch::RingNamespace;
+use dla_logstore::epoch::{EpochId, RingNamespace};
 use dla_logstore::fragment::Partition;
 use dla_logstore::model::{AttrName, AttrValue, Glsn, LogRecord};
 use dla_logstore::schema::Schema;
@@ -71,6 +72,8 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const FED_PUBLISH_TAG: u8 = 0x60;
 /// Wire tag of a cross-ring endorsement on the root ring.
 pub const FED_ENDORSE_TAG: u8 = 0x61;
+/// Wire tag of a standing-query delta relayed to the root collector.
+pub const FED_DELTA_TAG: u8 = 0x62;
 
 /// Configuration of a [`FederatedCluster`].
 #[derive(Clone, Debug)]
@@ -242,6 +245,34 @@ pub struct FederatedSum {
     pub rings_queried: Vec<usize>,
 }
 
+/// One standing-query increment as archived by the root collector: a
+/// sub-ring sealed an epoch, evaluated the subscribed query against
+/// that epoch alone, and relayed the satisfying records upward —
+/// identified by global deposit index, the topology-independent record
+/// identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FederatedStandingDelta {
+    /// The federation-level subscription.
+    pub query: StandingQueryId,
+    /// The sub-ring whose seal produced this delta.
+    pub ring: u64,
+    /// The sealed epoch within that ring.
+    pub epoch: EpochId,
+    /// Satisfying global deposit indices, sorted ascending. Empty
+    /// deltas are archived too.
+    pub records: Vec<u64>,
+}
+
+/// One federation-level standing subscription: the same criteria
+/// registered in every sub-ring, plus the collector's archive of
+/// relayed deltas.
+struct FederatedStanding {
+    /// Per-ring registration ids, indexed by ring.
+    ring_ids: Vec<StandingQueryId>,
+    /// Deltas in relay order.
+    archive: Vec<FederatedStandingDelta>,
+}
+
 /// A federation of DLA sub-rings under a root accumulator ring.
 pub struct FederatedCluster {
     rings: Vec<DlaCluster>,
@@ -259,6 +290,9 @@ pub struct FederatedCluster {
     /// Sealed checkpoints already published, per ring.
     published_per_ring: Vec<usize>,
     users: BTreeMap<String, FederatedUser>,
+    /// Federation-level standing subscriptions.
+    standing: BTreeMap<StandingQueryId, FederatedStanding>,
+    next_standing: u64,
     /// Global record identity: glsn → deposit index, in deposit order.
     record_index: BTreeMap<Glsn, u64>,
     next_record: u64,
@@ -325,6 +359,8 @@ impl FederatedCluster {
             published: Vec::new(),
             endorsements: Vec::new(),
             users: BTreeMap::new(),
+            standing: BTreeMap::new(),
+            next_standing: 0,
             record_index: BTreeMap::new(),
             next_record: 0,
             namespace: config.namespace,
@@ -449,30 +485,39 @@ impl FederatedCluster {
                 }
             }
         }
-        let glsns = self.rings[federated.ring].log_records(&federated.user, records)?;
+        let ring = federated.ring;
+        let glsns = self.rings[ring].log_records(&federated.user, records)?;
         for &glsn in &glsns {
             self.record_index.insert(glsn, self.next_record);
             self.next_record += 1;
         }
+        // Push-at-seal: any epoch this deposit just sealed reaches the
+        // root fold immediately — the root accumulator never waits for
+        // a driver to poll `publish_checkpoints`. Standing deltas the
+        // seal emitted ride up on the same trigger.
+        self.publish_ring(ring)?;
+        self.relay_standing_ring(ring)?;
         Ok(glsns)
     }
 
-    /// Publishes every newly sealed sub-ring checkpoint to the root
-    /// ring: each ring's representative ships the sealed head to the
-    /// collector, the collector folds it into the global accumulator,
-    /// and the *next* ring cross-publishes an endorsement pinned to its
-    /// own chain head. Returns how many checkpoints were published.
+    /// Publishes `ring`'s not-yet-published sealed checkpoints to the
+    /// root ring: the ring's representative ships each sealed head to
+    /// the collector, the collector folds it into the global
+    /// accumulator, and the *next* ring cross-publishes an endorsement
+    /// pinned to its own chain head. Returns how many checkpoints were
+    /// published. Called from the seal path ([`FederatedCluster::log_records`]);
+    /// idempotent until new seals land.
     ///
     /// # Errors
     ///
     /// Returns [`AuditError`] on root-ring transport failure or a
     /// malformed/unverifiable publication (which would indicate a
     /// Byzantine representative).
-    pub fn publish_checkpoints(&mut self) -> Result<usize, AuditError> {
+    pub fn publish_ring(&mut self, ring: usize) -> Result<usize, AuditError> {
         let num_rings = self.rings.len();
         let root = self.root_node();
         let mut newly_published = 0usize;
-        for ring in 0..num_rings {
+        {
             loop {
                 let next = self.published_per_ring[ring];
                 let Some(checkpoint) = self.rings[ring]
@@ -560,6 +605,138 @@ impl FederatedCluster {
             }
         }
         Ok(newly_published)
+    }
+
+    /// Catch-up sweep: publishes every not-yet-published sealed
+    /// checkpoint across all rings. With the seal path pushing
+    /// ([`FederatedCluster::publish_ring`] fires on every deposit that
+    /// seals), this normally finds nothing — it exists for rings sealed
+    /// out-of-band (e.g. direct [`FederatedCluster::ring_mut`] access)
+    /// and as the recovery path after a representative outage. Returns
+    /// how many checkpoints the sweep published.
+    ///
+    /// # Errors
+    ///
+    /// As [`FederatedCluster::publish_ring`].
+    pub fn publish_checkpoints(&mut self) -> Result<usize, AuditError> {
+        let mut newly_published = 0usize;
+        for ring in 0..self.rings.len() {
+            newly_published += self.publish_ring(ring)?;
+            self.relay_standing_ring(ring)?;
+        }
+        Ok(newly_published)
+    }
+
+    /// Registers a standing query federation-wide: the criteria are
+    /// registered in **every** sub-ring (each validates, catches up
+    /// over its already-sealed epochs, and will evaluate every future
+    /// seal), and the catch-up deltas are relayed to the root collector
+    /// immediately. From then on each sub-ring seal pushes its delta up
+    /// through the root ring with no driver poll.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError::Parse`]/[`AuditError::Planning`] if any
+    /// ring rejects the criteria, or any relay failure.
+    pub fn register_standing(&mut self, criteria: &str) -> Result<StandingQueryId, AuditError> {
+        let ring_ids = (0..self.rings.len())
+            .map(|ring| self.rings[ring].register_standing(criteria))
+            .collect::<Result<Vec<_>, _>>()?;
+        let id = StandingQueryId(self.next_standing);
+        self.next_standing += 1;
+        self.standing.insert(
+            id,
+            FederatedStanding {
+                ring_ids,
+                archive: Vec::new(),
+            },
+        );
+        for ring in 0..self.rings.len() {
+            self.relay_standing_ring(ring)?;
+        }
+        Ok(id)
+    }
+
+    /// The root collector's archive of relayed deltas for `id`, in
+    /// relay order.
+    #[must_use]
+    pub fn standing_deltas(&self, id: StandingQueryId) -> &[FederatedStandingDelta] {
+        self.standing.get(&id).map_or(&[], |s| s.archive.as_slice())
+    }
+
+    /// The accumulated federation-wide matches of `id`: the union of
+    /// every relayed delta's records, sorted by global deposit index —
+    /// directly comparable to [`FederatedQueryResult::records`].
+    #[must_use]
+    pub fn standing_matches(&self, id: StandingQueryId) -> Option<Vec<u64>> {
+        let entry = self.standing.get(&id)?;
+        let mut records: BTreeSet<u64> = BTreeSet::new();
+        for delta in &entry.archive {
+            records.extend(delta.records.iter().copied());
+        }
+        Some(records.into_iter().collect())
+    }
+
+    /// Relays `ring`'s pending standing deltas to the root collector:
+    /// the representative frames each delta ([`FED_DELTA_TAG`]), the
+    /// collector decodes it, resolves the ring-local glsns to global
+    /// deposit indices, and archives the result.
+    fn relay_standing_ring(&mut self, ring: usize) -> Result<(), AuditError> {
+        let subscriptions: Vec<(StandingQueryId, StandingQueryId)> = self
+            .standing
+            .iter()
+            .map(|(id, entry)| (*id, entry.ring_ids[ring]))
+            .collect();
+        let root = self.root_node();
+        for (fed_id, ring_id) in subscriptions {
+            for delta in self.rings[ring].standing_deltas(ring_id) {
+                let mut w = Writer::new();
+                w.put_u8(FED_DELTA_TAG)
+                    .put_u64(fed_id.0)
+                    .put_u64(ring as u64)
+                    .put_u64(delta.epoch.0)
+                    .put_list(&delta.glsns, |w, g| {
+                        w.put_u64(g.0);
+                    });
+                self.root_net.send(NodeId(ring), root, w.finish());
+                let envelope = self
+                    .root_net
+                    .recv_from(root, NodeId(ring))
+                    .map_err(AuditError::Net)?;
+                let mut r = Reader::new(&envelope.payload);
+                let wire_err = |e: dla_net::wire::WireError| AuditError::Integrity(e.to_string());
+                let tag = r.get_u8().map_err(wire_err)?;
+                if tag != FED_DELTA_TAG {
+                    return Err(AuditError::Integrity(format!(
+                        "unexpected root-ring tag {tag:#04x}"
+                    )));
+                }
+                let query = StandingQueryId(r.get_u64().map_err(wire_err)?);
+                let from_ring = r.get_u64().map_err(wire_err)?;
+                let epoch = EpochId(r.get_u64().map_err(wire_err)?);
+                let glsns = r.get_list(|r| r.get_u64().map(Glsn)).map_err(wire_err)?;
+                let mut records = Vec::with_capacity(glsns.len());
+                for glsn in glsns {
+                    let index = self.record_index.get(&glsn).ok_or_else(|| {
+                        AuditError::Integrity(format!(
+                            "standing delta names glsn {glsn:?} with no federated deposit index"
+                        ))
+                    })?;
+                    records.push(*index);
+                }
+                records.sort_unstable();
+                let entry = self.standing.get_mut(&query).ok_or_else(|| {
+                    AuditError::Integrity(format!("standing delta for unknown query {query}"))
+                })?;
+                entry.archive.push(FederatedStandingDelta {
+                    query,
+                    ring: from_ring,
+                    epoch,
+                    records,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The root accumulator cross-check against a *presented* set of
@@ -989,14 +1166,14 @@ mod tests {
     #[test]
     fn root_accumulator_cross_check_detects_a_tampered_checkpoint() {
         let mut fed = synthetic_federation(3, 41, 12, 36);
-        let published = fed.publish_checkpoints().unwrap();
+        // The seal path already pushed every sealed checkpoint, so the
+        // catch-up sweep finds nothing new.
+        assert_eq!(fed.publish_checkpoints().unwrap(), 0);
+        let published = fed.published().len();
         assert!(published > 0, "epoch length 2 must seal something");
-        assert_eq!(fed.published().len(), published);
         assert_eq!(fed.endorsements().len(), published);
         assert!(fed.check_root().ok());
         assert!(fed.verify_presented(fed.published()));
-        // Publishing is idempotent until new seals land.
-        assert_eq!(fed.publish_checkpoints().unwrap(), 0);
 
         // A sub-ring presenting a rewritten checkpoint digest fails the
         // root accumulator cross-check...
@@ -1049,6 +1226,92 @@ mod tests {
             fed.register_user("U1"),
             Err(AuditError::Config(_))
         ));
+    }
+
+    #[test]
+    fn seals_reach_the_root_fold_without_a_driver_poll() {
+        let fed = synthetic_federation(3, 81, 12, 36);
+        // No publish_checkpoints() call anywhere above: the deposits
+        // that sealed epochs pushed their checkpoints themselves.
+        assert!(
+            !fed.published().is_empty(),
+            "sealed checkpoints must reach the root with no driver poll"
+        );
+        assert_eq!(fed.published().len(), fed.endorsements().len());
+        assert!(fed.check_root().ok());
+        // Every ring's full chain is already published.
+        for (ring, cluster) in fed.rings().iter().enumerate() {
+            assert_eq!(
+                fed.published()
+                    .iter()
+                    .filter(|p| p.ring as usize == ring)
+                    .count(),
+                cluster.checkpoint_chain().len(),
+                "ring {ring} has unpublished sealed epochs"
+            );
+        }
+    }
+
+    #[test]
+    fn standing_deltas_relay_to_the_root_collector() {
+        let schema = Schema::paper_example();
+        let partition = Partition::paper_example(&schema);
+        let mut fed = FederatedCluster::new(
+            FederationConfig::new(3, 4, schema)
+                .with_partition(partition)
+                .with_seed(91)
+                .with_epoch_length(2)
+                .with_max_users(12),
+        )
+        .unwrap();
+        // Subscribe *before* any deposit: deltas must arrive purely
+        // from the seal path.
+        let early = fed.register_standing("protocol = 'UDP'").unwrap();
+        let mut rng = StdRng::seed_from_u64(91);
+        let workload = gen::generate(
+            &gen::WorkloadConfig {
+                records: 36,
+                users: 12,
+                ..gen::WorkloadConfig::default()
+            },
+            &mut rng,
+        );
+        for u in 1..=12 {
+            fed.register_user(&format!("U{u}")).unwrap();
+        }
+        for record in &workload {
+            let Some(AttrValue::Text(id)) = record.get(&"id".into()) else {
+                unreachable!("generated records carry an id");
+            };
+            fed.log_records(id, std::slice::from_ref(record)).unwrap();
+        }
+        let deltas = fed.standing_deltas(early);
+        assert!(
+            !deltas.is_empty(),
+            "sealed epochs must have relayed deltas with no driver poll"
+        );
+        // A late subscriber converges on the same accumulated answer
+        // via per-ring catch-up.
+        let late = fed.register_standing("protocol = 'UDP'").unwrap();
+        assert_ne!(early, late);
+        assert_eq!(fed.standing_matches(early), fed.standing_matches(late));
+        // The accumulated matches are a subset of the fresh federated
+        // answer (standing covers sealed epochs only; the fresh query
+        // also sees the open tail).
+        let accumulated = fed.standing_matches(early).unwrap();
+        let fresh: BTreeSet<u64> = fed
+            .query("protocol = 'UDP'")
+            .unwrap()
+            .records
+            .into_iter()
+            .collect();
+        assert!(!accumulated.is_empty(), "the workload contains UDP records");
+        for index in &accumulated {
+            assert!(
+                fresh.contains(index),
+                "delta record {index} not in fresh answer"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod normal;
 pub mod parser;
 pub mod plan;
 pub mod query;
+pub mod standing;
 pub mod transaction;
 
 /// Errors surfaced by the auditing core.

@@ -143,7 +143,13 @@ impl fmt::Display for TimeWindow {
 }
 
 /// The window one literal confines `time` to, if it is a
-/// `time θ const` predicate (conservative: inclusive bounds).
+/// `time θ const` predicate. Bounds are inclusive and *exact* over the
+/// integer time domain: a strict inequality tightens by one instead of
+/// keeping the boundary point, so two adjoining windows (`time < t`,
+/// `time ≥ t`) partition a deposit stamped exactly `t` instead of both
+/// or neither claiming it — and so downstream epoch-coverage decisions
+/// (cached-partial vs rescan) agree with the literal's own semantics at
+/// the boundary.
 fn literal_time_window(literal: &Predicate) -> Option<TimeWindow> {
     if literal.lhs != AttrName::new("time") {
         return None;
@@ -151,9 +157,19 @@ fn literal_time_window(literal: &Predicate) -> Option<TimeWindow> {
     let Operand::Const(AttrValue::Time(t)) = &literal.rhs else {
         return None;
     };
+    // `time < 0` / `time > u64::MAX` admit nothing: the inverted
+    // (lo > hi) sentinel marks the provably-empty window.
     let (lo, hi) = match literal.op {
-        CmpOp::Lt | CmpOp::Le => (None, Some(*t)),
-        CmpOp::Gt | CmpOp::Ge => (Some(*t), None),
+        CmpOp::Le => (None, Some(*t)),
+        CmpOp::Lt => match t.checked_sub(1) {
+            Some(hi) => (None, Some(hi)),
+            None => (Some(1), Some(0)),
+        },
+        CmpOp::Ge => (Some(*t), None),
+        CmpOp::Gt => match t.checked_add(1) {
+            Some(lo) => (Some(lo), None),
+            None => (Some(1), Some(0)),
+        },
         CmpOp::Eq => (Some(*t), Some(*t)),
         CmpOp::Ne => (None, None),
     };
@@ -462,18 +478,21 @@ mod tests {
     }
 
     #[test]
-    fn time_window_extraction_is_conservative() {
+    fn time_window_extraction_is_exact() {
         use crate::parser::parse_paper_time;
         let t_lo = parse_paper_time("20:00:00/05/12/2002").unwrap();
         let t_hi = parse_paper_time("21:00:00/05/12/2002").unwrap();
 
-        // A pure conjunction of time bounds intersects them.
+        // A pure conjunction of time bounds intersects them; strict
+        // inequalities exclude the boundary instant itself (integer
+        // time), so a deposit stamped exactly `t_hi` is *not* in this
+        // window — the adjoining `time >= t_hi` window owns it.
         let p = planned("time > '20:00:00/05/12/2002' AND time < '21:00:00/05/12/2002'");
         assert_eq!(
             p.time_window,
             TimeWindow {
-                lo: Some(t_lo),
-                hi: Some(t_hi)
+                lo: Some(t_lo + 1),
+                hi: Some(t_hi - 1)
             }
         );
         assert!(!p.time_window.is_unbounded());

@@ -1,0 +1,221 @@
+//! Epoch/time-window boundary properties. The planner's conservative
+//! window extraction (`plan::literal_time_window`) must be *exact* at
+//! the edges: `time < t` excludes `t` but includes `t-1`, `time > t`
+//! excludes `t` but includes `t+1`, and a pair of adjoining windows
+//! (`time <= t` / `time > t`) partitions the trail with no record lost
+//! or double-counted at the seam — including records sitting exactly
+//! on an epoch seal boundary. The cached-partial and rescan aggregate
+//! paths must agree at the same edges.
+
+use dla_audit::aggregate::{windowed_bucket_aggregate, AggregatePath};
+use dla_audit::cluster::{ClusterConfig, DlaCluster};
+use dla_audit::plan::TimeWindow;
+use dla_audit::query::{CmpOp, Criteria, Predicate};
+use dla_logstore::fragment::Partition;
+use dla_logstore::gen::{generate, WorkloadConfig};
+use dla_logstore::model::{AttrValue, Glsn, LogRecord};
+use dla_logstore::schema::Schema;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+const RECORDS: usize = 12;
+/// Tiny epochs, so boundary times routinely coincide with seals.
+const EPOCH_LEN: u64 = 3;
+
+fn loaded_cluster(seed: u64) -> (DlaCluster, Vec<LogRecord>, Vec<Glsn>) {
+    let schema = Schema::paper_example();
+    let partition = Partition::paper_example(&schema);
+    let mut cluster = DlaCluster::new(
+        ClusterConfig::new(4, schema)
+            .with_partition(partition)
+            .with_seed(seed)
+            .with_epoch_length(EPOCH_LEN),
+    )
+    .expect("cluster builds");
+    let user = cluster.register_user("u").expect("capacity");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let records = generate(
+        &WorkloadConfig {
+            records: RECORDS,
+            ..WorkloadConfig::default()
+        },
+        &mut rng,
+    );
+    let glsns = cluster.log_records(&user, &records).expect("logs");
+    (cluster, records, glsns)
+}
+
+fn record_time(record: &LogRecord) -> u64 {
+    match record.get(&"time".into()) {
+        Some(AttrValue::Time(t)) => *t,
+        other => panic!("generated records carry a time, got {other:?}"),
+    }
+}
+
+fn centralized_reference(
+    criteria: &Criteria,
+    records: &[LogRecord],
+    glsns: &[Glsn],
+) -> BTreeSet<Glsn> {
+    records
+        .iter()
+        .zip(glsns)
+        .filter(|(r, _)| {
+            let mut keyed = LogRecord::new(Glsn(0));
+            for (n, v) in r.iter() {
+                keyed.insert(n.clone(), v.clone());
+            }
+            criteria.eval(&keyed).unwrap()
+        })
+        .map(|(_, g)| *g)
+        .collect()
+}
+
+fn answer(cluster: &mut DlaCluster, criteria: &Criteria) -> BTreeSet<Glsn> {
+    cluster
+        .query_criteria(criteria)
+        .unwrap_or_else(|e| panic!("query {criteria} failed: {e}"))
+        .glsns
+        .into_iter()
+        .collect()
+}
+
+fn time_pred(op: CmpOp, t: u64) -> Criteria {
+    Criteria::pred(Predicate::with_const("time", op, AttrValue::Time(t)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every comparison operator applied to a boundary time — a time
+    /// an actual record carries, and its ±1 neighbours — returns
+    /// exactly the centralized reference through the epoch-pruned
+    /// executor. `Lt`/`Gt` are the operators the old extraction
+    /// widened by one epoch-row; an exact window must not change the
+    /// answer, only the scan.
+    #[test]
+    fn boundary_operators_match_the_reference(
+        seed in 0u64..500,
+        pick in 0usize..RECORDS,
+        shift in -1i64..=1,
+        op in prop::sample::select(vec![
+            CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne,
+        ]),
+    ) {
+        let (mut cluster, records, glsns) = loaded_cluster(seed);
+        let t = record_time(&records[pick]).saturating_add_signed(shift);
+        let criteria = time_pred(op, t);
+        let got = answer(&mut cluster, &criteria);
+        let expect = centralized_reference(&criteria, &records, &glsns);
+        prop_assert_eq!(got, expect, "op {:?} at t={} diverged", op, t);
+    }
+
+    /// Adjoining windows partition the sealed trail: `time <= t` and
+    /// `time > t` (likewise `<` / `>=`) never lose or double-count a
+    /// record, even when `t` is exactly the last time of a sealed
+    /// epoch.
+    #[test]
+    fn adjoining_windows_partition_the_trail(
+        seed in 0u64..500,
+        pick in 0usize..RECORDS,
+    ) {
+        let (mut cluster, records, glsns) = loaded_cluster(seed);
+        let t = record_time(&records[pick]);
+        let all: BTreeSet<Glsn> = glsns.iter().copied().collect();
+
+        for (lo_op, hi_op) in [(CmpOp::Le, CmpOp::Gt), (CmpOp::Lt, CmpOp::Ge)] {
+            let below = answer(&mut cluster, &time_pred(lo_op, t));
+            let above = answer(&mut cluster, &time_pred(hi_op, t));
+            prop_assert!(
+                below.is_disjoint(&above),
+                "{:?}/{:?} at t={} double-counted {:?}",
+                lo_op, hi_op, t,
+                below.intersection(&above).collect::<Vec<_>>()
+            );
+            let union: BTreeSet<Glsn> = below.union(&above).copied().collect();
+            prop_assert_eq!(
+                &union, &all,
+                "{:?}/{:?} at t={} lost a boundary record", lo_op, hi_op, t
+            );
+        }
+    }
+
+    /// The cached-partial and rescan aggregate paths agree on windows
+    /// whose edges sit exactly on record times — where an epoch's
+    /// observed `[time_lo, time_hi]` extent meets the window edge, the
+    /// full-coverage test must be inclusive-exact in both directions.
+    #[test]
+    fn cached_and_rescan_aggregates_agree_at_boundaries(
+        seed in 0u64..500,
+        lo_pick in 0usize..RECORDS,
+        hi_pick in 0usize..RECORDS,
+        lo_shift in -1i64..=1,
+        hi_shift in -1i64..=1,
+    ) {
+        let (cluster, records, _) = loaded_cluster(seed);
+        let t_lo = record_time(&records[lo_pick]).saturating_add_signed(lo_shift);
+        let t_hi = record_time(&records[hi_pick]).saturating_add_signed(hi_shift);
+        let window = TimeWindow { lo: Some(t_lo), hi: Some(t_hi) };
+        for value in ["UDP", "TCP"] {
+            let cached = windowed_bucket_aggregate(
+                &cluster, &"protocol".into(), value, Some(&"c1".into()),
+                &window, AggregatePath::Cached,
+            ).unwrap();
+            let rescan = windowed_bucket_aggregate(
+                &cluster, &"protocol".into(), value, Some(&"c1".into()),
+                &window, AggregatePath::Rescan,
+            ).unwrap();
+            prop_assert_eq!(
+                (cached.count, cached.sum),
+                (rescan.count, rescan.sum),
+                "paths diverged for {} over [{}, {}]", value, t_lo, t_hi
+            );
+            // Reference count straight off the records.
+            let expect = records
+                .iter()
+                .filter(|r| {
+                    r.get(&"protocol".into()) == Some(&AttrValue::text(value))
+                        && (t_lo..=t_hi).contains(&record_time(r))
+                })
+                .count() as u64;
+            prop_assert_eq!(cached.count, expect);
+        }
+    }
+}
+
+/// A deposit whose time is exactly the seam between two sealed epochs'
+/// extents belongs to exactly one side of every adjoining window pair,
+/// on the executor path and on both aggregate paths.
+#[test]
+fn epoch_seam_record_lands_on_exactly_one_side() {
+    let (mut cluster, records, glsns) = loaded_cluster(7);
+    // Times of the last record in each sealed epoch — the seam values.
+    let seams: Vec<u64> = cluster
+        .epoch_stats()
+        .filter(|s| s.sealed)
+        .filter_map(|s| s.time_hi)
+        .collect();
+    assert!(!seams.is_empty(), "tiny epochs must have sealed");
+    let all: BTreeSet<Glsn> = glsns.iter().copied().collect();
+    for t in seams {
+        let below = answer(&mut cluster, &time_pred(CmpOp::Le, t));
+        let above = answer(&mut cluster, &time_pred(CmpOp::Gt, t));
+        assert!(below.is_disjoint(&above), "seam t={t} double-counted");
+        let union: BTreeSet<Glsn> = below.union(&above).copied().collect();
+        assert_eq!(union, all, "seam t={t} lost a record");
+        // The seam record itself is on the inclusive side.
+        let seam_glsns: Vec<Glsn> = records
+            .iter()
+            .zip(&glsns)
+            .filter(|(r, _)| record_time(r) == t)
+            .map(|(_, g)| *g)
+            .collect();
+        for g in seam_glsns {
+            assert!(
+                below.contains(&g),
+                "seam record {g:?} fell out of `time <= {t}`"
+            );
+        }
+    }
+}

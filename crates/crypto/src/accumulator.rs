@@ -447,24 +447,31 @@ pub struct EpochCheckpoint {
     pub items: u64,
     /// The epoch's accumulator value (fold of its items from `x₀`).
     pub digest: Ubig,
-    /// `H(prev_link ‖ epoch ‖ items ‖ digest)` — position- and
-    /// history-binding, like the meta-audit trail's hash chain.
+    /// Commitment to the epoch's materialized aggregate partials
+    /// (count/sum buckets cached at seal time). All zeros when the
+    /// sealer materialized nothing. Folding it into the link means a
+    /// cached aggregate is integrity-checked against the published
+    /// chain, never trusted.
+    pub aggregates: [u8; 32],
+    /// `H(prev_link ‖ epoch ‖ items ‖ digest ‖ aggregates)` — position-
+    /// and history-binding, like the meta-audit trail's hash chain.
     pub link: [u8; 32],
 }
 
 impl EpochCheckpoint {
     /// Canonical byte encoding for gossiping a head between peers:
-    /// `epoch ‖ items ‖ digest_len ‖ digest ‖ link`, all big-endian.
-    /// (The crypto crate carries no wire dependency, so the format is
-    /// spelled out here and transported opaquely.)
+    /// `epoch ‖ items ‖ digest_len ‖ digest ‖ aggregates ‖ link`, all
+    /// big-endian. (The crypto crate carries no wire dependency, so the
+    /// format is spelled out here and transported opaquely.)
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let digest = self.digest.to_bytes_be();
-        let mut out = Vec::with_capacity(8 + 8 + 4 + digest.len() + 32);
+        let mut out = Vec::with_capacity(8 + 8 + 4 + digest.len() + 64);
         out.extend_from_slice(&self.epoch.to_be_bytes());
         out.extend_from_slice(&self.items.to_be_bytes());
         out.extend_from_slice(&(digest.len() as u32).to_be_bytes());
         out.extend_from_slice(&digest);
+        out.extend_from_slice(&self.aggregates);
         out.extend_from_slice(&self.link);
         out
     }
@@ -475,15 +482,19 @@ impl EpochCheckpoint {
     pub fn decode(bytes: &[u8]) -> Option<Self> {
         let fixed = 8 + 8 + 4;
         let digest_len = u32::from_be_bytes(bytes.get(16..20)?.try_into().ok()?) as usize;
-        if bytes.len() != fixed + digest_len + 32 {
+        if bytes.len() != fixed + digest_len + 64 {
             return None;
         }
         let digest = Ubig::from_bytes_be(&bytes[fixed..fixed + digest_len]);
-        let link: [u8; 32] = bytes[fixed + digest_len..].try_into().ok()?;
+        let aggregates: [u8; 32] = bytes[fixed + digest_len..fixed + digest_len + 32]
+            .try_into()
+            .ok()?;
+        let link: [u8; 32] = bytes[fixed + digest_len + 32..].try_into().ok()?;
         Some(EpochCheckpoint {
             epoch: u64::from_be_bytes(bytes[..8].try_into().ok()?),
             items: u64::from_be_bytes(bytes[8..16].try_into().ok()?),
             digest,
+            aggregates,
             link,
         })
     }
@@ -517,20 +528,28 @@ impl CheckpointChain {
         CheckpointChain::default()
     }
 
-    /// The link a seal of (`epoch`, `items`, `digest`) on top of
-    /// `prev_link` would carry.
+    /// The link a seal of (`epoch`, `items`, `digest`, `aggregates`) on
+    /// top of `prev_link` would carry.
     #[must_use]
-    pub fn link_over(prev_link: &[u8; 32], epoch: u64, items: u64, digest: &Ubig) -> [u8; 32] {
+    pub fn link_over(
+        prev_link: &[u8; 32],
+        epoch: u64,
+        items: u64,
+        digest: &Ubig,
+        aggregates: &[u8; 32],
+    ) -> [u8; 32] {
         sha256::digest_parts(&[
             b"dla-epoch-checkpoint",
             prev_link,
             &epoch.to_be_bytes(),
             &items.to_be_bytes(),
             &digest.to_bytes_be(),
+            aggregates,
         ])
     }
 
-    /// Seals `epoch` with its accumulator `digest` over `items` items.
+    /// Seals `epoch` with its accumulator `digest` over `items` items
+    /// and no aggregate commitment (all-zeros `aggregates`).
     ///
     /// # Panics
     ///
@@ -538,6 +557,24 @@ impl CheckpointChain {
     /// — seals are totally ordered by construction (the open epoch only
     /// rolls forward).
     pub fn seal(&mut self, epoch: u64, items: u64, digest: Ubig) -> &EpochCheckpoint {
+        self.seal_with_aggregates(epoch, items, digest, [0u8; 32])
+    }
+
+    /// [`CheckpointChain::seal`] carrying a commitment to the epoch's
+    /// materialized aggregate partials, so cached aggregates are
+    /// endorsed by the published chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` does not strictly follow the last sealed
+    /// epoch.
+    pub fn seal_with_aggregates(
+        &mut self,
+        epoch: u64,
+        items: u64,
+        digest: Ubig,
+        aggregates: [u8; 32],
+    ) -> &EpochCheckpoint {
         if let Some(last) = self.checkpoints.last() {
             assert!(
                 epoch > last.epoch,
@@ -545,11 +582,12 @@ impl CheckpointChain {
                 last.epoch
             );
         }
-        let link = Self::link_over(&self.head_link(), epoch, items, &digest);
+        let link = Self::link_over(&self.head_link(), epoch, items, &digest, &aggregates);
         self.checkpoints.push(EpochCheckpoint {
             epoch,
             items,
             digest,
+            aggregates,
             link,
         });
         self.checkpoints.last().expect("just pushed")
@@ -567,7 +605,7 @@ impl CheckpointChain {
     pub fn verify_links(&self) -> bool {
         let mut prev = [0u8; 32];
         for c in &self.checkpoints {
-            if Self::link_over(&prev, c.epoch, c.items, &c.digest) != c.link {
+            if Self::link_over(&prev, c.epoch, c.items, &c.digest, &c.aggregates) != c.link {
                 return false;
             }
             prev = c.link;
@@ -921,6 +959,35 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_commitment_binds_the_link() {
+        let p = params();
+        let digest = p.accumulate([b"e0".as_slice()]);
+
+        // The same seal with and without an aggregate commitment must
+        // link differently — a sealer cannot later graft cached
+        // partials under a chain that never endorsed them.
+        let mut plain = CheckpointChain::new();
+        plain.seal(0, 1, digest.clone());
+        let mut committed = CheckpointChain::new();
+        committed.seal_with_aggregates(0, 1, digest.clone(), [7u8; 32]);
+        assert_ne!(plain.head_link(), committed.head_link());
+        assert!(plain.verify_links() && committed.verify_links());
+
+        // Non-zero commitments survive the wire round trip.
+        let checkpoint = committed.get(0).expect("sealed").clone();
+        assert_eq!(
+            EpochCheckpoint::decode(&checkpoint.encode()),
+            Some(checkpoint.clone())
+        );
+
+        // Flipping the stored commitment breaks the link check.
+        let mut tampered = committed.clone();
+        tampered.checkpoints[0].aggregates = [8u8; 32];
+        assert!(!tampered.verify_links());
+        assert!(checkpoint.equivocates(tampered.get(0).expect("sealed")));
+    }
+
+    #[test]
     fn equivocation_is_divergence_on_the_same_epoch() {
         let p = params();
         let mut chain = CheckpointChain::new();
@@ -934,11 +1001,12 @@ mod tests {
         // consistent, yet both peer cross-checks catch it.
         let prev = chain.get(0).expect("sealed").link;
         let digest = p.accumulate([b"forged".as_slice()]);
-        let link = CheckpointChain::link_over(&prev, 1, 2, &digest);
+        let link = CheckpointChain::link_over(&prev, 1, 2, &digest, &[0u8; 32]);
         let forged = EpochCheckpoint {
             epoch: 1,
             items: 2,
             digest,
+            aggregates: [0u8; 32],
             link,
         };
         assert!(genuine.equivocates(&forged));

@@ -13,7 +13,8 @@
 //! Every node therefore agrees on epoch membership without any extra
 //! coordination.
 
-use crate::model::Glsn;
+use crate::model::{AttrName, Glsn};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies one epoch of the glsn space.
@@ -89,10 +90,191 @@ impl Default for EpochPolicy {
     }
 }
 
+/// A running (count, total) pair for one numeric attribute. `total`
+/// is the sum of raw `Int`/`Fixed2` values (hundredths for fixed-point)
+/// over the contributing fragments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NumericPartial {
+    /// Fragments that carried the attribute.
+    pub count: u64,
+    /// Sum of the raw values.
+    pub total: i64,
+}
+
+impl NumericPartial {
+    /// Folds one more value in.
+    pub fn observe(&mut self, value: i64) {
+        self.count += 1;
+        self.total = self.total.wrapping_add(value);
+    }
+}
+
+/// One equality bucket's partial: how many of the epoch's fragments
+/// carry `attr = value`, plus the sums of every *co-resident* numeric
+/// attribute over exactly those fragments (co-resident: stored in the
+/// same fragment, i.e. served by the same node — a cross-node sum still
+/// goes through the secure-sum pipeline).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BucketPartial {
+    /// Fragments matching the bucket's equality predicate.
+    pub count: u64,
+    /// Per numeric attribute, its sum over the matching fragments.
+    pub sums: BTreeMap<AttrName, NumericPartial>,
+}
+
+/// Materialized aggregate partials for one epoch at one node, computed
+/// from the node's own fragments at seal time: the per-predicate-bucket
+/// counts and sums a windowed aggregate combines instead of rescanning
+/// the epoch. Buckets are the text-valued equality predicates
+/// (`attr = 'value'`) actually present in the data; numeric attributes
+/// additionally contribute whole-epoch totals.
+///
+/// Partials are journaled (blob `0x14`) and rebuilt-or-invalidated on
+/// [`crate::store::FragmentStore::restore`]; the cluster folds a digest
+/// of every node's partials into the epoch's sealed checkpoint so a
+/// cached answer is integrity-checked, never trusted.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EpochPartials {
+    /// The epoch the partials summarize.
+    pub epoch: EpochId,
+    /// Fragments folded in (the node's own fragments in the epoch).
+    pub fragments: u64,
+    /// Whole-epoch totals per numeric attribute.
+    pub totals: BTreeMap<AttrName, NumericPartial>,
+    /// Equality buckets: `(attr, text value)` → partial.
+    pub buckets: BTreeMap<(AttrName, String), BucketPartial>,
+}
+
+impl EpochPartials {
+    /// Empty partials for `epoch`.
+    #[must_use]
+    pub fn empty(epoch: EpochId) -> Self {
+        EpochPartials {
+            epoch,
+            fragments: 0,
+            totals: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// The bucket partial for `attr = value`, if any fragment matched.
+    #[must_use]
+    pub fn bucket(&self, attr: &AttrName, value: &str) -> Option<&BucketPartial> {
+        self.buckets.get(&(attr.clone(), value.to_owned()))
+    }
+
+    /// Canonical byte encoding (big-endian throughout):
+    /// `epoch ‖ fragments ‖ totals ‖ buckets`, every map
+    /// length-prefixed and iterated in key order so equal partials
+    /// encode identically.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_name(out: &mut Vec<u8>, name: &AttrName) {
+            let bytes = name.as_str().as_bytes();
+            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(bytes);
+        }
+        fn put_numeric(out: &mut Vec<u8>, p: &NumericPartial) {
+            out.extend_from_slice(&p.count.to_be_bytes());
+            out.extend_from_slice(&p.total.to_be_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.epoch.0.to_be_bytes());
+        out.extend_from_slice(&self.fragments.to_be_bytes());
+        out.extend_from_slice(&(self.totals.len() as u32).to_be_bytes());
+        for (name, partial) in &self.totals {
+            put_name(&mut out, name);
+            put_numeric(&mut out, partial);
+        }
+        out.extend_from_slice(&(self.buckets.len() as u32).to_be_bytes());
+        for ((name, value), bucket) in &self.buckets {
+            put_name(&mut out, name);
+            out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(&bucket.count.to_be_bytes());
+            out.extend_from_slice(&(bucket.sums.len() as u32).to_be_bytes());
+            for (sum_name, partial) in &bucket.sums {
+                put_name(&mut out, sum_name);
+                put_numeric(&mut out, partial);
+            }
+        }
+        out
+    }
+
+    /// Decodes an [`EpochPartials::encode`] blob; `None` on any
+    /// structural mismatch (truncation, bad UTF-8, trailing bytes).
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        struct Cursor<'a>(&'a [u8]);
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+                let (head, tail) = (self.0.get(..n)?, self.0.get(n..)?);
+                self.0 = tail;
+                Some(head)
+            }
+            fn u16(&mut self) -> Option<u16> {
+                Some(u16::from_be_bytes(self.take(2)?.try_into().ok()?))
+            }
+            fn u32(&mut self) -> Option<u32> {
+                Some(u32::from_be_bytes(self.take(4)?.try_into().ok()?))
+            }
+            fn u64(&mut self) -> Option<u64> {
+                Some(u64::from_be_bytes(self.take(8)?.try_into().ok()?))
+            }
+            fn i64(&mut self) -> Option<i64> {
+                Some(i64::from_be_bytes(self.take(8)?.try_into().ok()?))
+            }
+            fn name(&mut self) -> Option<AttrName> {
+                let len = self.u16()? as usize;
+                let raw = std::str::from_utf8(self.take(len)?).ok()?;
+                Some(AttrName::new(raw))
+            }
+            fn numeric(&mut self) -> Option<NumericPartial> {
+                Some(NumericPartial {
+                    count: self.u64()?,
+                    total: self.i64()?,
+                })
+            }
+        }
+        let mut c = Cursor(bytes);
+        let epoch = EpochId(c.u64()?);
+        let fragments = c.u64()?;
+        let mut totals = BTreeMap::new();
+        for _ in 0..c.u32()? {
+            let name = c.name()?;
+            totals.insert(name, c.numeric()?);
+        }
+        let mut buckets = BTreeMap::new();
+        for _ in 0..c.u32()? {
+            let name = c.name()?;
+            let value_len = c.u32()? as usize;
+            let value = std::str::from_utf8(c.take(value_len)?).ok()?.to_owned();
+            let count = c.u64()?;
+            let mut sums = BTreeMap::new();
+            for _ in 0..c.u32()? {
+                let sum_name = c.name()?;
+                sums.insert(sum_name, c.numeric()?);
+            }
+            buckets.insert((name, value), BucketPartial { count, sums });
+        }
+        if !c.0.is_empty() {
+            return None;
+        }
+        Some(EpochPartials {
+            epoch,
+            fragments,
+            totals,
+            buckets,
+        })
+    }
+}
+
 /// Per-epoch bookkeeping a [`crate::store::FragmentStore`] maintains:
 /// how many fragments landed in the epoch, the glsn extremes actually
-/// observed, and whether the epoch has been sealed (no further deposits
-/// admitted; its accumulator digest is checkpointed cluster-side).
+/// observed, whether the epoch has been sealed (no further deposits
+/// admitted; its accumulator digest is checkpointed cluster-side), and
+/// — once sealed — the materialized aggregate partials cached for
+/// windowed queries.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EpochManifest {
     /// The epoch this manifest describes.
@@ -106,6 +288,11 @@ pub struct EpochManifest {
     /// Whether the epoch is sealed. Sealing is recorded in the node's
     /// journal, so it survives [`crate::store::FragmentStore::restore`].
     pub sealed: bool,
+    /// Materialized aggregate partials, populated at seal time
+    /// ([`crate::store::FragmentStore::materialize_partials`]) and
+    /// rebuilt from the surviving fragments on restore. `None` until
+    /// materialized (or after invalidation).
+    pub partials: Option<EpochPartials>,
 }
 
 impl EpochManifest {
@@ -119,6 +306,7 @@ impl EpochManifest {
             glsn_lo: glsn,
             glsn_hi: glsn,
             sealed: false,
+            partials: None,
         }
     }
 
@@ -253,6 +441,43 @@ mod tests {
             RingNamespace::default().base_of(0),
             EpochPolicy::paper_default().base()
         );
+    }
+
+    #[test]
+    fn partials_encode_round_trips_and_rejects_garbage() {
+        let mut partials = EpochPartials::empty(EpochId(7));
+        partials.fragments = 3;
+        partials
+            .totals
+            .entry(AttrName::new("c2"))
+            .or_default()
+            .observe(2345);
+        partials
+            .totals
+            .entry(AttrName::new("c2"))
+            .or_default()
+            .observe(-11);
+        let bucket = partials
+            .buckets
+            .entry((AttrName::new("id"), "U3".to_owned()))
+            .or_default();
+        bucket.count = 2;
+        bucket
+            .sums
+            .entry(AttrName::new("c2"))
+            .or_default()
+            .observe(34511);
+
+        let bytes = partials.encode();
+        assert_eq!(EpochPartials::decode(&bytes), Some(partials.clone()));
+        // Trailing bytes, truncation, and non-UTF-8 names all reject.
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(EpochPartials::decode(&trailing), None);
+        assert_eq!(EpochPartials::decode(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(EpochPartials::decode(&[]), None);
+        // Equal partials encode identically (canonical map order).
+        assert_eq!(bytes, partials.clone().encode());
     }
 
     #[test]

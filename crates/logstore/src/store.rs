@@ -1,7 +1,7 @@
 //! Per-node fragment storage and the cluster-wide glsn allocator.
 
 use crate::acl::{AccessControlTable, Operation, OperationSet, Ticket};
-use crate::epoch::{EpochId, EpochManifest, EpochPolicy};
+use crate::epoch::{EpochId, EpochManifest, EpochPartials, EpochPolicy};
 use crate::fragment::Fragment;
 use crate::journal::{Journal, JournalEntry};
 use crate::model::{AttrName, AttrValue, Glsn};
@@ -75,6 +75,13 @@ pub const BLOB_EPOCH_SEAL: u8 = 0x12;
 /// manifests under the policy the trail was actually sharded with
 /// instead of silently assuming the default.
 pub const BLOB_EPOCH_POLICY: u8 = 0x13;
+/// Journal blob tag for materialized per-epoch aggregate partials
+/// (payload: [`EpochPartials::encode`]). Written by
+/// [`FragmentStore::materialize_partials`] at seal time; on restore the
+/// cached copy is never trusted — it is recomputed from the surviving
+/// fragments, so a crash-tail truncation can only invalidate, never
+/// serve, a stale aggregate.
+pub const BLOB_EPOCH_PARTIALS: u8 = 0x14;
 
 fn encode_epoch_policy(policy: EpochPolicy) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
@@ -232,6 +239,7 @@ impl FragmentStore {
         let mut standby: BTreeMap<(usize, Glsn), Fragment> = BTreeMap::new();
         let mut adopted: BTreeMap<(usize, Glsn), Fragment> = BTreeMap::new();
         let mut sealed = Vec::new();
+        let mut materialized: Vec<EpochId> = Vec::new();
         for entry in &entries {
             match entry {
                 JournalEntry::AclGrant { ticket, ops, glsn } => {
@@ -276,6 +284,12 @@ impl FragmentStore {
                     })?;
                     sealed.push(EpochId(u64::from_be_bytes(raw)));
                 }
+                JournalEntry::Blob { tag, bytes } if *tag == BLOB_EPOCH_PARTIALS => {
+                    let partials = EpochPartials::decode(bytes).ok_or_else(|| {
+                        LogError::Store("epoch partials payload is malformed".into())
+                    })?;
+                    materialized.push(partials.epoch);
+                }
                 _ => {}
             }
         }
@@ -297,7 +311,7 @@ impl FragmentStore {
                 .or_insert_with(|| empty_manifest(&policy, epoch))
                 .sealed = true;
         }
-        Ok(FragmentStore {
+        let mut store = FragmentStore {
             node,
             fragments,
             standby,
@@ -306,7 +320,22 @@ impl FragmentStore {
             journal: Some(journal),
             epoch_policy: policy,
             epochs,
-        })
+        };
+        // The journal records *that* an epoch's partials were
+        // materialized, not the authoritative values: cached aggregates
+        // are recomputed from the surviving fragments, so a journal
+        // whose tail was truncated (or tampered with) after the 0x14
+        // record can never serve a stale aggregate.
+        for epoch in materialized {
+            let rebuilt = store.compute_partials(epoch);
+            let policy = store.epoch_policy;
+            store
+                .epochs
+                .entry(epoch)
+                .or_insert_with(|| empty_manifest(&policy, epoch))
+                .partials = Some(rebuilt);
+        }
+        Ok(store)
     }
 
     /// Whether the store is journal-backed.
@@ -499,6 +528,92 @@ impl FragmentStore {
         Ok(())
     }
 
+    /// Deterministically folds the epoch's scan surface (own plus
+    /// adopted fragments in the policy's nominal glsn range) into
+    /// count/sum partials per predicate bucket: every `Text` attribute
+    /// value forms a bucket counting matching fragments and summing
+    /// each co-resident numeric attribute, and epoch-wide numeric
+    /// totals ride along. A pure function of the stored fragments —
+    /// restore recomputes it rather than trusting a cached copy.
+    #[must_use]
+    pub fn compute_partials(&self, epoch: EpochId) -> EpochPartials {
+        let (lo, hi) = self.epoch_policy.glsn_range(epoch);
+        let mut partials = EpochPartials::empty(epoch);
+        for frag in self.scan_window(lo, hi) {
+            partials.fragments += 1;
+            let numerics: Vec<(&AttrName, i64)> = frag
+                .values
+                .iter()
+                .filter_map(|(name, value)| match value {
+                    AttrValue::Int(raw) | AttrValue::Fixed2(raw) => Some((name, *raw)),
+                    _ => None,
+                })
+                .collect();
+            for (name, raw) in &numerics {
+                partials
+                    .totals
+                    .entry((*name).clone())
+                    .or_default()
+                    .observe(*raw);
+            }
+            for (name, value) in frag.values.iter() {
+                if let AttrValue::Text(text) = value {
+                    let bucket = partials
+                        .buckets
+                        .entry((name.clone(), text.clone()))
+                        .or_default();
+                    bucket.count += 1;
+                    for (num_name, raw) in &numerics {
+                        bucket
+                            .sums
+                            .entry((*num_name).clone())
+                            .or_default()
+                            .observe(*raw);
+                    }
+                }
+            }
+        }
+        partials
+    }
+
+    /// Materializes the epoch's aggregate partials into its manifest
+    /// (journaled when durable), so windowed aggregate queries combine
+    /// cached partials instead of rescanning fragments. Called at seal
+    /// time; idempotent — an epoch whose manifest already carries
+    /// partials is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Store`] if journaling fails.
+    pub fn materialize_partials(&mut self, epoch: EpochId) -> Result<(), LogError> {
+        if self
+            .epochs
+            .get(&epoch)
+            .is_some_and(|m| m.partials.is_some())
+        {
+            return Ok(());
+        }
+        let partials = self.compute_partials(epoch);
+        if let Some(journal) = &mut self.journal {
+            journal.append(&JournalEntry::Blob {
+                tag: BLOB_EPOCH_PARTIALS,
+                bytes: partials.encode(),
+            })?;
+        }
+        let policy = self.epoch_policy;
+        self.epochs
+            .entry(epoch)
+            .or_insert_with(|| empty_manifest(&policy, epoch))
+            .partials = Some(partials);
+        Ok(())
+    }
+
+    /// The cached aggregate partials for `epoch`, if materialized.
+    #[must_use]
+    pub fn epoch_partials(&self, epoch: EpochId) -> Option<&EpochPartials> {
+        self.epochs.get(&epoch).and_then(|m| m.partials.as_ref())
+    }
+
     /// Stores a warm standby copy of another node's fragment (ring
     /// replication at log time). Idempotent per (origin, glsn) for
     /// byte-identical re-ships.
@@ -652,6 +767,20 @@ impl FragmentStore {
             _ => false,
         }
     }
+
+    /// **Adversarial test hook**: overwrites the cached aggregate
+    /// partials of `epoch`, as a compromised node lying about its
+    /// materialized summaries would. Returns `true` if the epoch had a
+    /// manifest to corrupt.
+    pub fn tamper_partials(&mut self, epoch: EpochId, partials: EpochPartials) -> bool {
+        match self.epochs.get_mut(&epoch) {
+            Some(manifest) => {
+                manifest.partials = Some(partials);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// A manifest for an epoch sealed before any deposit touched it: zero
@@ -664,6 +793,7 @@ fn empty_manifest(policy: &EpochPolicy, epoch: EpochId) -> EpochManifest {
         glsn_lo: lo,
         glsn_hi: hi,
         sealed: false,
+        partials: None,
     }
 }
 
@@ -959,6 +1089,107 @@ mod tests {
         let err =
             FragmentStore::restore_with_policy(1, &path, EpochPolicy::new(Glsn(0), 8)).unwrap_err();
         assert!(err.to_string().contains("epoch policy"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn materialized_partials_survive_restart_and_match_recompute() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-partials-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let t = ticket(OperationSet::read_write());
+        let policy = EpochPolicy::new(Glsn(0), 4);
+        let expected = {
+            let mut store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+            store.write(&t, sample_fragments(1).remove(1)).unwrap();
+            store.write(&t, sample_fragments(2).remove(1)).unwrap();
+            store.materialize_partials(EpochId(0)).unwrap();
+            store.seal_epoch(EpochId(0)).unwrap();
+            // Idempotent: a second call must not re-journal.
+            store.materialize_partials(EpochId(0)).unwrap();
+            store.epoch_partials(EpochId(0)).unwrap().clone()
+        };
+        assert_eq!(expected.fragments, 2);
+
+        let store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+        let restored = store.epoch_partials(EpochId(0)).expect("partials restored");
+        assert_eq!(*restored, expected);
+        assert_eq!(*restored, store.compute_partials(EpochId(0)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_partials_are_rebuilt_after_crash_tail_recovery() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-partials-stale-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let t = ticket(OperationSet::read_write());
+        let policy = EpochPolicy::new(Glsn(0), 4);
+        {
+            let mut store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+            store.write(&t, sample_fragments(1).remove(1)).unwrap();
+            // Materialize early, then keep depositing into the still-open
+            // epoch: the journaled 0x14 snapshot is now stale relative to
+            // the fragment tail.
+            store.materialize_partials(EpochId(0)).unwrap();
+            store.write(&t, sample_fragments(2).remove(1)).unwrap();
+        }
+        let store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+        let restored = store.epoch_partials(EpochId(0)).expect("partials restored");
+        assert_eq!(
+            restored.fragments, 2,
+            "restore must rebuild partials from surviving fragments, \
+             not replay the stale journaled snapshot"
+        );
+        assert_eq!(*restored, store.compute_partials(EpochId(0)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn forged_partials_blob_cannot_poison_restore() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "dla-store-partials-forged-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let t = ticket(OperationSet::read_write());
+        let policy = EpochPolicy::new(Glsn(0), 4);
+        {
+            let mut store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+            store.write(&t, sample_fragments(1).remove(1)).unwrap();
+            store.materialize_partials(EpochId(0)).unwrap();
+            store.seal_epoch(EpochId(0)).unwrap();
+        }
+        // A compromised node appends a 0x14 blob claiming a wildly
+        // different aggregate for the sealed epoch.
+        {
+            let mut forged = EpochPartials::empty(EpochId(0));
+            forged.fragments = 99;
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            journal
+                .append(&JournalEntry::Blob {
+                    tag: BLOB_EPOCH_PARTIALS,
+                    bytes: forged.encode(),
+                })
+                .unwrap();
+        }
+        let store = FragmentStore::restore_with_policy(1, &path, policy).unwrap();
+        let restored = store.epoch_partials(EpochId(0)).expect("partials restored");
+        assert_eq!(restored.fragments, 1, "forged snapshot must be ignored");
+        assert_eq!(*restored, store.compute_partials(EpochId(0)));
         std::fs::remove_file(&path).unwrap();
     }
 

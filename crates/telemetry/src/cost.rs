@@ -53,6 +53,14 @@ pub enum CostKind {
     /// One batch processed by the batched deposit pipeline (amortized
     /// journal fsync + accumulator fold).
     DepositBatch,
+    /// One epoch's aggregate partials materialized at seal time
+    /// (count/sum buckets cached into the manifest).
+    PartialMaterialize,
+    /// One cached per-epoch partial combined into a windowed aggregate
+    /// answer instead of rescanning the epoch's fragments.
+    PartialCombine,
+    /// One standing-query delta emitted at epoch seal.
+    StandingDelta,
 }
 
 impl CostKind {
@@ -75,6 +83,9 @@ impl CostKind {
             CostKind::Round => "rounds",
             CostKind::EpochSeal => "epoch_seals",
             CostKind::DepositBatch => "deposit_batches",
+            CostKind::PartialMaterialize => "partials_materialized",
+            CostKind::PartialCombine => "partials_combined",
+            CostKind::StandingDelta => "standing_deltas",
         }
     }
 }
@@ -113,6 +124,12 @@ pub struct CostVector {
     pub epoch_seals: u64,
     /// Batches processed by the batched deposit pipeline.
     pub deposit_batches: u64,
+    /// Epoch aggregate partials materialized at seal time.
+    pub partials_materialized: u64,
+    /// Cached per-epoch partials combined into windowed answers.
+    pub partials_combined: u64,
+    /// Standing-query deltas emitted at epoch seals.
+    pub standing_deltas: u64,
 }
 
 impl CostVector {
@@ -134,6 +151,9 @@ impl CostVector {
             CostKind::Round => &mut self.rounds,
             CostKind::EpochSeal => &mut self.epoch_seals,
             CostKind::DepositBatch => &mut self.deposit_batches,
+            CostKind::PartialMaterialize => &mut self.partials_materialized,
+            CostKind::PartialCombine => &mut self.partials_combined,
+            CostKind::StandingDelta => &mut self.standing_deltas,
         };
         *slot += amount;
     }
@@ -155,6 +175,9 @@ impl CostVector {
         self.rounds += other.rounds;
         self.epoch_seals += other.epoch_seals;
         self.deposit_batches += other.deposit_batches;
+        self.partials_materialized += other.partials_materialized;
+        self.partials_combined += other.partials_combined;
+        self.standing_deltas += other.standing_deltas;
     }
 
     /// True when every counter is zero.
@@ -165,7 +188,7 @@ impl CostVector {
 
     /// `(label, value)` pairs in a stable order, for exporters.
     #[must_use]
-    pub fn entries(&self) -> [(&'static str, u64); 15] {
+    pub fn entries(&self) -> [(&'static str, u64); 18] {
         [
             ("modexp", self.modexp),
             ("mont_mul_steps", self.mont_mul_steps),
@@ -182,6 +205,9 @@ impl CostVector {
             ("rounds", self.rounds),
             ("epoch_seals", self.epoch_seals),
             ("deposit_batches", self.deposit_batches),
+            ("partials_materialized", self.partials_materialized),
+            ("partials_combined", self.partials_combined),
+            ("standing_deltas", self.standing_deltas),
         ]
     }
 }
@@ -258,6 +284,9 @@ mod tests {
             CostKind::Round,
             CostKind::EpochSeal,
             CostKind::DepositBatch,
+            CostKind::PartialMaterialize,
+            CostKind::PartialCombine,
+            CostKind::StandingDelta,
         ];
         let mut v = CostVector::default();
         for (i, kind) in kinds.iter().enumerate() {
@@ -266,7 +295,7 @@ mod tests {
         let values: Vec<u64> = v.entries().iter().map(|(_, n)| *n).collect();
         assert_eq!(
             values,
-            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18]
         );
         assert!(!v.is_zero());
     }
